@@ -1,0 +1,57 @@
+// Command cs2p-bench regenerates the paper's tables and figures on the
+// synthetic trace and prints the rows/series each one reports. See
+// DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
+// paper-vs-measured values.
+//
+// Usage:
+//
+//	cs2p-bench                 # run every experiment at full scale
+//	cs2p-bench -exp F9b,F10    # a subset
+//	cs2p-bench -small          # fast small-scale run
+//	cs2p-bench -list           # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cs2p/internal/experiments"
+)
+
+func main() {
+	var (
+		exps  = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		small = flag.Bool("small", false, "small scale (seconds instead of minutes)")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	scale := experiments.ScaleFull
+	if *small {
+		scale = experiments.ScaleSmall
+	}
+	ctx := experiments.NewContext(scale)
+	ids := experiments.IDs()
+	if *exps != "" {
+		ids = strings.Split(*exps, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		res, err := experiments.Run(ctx, id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cs2p-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.String())
+		fmt.Printf("(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,95 @@
+// Command cs2p-player simulates DASH players driving a running cs2p-server
+// (the pilot-deployment client of §7.5): each player opens a session, makes
+// one prediction round trip per chunk, adapts bitrate with MPC, and posts
+// its QoE log when the video ends.
+//
+// Usage:
+//
+//	cs2p-player -server http://127.0.0.1:8642 -trace test.csv -sessions 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cs2p/internal/abr"
+	"cs2p/internal/engine"
+	"cs2p/internal/httpapi"
+	"cs2p/internal/mathx"
+	"cs2p/internal/qoe"
+	"cs2p/internal/sim"
+	"cs2p/internal/trace"
+	"cs2p/internal/video"
+)
+
+func main() {
+	var (
+		server    = flag.String("server", "http://127.0.0.1:8642", "prediction service base URL")
+		tracePath = flag.String("trace", "", "trace supplying the sessions to replay (CSV; required)")
+		sessions  = flag.Int("sessions", 20, "number of sessions to play")
+	)
+	flag.Parse()
+	if *tracePath == "" {
+		fatalf("-trace is required")
+	}
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		fatalf("opening trace: %v", err)
+	}
+	d, err := trace.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		fatalf("reading trace: %v", err)
+	}
+	client := httpapi.NewClient(*server)
+	if err := client.Healthz(); err != nil {
+		fatalf("server not reachable: %v", err)
+	}
+
+	spec := video.Default()
+	w := qoe.DefaultWeights()
+	var qoes, bitrates, stalls []float64
+	played := 0
+	for i, s := range d.Sessions {
+		if played >= *sessions {
+			break
+		}
+		id := fmt.Sprintf("player-%d-%s", i, s.ID)
+		pred, err := client.NewSessionPredictor(id, s.Features, s.StartUnix)
+		if err != nil {
+			fatalf("starting session: %v", err)
+		}
+		res := sim.Play(spec, abr.MPC{}, pred, s.Throughput, w)
+		if res.Chunks == 0 {
+			continue
+		}
+		played++
+		qoes = append(qoes, res.QoE)
+		bitrates = append(bitrates, res.Metrics.AvgBitrateKbps())
+		stalls = append(stalls, res.Metrics.TotalRebufferSeconds())
+		if err := client.Log(engine.SessionLog{
+			SessionID:       id,
+			QoE:             res.QoE,
+			AvgBitrateKbps:  res.Metrics.AvgBitrateKbps(),
+			RebufferSeconds: res.Metrics.TotalRebufferSeconds(),
+			StartupSeconds:  res.Metrics.StartupSeconds,
+			Strategy:        "CS2P+MPC",
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "warning: posting log: %v\n", err)
+		}
+		fmt.Printf("session=%s chunks=%d qoe=%.0f avg_bitrate=%.0fkbps rebuffer=%.2fs startup=%.2fs\n",
+			s.ID, res.Chunks, res.QoE, res.Metrics.AvgBitrateKbps(),
+			res.Metrics.TotalRebufferSeconds(), res.Metrics.StartupSeconds)
+	}
+	if played == 0 {
+		fatalf("no playable sessions in the trace")
+	}
+	fmt.Printf("summary: sessions=%d median_qoe=%.0f mean_bitrate=%.0fkbps mean_rebuffer=%.2fs\n",
+		played, mathx.Median(qoes), mathx.Mean(bitrates), mathx.Mean(stalls))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cs2p-player: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// Command cs2p-server runs the CS2P Prediction Engine as an HTTP service
+// (the server-side deployment of §6): it trains on a trace at startup and
+// then serves initial predictions, per-chunk midstream predictions, QoE log
+// collection, and per-cluster model downloads.
+//
+// Usage:
+//
+//	cs2p-server -trace trace.csv -addr :8642
+//
+// Endpoints: POST /v1/session/start, POST /v1/predict, POST /v1/log,
+// GET /v1/model, GET /v1/healthz.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"cs2p/internal/core"
+	"cs2p/internal/engine"
+	"cs2p/internal/httpapi"
+	"cs2p/internal/trace"
+	"cs2p/internal/video"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "training trace (CSV; required)")
+		addr      = flag.String("addr", ":8642", "listen address")
+		states    = flag.Int("states", 6, "HMM state count")
+		minGroup  = flag.Int("min-group", 30, "minimum sessions per aggregation")
+		gcEvery   = flag.Duration("session-gc", 10*time.Minute, "drop sessions idle longer than this")
+	)
+	flag.Parse()
+	if *tracePath == "" {
+		fatalf("-trace is required")
+	}
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		fatalf("opening trace: %v", err)
+	}
+	d, err := trace.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		fatalf("reading trace: %v", err)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.HMM.NStates = *states
+	cfg.Cluster.MinGroupSize = *minGroup
+	log.Printf("training on %d sessions...", d.Len())
+	start := time.Now()
+	eng, err := core.Train(d, cfg)
+	if err != nil {
+		fatalf("training: %v", err)
+	}
+	log.Printf("trained %d cluster models in %v", eng.Clusters(), time.Since(start).Round(time.Millisecond))
+
+	svc := engine.NewService(eng, cfg, video.Default())
+	go func() {
+		for range time.Tick(*gcEvery) {
+			if n := svc.GC(*gcEvery); n > 0 {
+				log.Printf("gc: dropped %d idle sessions", n)
+			}
+		}
+	}()
+	srv := httpapi.NewServer(svc, func() *core.ModelStore { return eng.Export(d) })
+	if err := srv.ListenAndServe(*addr); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cs2p-server: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+// Command cs2p-train trains CS2P models from a trace file (the offline
+// stage of the paper's Figure 1) and writes the deployable model store.
+//
+// Usage:
+//
+//	cs2p-train -trace trace.csv -o models.json
+//	cs2p-train -trace trace.csv -states 6 -min-group 30 -o models.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cs2p/internal/core"
+	"cs2p/internal/trace"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "input trace (CSV from tracegen; required)")
+		out       = flag.String("o", "models.json", "output model store")
+		states    = flag.Int("states", 6, "HMM state count (paper: 6 via cross-validation)")
+		minGroup  = flag.Int("min-group", 30, "minimum sessions per aggregation (paper threshold)")
+		selectN   = flag.Bool("select-states", false, "cross-validate the state count per cluster (slow)")
+	)
+	flag.Parse()
+	if *tracePath == "" {
+		fatalf("-trace is required")
+	}
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		fatalf("opening trace: %v", err)
+	}
+	d, err := trace.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		fatalf("reading trace: %v", err)
+	}
+	if err := d.Validate(); err != nil {
+		fatalf("invalid trace: %v", err)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.HMM.NStates = *states
+	cfg.Cluster.MinGroupSize = *minGroup
+	cfg.SelectStates = *selectN
+	start := time.Now()
+	eng, err := core.Train(d, cfg)
+	if err != nil {
+		fatalf("training: %v", err)
+	}
+	store := eng.Export(d)
+	of, err := os.Create(*out)
+	if err != nil {
+		fatalf("creating %s: %v", *out, err)
+	}
+	defer of.Close()
+	if err := store.Save(of); err != nil {
+		fatalf("writing model store: %v", err)
+	}
+	fmt.Fprintf(os.Stderr,
+		"trained %d cluster models (+global) from %d sessions in %v; largest artifact %d bytes -> %s\n",
+		eng.Clusters(), d.Len(), time.Since(start).Round(time.Millisecond), store.MaxModelSize(), *out)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cs2p-train: "+format+"\n", args...)
+	os.Exit(1)
+}

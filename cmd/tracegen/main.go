@@ -1,0 +1,69 @@
+// Command tracegen synthesizes an iQiyi-like throughput dataset (the
+// stand-in for the paper's proprietary trace) and writes it as CSV or JSON.
+//
+// Usage:
+//
+//	tracegen -sessions 6000 -days 2 -seed 1 -o trace.csv
+//	tracegen -format json -o trace.json
+//	tracegen -fcc -o fcc.csv        # attach FCC-profile extra features
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cs2p/internal/trace"
+	"cs2p/internal/tracegen"
+)
+
+func main() {
+	cfg := tracegen.DefaultConfig()
+	var (
+		out    = flag.String("o", "-", "output file (- for stdout)")
+		format = flag.String("format", "csv", "output format: csv or json")
+		fcc    = flag.Bool("fcc", false, "attach FCC-profile extra features (ConnType, SpeedTier)")
+	)
+	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "PRNG seed")
+	flag.IntVar(&cfg.Sessions, "sessions", cfg.Sessions, "number of sessions")
+	flag.IntVar(&cfg.Days, "days", cfg.Days, "days the sessions span")
+	flag.IntVar(&cfg.ISPs, "isps", cfg.ISPs, "number of ISPs")
+	flag.IntVar(&cfg.Provinces, "provinces", cfg.Provinces, "number of provinces")
+	flag.IntVar(&cfg.CitiesPerProvince, "cities", cfg.CitiesPerProvince, "cities per province")
+	flag.IntVar(&cfg.Servers, "servers", cfg.Servers, "number of CDN servers")
+	flag.IntVar(&cfg.MeanEpochs, "mean-epochs", cfg.MeanEpochs, "median session length in 6s epochs")
+	flag.IntVar(&cfg.MaxEpochs, "max-epochs", cfg.MaxEpochs, "maximum session length in epochs")
+	flag.Parse()
+
+	d, gt := tracegen.Generate(cfg)
+	if *fcc {
+		tracegen.AttachFCCExtras(d)
+	}
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("creating %s: %v", *out, err)
+		}
+		defer f.Close()
+		w = f
+	}
+	var err error
+	switch *format {
+	case "csv":
+		err = trace.WriteCSV(w, d)
+	case "json":
+		err = trace.WriteJSON(w, d)
+	default:
+		fatalf("unknown format %q (want csv or json)", *format)
+	}
+	if err != nil {
+		fatalf("writing dataset: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d sessions (%d ground-truth clusters) to %s\n", d.Len(), gt.Clusters(), *out)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracegen: "+format+"\n", args...)
+	os.Exit(1)
+}

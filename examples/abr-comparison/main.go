@@ -1,0 +1,113 @@
+// ABR comparison: replay the paper's 260-second video over held-out
+// sessions with four adaptation strategies — CS2P+MPC, Harmonic-Mean+MPC
+// (the prior state of the art), Buffer-Based, and Rate-Based — and compare
+// QoE, bitrate, startup and rebuffering (the §7.3 evaluation in miniature).
+//
+//	go run ./examples/abr-comparison
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	"cs2p"
+	"cs2p/internal/predict"
+)
+
+func main() {
+	cfg := cs2p.SmallTraceConfig()
+	cfg.Sessions = 900
+	data, _ := cs2p.GenerateTrace(cfg)
+	cut := data.Sessions[data.Len()*2/3].Start()
+	train, test := data.SplitByTime(cut)
+
+	ecfg := cs2p.DefaultConfig()
+	ecfg.Cluster.MinGroupSize = 10
+	engine, err := cs2p.Train(train, ecfg)
+	if err != nil {
+		log.Fatalf("training: %v", err)
+	}
+
+	spec := cs2p.DefaultVideo()
+	w := cs2p.DefaultQoEWeights()
+	// Only sessions long enough to cover the whole video.
+	var sessions []*cs2p.Session
+	for _, s := range test.Sessions {
+		if len(s.Throughput) >= spec.NumChunks() {
+			sessions = append(sessions, s)
+			if len(sessions) == 80 {
+				break
+			}
+		}
+	}
+
+	type strat struct {
+		name string
+		ctrl cs2p.Controller
+		pred func(*cs2p.Session) cs2p.MidstreamPredictor
+	}
+	strategies := []strat{
+		{"CS2P+MPC", cs2p.MPC(), func(s *cs2p.Session) cs2p.MidstreamPredictor { return engine.NewSession(s) }},
+		{"HM+MPC", cs2p.MPC(), func(s *cs2p.Session) cs2p.MidstreamPredictor { return predict.HM{}.NewSession(s) }},
+		{"BB", cs2p.BufferBased(), nil},
+		{"HM+RB", cs2p.RateBased(), func(s *cs2p.Session) cs2p.MidstreamPredictor { return predict.HM{}.NewSession(s) }},
+	}
+
+	fmt.Printf("%-9s %-12s %-14s %-10s %-10s %s\n",
+		"strategy", "median_nqoe", "avg_bitrate", "startup", "rebuffer", "good_ratio")
+	for _, st := range strategies {
+		var nqoe, br, su, rb, gr []float64
+		for _, s := range sessions {
+			var p cs2p.MidstreamPredictor
+			if st.pred != nil {
+				p = st.pred(s)
+			}
+			res := cs2p.Play(spec, st.ctrl, p, s.Throughput, w)
+			if v := cs2p.NormalizedQoE(spec, st.ctrl, resetPred(st, s), s.Throughput, w); !math.IsNaN(v) {
+				nqoe = append(nqoe, v)
+			}
+			br = append(br, res.Metrics.AvgBitrateKbps())
+			su = append(su, res.Metrics.StartupSeconds)
+			rb = append(rb, res.Metrics.TotalRebufferSeconds())
+			gr = append(gr, res.Metrics.GoodRatio())
+		}
+		fmt.Printf("%-9s %-12.3f %-14s %-10s %-10s %.3f\n",
+			st.name, median(nqoe),
+			fmt.Sprintf("%.0f kbps", mean(br)),
+			fmt.Sprintf("%.2f s", mean(su)),
+			fmt.Sprintf("%.2f s", mean(rb)),
+			mean(gr))
+	}
+}
+
+// resetPred builds a fresh predictor for the normalized-QoE replay (the
+// predictor is stateful, so each playback needs its own).
+func resetPred(st struct {
+	name string
+	ctrl cs2p.Controller
+	pred func(*cs2p.Session) cs2p.MidstreamPredictor
+}, s *cs2p.Session) cs2p.MidstreamPredictor {
+	if st.pred == nil {
+		return nil
+	}
+	return st.pred(s)
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 0 {
+		return math.NaN()
+	}
+	return s[len(s)/2]
+}

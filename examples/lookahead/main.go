@@ -1,0 +1,66 @@
+// Lookahead: use CS2P's multi-epoch horizon predictions for the CDN
+// use case §7.2 motivates — estimating a whole video's download time early
+// in the session so a server can schedule capacity.
+//
+//	go run ./examples/lookahead
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	"cs2p"
+)
+
+func main() {
+	cfg := cs2p.SmallTraceConfig()
+	cfg.Sessions = 800
+	data, _ := cs2p.GenerateTrace(cfg)
+	cut := data.Sessions[data.Len()*2/3].Start()
+	train, test := data.SplitByTime(cut)
+	ecfg := cs2p.DefaultConfig()
+	ecfg.Cluster.MinGroupSize = 10
+	engine, err := cs2p.Train(train, ecfg)
+	if err != nil {
+		log.Fatalf("training: %v", err)
+	}
+
+	// After observing the first 3 epochs of a session, predict the next
+	// 10 epochs and estimate how long downloading a 12 MB segment batch
+	// will take; compare with the truth.
+	const (
+		warmup  = 3
+		horizon = 10
+		batchMb = 96.0 // megabits
+	)
+	var estErrs []float64
+	fmt.Printf("%-12s %-14s %-14s %s\n", "session", "predicted(s)", "actual(s)", "error")
+	shown := 0
+	for _, s := range test.Sessions {
+		if len(s.Throughput) < warmup+horizon {
+			continue
+		}
+		p := engine.NewSessionPredictor(s)
+		for t := 0; t < warmup; t++ {
+			p.Observe(s.Throughput[t])
+		}
+		// Expected download seconds over the horizon: batch split evenly.
+		var predTime, actTime float64
+		perEpochMb := batchMb / float64(horizon)
+		for k := 1; k <= horizon; k++ {
+			predTime += perEpochMb / math.Max(p.PredictAhead(k), 0.05)
+			actTime += perEpochMb / math.Max(s.Throughput[warmup+k-1], 0.05)
+		}
+		e := math.Abs(predTime-actTime) / actTime
+		estErrs = append(estErrs, e)
+		if shown < 8 {
+			fmt.Printf("%-12s %-14.1f %-14.1f %.1f%%\n", s.ID, predTime, actTime, 100*e)
+			shown++
+		}
+	}
+	sort.Float64s(estErrs)
+	fmt.Printf("\ndownload-time estimate over %d sessions: median error %.1f%%, p90 %.1f%%\n",
+		len(estErrs), 100*estErrs[len(estErrs)/2], 100*estErrs[len(estErrs)*9/10])
+}

@@ -1,0 +1,3 @@
+module cs2p
+
+go 1.22

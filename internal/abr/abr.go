@@ -1,0 +1,221 @@
+// Package abr implements the bitrate-adaptation controllers the paper
+// evaluates (§5.3, §7.3): the FastMPC strategy of Yin et al. that CS2P
+// plugs into, the Rate-Based (RB) and Buffer-Based (BB) baselines, fixed
+// bitrate, and the offline-optimal dynamic program used to normalize QoE.
+package abr
+
+import (
+	"math"
+
+	"cs2p/internal/qoe"
+	"cs2p/internal/video"
+)
+
+// Predictor is the throughput-forecast surface controllers consume:
+// PredictAhead(i) estimates the throughput (Mbps) i chunks ahead.
+// predict.Midstream satisfies it.
+type Predictor interface {
+	PredictAhead(k int) float64
+}
+
+// State is what a controller sees when choosing the next chunk's level.
+type State struct {
+	// ChunkIndex is the index of the chunk about to be requested.
+	ChunkIndex int
+	// NumChunks is the total number of chunks in this playback.
+	NumChunks int
+	// LastLevel is the previous chunk's level, or -1 before the first.
+	LastLevel int
+	// BufferSeconds is the current playback buffer occupancy.
+	BufferSeconds float64
+}
+
+// Controller chooses bitrate levels.
+type Controller interface {
+	Name() string
+	// ChooseLevel picks the level for the chunk described by st, given a
+	// throughput predictor. Implementations must return a valid level
+	// index for spec.
+	ChooseLevel(spec video.Spec, st State, pred Predictor) int
+}
+
+// Fixed always streams one level, like the fixed-bitrate providers of
+// Table 1.
+type Fixed struct{ Level int }
+
+// Name implements Controller.
+func (f Fixed) Name() string { return "Fixed" }
+
+// ChooseLevel implements Controller.
+func (f Fixed) ChooseLevel(spec video.Spec, _ State, _ Predictor) int {
+	return clampLevel(f.Level, spec)
+}
+
+// RB is the Rate-Based controller: pick the highest bitrate under the
+// predicted throughput times a safety factor.
+type RB struct {
+	// Safety discounts the prediction (default 1.0, i.e. none).
+	Safety float64
+}
+
+// Name implements Controller.
+func (RB) Name() string { return "RB" }
+
+// ChooseLevel implements Controller.
+func (r RB) ChooseLevel(spec video.Spec, _ State, pred Predictor) int {
+	s := r.Safety
+	if s <= 0 {
+		s = 1
+	}
+	w := pred.PredictAhead(1)
+	if math.IsNaN(w) {
+		return 0
+	}
+	return spec.LevelForThroughput(w * s)
+}
+
+// BB is the Buffer-Based controller (Huang et al.): below the reservoir
+// stream the lowest level, above reservoir+cushion the highest, and a linear
+// ramp in between. No throughput prediction is used.
+type BB struct {
+	// ReservoirSeconds defaults to 5; CushionSeconds defaults to
+	// bufferCap - reservoir - 2 (leaving headroom at the top).
+	ReservoirSeconds float64
+	CushionSeconds   float64
+}
+
+// Name implements Controller.
+func (BB) Name() string { return "BB" }
+
+// ChooseLevel implements Controller.
+func (b BB) ChooseLevel(spec video.Spec, st State, _ Predictor) int {
+	reservoir := b.ReservoirSeconds
+	if reservoir <= 0 {
+		reservoir = 5
+	}
+	cushion := b.CushionSeconds
+	if cushion <= 0 {
+		cushion = spec.BufferCapSeconds - reservoir - 2
+		if cushion <= 0 {
+			cushion = spec.BufferCapSeconds / 2
+		}
+	}
+	buf := st.BufferSeconds
+	lo := spec.BitratesKbps[0]
+	hi := spec.BitratesKbps[spec.Levels()-1]
+	switch {
+	case buf <= reservoir:
+		return 0
+	case buf >= reservoir+cushion:
+		return spec.Levels() - 1
+	default:
+		target := lo + (hi-lo)*(buf-reservoir)/cushion
+		// Highest level not exceeding the ramp target.
+		best := 0
+		for i, r := range spec.BitratesKbps {
+			if r <= target {
+				best = i
+			}
+		}
+		return best
+	}
+}
+
+func clampLevel(l int, spec video.Spec) int {
+	if l < 0 {
+		return 0
+	}
+	if l >= spec.Levels() {
+		return spec.Levels() - 1
+	}
+	return l
+}
+
+// InitialLevel is the paper's initial-bitrate rule (§5.3): the highest
+// sustainable bitrate below the predicted initial throughput.
+func InitialLevel(spec video.Spec, predictedMbps float64) int {
+	if math.IsNaN(predictedMbps) || predictedMbps <= 0 {
+		return 0
+	}
+	return spec.LevelForThroughput(predictedMbps)
+}
+
+// MPC is the FastMPC controller of Yin et al.: at every chunk it enumerates
+// bitrate plans over a lookahead horizon, simulates the buffer under the
+// predicted throughput, scores each plan with the QoE model, and commits only
+// the first decision (receding horizon).
+type MPC struct {
+	// Horizon is the lookahead in chunks (the paper uses 5).
+	Horizon int
+	// Weights are the QoE coefficients (DefaultWeights if zero).
+	Weights qoe.Weights
+}
+
+// Name implements Controller.
+func (MPC) Name() string { return "MPC" }
+
+// ChooseLevel implements Controller.
+func (m MPC) ChooseLevel(spec video.Spec, st State, pred Predictor) int {
+	h := m.Horizon
+	if h <= 0 {
+		h = 5
+	}
+	if remaining := st.NumChunks - st.ChunkIndex; remaining < h {
+		h = remaining
+	}
+	if h <= 0 {
+		return 0
+	}
+	w := m.Weights
+	if w == (qoe.Weights{}) {
+		w = qoe.DefaultWeights()
+	}
+	preds := make([]float64, h)
+	for i := range preds {
+		p := pred.PredictAhead(i + 1)
+		if math.IsNaN(p) || p <= 0 {
+			p = 0.1 // pessimistic floor when no prediction exists
+		}
+		preds[i] = p
+	}
+	bestLevel, bestScore := 0, math.Inf(-1)
+	plan := make([]int, h)
+	var search func(depth int, buf float64, last int, score float64)
+	search = func(depth int, buf float64, last int, score float64) {
+		if score <= bestScore-float64(h-depth)*spec.BitratesKbps[spec.Levels()-1] {
+			// Even earning the max per-chunk quality for the rest
+			// cannot catch up; prune.
+			return
+		}
+		if depth == h {
+			if score > bestScore {
+				bestScore = score
+				bestLevel = plan[0]
+			}
+			return
+		}
+		for lvl := 0; lvl < spec.Levels(); lvl++ {
+			plan[depth] = lvl
+			dl := spec.DownloadSeconds(lvl, preds[depth])
+			nbuf := buf
+			rebuf := 0.0
+			if dl > nbuf {
+				rebuf = dl - nbuf
+				nbuf = 0
+			} else {
+				nbuf -= dl
+			}
+			nbuf += spec.ChunkSeconds
+			if nbuf > spec.BufferCapSeconds {
+				nbuf = spec.BufferCapSeconds
+			}
+			s := score + spec.BitratesKbps[lvl] - w.Mu*rebuf
+			if last >= 0 {
+				s -= w.Lambda * math.Abs(spec.BitratesKbps[lvl]-spec.BitratesKbps[last])
+			}
+			search(depth+1, nbuf, lvl, s)
+		}
+	}
+	search(0, st.BufferSeconds, st.LastLevel, 0)
+	return bestLevel
+}

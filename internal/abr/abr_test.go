@@ -1,0 +1,238 @@
+package abr
+
+import (
+	"math"
+	"testing"
+
+	"cs2p/internal/qoe"
+	"cs2p/internal/video"
+)
+
+// constPred always predicts the same throughput.
+type constPred float64
+
+func (c constPred) PredictAhead(int) float64 { return float64(c) }
+
+func TestFixed(t *testing.T) {
+	spec := video.Default()
+	if got := (Fixed{Level: 2}).ChooseLevel(spec, State{}, nil); got != 2 {
+		t.Errorf("Fixed = %d", got)
+	}
+	if got := (Fixed{Level: 99}).ChooseLevel(spec, State{}, nil); got != spec.Levels()-1 {
+		t.Errorf("Fixed clamp high = %d", got)
+	}
+	if got := (Fixed{Level: -3}).ChooseLevel(spec, State{}, nil); got != 0 {
+		t.Errorf("Fixed clamp low = %d", got)
+	}
+}
+
+func TestRB(t *testing.T) {
+	spec := video.Default()
+	if got := (RB{}).ChooseLevel(spec, State{}, constPred(2.5)); got != 3 {
+		t.Errorf("RB at 2.5 Mbps = %d, want 3 (2000 kbps)", got)
+	}
+	if got := (RB{Safety: 0.5}).ChooseLevel(spec, State{}, constPred(2.5)); got != 2 {
+		t.Errorf("RB with 0.5 safety = %d, want 2 (1000 kbps)", got)
+	}
+	if got := (RB{}).ChooseLevel(spec, State{}, constPred(math.NaN())); got != 0 {
+		t.Errorf("RB with NaN prediction = %d, want 0", got)
+	}
+}
+
+func TestBBRegions(t *testing.T) {
+	spec := video.Default()
+	bb := BB{ReservoirSeconds: 5, CushionSeconds: 20}
+	if got := bb.ChooseLevel(spec, State{BufferSeconds: 2}, nil); got != 0 {
+		t.Errorf("BB below reservoir = %d, want 0", got)
+	}
+	if got := bb.ChooseLevel(spec, State{BufferSeconds: 28}, nil); got != spec.Levels()-1 {
+		t.Errorf("BB above cushion = %d, want max", got)
+	}
+	mid := bb.ChooseLevel(spec, State{BufferSeconds: 15}, nil)
+	if mid <= 0 || mid >= spec.Levels()-1 {
+		t.Errorf("BB mid-ramp = %d, want interior level", mid)
+	}
+	// The ramp is monotone in buffer occupancy.
+	prev := -1
+	for buf := 0.0; buf <= 30; buf += 1 {
+		lvl := bb.ChooseLevel(spec, State{BufferSeconds: buf}, nil)
+		if lvl < prev {
+			t.Fatalf("BB ramp not monotone at buffer %v", buf)
+		}
+		prev = lvl
+	}
+}
+
+func TestInitialLevel(t *testing.T) {
+	spec := video.Default()
+	if got := InitialLevel(spec, 2.5); got != 3 {
+		t.Errorf("InitialLevel(2.5) = %d", got)
+	}
+	if got := InitialLevel(spec, math.NaN()); got != 0 {
+		t.Errorf("InitialLevel(NaN) = %d", got)
+	}
+	if got := InitialLevel(spec, -1); got != 0 {
+		t.Errorf("InitialLevel(-1) = %d", got)
+	}
+}
+
+func TestMPCPicksSustainableRate(t *testing.T) {
+	spec := video.Default()
+	st := State{ChunkIndex: 1, NumChunks: 44, LastLevel: 2, BufferSeconds: 20}
+	// Plenty of throughput: MPC should go high.
+	if got := (MPC{}).ChooseLevel(spec, st, constPred(10)); got < 3 {
+		t.Errorf("MPC with 10 Mbps = %d, want >= 3", got)
+	}
+	// Starving: MPC should go to the bottom.
+	stLow := State{ChunkIndex: 1, NumChunks: 44, LastLevel: 2, BufferSeconds: 2}
+	if got := (MPC{}).ChooseLevel(spec, stLow, constPred(0.3)); got != 0 {
+		t.Errorf("MPC with 0.3 Mbps and low buffer = %d, want 0", got)
+	}
+}
+
+func TestMPCAvoidsRebuffer(t *testing.T) {
+	spec := video.Default()
+	// Buffer 4 s, throughput 1 Mbps. A 3000 kbps chunk needs 18 s — MPC
+	// must not pick it; 1000 kbps (6 Mb -> 6 s download) is borderline;
+	// 350/600 are safe.
+	st := State{ChunkIndex: 5, NumChunks: 44, LastLevel: 4, BufferSeconds: 4}
+	got := (MPC{}).ChooseLevel(spec, st, constPred(1.0))
+	if got > 2 {
+		t.Errorf("MPC chose level %d, risking a stall", got)
+	}
+}
+
+func TestMPCHorizonTruncation(t *testing.T) {
+	spec := video.Default()
+	// One chunk left: horizon must truncate without panicking.
+	st := State{ChunkIndex: 43, NumChunks: 44, LastLevel: 0, BufferSeconds: 10}
+	got := (MPC{Horizon: 5}).ChooseLevel(spec, st, constPred(5))
+	if got < 0 || got >= spec.Levels() {
+		t.Errorf("level out of range: %d", got)
+	}
+	// Zero chunks remaining (defensive path).
+	stEnd := State{ChunkIndex: 44, NumChunks: 44, LastLevel: 0, BufferSeconds: 10}
+	if got := (MPC{}).ChooseLevel(spec, stEnd, constPred(5)); got != 0 {
+		t.Errorf("MPC past the end = %d, want 0", got)
+	}
+}
+
+func TestMPCNaNPrediction(t *testing.T) {
+	spec := video.Default()
+	st := State{ChunkIndex: 1, NumChunks: 44, LastLevel: 1, BufferSeconds: 10}
+	got := (MPC{}).ChooseLevel(spec, st, constPred(math.NaN()))
+	// The pessimistic floor should drive MPC to the lowest level.
+	if got != 0 {
+		t.Errorf("MPC with NaN predictions = %d, want 0", got)
+	}
+}
+
+func TestOfflineOptimalConstantThroughput(t *testing.T) {
+	spec := video.Default()
+	n := spec.NumChunks()
+	tput := make([]float64, n)
+	for i := range tput {
+		tput[i] = 10 // plenty for 3000 kbps (3 Mbps)
+	}
+	opt, path := OfflineOptimal{}.Best(spec, tput)
+	if len(path) != n {
+		t.Fatalf("path length = %d", len(path))
+	}
+	// With abundant bandwidth the optimum streams the top level after at
+	// most a short warmup (the first chunk trades startup delay).
+	top := 0
+	for _, l := range path[1:] {
+		if l == spec.Levels()-1 {
+			top++
+		}
+	}
+	if top < n-5 {
+		t.Errorf("optimal path uses the top level only %d/%d times", top, n-1)
+	}
+	// QoE upper bound: all chunks at 3000 kbps with no penalties.
+	if opt > 3000*float64(n) {
+		t.Errorf("optimal QoE %v exceeds the theoretical bound", opt)
+	}
+	if opt < 2500*float64(n) {
+		t.Errorf("optimal QoE %v implausibly low for 10 Mbps", opt)
+	}
+}
+
+func TestOfflineOptimalIsUpperBoundForMPC(t *testing.T) {
+	spec := video.Default()
+	// A throughput trace with a dip in the middle.
+	n := spec.NumChunks()
+	tput := make([]float64, n)
+	for i := range tput {
+		if i > 15 && i < 25 {
+			tput[i] = 0.5
+		} else {
+			tput[i] = 4
+		}
+	}
+	opt, _ := OfflineOptimal{}.Best(spec, tput)
+
+	// Simulate MPC with a perfect oracle and verify it cannot beat the DP.
+	w := qoe.DefaultWeights()
+	buffer, last := 0.0, -1
+	var bits, rebuf []float64
+	var startup float64
+	for k := 0; k < n; k++ {
+		var lvl int
+		if k == 0 {
+			lvl = InitialLevel(spec, tput[0])
+		} else {
+			lvl = (MPC{}).ChooseLevel(spec, State{ChunkIndex: k, NumChunks: n, LastLevel: last, BufferSeconds: buffer}, oracleAt{tput, k})
+		}
+		dl := spec.ChunkMegabits(lvl) / tput[k]
+		if k == 0 {
+			startup = dl
+			buffer = 0
+		} else if dl > buffer {
+			rebuf = append(rebuf, dl-buffer)
+			buffer = 0
+		} else {
+			buffer -= dl
+			rebuf = append(rebuf, 0)
+		}
+		if k == 0 {
+			rebuf = append(rebuf, 0)
+		}
+		buffer += spec.ChunkSeconds
+		if buffer > spec.BufferCapSeconds {
+			buffer = spec.BufferCapSeconds
+		}
+		bits = append(bits, spec.BitratesKbps[lvl])
+		last = lvl
+	}
+	m := qoe.Metrics{BitratesKbps: bits, RebufferSeconds: rebuf[:len(bits)], StartupSeconds: startup}
+	mpcQoE := qoe.Score(m, w)
+	if mpcQoE > opt+1e-6 {
+		t.Errorf("MPC achieved %v > offline optimal %v", mpcQoE, opt)
+	}
+	// But a perfect-prediction MPC should land close to the optimum.
+	if mpcQoE < 0.75*opt {
+		t.Errorf("perfect-prediction MPC (%v) far below optimal (%v)", mpcQoE, opt)
+	}
+}
+
+// oracleAt exposes the true trace from position k.
+type oracleAt struct {
+	w []float64
+	k int
+}
+
+func (o oracleAt) PredictAhead(i int) float64 {
+	idx := o.k + i - 1
+	if idx >= len(o.w) {
+		idx = len(o.w) - 1
+	}
+	return o.w[idx]
+}
+
+func TestOfflineOptimalEmpty(t *testing.T) {
+	spec := video.Default()
+	if v, _ := (OfflineOptimal{}).Best(spec, nil); !math.IsNaN(v) {
+		t.Error("empty trace should give NaN")
+	}
+}

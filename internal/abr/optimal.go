@@ -1,0 +1,140 @@
+package abr
+
+import (
+	"math"
+
+	"cs2p/internal/qoe"
+	"cs2p/internal/video"
+)
+
+// OfflineOptimal computes the best achievable QoE for a playback given
+// perfect knowledge of the per-chunk throughput (Mbps), by dynamic
+// programming over (chunk, last level, quantized buffer). The paper states
+// this as a MILP; on a quantized buffer lattice the DP is exact and is the
+// denominator of every normalized-QoE result (§7.1).
+//
+// The model matches the simulator: chunk k downloads at throughput[k], the
+// buffer drains during download, stalls are penalized by mu, the buffer is
+// capped (the player idles above the cap), and the first chunk's download
+// time is the startup delay penalized by mu_s.
+type OfflineOptimal struct {
+	// BufferStepSeconds is the quantization step (default 0.5 s).
+	BufferStepSeconds float64
+	Weights           qoe.Weights
+}
+
+// Best returns the optimal QoE and the optimal per-chunk levels.
+// throughput must have at least one entry; chunk k uses
+// throughput[min(k, len-1)].
+func (o OfflineOptimal) Best(spec video.Spec, throughput []float64) (float64, []int) {
+	step := o.BufferStepSeconds
+	if step <= 0 {
+		step = 0.5
+	}
+	w := o.Weights
+	if w == (qoe.Weights{}) {
+		w = qoe.DefaultWeights()
+	}
+	n := spec.NumChunks()
+	if len(throughput) == 0 || n == 0 {
+		return math.NaN(), nil
+	}
+	levels := spec.Levels()
+	nbuf := int(spec.BufferCapSeconds/step) + 1
+
+	wAt := func(k int) float64 {
+		if k < len(throughput) {
+			return throughput[k]
+		}
+		return throughput[len(throughput)-1]
+	}
+
+	// value[l][b]: best total QoE from the current chunk onward, given the
+	// previous chunk was level l (levels index, or `levels` for "none")
+	// and buffer bucket b. Iterate chunks backward.
+	const neg = math.MaxFloat64
+	cur := make([][]float64, levels+1)
+	next := make([][]float64, levels+1)
+	choice := make([][][]int16, n) // decisions for path reconstruction
+	for i := range cur {
+		cur[i] = make([]float64, nbuf)
+		next[i] = make([]float64, nbuf)
+	}
+	for k := n - 1; k >= 0; k-- {
+		choice[k] = make([][]int16, levels+1)
+		for last := 0; last <= levels; last++ {
+			choice[k][last] = make([]int16, nbuf)
+			for b := 0; b < nbuf; b++ {
+				buf := float64(b) * step
+				best := -neg
+				bestLvl := 0
+				for lvl := 0; lvl < levels; lvl++ {
+					dl := spec.DownloadSeconds(lvl, wAt(k))
+					nb := buf
+					var rebuf, startup float64
+					if k == 0 {
+						// First chunk: its download time is startup delay.
+						startup = dl
+						nb = 0
+					} else if dl > nb {
+						rebuf = dl - nb
+						nb = 0
+					} else {
+						nb -= dl
+					}
+					nb += spec.ChunkSeconds
+					if nb > spec.BufferCapSeconds {
+						nb = spec.BufferCapSeconds
+					}
+					gain := spec.BitratesKbps[lvl] - w.Mu*rebuf - w.MuS*startup
+					if last < levels {
+						gain -= w.Lambda * math.Abs(spec.BitratesKbps[lvl]-spec.BitratesKbps[last])
+					}
+					total := gain
+					if k+1 < n {
+						nbIdx := int(nb/step + 0.5)
+						if nbIdx >= nbuf {
+							nbIdx = nbuf - 1
+						}
+						total += next[lvl][nbIdx]
+					}
+					if total > best {
+						best = total
+						bestLvl = lvl
+					}
+				}
+				cur[last][b] = best
+				choice[k][last][b] = int16(bestLvl)
+			}
+		}
+		cur, next = next, cur
+	}
+	// After the loop, `next` holds chunk 0's values (they were swapped).
+	start := next[levels][0] // no previous level, empty buffer
+	// Reconstruct the level path by replaying decisions.
+	path := make([]int, n)
+	last, b := levels, 0
+	buf := 0.0
+	for k := 0; k < n; k++ {
+		lvl := int(choice[k][last][b])
+		path[k] = lvl
+		dl := spec.DownloadSeconds(lvl, wAt(k))
+		if k == 0 {
+			buf = 0
+		} else if dl > buf {
+			buf = 0
+		} else {
+			buf -= dl
+		}
+		buf += spec.ChunkSeconds
+		if buf > spec.BufferCapSeconds {
+			buf = spec.BufferCapSeconds
+		}
+		b = int(buf/step + 0.5)
+		if b >= nbuf {
+			b = nbuf - 1
+		}
+		last = lvl
+	}
+	return start, path
+}

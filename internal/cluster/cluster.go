@@ -1,0 +1,273 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"cs2p/internal/mathx"
+	"cs2p/internal/trace"
+)
+
+// Config controls the clustering search.
+type Config struct {
+	// CandidateFeatures is the feature vocabulary (defaults to
+	// trace.ClusterableFeatures).
+	CandidateFeatures []string
+	// MaxSubsetSize bounds feature-combination size (0 means all).
+	MaxSubsetSize int
+	// Windows is the candidate time-window list (defaults to
+	// DefaultWindows).
+	Windows []TimeWindow
+	// MinGroupSize is the paper's reliability threshold: a rule whose
+	// Agg(M, s) has fewer sessions is discarded (the paper uses 100 on
+	// the 20M-session trace; scale accordingly).
+	MinGroupSize int
+	// SamplePerCell caps how many reference sessions per full-feature
+	// cell are used to score candidate rules.
+	SamplePerCell int
+}
+
+// DefaultConfig returns the settings used throughout the reproduction.
+func DefaultConfig() Config {
+	return Config{
+		CandidateFeatures: trace.ClusterableFeatures,
+		MaxSubsetSize:     3,
+		Windows:           DefaultWindows(),
+		MinGroupSize:      30,
+		SamplePerCell:     8,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.CandidateFeatures) == 0 {
+		c.CandidateFeatures = trace.ClusterableFeatures
+	}
+	if len(c.Windows) == 0 {
+		c.Windows = DefaultWindows()
+	}
+	if c.MinGroupSize <= 0 {
+		c.MinGroupSize = 30
+	}
+	if c.SamplePerCell <= 0 {
+		c.SamplePerCell = 8
+	}
+	return c
+}
+
+// Clusterer indexes a training dataset and selects, for every group of
+// sessions sharing all candidate features (a "cell"), the aggregation rule
+// M* that minimizes initial-throughput prediction error (Eq. 2/3 of the
+// paper). Sessions in a cell share Est(s) and therefore share M*.
+type Clusterer struct {
+	cfg   Config
+	train *trace.Dataset
+	// index: feature-combination key -> feature-value key -> sessions
+	// sorted by start time.
+	index map[string]map[string][]*trace.Session
+	// chosen: full-cell value key -> selected rule.
+	chosen map[string]FeatureSet
+	// global fallback rule.
+	global FeatureSet
+	cands  []FeatureSet
+	// fullFeatures is the canonical (sorted) candidate-feature list used
+	// to key cells.
+	fullFeatures []string
+}
+
+// New builds the index over the training dataset. Call Select to run the
+// rule search before using ClusterFor.
+func New(cfg Config, train *trace.Dataset) *Clusterer {
+	cfg = cfg.withDefaults()
+	c := &Clusterer{
+		cfg:    cfg,
+		train:  train,
+		index:  make(map[string]map[string][]*trace.Session),
+		chosen: make(map[string]FeatureSet),
+		global: NewFeatureSet(nil, TimeWindow{Kind: WindowAll}),
+		cands:  Candidates(cfg.CandidateFeatures, cfg.MaxSubsetSize, cfg.Windows),
+	}
+	// Pre-group the training sessions for every distinct feature
+	// combination appearing among the candidates.
+	combos := map[string][]string{}
+	for _, cand := range c.cands {
+		combos[cand.Key()] = cand.Features
+	}
+	// The full candidate combination defines the cells Select iterates,
+	// even when MaxSubsetSize keeps it out of the candidate rules.
+	full := NewFeatureSet(cfg.CandidateFeatures, TimeWindow{Kind: WindowAll})
+	combos[full.Key()] = full.Features
+	c.fullFeatures = full.Features
+	for key, feats := range combos {
+		groups := make(map[string][]*trace.Session)
+		for _, s := range train.Sessions {
+			vk := s.Features.Key(feats)
+			groups[vk] = append(groups[vk], s)
+		}
+		for _, g := range groups {
+			sort.SliceStable(g, func(i, j int) bool { return g[i].StartUnix < g[j].StartUnix })
+		}
+		c.index[key] = groups
+	}
+	return c
+}
+
+// Candidates returns the candidate rule list (for diagnostics and tests).
+func (c *Clusterer) Candidates() []FeatureSet { return c.cands }
+
+// Aggregate returns Agg(M, s): the training sessions matching s on M's
+// features and falling inside M's window relative to s's start time.
+func (c *Clusterer) Aggregate(m FeatureSet, s *trace.Session) []*trace.Session {
+	groups, ok := c.index[m.Key()]
+	if !ok {
+		return nil
+	}
+	g := groups[s.Features.Key(m.Features)]
+	if len(g) == 0 {
+		return nil
+	}
+	// Sessions are sorted by start; cut the future with binary search,
+	// then filter the window.
+	hi := sort.Search(len(g), func(i int) bool { return g[i].StartUnix >= s.StartUnix })
+	if m.Window.Kind == WindowAll {
+		return g[:hi]
+	}
+	var out []*trace.Session
+	for _, cand := range g[:hi] {
+		if m.Window.Match(cand.StartUnix, s.StartUnix) {
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// MedianInitial is the paper's initial-throughput predictor F(S): the median
+// of the aggregated sessions' initial throughputs (Eq. 6). Returns NaN for
+// an empty aggregation.
+func MedianInitial(sessions []*trace.Session) float64 {
+	vals := make([]float64, 0, len(sessions))
+	for _, s := range sessions {
+		vals = append(vals, s.InitialThroughput())
+	}
+	return mathx.Median(vals)
+}
+
+// Select runs the per-cell rule search. For every cell (distinct value of
+// the full candidate-feature combination) it scores each candidate rule by
+// the mean Eq.-1 error of the median predictor over up to SamplePerCell
+// reference sessions, discarding rules whose aggregation falls below
+// MinGroupSize, and records the winner. Cells where nothing qualifies fall
+// back to the global rule.
+func (c *Clusterer) Select() {
+	cells := c.index[NewFeatureSet(c.fullFeatures, TimeWindow{Kind: WindowAll}).Key()]
+	// Medians repeat across cells exactly when rule, matched feature
+	// values and reference time coincide, so the cache key is exact —
+	// approximate keys (e.g. bucketing time) would let a "too small"
+	// verdict from one reference leak to another.
+	medianCache := map[string]float64{}
+
+	for cellKey, sessions := range cells {
+		refs := sampleRefs(sessions, c.cfg.SamplePerCell)
+		best := c.global
+		bestErr := nan()
+		for _, cand := range c.cands {
+			var errs []float64
+			for _, ref := range refs {
+				ck := cand.String() + "\x00" + ref.Features.Key(cand.Features) + fmt.Sprintf("\x00%d", ref.StartUnix)
+				med, found := medianCache[ck]
+				if !found {
+					agg := c.Aggregate(cand, ref)
+					if len(agg) < c.cfg.MinGroupSize {
+						med = nan()
+					} else {
+						med = MedianInitial(agg)
+					}
+					medianCache[ck] = med
+				}
+				if isNaN(med) {
+					continue // rule unreliable for this ref (Agg too small)
+				}
+				if e := mathx.AbsRelErr(med, ref.InitialThroughput()); !isNaN(e) {
+					errs = append(errs, e)
+				}
+			}
+			// A rule must be reliable for at least half the refs to
+			// compete; the paper drops rules whose aggregation is
+			// below the threshold.
+			if len(errs)*2 < len(refs) || len(errs) == 0 {
+				continue
+			}
+			score := mathx.Mean(errs)
+			if isNaN(bestErr) || score < bestErr {
+				best, bestErr = cand, score
+			}
+		}
+		c.chosen[cellKey] = best
+	}
+}
+
+// ClusterFor returns the selected rule for session s (falling back to the
+// global rule for unseen cells) and a stable cluster identifier combining
+// the rule and s's feature values under it. Sessions sharing the identifier
+// share a prediction model.
+func (c *Clusterer) ClusterFor(s *trace.Session) (FeatureSet, string) {
+	cellKey := s.Features.Key(c.fullFeatures)
+	rule, ok := c.chosen[cellKey]
+	if !ok {
+		rule = c.global
+	}
+	return rule, ClusterID(rule, s)
+}
+
+// ClusterID builds the model-store key for a session under a rule.
+func ClusterID(rule FeatureSet, s *trace.Session) string {
+	return rule.String() + "@" + s.Features.Key(rule.Features)
+}
+
+// GlobalRule returns the fallback rule.
+func (c *Clusterer) GlobalRule() FeatureSet { return c.global }
+
+// GlobalFraction reports the share of cells that fell back to the global
+// rule; the paper reports ~4% of sessions use the global model.
+func (c *Clusterer) GlobalFraction() float64 {
+	if len(c.chosen) == 0 {
+		return 1
+	}
+	n := 0
+	for _, rule := range c.chosen {
+		if rule.IsGlobal() {
+			n++
+		}
+	}
+	return float64(n) / float64(len(c.chosen))
+}
+
+// MembersByRule returns the training sessions grouped under the same cluster
+// identifier as s (feature match only; the time window applies at
+// prediction time, not to model training — see DESIGN.md §6).
+func (c *Clusterer) MembersByRule(rule FeatureSet, s *trace.Session) []*trace.Session {
+	groups, ok := c.index[rule.Key()]
+	if !ok {
+		return nil
+	}
+	return groups[s.Features.Key(rule.Features)]
+}
+
+func sampleRefs(sessions []*trace.Session, k int) []*trace.Session {
+	// Score rules on the later half of the cell's sessions: early
+	// sessions have little or no history, so every windowed rule would
+	// look unreliable on them.
+	later := sessions[len(sessions)/2:]
+	if len(later) <= k {
+		return later
+	}
+	out := make([]*trace.Session, 0, k)
+	step := float64(len(later)) / float64(k)
+	for i := 0; i < k; i++ {
+		out = append(out, later[int(float64(i)*step)])
+	}
+	return out
+}
+
+func nan() float64 { return mathx.Quantile(nil, 0) }
+
+func isNaN(x float64) bool { return x != x }

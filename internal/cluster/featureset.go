@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"sort"
+	"strings"
+)
+
+// FeatureSet is one candidate aggregation rule M: a canonical (sorted)
+// combination of feature names plus a time window.
+type FeatureSet struct {
+	Features []string
+	Window   TimeWindow
+}
+
+// NewFeatureSet canonicalizes the feature names (sorted, deduplicated).
+func NewFeatureSet(features []string, w TimeWindow) FeatureSet {
+	fs := append([]string(nil), features...)
+	sort.Strings(fs)
+	out := fs[:0]
+	for i, f := range fs {
+		if i == 0 || f != fs[i-1] {
+			out = append(out, f)
+		}
+	}
+	return FeatureSet{Features: out, Window: w}
+}
+
+// Key returns a stable identifier for the feature combination (without the
+// window), used to index pre-grouped sessions.
+func (m FeatureSet) Key() string {
+	return strings.Join(m.Features, "+")
+}
+
+// String includes the window, making it a full cluster-rule identifier.
+func (m FeatureSet) String() string {
+	if len(m.Features) == 0 {
+		return "global|" + m.Window.String()
+	}
+	return m.Key() + "|" + m.Window.String()
+}
+
+// IsGlobal reports whether the rule aggregates every session (empty feature
+// combination) — the paper's fallback model.
+func (m FeatureSet) IsGlobal() bool { return len(m.Features) == 0 }
+
+// EnumerateSubsets returns every subset of features with size <= maxSize,
+// including the empty (global) set, in a deterministic order. With the six
+// clusterable features and maxSize 3 this yields 42 combinations — the
+// portion of the 2^n lattice the paper's Figure 6 analysis shows carries the
+// signal.
+func EnumerateSubsets(features []string, maxSize int) [][]string {
+	n := len(features)
+	if maxSize < 0 || maxSize > n {
+		maxSize = n
+	}
+	var out [][]string
+	for mask := 0; mask < 1<<n; mask++ {
+		if popcount(mask) > maxSize {
+			continue
+		}
+		var subset []string
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				subset = append(subset, features[i])
+			}
+		}
+		out = append(out, subset)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if len(out[a]) != len(out[b]) {
+			return len(out[a]) < len(out[b])
+		}
+		return strings.Join(out[a], "+") < strings.Join(out[b], "+")
+	})
+	return out
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+// Candidates crosses feature subsets with time windows into the full
+// candidate rule list.
+func Candidates(features []string, maxSize int, windows []TimeWindow) []FeatureSet {
+	subsets := EnumerateSubsets(features, maxSize)
+	out := make([]FeatureSet, 0, len(subsets)*len(windows))
+	for _, sub := range subsets {
+		for _, w := range windows {
+			out = append(out, NewFeatureSet(sub, w))
+		}
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"math"
+
+	"cs2p/internal/mathx"
+	"cs2p/internal/trace"
+)
+
+// RelativeInformationGain quantifies how useful a feature is for predicting
+// session throughput (paper footnote 6): RIG(Y|X) = 1 - H(Y|X)/H(Y), where Y
+// is the session mean throughput discretized into bins and X the feature
+// value. Returns 0 when H(Y) is zero (all sessions identical).
+func RelativeInformationGain(sessions []*trace.Session, feature string, bins int) float64 {
+	if len(sessions) == 0 || bins < 2 {
+		return 0
+	}
+	means := make([]float64, len(sessions))
+	for i, s := range sessions {
+		means[i] = s.MeanThroughput()
+	}
+	lo, hi := mathx.Min(means), mathx.Max(means)
+	if hi <= lo {
+		return 0
+	}
+	binOf := func(v float64) int {
+		b := int((v - lo) / (hi - lo) * float64(bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		return b
+	}
+	// H(Y).
+	yCounts := make([]float64, bins)
+	for _, v := range means {
+		yCounts[binOf(v)]++
+	}
+	hy := entropy(yCounts)
+	if hy == 0 {
+		return 0
+	}
+	// H(Y|X) = sum_x p(x) H(Y|X=x).
+	byX := map[string][]float64{}
+	for i, s := range sessions {
+		x := s.Features.Get(feature)
+		if byX[x] == nil {
+			byX[x] = make([]float64, bins)
+		}
+		byX[x][binOf(means[i])]++
+	}
+	var hyx float64
+	n := float64(len(sessions))
+	for _, counts := range byX {
+		px := mathx.Sum(counts) / n
+		hyx += px * entropy(counts)
+	}
+	return 1 - hyx/hy
+}
+
+// entropy computes Shannon entropy (nats) of unnormalized counts.
+func entropy(counts []float64) float64 {
+	total := mathx.Sum(counts)
+	if total == 0 {
+		return 0
+	}
+	var h float64
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := c / total
+		h -= p * math.Log(p)
+	}
+	return h
+}

@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"cs2p/internal/trace"
+)
+
+func TestSelectDeterministic(t *testing.T) {
+	d := toyDataset(300)
+	cfg := DefaultConfig()
+	cfg.MinGroupSize = 10
+	run := func() map[string]string {
+		c := New(cfg, d)
+		c.Select()
+		out := map[string]string{}
+		for _, s := range d.Sessions {
+			rule, id := c.ClusterFor(s)
+			out[s.ID] = rule.String() + "@" + id
+		}
+		return out
+	}
+	a, b := run(), run()
+	for id, v := range a {
+		if b[id] != v {
+			t.Fatalf("selection not deterministic for %s: %q vs %q", id, v, b[id])
+		}
+	}
+}
+
+func TestCandidateCountFormula(t *testing.T) {
+	// <=3 of 6 features: C(6,0)+C(6,1)+C(6,2)+C(6,3) = 1+6+15+20 = 42,
+	// times 4 windows = 168.
+	cfg := DefaultConfig()
+	c := New(cfg, toyDataset(10))
+	if got := len(c.Candidates()); got != 42*len(cfg.Windows) {
+		t.Errorf("candidates = %d, want %d", got, 42*len(cfg.Windows))
+	}
+}
+
+func TestSameHourWindowMultiDay(t *testing.T) {
+	w := TimeWindow{Kind: WindowSameHour, Days: 7}
+	ref := int64(1700000000)
+	refHour := hourOfDay(ref)
+	for day := 1; day <= 7; day++ {
+		cand := ref - int64(day)*86400
+		if hourOfDay(cand) != refHour {
+			t.Fatalf("test setup: hour drifted on day %d", day)
+		}
+		if !w.Match(cand, ref) {
+			t.Errorf("same hour %d days back should match a 7-day window", day)
+		}
+	}
+	if w.Match(ref-8*86400, ref) {
+		t.Error("8 days back should not match")
+	}
+}
+
+func TestAggregateUnknownCombination(t *testing.T) {
+	d := toyDataset(20)
+	c := New(DefaultConfig(), d)
+	// A rule over a feature combination that was never indexed returns
+	// nil rather than panicking.
+	rule := FeatureSet{Features: []string{"NoSuchFeature"}, Window: TimeWindow{Kind: WindowAll}}
+	if got := c.Aggregate(rule, d.Sessions[0]); got != nil {
+		t.Errorf("unknown combination should aggregate to nil, got %d", len(got))
+	}
+}
+
+func TestAggregateEmptyValueGroup(t *testing.T) {
+	d := toyDataset(20)
+	c := New(DefaultConfig(), d)
+	alien := &trace.Session{
+		ID: "alien", StartUnix: 1800000000,
+		Features:   trace.Features{ClientIP: "1.1.1.1", ISP: "never-seen"},
+		Throughput: []float64{1},
+	}
+	rule := NewFeatureSet([]string{trace.FeatISP}, TimeWindow{Kind: WindowAll})
+	if got := c.Aggregate(rule, alien); got != nil {
+		t.Errorf("unseen value should aggregate to nil, got %d", len(got))
+	}
+}
+
+func TestWindowedAggregationRespectsHistoryLength(t *testing.T) {
+	d := toyDataset(200) // sessions 60s apart
+	c := New(DefaultConfig(), d)
+	target := d.Sessions[199]
+	short := NewFeatureSet(nil, TimeWindow{Kind: WindowHistory, Span: 10 * time.Minute})
+	long := NewFeatureSet(nil, TimeWindow{Kind: WindowHistory, Span: 3 * time.Hour})
+	sAgg := c.Aggregate(short, target)
+	lAgg := c.Aggregate(long, target)
+	if len(sAgg) != 10 {
+		t.Errorf("10-minute window over 60s-spaced sessions = %d, want 10", len(sAgg))
+	}
+	if len(lAgg) != 180 {
+		t.Errorf("3-hour window = %d, want 180", len(lAgg))
+	}
+}

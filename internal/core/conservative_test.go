@@ -1,0 +1,68 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConservativeSessionQuantileOrdering(t *testing.T) {
+	_, test, eng := env(t)
+	s := test.Sessions[0]
+	low := eng.NewConservativeSession(s, 0.1)
+	mid := eng.NewConservativeSession(s, 0.5)
+	// Before any observation both return the cluster median.
+	if low.Predict() != mid.Predict() {
+		t.Error("pre-observation conservative predictions should equal the cluster median")
+	}
+	for _, w := range s.Throughput[:5] {
+		low.Observe(w)
+		mid.Observe(w)
+	}
+	l, m := low.Predict(), mid.Predict()
+	if math.IsNaN(l) || math.IsNaN(m) {
+		t.Fatalf("NaN predictions: %v %v", l, m)
+	}
+	if l > m {
+		t.Errorf("10th percentile (%v) above median (%v)", l, m)
+	}
+	if low.PredictAhead(5) > mid.PredictAhead(5) {
+		t.Error("quantile ordering must hold at longer horizons")
+	}
+}
+
+func TestPredictQuantileAheadBeforeObservation(t *testing.T) {
+	_, test, eng := env(t)
+	s := test.Sessions[1]
+	p := eng.NewSessionPredictor(s)
+	if got := p.PredictQuantileAhead(1, 0.25); got != p.InitialPrediction() {
+		t.Errorf("pre-observation quantile = %v, want cluster median %v", got, p.InitialPrediction())
+	}
+	p.Observe(s.Throughput[0])
+	q25 := p.PredictQuantileAhead(1, 0.25)
+	q75 := p.PredictQuantileAhead(1, 0.75)
+	if !(q25 <= q75) {
+		t.Errorf("quantiles out of order: %v > %v", q25, q75)
+	}
+}
+
+func TestConservativeSessionConsistentWithPointAtExtremes(t *testing.T) {
+	_, test, eng := env(t)
+	s := test.Sessions[2]
+	c := eng.NewConservativeSession(s, 0.5)
+	point := eng.NewSessionPredictor(s)
+	for _, w := range s.Throughput[:8] {
+		c.Observe(w)
+		point.Observe(w)
+	}
+	// The predictive median and the MLE-state mean should be in the same
+	// ballpark (both summarize the same posterior).
+	med := c.Predict()
+	mle := point.Predict()
+	if med <= 0 || mle <= 0 {
+		t.Fatalf("degenerate predictions: %v %v", med, mle)
+	}
+	ratio := med / mle
+	if ratio < 0.3 || ratio > 3 {
+		t.Errorf("median (%v) and MLE (%v) wildly inconsistent", med, mle)
+	}
+}

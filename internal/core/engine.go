@@ -1,0 +1,305 @@
+// Package core implements the CS2P system of the paper (§4-§5): the
+// Prediction Engine that trains per-cluster throughput models offline
+// (session clustering + a Gaussian HMM and an initial-throughput median per
+// cluster) and the per-session online predictor that runs the paper's
+// Algorithm 1.
+//
+// Workflow (paper Figure 1):
+//
+//	train := ... // past sessions with features and per-epoch throughput
+//	engine, err := core.Train(train, core.DefaultConfig())
+//	p := engine.NewSession(newSession)   // stage 2: predicting
+//	w0 := p.Predict()                    // initial epoch: cluster median
+//	p.Observe(measured0)                 // update HMM posterior
+//	w1 := p.Predict()                    // midstream: HMM MLE state mean
+//
+// The engine implements predict.Factory and predict.Initial so it slots into
+// the same evaluation harness as every baseline.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cs2p/internal/cluster"
+	"cs2p/internal/hmm"
+	"cs2p/internal/mathx"
+	"cs2p/internal/predict"
+	"cs2p/internal/trace"
+)
+
+// Config controls engine training.
+type Config struct {
+	// Cluster configures the §5.1 session-clustering search.
+	Cluster cluster.Config
+	// HMM configures per-cluster Baum-Welch training; HMM.NStates is used
+	// when SelectStates is false.
+	HMM hmm.TrainConfig
+	// SelectStates enables per-cluster cross-validated state-count
+	// selection over StateCandidates (§7.1). Expensive; the default uses
+	// the fixed cross-validated global choice in HMM.NStates.
+	SelectStates    bool
+	StateCandidates []int
+	CVFolds         int
+	// MinClusterSessions is the minimum number of member sessions needed
+	// to train a dedicated cluster HMM; smaller clusters use the global
+	// model (the paper's fallback, §5.1).
+	MinClusterSessions int
+	// MaxClusterSessions caps the sequences per cluster HMM (stride
+	// subsample) to bound EM cost. 0 means no cap.
+	MaxClusterSessions int
+	// GlobalSessions caps the global fallback HMM's training set.
+	GlobalSessions int
+}
+
+// DefaultConfig returns the settings used across the reproduction: the
+// paper's 6-state HMM, the default clustering lattice, and laptop-scale
+// training caps.
+func DefaultConfig() Config {
+	return Config{
+		Cluster:            cluster.DefaultConfig(),
+		HMM:                hmm.DefaultTrainConfig(),
+		SelectStates:       false,
+		StateCandidates:    []int{2, 4, 6, 8},
+		CVFolds:            4,
+		MinClusterSessions: 10,
+		MaxClusterSessions: 80,
+		GlobalSessions:     300,
+	}
+}
+
+// Engine is a trained CS2P Prediction Engine.
+type Engine struct {
+	cfg       Config
+	clusterer *cluster.Clusterer
+	models    map[string]*hmm.Model // cluster ID -> midstream model
+	medians   map[string]float64    // cluster ID -> fallback initial median
+	global    *hmm.Model
+	globalMed float64
+}
+
+// Train builds the engine: runs the clustering search, trains one HMM per
+// realized cluster, and fits the global fallback model.
+func Train(train *trace.Dataset, cfg Config) (*Engine, error) {
+	if train == nil || train.Len() == 0 {
+		return nil, fmt.Errorf("core: empty training dataset")
+	}
+	if cfg.MinClusterSessions <= 0 {
+		cfg.MinClusterSessions = 10
+	}
+	e := &Engine{
+		cfg:     cfg,
+		models:  make(map[string]*hmm.Model),
+		medians: make(map[string]float64),
+	}
+	e.clusterer = cluster.New(cfg.Cluster, train)
+	e.clusterer.Select()
+
+	// Group training sessions by their assigned cluster ID. Sessions whose
+	// cell fell back to the global rule are served by the global model.
+	byCluster := map[string][]*trace.Session{}
+	for _, s := range train.Sessions {
+		rule, id := e.clusterer.ClusterFor(s)
+		if rule.IsGlobal() {
+			continue
+		}
+		byCluster[id] = append(byCluster[id], s)
+	}
+	// Deterministic iteration order.
+	ids := make([]string, 0, len(byCluster))
+	for id := range byCluster {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	for _, id := range ids {
+		members := byCluster[id]
+		if len(members) < cfg.MinClusterSessions {
+			continue // falls back to the global model at prediction time
+		}
+		seqs := sequences(members, cfg.MaxClusterSessions)
+		hcfg := cfg.HMM
+		if cfg.SelectStates {
+			if n, _, err := hmm.SelectStateCount(seqs, cfg.StateCandidates, cfg.CVFolds, hcfg); err == nil {
+				hcfg.NStates = n
+			}
+		}
+		m, err := hmm.Train(seqs, hcfg)
+		if err != nil {
+			continue // degenerate cluster; global fallback covers it
+		}
+		e.models[id] = m
+		e.medians[id] = staticMedian(members)
+	}
+
+	// Global fallback model over a stride subsample of everything.
+	gseqs := sequences(train.Sessions, cfg.GlobalSessions)
+	g, err := hmm.Train(gseqs, cfg.HMM)
+	if err != nil {
+		return nil, fmt.Errorf("core: training global model: %w", err)
+	}
+	e.global = g
+	e.globalMed = staticMedian(train.Sessions)
+	return e, nil
+}
+
+func sequences(sessions []*trace.Session, cap int) [][]float64 {
+	seqs := make([][]float64, 0, len(sessions))
+	for _, s := range sessions {
+		seqs = append(seqs, s.Throughput)
+	}
+	if cap > 0 && len(seqs) > cap {
+		stride := float64(len(seqs)) / float64(cap)
+		sub := make([][]float64, 0, cap)
+		for i := 0; i < cap; i++ {
+			sub = append(sub, seqs[int(float64(i)*stride)])
+		}
+		seqs = sub
+	}
+	return seqs
+}
+
+func staticMedian(sessions []*trace.Session) float64 {
+	vals := make([]float64, 0, len(sessions))
+	for _, s := range sessions {
+		if len(s.Throughput) > 0 {
+			vals = append(vals, s.InitialThroughput())
+		}
+	}
+	return mathx.Median(vals)
+}
+
+// Name implements predict.Factory and predict.Initial.
+func (e *Engine) Name() string { return "CS2P" }
+
+// Clusters returns the number of clusters with a dedicated HMM.
+func (e *Engine) Clusters() int { return len(e.models) }
+
+// GlobalModel returns the fallback HMM.
+func (e *Engine) GlobalModel() *hmm.Model { return e.global }
+
+// ModelFor returns the HMM and cluster ID a session maps to (the global
+// model when the session's cluster has none), for diagnostics and Figure 8.
+func (e *Engine) ModelFor(s *trace.Session) (*hmm.Model, string) {
+	rule, id := e.clusterer.ClusterFor(s)
+	if !rule.IsGlobal() {
+		if m, ok := e.models[id]; ok {
+			return m, id
+		}
+	}
+	return e.global, "global"
+}
+
+// Clusterer exposes the trained clustering stage.
+func (e *Engine) Clusterer() *cluster.Clusterer { return e.clusterer }
+
+// PredictInitial implements predict.Initial: the median initial throughput
+// of Agg(M*, s) (Eq. 6), with fallbacks to the cluster's static median and
+// finally the global median when the windowed aggregation is too small.
+func (e *Engine) PredictInitial(s *trace.Session) float64 {
+	rule, id := e.clusterer.ClusterFor(s)
+	agg := e.clusterer.Aggregate(rule, s)
+	if len(agg) >= e.cfg.MinClusterSessions {
+		if med := cluster.MedianInitial(agg); !math.IsNaN(med) {
+			return med
+		}
+	}
+	if med, ok := e.medians[id]; ok && !math.IsNaN(med) {
+		return med
+	}
+	return e.globalMed
+}
+
+// SessionPredictor runs Algorithm 1 for one video session: the initial epoch
+// is predicted by the cluster median, midstream epochs by the cluster HMM
+// filter. Not safe for concurrent use.
+type SessionPredictor struct {
+	filter    *hmm.Filter
+	initial   float64
+	clusterID string
+}
+
+// NewSession creates the per-session predictor (stage 2 of Figure 1).
+func (e *Engine) NewSession(s *trace.Session) predict.Midstream {
+	return e.NewSessionPredictor(s)
+}
+
+// NewSessionPredictor is NewSession with the concrete type, exposing the
+// cluster ID and posterior for diagnostics.
+func (e *Engine) NewSessionPredictor(s *trace.Session) *SessionPredictor {
+	m, id := e.ModelFor(s)
+	return &SessionPredictor{
+		filter:    hmm.NewFilter(m),
+		initial:   e.PredictInitial(s),
+		clusterID: id,
+	}
+}
+
+// ClusterID identifies the model this session uses.
+func (p *SessionPredictor) ClusterID() string { return p.clusterID }
+
+// InitialPrediction returns the cluster-median initial throughput estimate.
+func (p *SessionPredictor) InitialPrediction() float64 { return p.initial }
+
+// Filter exposes the underlying HMM filter.
+func (p *SessionPredictor) Filter() *hmm.Filter { return p.filter }
+
+// Predict implements Algorithm 1 lines 3-8: the cluster median before any
+// observation, the HMM one-step MLE afterwards.
+func (p *SessionPredictor) Predict() float64 {
+	if !p.filter.Started() {
+		return p.initial
+	}
+	return p.filter.Predict()
+}
+
+// PredictAhead estimates k epochs ahead; before any observation the cluster
+// median is the best available estimate at every horizon.
+func (p *SessionPredictor) PredictAhead(k int) float64 {
+	if !p.filter.Started() {
+		return p.initial
+	}
+	return p.filter.PredictAhead(k)
+}
+
+// Observe implements Algorithm 1 lines 11-12.
+func (p *SessionPredictor) Observe(w float64) { p.filter.Observe(w) }
+
+// PredictQuantileAhead returns the q-th quantile of the k-step-ahead
+// predictive throughput distribution (an extension beyond the paper's point
+// prediction: the HMM posterior is a full distribution, so a stall-averse
+// controller can plan against a conservative quantile instead of the
+// most-likely state's mean). Before any observation, the cluster median
+// stands in at every quantile.
+func (p *SessionPredictor) PredictQuantileAhead(k int, q float64) float64 {
+	if !p.filter.Started() {
+		return p.initial
+	}
+	return p.filter.PredictQuantile(k, q)
+}
+
+// ConservativeSession wraps a session predictor so that PredictAhead
+// returns the q-th predictive quantile — plugging a risk-aware CS2P into
+// controllers that consume point predictions (ablation A5).
+type ConservativeSession struct {
+	P *SessionPredictor
+	Q float64
+}
+
+// NewConservativeSession builds the quantile view over a fresh session
+// predictor.
+func (e *Engine) NewConservativeSession(s *trace.Session, q float64) *ConservativeSession {
+	return &ConservativeSession{P: e.NewSessionPredictor(s), Q: q}
+}
+
+// Predict implements predict.Midstream.
+func (c *ConservativeSession) Predict() float64 { return c.PredictAhead(1) }
+
+// PredictAhead implements predict.Midstream.
+func (c *ConservativeSession) PredictAhead(k int) float64 {
+	return c.P.PredictQuantileAhead(k, c.Q)
+}
+
+// Observe implements predict.Midstream.
+func (c *ConservativeSession) Observe(w float64) { c.P.Observe(w) }

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"cs2p/internal/hmm"
+	"cs2p/internal/trace"
+)
+
+// StoredModel is one cluster's deployable artifact: the midstream HMM plus a
+// static initial-throughput median. The paper reports each such model at
+// <5 KB (§5.3); SizeBytes verifies ours.
+type StoredModel struct {
+	Model         *hmm.Model `json:"model"`
+	InitialMedian float64    `json:"initial_median"`
+}
+
+// SizeBytes returns the JSON size of the stored model.
+func (sm StoredModel) SizeBytes() int {
+	b, err := json.Marshal(sm)
+	if err != nil {
+		return 0
+	}
+	return len(b)
+}
+
+// ModelStore is the serializable output of engine training, sufficient to
+// route any new session to its model without the training dataset — this is
+// what the Prediction Engine ships to video servers or clients (§5.3).
+type ModelStore struct {
+	// FullFeatures is the canonical feature list keying Routes.
+	FullFeatures []string `json:"full_features"`
+	// Routes maps a session's full-feature value key to its cluster ID.
+	Routes map[string]string `json:"routes"`
+	// Models holds the per-cluster artifacts.
+	Models map[string]StoredModel `json:"models"`
+	// Global is the fallback artifact.
+	Global StoredModel `json:"global"`
+}
+
+// Export builds the deployable store from a trained engine. Initial medians
+// are the static per-cluster medians (the live engine refines them with
+// time-windowed aggregation, which needs the training data).
+func (e *Engine) Export(train *trace.Dataset) *ModelStore {
+	full := NewFullFeatureList(e.cfg.Cluster.CandidateFeatures)
+	ms := &ModelStore{
+		FullFeatures: full,
+		Routes:       make(map[string]string),
+		Models:       make(map[string]StoredModel),
+		Global:       StoredModel{Model: e.global, InitialMedian: e.globalMed},
+	}
+	for _, s := range train.Sessions {
+		cellKey := s.Features.Key(full)
+		if _, seen := ms.Routes[cellKey]; seen {
+			continue
+		}
+		_, id := e.clusterer.ClusterFor(s)
+		if _, ok := e.models[id]; ok {
+			ms.Routes[cellKey] = id
+		}
+	}
+	for id, m := range e.models {
+		ms.Models[id] = StoredModel{Model: m, InitialMedian: e.medians[id]}
+	}
+	return ms
+}
+
+// NewFullFeatureList canonicalizes (sorts, dedups) a candidate feature list,
+// defaulting to trace.ClusterableFeatures. Mirrors the clustering package's
+// cell keying.
+func NewFullFeatureList(features []string) []string {
+	if len(features) == 0 {
+		features = trace.ClusterableFeatures
+	}
+	out := append([]string(nil), features...)
+	// insertion sort (short list) keeps this dependency-free
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	dedup := out[:0]
+	for i, f := range out {
+		if i == 0 || f != out[i-1] {
+			dedup = append(dedup, f)
+		}
+	}
+	return dedup
+}
+
+// Save writes the store as JSON.
+func (ms *ModelStore) Save(w io.Writer) error {
+	return json.NewEncoder(w).Encode(ms)
+}
+
+// LoadModelStore reads a store written by Save and validates every model.
+func LoadModelStore(r io.Reader) (*ModelStore, error) {
+	var ms ModelStore
+	if err := json.NewDecoder(r).Decode(&ms); err != nil {
+		return nil, fmt.Errorf("core: decoding model store: %w", err)
+	}
+	if ms.Global.Model == nil {
+		return nil, fmt.Errorf("core: model store missing global model")
+	}
+	if err := ms.Global.Model.Validate(); err != nil {
+		return nil, fmt.Errorf("core: global model: %w", err)
+	}
+	for id, sm := range ms.Models {
+		if sm.Model == nil {
+			return nil, fmt.Errorf("core: cluster %q missing model", id)
+		}
+		if err := sm.Model.Validate(); err != nil {
+			return nil, fmt.Errorf("core: cluster %q: %w", id, err)
+		}
+	}
+	return &ms, nil
+}
+
+// Lookup returns the stored model and cluster ID for a session's features,
+// falling back to the global artifact.
+func (ms *ModelStore) Lookup(f trace.Features) (StoredModel, string) {
+	cellKey := f.Key(ms.FullFeatures)
+	if id, ok := ms.Routes[cellKey]; ok {
+		if sm, ok := ms.Models[id]; ok {
+			return sm, id
+		}
+	}
+	return ms.Global, "global"
+}
+
+// NewSessionPredictor builds the Algorithm-1 predictor from the store — the
+// client-side deployment path of §5.3, no training data required.
+func (ms *ModelStore) NewSessionPredictor(f trace.Features) *SessionPredictor {
+	sm, id := ms.Lookup(f)
+	initial := sm.InitialMedian
+	if math.IsNaN(initial) {
+		initial = ms.Global.InitialMedian
+	}
+	return &SessionPredictor{
+		filter:    hmm.NewFilter(sm.Model),
+		initial:   initial,
+		clusterID: id,
+	}
+}
+
+// MaxModelSize returns the largest per-cluster artifact in bytes (the
+// quantity the paper bounds at 5 KB).
+func (ms *ModelStore) MaxModelSize() int {
+	max := ms.Global.SizeBytes()
+	for _, sm := range ms.Models {
+		if s := sm.SizeBytes(); s > max {
+			max = s
+		}
+	}
+	return max
+}

@@ -1,0 +1,211 @@
+// Package engine is the Prediction Engine service layer of §6: it owns a
+// trained CS2P core engine behind a lock (training is refreshed per day in
+// the paper's deployment), tracks active playback sessions, serves
+// throughput predictions, estimates session outcomes (the §7.5
+// rebuffer-time forecast), and records completed-session QoE logs.
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"cs2p/internal/abr"
+	"cs2p/internal/core"
+	"cs2p/internal/mathx"
+	"cs2p/internal/qoe"
+	"cs2p/internal/sim"
+	"cs2p/internal/trace"
+	"cs2p/internal/video"
+)
+
+// SessionLog is a completed session's report, mirroring the log message the
+// §6 player sends when the video finishes.
+type SessionLog struct {
+	SessionID       string  `json:"session_id"`
+	QoE             float64 `json:"qoe"`
+	AvgBitrateKbps  float64 `json:"avg_bitrate_kbps"`
+	RebufferSeconds float64 `json:"rebuffer_seconds"`
+	StartupSeconds  float64 `json:"startup_seconds"`
+	Strategy        string  `json:"strategy"`
+}
+
+// Service is the concurrent-safe Prediction Engine front end.
+type Service struct {
+	mu       sync.RWMutex
+	engine   *core.Engine
+	cfg      core.Config
+	spec     video.Spec
+	sessions map[string]*sessionState
+	logs     []SessionLog
+}
+
+type sessionState struct {
+	pred     *core.SessionPredictor
+	lastSeen time.Time
+}
+
+// NewService wraps a trained engine.
+func NewService(e *core.Engine, cfg core.Config, spec video.Spec) *Service {
+	return &Service{
+		engine:   e,
+		cfg:      cfg,
+		spec:     spec,
+		sessions: make(map[string]*sessionState),
+	}
+}
+
+// Retrain replaces the model set with one trained on fresh data — the
+// paper's per-day training cadence. Active sessions keep their old models
+// (their filters reference the prior engine's HMMs, which stay valid).
+func (s *Service) Retrain(train *trace.Dataset) error {
+	e, err := core.Train(train, s.cfg)
+	if err != nil {
+		return fmt.Errorf("engine: retraining: %w", err)
+	}
+	s.mu.Lock()
+	s.engine = e
+	s.mu.Unlock()
+	return nil
+}
+
+// Engine returns the current core engine.
+func (s *Service) Engine() *core.Engine {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.engine
+}
+
+// StartResponse is what a player receives when opening a session.
+type StartResponse struct {
+	InitialPredictionMbps float64 `json:"initial_prediction_mbps"`
+	ClusterID             string  `json:"cluster_id"`
+	RebufferEstimateSec   float64 `json:"rebuffer_estimate_sec"`
+	SuggestedInitialLevel int     `json:"suggested_initial_level"`
+	SuggestedInitialKbps  float64 `json:"suggested_initial_kbps"`
+}
+
+// StartSession registers a playback session and returns the initial
+// prediction, the paper's initial-bitrate suggestion, and the §7.5
+// start-of-session rebuffer estimate. A duplicate ID resets the session.
+func (s *Service) StartSession(id string, f trace.Features, startUnix int64) StartResponse {
+	sess := &trace.Session{ID: id, StartUnix: startUnix, Features: f, Throughput: []float64{1}}
+	s.mu.Lock()
+	e := s.engine
+	s.mu.Unlock()
+	p := e.NewSessionPredictor(sess)
+	s.mu.Lock()
+	s.sessions[id] = &sessionState{pred: p, lastSeen: time.Now()}
+	s.mu.Unlock()
+	model, _ := e.ModelFor(sess)
+	lvl := abr.InitialLevel(s.spec, p.InitialPrediction())
+	return StartResponse{
+		InitialPredictionMbps: p.InitialPrediction(),
+		ClusterID:             p.ClusterID(),
+		RebufferEstimateSec:   EstimateRebuffer(s.spec, model, p.InitialPrediction(), 30, 1),
+		SuggestedInitialLevel: lvl,
+		SuggestedInitialKbps:  s.spec.BitratesKbps[lvl],
+	}
+}
+
+// ErrUnknownSession is returned for predictions on unregistered sessions.
+var ErrUnknownSession = fmt.Errorf("engine: unknown session")
+
+// ObserveAndPredict feeds the last epoch's measured throughput and returns
+// the prediction for `horizon` epochs ahead (1 = next epoch). This is the
+// POST /predict round trip the Dash.js player makes before each chunk
+// request (§6).
+func (s *Service) ObserveAndPredict(id string, observedMbps float64, horizon int) (float64, error) {
+	s.mu.Lock()
+	st, ok := s.sessions[id]
+	if ok {
+		st.lastSeen = time.Now()
+	}
+	s.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownSession, id)
+	}
+	// Per-session predictors are single-threaded by protocol: one player
+	// drives one session sequentially.
+	st.pred.Observe(observedMbps)
+	return st.pred.PredictAhead(horizon), nil
+}
+
+// Predict returns the current prediction without a new observation (used
+// for the initial chunk, whose estimate came with StartSession).
+func (s *Service) Predict(id string, horizon int) (float64, error) {
+	s.mu.RLock()
+	st, ok := s.sessions[id]
+	s.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownSession, id)
+	}
+	return st.pred.PredictAhead(horizon), nil
+}
+
+// EndSession records the player's final QoE log and forgets the session.
+func (s *Service) EndSession(log SessionLog) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.sessions, log.SessionID)
+	s.logs = append(s.logs, log)
+}
+
+// Logs returns a copy of the recorded session logs.
+func (s *Service) Logs() []SessionLog {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]SessionLog(nil), s.logs...)
+}
+
+// ActiveSessions returns the number of registered sessions.
+func (s *Service) ActiveSessions() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.sessions)
+}
+
+// GC drops sessions idle longer than maxIdle and returns how many were
+// removed.
+func (s *Service) GC(maxIdle time.Duration) int {
+	cut := time.Now().Add(-maxIdle)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for id, st := range s.sessions {
+		if st.lastSeen.Before(cut) {
+			delete(s.sessions, id)
+			n++
+		}
+	}
+	return n
+}
+
+// EstimateRebuffer forecasts the total rebuffering a session will see
+// (§7.5): it rolls out `rollouts` Monte-Carlo throughput futures from the
+// session's cluster HMM, plays each through the MPC controller with a
+// perfect per-rollout oracle, and returns the median total stall time.
+func EstimateRebuffer(spec video.Spec, model interface {
+	Sample(r *rand.Rand, t int) ([]int, []float64)
+}, initialMbps float64, rollouts int, seed int64) float64 {
+	if rollouts <= 0 {
+		rollouts = 20
+	}
+	r := rand.New(rand.NewSource(seed))
+	n := spec.NumChunks()
+	var stalls []float64
+	for i := 0; i < rollouts; i++ {
+		_, tput := model.Sample(r, n)
+		for j := range tput {
+			if tput[j] < 0.05 {
+				tput[j] = 0.05
+			}
+		}
+		res := sim.Play(spec, abr.MPC{}, sim.NewNoisyOracle(tput, 0, seed+int64(i)), tput, qoe.DefaultWeights())
+		stalls = append(stalls, res.Metrics.TotalRebufferSeconds())
+	}
+	sort.Float64s(stalls)
+	return mathx.QuantileSorted(stalls, 0.5)
+}

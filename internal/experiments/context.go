@@ -1,0 +1,278 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§3 and §7) on the synthetic trace, one function per artifact.
+// Each experiment returns a Result whose rows are the series the paper
+// plots; cmd/cs2p-bench prints them and bench_test.go wraps them as Go
+// benchmarks. See DESIGN.md §4 for the experiment index and EXPERIMENTS.md
+// for paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"cs2p/internal/core"
+	"cs2p/internal/hmm"
+	"cs2p/internal/predict"
+	"cs2p/internal/trace"
+	"cs2p/internal/tracegen"
+	"cs2p/internal/video"
+)
+
+// Result is one regenerated artifact.
+type Result struct {
+	ID    string
+	Title string
+	Rows  []string
+}
+
+// String renders the result like the harness prints it.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, row := range r.Rows {
+		b.WriteString(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (r *Result) rowf(format string, args ...any) {
+	r.Rows = append(r.Rows, fmt.Sprintf(format, args...))
+}
+
+// Scale selects the dataset/compute size of the experiment context.
+type Scale int
+
+const (
+	// ScaleSmall runs in seconds; used by unit tests.
+	ScaleSmall Scale = iota
+	// ScaleFull is the default benchmark scale (minutes for the full
+	// suite).
+	ScaleFull
+)
+
+// Context lazily builds and caches the expensive shared state: the
+// synthetic dataset, the train/test split, the trained CS2P engine, and the
+// trained baselines.
+type Context struct {
+	Scale Scale
+	Spec  video.Spec
+
+	mu     sync.Mutex
+	data   *trace.Dataset
+	gt     *tracegen.GroundTruth
+	train  *trace.Dataset
+	test   *trace.Dataset
+	eng    *core.Engine
+	engCfg core.Config
+	svr    *predict.MLPredictor
+	gbr    *predict.MLPredictor
+	ghm    *predict.GHM
+	lmC    *predict.LMClient
+	lmS    *predict.LMServer
+	gMed   *predict.GlobalMedian
+}
+
+// NewContext creates an experiment context at the given scale.
+func NewContext(s Scale) *Context {
+	return &Context{Scale: s, Spec: video.Default()}
+}
+
+// genConfig returns the tracegen configuration for the scale.
+func (c *Context) genConfig() tracegen.Config {
+	if c.Scale == ScaleSmall {
+		cfg := tracegen.SmallConfig()
+		cfg.Sessions = 800
+		return cfg
+	}
+	return tracegen.DefaultConfig()
+}
+
+// Data returns the full synthetic dataset and ground truth.
+func (c *Context) Data() (*trace.Dataset, *tracegen.GroundTruth) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensureDataLocked()
+	return c.data, c.gt
+}
+
+func (c *Context) ensureDataLocked() {
+	if c.data == nil {
+		c.data, c.gt = tracegen.Generate(c.genConfig())
+	}
+}
+
+// Split returns the day-1 training and day-2 testing datasets (§7.1).
+func (c *Context) Split() (train, test *trace.Dataset) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensureSplitLocked()
+	return c.train, c.test
+}
+
+func (c *Context) ensureSplitLocked() {
+	if c.train != nil {
+		return
+	}
+	c.ensureDataLocked()
+	// The synthetic trace spans Days days; cut at the last day boundary.
+	first := c.data.Sessions[0].StartUnix
+	last := c.data.Sessions[c.data.Len()-1].StartUnix
+	cut := first + (last-first+1)/2
+	c.train = c.data.Filter(func(s *trace.Session) bool { return s.StartUnix < cut })
+	c.test = c.data.Filter(func(s *trace.Session) bool { return s.StartUnix >= cut })
+}
+
+// EngineConfig returns the core configuration the context trains with.
+func (c *Context) EngineConfig() core.Config {
+	cfg := core.DefaultConfig()
+	if c.Scale == ScaleSmall {
+		cfg.Cluster.MinGroupSize = 10
+		cfg.HMM.NStates = 4
+		cfg.HMM.MaxIters = 20
+		cfg.MinClusterSessions = 8
+	}
+	return cfg
+}
+
+// Engine returns the trained CS2P engine.
+func (c *Context) Engine() *core.Engine {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensureSplitLocked()
+	if c.eng == nil {
+		c.engCfg = c.EngineConfig()
+		eng, err := core.Train(c.train, c.engCfg)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: engine training failed: %v", err))
+		}
+		c.eng = eng
+	}
+	return c.eng
+}
+
+// mlConfig scales the baseline training budget.
+func (c *Context) mlConfig() predict.MLConfig {
+	cfg := predict.DefaultMLConfig()
+	if c.Scale == ScaleSmall {
+		cfg.MaxRows = 3000
+		cfg.GBRT.Trees = 25
+	}
+	return cfg
+}
+
+// SVR returns the trained SVR baseline.
+func (c *Context) SVR() *predict.MLPredictor {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensureSplitLocked()
+	if c.svr == nil {
+		p, err := predict.TrainSVR(c.train, c.mlConfig())
+		if err != nil {
+			panic(fmt.Sprintf("experiments: SVR training failed: %v", err))
+		}
+		c.svr = p
+	}
+	return c.svr
+}
+
+// GBR returns the trained gradient-boosting baseline.
+func (c *Context) GBR() *predict.MLPredictor {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensureSplitLocked()
+	if c.gbr == nil {
+		p, err := predict.TrainGBRT(c.train, c.mlConfig())
+		if err != nil {
+			panic(fmt.Sprintf("experiments: GBRT training failed: %v", err))
+		}
+		c.gbr = p
+	}
+	return c.gbr
+}
+
+// GHM returns the trained global-HMM baseline.
+func (c *Context) GHM() *predict.GHM {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensureSplitLocked()
+	if c.ghm == nil {
+		cfg := hmm.DefaultTrainConfig()
+		if c.Scale == ScaleSmall {
+			cfg.NStates = 4
+			cfg.MaxIters = 20
+		}
+		g, err := predict.TrainGHM(c.train, cfg, 250)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: GHM training failed: %v", err))
+		}
+		c.ghm = g
+	}
+	return c.ghm
+}
+
+// LastMile returns the LM-client, LM-server and global-median baselines.
+func (c *Context) LastMile() (predict.LMClient, predict.LMServer, predict.GlobalMedian) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensureSplitLocked()
+	if c.lmC == nil {
+		lc := predict.NewLMClient(c.train)
+		ls := predict.NewLMServer(c.train)
+		gm := predict.NewGlobalMedian(c.train)
+		c.lmC, c.lmS, c.gMed = &lc, &ls, &gm
+	}
+	return *c.lmC, *c.lmS, *c.gMed
+}
+
+// TestSessions returns up to n test sessions (all if n <= 0).
+func (c *Context) TestSessions(n int) []*trace.Session {
+	_, test := c.Split()
+	if n <= 0 || n >= test.Len() {
+		return test.Sessions
+	}
+	return test.Sessions[:n]
+}
+
+// QoESessions returns up to n test sessions long enough to cover the whole
+// video. The QoE experiments replay the paper's 260-second video, so traces
+// shorter than 44 chunks would truncate playback and skew the startup
+// penalty's relative weight.
+func (c *Context) QoESessions(n int) []*trace.Session {
+	_, test := c.Split()
+	need := c.Spec.NumChunks()
+	out := make([]*trace.Session, 0, n)
+	for _, s := range test.Sessions {
+		if len(s.Throughput) >= need {
+			out = append(out, s)
+			if n > 0 && len(out) == n {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Registry maps experiment IDs to their implementations.
+var Registry = map[string]func(*Context) Result{}
+
+// IDs returns the registered experiment IDs in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(Registry))
+	for id := range Registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes one experiment by ID.
+func Run(c *Context, id string) (Result, error) {
+	f, ok := Registry[id]
+	if !ok {
+		return Result{}, fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
+	}
+	return f(c), nil
+}

@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"math"
+	"sort"
+
+	"cs2p/internal/cluster"
+	"cs2p/internal/mathx"
+	"cs2p/internal/predict"
+	"cs2p/internal/trace"
+	"cs2p/internal/tracegen"
+)
+
+func init() {
+	Registry["T2"] = Table2DatasetSummary
+	Registry["O1"] = Observation1Variability
+	Registry["F3"] = Figure3DatasetCDFs
+	Registry["F4"] = Figure4Stateful
+	Registry["F5"] = Figure5Similarity
+	Registry["F6"] = Figure6FeatureCombos
+}
+
+// Table2DatasetSummary reproduces Table 2: per-feature unique-value counts
+// and dataset totals.
+func Table2DatasetSummary(c *Context) Result {
+	d, gt := c.Data()
+	sum := d.Summarize(nil)
+	r := Result{ID: "T2", Title: "Dataset summary (paper Table 2)"}
+	r.rowf("sessions=%d epochs=%d epoch_seconds=%.0f ground_truth_clusters=%d",
+		sum.Sessions, sum.Epochs, sum.EpochSeconds, gt.Clusters())
+	names := make([]string, 0, len(sum.UniqueValues))
+	for n := range sum.UniqueValues {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		r.rowf("feature=%-10s unique=%d", n, sum.UniqueValues[n])
+	}
+	return r
+}
+
+// Observation1Variability reproduces Observation 1: the distribution of
+// intra-session coefficient of variation and the error of the simple
+// history-based predictors (LS, HM, AR).
+func Observation1Variability(c *Context) Result {
+	d, _ := c.Data()
+	r := Result{ID: "O1", Title: "Observation 1: intra-session variability and simple-predictor error"}
+	var cvs []float64
+	for _, s := range d.Sessions {
+		if cv := s.CoefficientOfVariation(); !math.IsNaN(cv) {
+			cvs = append(cvs, cv)
+		}
+	}
+	ge30 := 0
+	ge50 := 0
+	for _, cv := range cvs {
+		if cv >= 0.3 {
+			ge30++
+		}
+		if cv >= 0.5 {
+			ge50++
+		}
+	}
+	r.rowf("cv_median=%.3f frac_cv>=0.3=%.3f frac_cv>=0.5=%.3f (paper: ~0.5 and ~0.2)",
+		mathx.Median(cvs), float64(ge30)/float64(len(cvs)), float64(ge50)/float64(len(cvs)))
+	sessions := c.TestSessions(300)
+	for _, f := range []predict.Factory{predict.LS{}, predict.HM{}, predict.AR{}} {
+		sum := predict.Summarize(predict.EvaluateMidstream(f, sessions, 1))
+		r.rowf("predictor=%-3s median_err=%.3f p75_err=%.3f (paper: simple predictors ~0.18 median / ~0.40 p75)",
+			f.Name(), sum.FlatMedian, sum.FlatP75)
+	}
+	return r
+}
+
+// Figure3DatasetCDFs reproduces Figure 3: CDFs of session duration (a) and
+// per-epoch throughput (b).
+func Figure3DatasetCDFs(c *Context) Result {
+	d, _ := c.Data()
+	r := Result{ID: "F3", Title: "Dataset CDFs: session duration (3a) and per-epoch throughput (3b)"}
+	dur := mathx.NewECDF(d.Durations())
+	r.rowf("-- 3a: session duration (s) --")
+	for _, p := range []float64{60, 120, 300, 600, 1200, 2400} {
+		r.rowf("duration<=%-6.0f cdf=%.3f", p, dur.At(p))
+	}
+	tput := mathx.NewECDF(d.AllEpochThroughputs())
+	r.rowf("-- 3b: per-epoch throughput (Mbps) --")
+	for _, p := range []float64{0.5, 1, 2, 4, 8, 16} {
+		r.rowf("throughput<=%-5.1f cdf=%.3f", p, tput.At(p))
+	}
+	return r
+}
+
+// Figure4Stateful reproduces Figure 4: the stateful structure of
+// within-session throughput. (a) segments an example session with the
+// ground-truth-like learned HMM via Viterbi; (b) quantifies the clustered
+// t/t+1 structure for one /16 prefix with the lag-1 autocorrelation of the
+// state sequence vs the raw signal.
+func Figure4Stateful(c *Context) Result {
+	d, gt := c.Data()
+	r := Result{ID: "F4", Title: "Stateful behaviour within sessions (paper Figure 4)"}
+	// (a) The longest session, segmented by its ground-truth model.
+	var longest *trace.Session
+	for _, s := range d.Sessions {
+		if longest == nil || len(s.Throughput) > len(longest.Throughput) {
+			longest = s
+		}
+	}
+	m := gt.Model(longest.Features)
+	path := m.Viterbi(longest.Throughput)
+	segments := 1
+	for i := 1; i < len(path); i++ {
+		if path[i] != path[i-1] {
+			segments++
+		}
+	}
+	states := map[int][]float64{}
+	for i, st := range path {
+		states[st] = append(states[st], longest.Throughput[i])
+	}
+	r.rowf("-- 4a: example session %s (%d epochs) --", longest.ID, len(longest.Throughput))
+	r.rowf("viterbi_segments=%d distinct_states=%d (paper: ~10 segments over 4 states)", segments, len(states))
+	keys := make([]int, 0, len(states))
+	for k := range states {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		r.rowf("state=%d epochs=%-4d mean=%.2fMbps stddev=%.2f", k, len(states[k]), mathx.Mean(states[k]), mathx.StdDev(states[k]))
+	}
+	// (b) All sessions in the most popular /16 prefix.
+	groups := d.GroupBy([]string{trace.FeatPrefix16})
+	var best []*trace.Session
+	for _, g := range groups {
+		if len(g) > len(best) {
+			best = g
+		}
+	}
+	var same, total int
+	var corr corrAcc
+	for _, s := range best {
+		m := gt.Model(s.Features)
+		p := m.Viterbi(s.Throughput)
+		for i := 1; i < len(p); i++ {
+			total++
+			if p[i] == p[i-1] {
+				same++
+			}
+			corr.add(s.Throughput[i-1], s.Throughput[i])
+		}
+	}
+	r.rowf("-- 4b: sessions in the most common /16 (%d sessions) --", len(best))
+	r.rowf("state_persistence=%.3f lag1_throughput_corr=%.3f (paper: discrete clusters along the diagonal)",
+		float64(same)/float64(total), corr.value())
+	return r
+}
+
+// corrAcc accumulates Pearson correlation online.
+type corrAcc struct {
+	n                     float64
+	sx, sy, sxx, syy, sxy float64
+}
+
+func (c *corrAcc) add(x, y float64) {
+	c.n++
+	c.sx += x
+	c.sy += y
+	c.sxx += x * x
+	c.syy += y * y
+	c.sxy += x * y
+}
+
+func (c *corrAcc) value() float64 {
+	if c.n < 2 {
+		return math.NaN()
+	}
+	cov := c.sxy/c.n - (c.sx/c.n)*(c.sy/c.n)
+	vx := c.sxx/c.n - (c.sx/c.n)*(c.sx/c.n)
+	vy := c.syy/c.n - (c.sy/c.n)*(c.sy/c.n)
+	if vx <= 0 || vy <= 0 {
+		return math.NaN()
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// Figure5Similarity reproduces Figure 5: sessions sharing key features have
+// similar throughput. (a) shows per-session mean throughputs inside one
+// cluster vs across clusters; (b) the initial-throughput CDFs of the three
+// largest clusters.
+func Figure5Similarity(c *Context) Result {
+	d, _ := c.Data()
+	r := Result{ID: "F5", Title: "Cross-session similarity (paper Figure 5)"}
+	groups := d.GroupBy(tracegen.ClusterKeyFeatures)
+	type group struct {
+		key  string
+		sess []*trace.Session
+	}
+	var gs []group
+	for k, g := range groups {
+		if len(g) >= 30 {
+			gs = append(gs, group{k, g})
+		}
+	}
+	sort.Slice(gs, func(i, j int) bool {
+		if len(gs[i].sess) != len(gs[j].sess) {
+			return len(gs[i].sess) > len(gs[j].sess)
+		}
+		return gs[i].key < gs[j].key
+	})
+	if len(gs) < 3 {
+		r.rowf("not enough large clusters at this scale")
+		return r
+	}
+	r.rowf("-- 5a: within- vs cross-cluster similarity of session means --")
+	var all []float64
+	var within []float64
+	for _, g := range gs[:3] {
+		var means []float64
+		for _, s := range g.sess {
+			means = append(means, s.MeanThroughput())
+		}
+		all = append(all, means...)
+		within = append(within, mathx.StdDev(means))
+	}
+	r.rowf("median_within_cluster_stddev=%.3f cross_cluster_stddev=%.3f", mathx.Median(within), mathx.StdDev(all))
+	r.rowf("-- 5b: initial-throughput CDFs of 3 largest clusters --")
+	for i, g := range gs[:3] {
+		var init []float64
+		for _, s := range g.sess {
+			init = append(init, s.InitialThroughput())
+		}
+		e := mathx.NewECDF(init)
+		r.rowf("cluster=%c sessions=%-4d p25=%.2f median=%.2f p75=%.2f Mbps",
+			'A'+i, len(g.sess), e.Quantile(0.25), e.Median(), e.Quantile(0.75))
+	}
+	return r
+}
+
+// Figure6FeatureCombos reproduces Figure 6: the throughput spread of
+// sessions matching all three key features (ISP, City, Server) vs any
+// subset.
+func Figure6FeatureCombos(c *Context) Result {
+	d, _ := c.Data()
+	r := Result{ID: "F6", Title: "Throughput spread by feature combination (paper Figure 6)"}
+	x, y, z := trace.FeatISP, trace.FeatCity, trace.FeatServer
+	combos := []struct {
+		label string
+		feats []string
+	}{
+		{"[X]=ISP", []string{x}},
+		{"[Y]=City", []string{y}},
+		{"[Z]=Server", []string{z}},
+		{"[X,Y]", []string{x, y}},
+		{"[X,Z]", []string{x, z}},
+		{"[Y,Z]", []string{y, z}},
+		{"[X,Y,Z]", []string{x, y, z}},
+	}
+	spreads := make(map[string]float64)
+	for _, combo := range combos {
+		groups := d.GroupBy(combo.feats)
+		var sds []float64
+		for _, g := range groups {
+			if len(g) < 10 {
+				continue
+			}
+			var means []float64
+			for _, s := range g {
+				means = append(means, s.MeanThroughput())
+			}
+			sds = append(sds, mathx.StdDev(means))
+		}
+		spread := mathx.Median(sds)
+		spreads[combo.label] = spread
+		r.rowf("combo=%-10s median_within_group_stddev=%.3f Mbps", combo.label, spread)
+	}
+	full := spreads["[X,Y,Z]"]
+	bestSingle := math.Min(spreads["[X]=ISP"], math.Min(spreads["[Y]=City"], spreads["[Z]=Server"]))
+	r.rowf("full_combination/best_single=%.3f (paper: combination much tighter than any subset)", full/bestSingle)
+	// Observation 4's second finding: the same feature's RIG varies by ISP.
+	var rigs []float64
+	for _, g := range d.GroupBy([]string{x}) {
+		if len(g) < 50 {
+			continue
+		}
+		rigs = append(rigs, cluster.RelativeInformationGain(g, y, 10))
+	}
+	if len(rigs) >= 2 {
+		sort.Float64s(rigs)
+		r.rowf("RIG(City) across ISPs: min=%.3f max=%.3f (paper: varies by >0.65 across ISPs)", rigs[0], rigs[len(rigs)-1])
+	}
+	return r
+}

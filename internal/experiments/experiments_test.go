@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// sharedCtx is reused across tests: the context caches the dataset, the
+// engine and the baselines, which dominate runtime.
+var sharedCtx = NewContext(ScaleSmall)
+
+func TestRegistryComplete(t *testing.T) {
+	// The DESIGN.md experiment index: every listed artifact must have an
+	// implementation.
+	want := []string{
+		"T2", "O1", "F2", "F3", "F4", "F5", "F6", "F8",
+		"F9a", "F9a-fcc", "F9b", "F9c", "F10", "F11", "P1",
+		"A1", "A2", "A3", "A4", "A5",
+	}
+	for _, id := range want {
+		if _, ok := Registry[id]; !ok {
+			t.Errorf("experiment %s missing from registry", id)
+		}
+	}
+	if len(Registry) != len(want) {
+		t.Errorf("registry has %d entries, index lists %d", len(Registry), len(want))
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run(sharedCtx, "nope"); err == nil {
+		t.Error("unknown ID should error")
+	}
+}
+
+// TestAllExperimentsProduceRows executes the full registry at small scale.
+// Each experiment must produce non-empty output and must not report a
+// training failure.
+func TestAllExperimentsProduceRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow for -short")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(sharedCtx, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ID != id {
+				t.Errorf("result ID = %q", res.ID)
+			}
+			if len(res.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			out := res.String()
+			if strings.Contains(out, "training failed") || strings.Contains(out, "no completed sessions") {
+				t.Errorf("experiment reported a failure:\n%s", out)
+			}
+			t.Log("\n" + out)
+		})
+	}
+}

@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"math"
+
+	"cs2p/internal/cluster"
+	"cs2p/internal/core"
+	"cs2p/internal/hmm"
+	"cs2p/internal/mathx"
+	"cs2p/internal/predict"
+	"cs2p/internal/trace"
+)
+
+func init() {
+	Registry["F11"] = Figure11Sensitivity
+	Registry["A1"] = AblationClusterFeatures
+	Registry["A2"] = AblationHMMPredictionRule
+	Registry["A3"] = AblationEmission
+}
+
+// Figure11Sensitivity reproduces the §7.4 sensitivity analysis: midstream
+// error vs HMM state count, minimum group size, and training-set size.
+func Figure11Sensitivity(c *Context) Result {
+	r := Result{ID: "F11", Title: "Sensitivity to configuration (paper §7.4)"}
+	train, test := c.Split()
+	sessions := test.Sessions
+	if len(sessions) > 200 {
+		sessions = sessions[:200]
+	}
+	base := c.EngineConfig()
+	base.HMM.MaxIters = 20
+
+	r.rowf("-- (a) midstream error vs HMM state count --")
+	var byStates []float64
+	states := []int{1, 2, 4, 6, 8}
+	for _, n := range states {
+		cfg := base
+		cfg.HMM.NStates = n
+		eng, err := core.Train(train, cfg)
+		if err != nil {
+			r.rowf("states=%d training failed: %v", n, err)
+			continue
+		}
+		sum := predict.Summarize(predict.EvaluateMidstream(eng, sessions, 1))
+		byStates = append(byStates, sum.FlatMedian)
+		r.rowf("states=%d median_err=%.3f", n, sum.FlatMedian)
+	}
+	if len(byStates) == len(states) && byStates[0] > mathx.Min(byStates) {
+		r.rowf("interior optimum confirmed: 1 state (%.3f) worse than best (%.3f)", byStates[0], mathx.Min(byStates))
+	}
+
+	r.rowf("-- (b) initial error vs minimum group size --")
+	for _, g := range []int{5, 30, 120} {
+		cfg := base
+		cfg.Cluster.MinGroupSize = g
+		eng, err := core.Train(train, cfg)
+		if err != nil {
+			r.rowf("group_size=%d training failed: %v", g, err)
+			continue
+		}
+		errs := predict.EvaluateInitial(eng, sessions)
+		r.rowf("min_group_size=%-4d initial_median_err=%.3f", g, mathx.Median(errs))
+	}
+
+	r.rowf("-- (c) midstream error vs training-set size --")
+	for _, frac := range []float64{0.25, 0.5, 1.0} {
+		n := int(frac * float64(train.Len()))
+		sub := &trace.Dataset{EpochSeconds: train.EpochSeconds, Sessions: train.Sessions[:n]}
+		eng, err := core.Train(sub, base)
+		if err != nil {
+			r.rowf("train_frac=%.2f training failed: %v", frac, err)
+			continue
+		}
+		sum := predict.Summarize(predict.EvaluateMidstream(eng, sessions, 1))
+		r.rowf("train_frac=%.2f sessions=%-5d median_err=%.3f", frac, n, sum.FlatMedian)
+	}
+
+	r.rowf("-- (d) initial error vs candidate time windows --")
+	windowSets := []struct {
+		name string
+		ws   []cluster.TimeWindow
+	}{
+		{"all-history-only", []cluster.TimeWindow{{Kind: cluster.WindowAll}}},
+		{"with-time-windows", cluster.DefaultWindows()},
+	}
+	for _, wset := range windowSets {
+		cfg := base
+		cfg.Cluster.Windows = wset.ws
+		eng, err := core.Train(train, cfg)
+		if err != nil {
+			r.rowf("windows=%s training failed: %v", wset.name, err)
+			continue
+		}
+		errs := predict.EvaluateInitial(eng, sessions)
+		r.rowf("windows=%-18s initial_median_err=%.3f", wset.name, mathx.Median(errs))
+	}
+	return r
+}
+
+// AblationClusterFeatures compares the full feature-combination clustering
+// against single-feature clustering (DESIGN.md §5): it quantifies what the
+// lattice search buys over last-mile-style grouping.
+func AblationClusterFeatures(c *Context) Result {
+	r := Result{ID: "A1", Title: "Ablation: feature-combination clustering vs single-feature"}
+	train, test := c.Split()
+	sessions := test.Sessions
+	if len(sessions) > 200 {
+		sessions = sessions[:200]
+	}
+	configs := []struct {
+		name  string
+		feats []string
+		max   int
+	}{
+		{"full-lattice", nil, 3},
+		{"isp-only", []string{trace.FeatISP}, 1},
+		{"server-only", []string{trace.FeatServer}, 1},
+		{"prefix-only", []string{trace.FeatPrefix16}, 1},
+	}
+	for _, cc := range configs {
+		cfg := c.EngineConfig()
+		cfg.HMM.MaxIters = 20
+		if cc.feats != nil {
+			cfg.Cluster.CandidateFeatures = cc.feats
+		}
+		cfg.Cluster.MaxSubsetSize = cc.max
+		eng, err := core.Train(train, cfg)
+		if err != nil {
+			r.rowf("%s: training failed: %v", cc.name, err)
+			continue
+		}
+		mid := predict.Summarize(predict.EvaluateMidstream(eng, sessions, 1))
+		init := mathx.Median(predict.EvaluateInitial(eng, sessions))
+		r.rowf("clustering=%-12s initial_median=%.3f midstream_median=%.3f clusters=%d",
+			cc.name, init, mid.FlatMedian, eng.Clusters())
+	}
+	return r
+}
+
+// AblationHMMPredictionRule compares the paper's MLE-state rule (Eq. 8)
+// against the posterior-mean rule.
+func AblationHMMPredictionRule(c *Context) Result {
+	r := Result{ID: "A2", Title: "Ablation: MLE-state vs posterior-mean HMM prediction"}
+	eng := c.Engine()
+	sessions := c.TestSessions(250)
+	for _, rule := range []struct {
+		name string
+		r    hmm.PredictionRule
+	}{{"MLE-state", hmm.PredictMLE}, {"posterior-mean", hmm.PredictMean}} {
+		f := ruleFactory{eng: eng, rule: rule.r}
+		sum := predict.Summarize(predict.EvaluateMidstream(f, sessions, 1))
+		r.rowf("rule=%-14s median_err=%.3f p75=%.3f", rule.name, sum.FlatMedian, sum.FlatP75)
+	}
+	return r
+}
+
+// ruleFactory wraps the engine but overrides the filter's prediction rule.
+type ruleFactory struct {
+	eng  *core.Engine
+	rule hmm.PredictionRule
+}
+
+func (f ruleFactory) Name() string { return "CS2P" }
+
+func (f ruleFactory) NewSession(s *trace.Session) predict.Midstream {
+	p := f.eng.NewSessionPredictor(s)
+	p.Filter().SetRule(f.rule)
+	return p
+}
+
+// AblationEmission compares Gaussian emissions against log-normal ones
+// (train the HMM on log-throughput and exponentiate predictions) — the
+// paper notes Gaussian "proves to provide high prediction accuracy"; this
+// quantifies the alternative.
+func AblationEmission(c *Context) Result {
+	r := Result{ID: "A3", Title: "Ablation: Gaussian vs log-normal emission"}
+	train, test := c.Split()
+	sessions := test.Sessions
+	if len(sessions) > 200 {
+		sessions = sessions[:200]
+	}
+	// Gaussian: the standard engine.
+	sum := predict.Summarize(predict.EvaluateMidstream(c.Engine(), sessions, 1))
+	r.rowf("emission=gaussian  median_err=%.3f p75=%.3f", sum.FlatMedian, sum.FlatP75)
+
+	// Log-normal: one global HMM in log space (cluster-level comparison
+	// would be confounded by the clustering stage).
+	logSeqs := make([][]float64, 0, 250)
+	for i, s := range train.Sessions {
+		if i >= 250 {
+			break
+		}
+		ls := make([]float64, len(s.Throughput))
+		for j, w := range s.Throughput {
+			ls[j] = math.Log(math.Max(w, 1e-6))
+		}
+		logSeqs = append(logSeqs, ls)
+	}
+	hcfg := c.EngineConfig().HMM
+	logModel, err := hmm.Train(logSeqs, hcfg)
+	if err != nil {
+		r.rowf("log-normal training failed: %v", err)
+		return r
+	}
+	linSeqs := make([][]float64, 0, 250)
+	for i, s := range train.Sessions {
+		if i >= 250 {
+			break
+		}
+		linSeqs = append(linSeqs, s.Throughput)
+	}
+	linModel, err := hmm.Train(linSeqs, hcfg)
+	if err != nil {
+		r.rowf("gaussian global training failed: %v", err)
+		return r
+	}
+	gsum := predict.Summarize(predict.EvaluateMidstream(globalFactory{linModel, false}, sessions, 1))
+	lsum := predict.Summarize(predict.EvaluateMidstream(globalFactory{logModel, true}, sessions, 1))
+	r.rowf("emission=gaussian-global   median_err=%.3f", gsum.FlatMedian)
+	r.rowf("emission=lognormal-global  median_err=%.3f", lsum.FlatMedian)
+	return r
+}
+
+// globalFactory serves one global model, optionally in log space.
+type globalFactory struct {
+	m        *hmm.Model
+	logSpace bool
+}
+
+func (g globalFactory) Name() string { return "global" }
+
+func (g globalFactory) NewSession(*trace.Session) predict.Midstream {
+	if !g.logSpace {
+		return predict.WrapFilter(hmm.NewFilter(g.m))
+	}
+	return &logFilter{f: hmm.NewFilter(g.m)}
+}
+
+// logFilter adapts a log-space HMM filter to linear-space predictions.
+type logFilter struct{ f *hmm.Filter }
+
+func (l *logFilter) Predict() float64           { return math.Exp(l.f.Predict()) }
+func (l *logFilter) PredictAhead(k int) float64 { return math.Exp(l.f.PredictAhead(k)) }
+func (l *logFilter) Observe(w float64)          { l.f.Observe(math.Log(math.Max(w, 1e-6))) }

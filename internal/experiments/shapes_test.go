@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"cs2p/internal/abr"
+	"cs2p/internal/mathx"
+	"cs2p/internal/predict"
+	"cs2p/internal/qoe"
+	"cs2p/internal/sim"
+)
+
+// These tests assert the qualitative *shapes* the paper reports — who wins,
+// in which direction curves move — on the small-scale context. They are the
+// regression net for the headline claims; exact values live in
+// EXPERIMENTS.md.
+
+func TestShapeMidstreamOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	c := sharedCtx
+	sessions := c.TestSessions(250)
+	cs2p := predict.Summarize(predict.EvaluateMidstream(c.Engine(), sessions, 1)).FlatMedian
+	ghm := predict.Summarize(predict.EvaluateMidstream(c.GHM(), sessions, 1)).FlatMedian
+	ls := predict.Summarize(predict.EvaluateMidstream(predict.LS{}, sessions, 1)).FlatMedian
+	hm := predict.Summarize(predict.EvaluateMidstream(predict.HM{}, sessions, 1)).FlatMedian
+
+	// Paper Figure 9b orderings: CS2P beats the history-based predictors
+	// and the global HMM.
+	if cs2p >= ls {
+		t.Errorf("CS2P (%.3f) should beat LS (%.3f)", cs2p, ls)
+	}
+	if cs2p >= hm {
+		t.Errorf("CS2P (%.3f) should beat HM (%.3f)", cs2p, hm)
+	}
+	if cs2p >= ghm {
+		t.Errorf("CS2P (%.3f) should beat GHM (%.3f): clustering must pay", cs2p, ghm)
+	}
+	// And the reduction is substantial (paper: ~50%; at the small test
+	// scale the cluster models are undertrained, so we accept >= 12%; the
+	// full-scale benchmark reaches ~30%).
+	if cs2p > 0.88*ls {
+		t.Errorf("CS2P (%.3f) reduction vs LS (%.3f) below 12%%", cs2p, ls)
+	}
+}
+
+func TestShapeInitialOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	c := sharedCtx
+	sessions := c.TestSessions(300)
+	lmc, lms, gm := c.LastMile()
+	cs2p := mathx.Median(predict.EvaluateInitial(c.Engine(), sessions))
+	lmcE := mathx.Median(predict.EvaluateInitial(lmc, sessions))
+	lmsE := mathx.Median(predict.EvaluateInitial(lms, sessions))
+	gmE := mathx.Median(predict.EvaluateInitial(gm, sessions))
+	// Paper Figure 9a: CS2P best; last-mile heuristics and the global
+	// median are substantially worse.
+	if cs2p >= lmsE || cs2p >= gmE {
+		t.Errorf("CS2P (%.3f) should beat LM-server (%.3f) and global (%.3f)", cs2p, lmsE, gmE)
+	}
+	if cs2p >= lmcE {
+		t.Errorf("CS2P (%.3f) should beat LM-client (%.3f)", cs2p, lmcE)
+	}
+	if cs2p > 0.75*gmE {
+		t.Errorf("CS2P (%.3f) reduction vs global median (%.3f) below 25%%", cs2p, gmE)
+	}
+}
+
+func TestShapeLookaheadDegradesGracefully(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	c := sharedCtx
+	sessions := c.TestSessions(120)
+	h1 := predict.Summarize(predict.EvaluateMidstream(c.Engine(), sessions, 1)).MedianOfMedians
+	h10 := predict.Summarize(predict.EvaluateMidstream(c.Engine(), sessions, 10)).MedianOfMedians
+	if h10 < h1 {
+		t.Errorf("10-step error (%.3f) should not beat 1-step (%.3f)", h10, h1)
+	}
+	// Figure 9c: degradation stays bounded (paper: <0.19 at h=10 vs ~0.07
+	// at h=1, i.e. less than ~3x).
+	if h10 > 3*h1 {
+		t.Errorf("10-step error (%.3f) degrades more than 3x vs 1-step (%.3f)", h10, h1)
+	}
+}
+
+func TestShapeQoEPredictionErrorMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	c := sharedCtx
+	sessions := c.QoESessions(60)
+	w := qoe.DefaultWeights()
+	med := func(errFrac float64) float64 {
+		var vals []float64
+		for i, s := range sessions {
+			o := sim.NewNoisyOracle(s.Throughput, errFrac, int64(i)+1)
+			if v := sim.NormalizedQoE(c.Spec, abr.MPC{}, o, s.Throughput, w); !math.IsNaN(v) {
+				vals = append(vals, v)
+			}
+		}
+		return mathx.Median(vals)
+	}
+	perfect, mid, worst := med(0), med(0.5), med(1.0)
+	// Figure 2's shape: QoE decays with prediction error.
+	if !(perfect >= mid && mid >= worst-0.02) {
+		t.Errorf("n-QoE not decreasing with error: %.3f, %.3f, %.3f", perfect, mid, worst)
+	}
+	// Paper: near 1. Our gap to the optimum is dominated by the paper's
+	// aggressive initial-bitrate rule paying mu_s startup penalty that
+	// the offline optimum avoids (see ablation A4), so >= 0.8 here.
+	if perfect < 0.8 {
+		t.Errorf("perfect-prediction MPC n-QoE = %.3f, want >= 0.8", perfect)
+	}
+}
+
+func TestShapeCS2PMPCBeatsHMMPC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	c := sharedCtx
+	sessions := c.QoESessions(80)
+	w := qoe.DefaultWeights()
+	var cs2p, hm []float64
+	eng := c.Engine()
+	for _, s := range sessions {
+		a := sim.Play(c.Spec, abr.MPC{}, eng.NewSession(s), s.Throughput, w)
+		b := sim.Play(c.Spec, abr.MPC{}, predict.HM{}.NewSession(s), s.Throughput, w)
+		opt, _ := abr.OfflineOptimal{Weights: w}.Best(c.Spec, s.Throughput[:min(a.Chunks, len(s.Throughput))])
+		if v := qoe.Normalized(a.QoE, opt); !math.IsNaN(v) {
+			cs2p = append(cs2p, v)
+		}
+		if v := qoe.Normalized(b.QoE, opt); !math.IsNaN(v) {
+			hm = append(hm, v)
+		}
+	}
+	mc, mh := mathx.Median(cs2p), mathx.Median(hm)
+	// The pilot's headline: CS2P+MPC > HM+MPC.
+	if mc <= mh {
+		t.Errorf("CS2P+MPC n-QoE (%.3f) should beat HM+MPC (%.3f)", mc, mh)
+	}
+}

@@ -1,0 +1,136 @@
+package hmm
+
+import (
+	"cs2p/internal/mathx"
+)
+
+// PredictionRule selects how the filter turns a state distribution into a
+// throughput estimate.
+type PredictionRule int
+
+const (
+	// PredictMLE is the paper's rule (Eq. 8): report the mean of the most
+	// likely state.
+	PredictMLE PredictionRule = iota
+	// PredictMean reports the posterior-weighted mean, an ablation
+	// variant (BenchmarkAblationHMMPredictionRule).
+	PredictMean
+)
+
+// Filter runs the paper's Algorithm 1 online: it tracks the hidden-state
+// posterior pi_{t|t}, predicts the next epoch's throughput before each chunk
+// request, and updates on each measured throughput. It is not safe for
+// concurrent use; each video session owns one Filter.
+type Filter struct {
+	model   *Model
+	rule    PredictionRule
+	post    []float64 // pi_{t|t}: posterior after the last observation
+	started bool      // false until the first Observe
+	scratch []float64
+}
+
+// NewFilter creates a filter with the posterior initialized to the model's
+// pi_0 (Algorithm 1 line 4).
+func NewFilter(m *Model) *Filter {
+	return &Filter{
+		model:   m,
+		rule:    PredictMLE,
+		post:    append([]float64(nil), m.Pi...),
+		scratch: make([]float64, m.N()),
+	}
+}
+
+// SetRule switches the prediction rule (default PredictMLE).
+func (f *Filter) SetRule(r PredictionRule) { f.rule = r }
+
+// Model returns the underlying model.
+func (f *Filter) Model() *Model { return f.model }
+
+// Posterior returns a copy of the current state posterior.
+func (f *Filter) Posterior() []float64 {
+	return append([]float64(nil), f.post...)
+}
+
+// Started reports whether at least one observation has been absorbed.
+func (f *Filter) Started() bool { return f.started }
+
+// Predict estimates the next epoch's throughput. Before any observation the
+// state distribution is pi_0 itself; afterwards it is the one-step push
+// pi_{t|t-1} = pi_{t-1|t-1} P (Algorithm 1 lines 7-8). Predict does not
+// mutate filter state.
+func (f *Filter) Predict() float64 {
+	return f.PredictAhead(1)
+}
+
+// PredictAhead estimates the throughput k epochs ahead (k >= 1). Figure 9c
+// evaluates horizons up to 10. The state distribution advances k-1 extra
+// transition steps beyond the one-step prediction.
+func (f *Filter) PredictAhead(k int) float64 {
+	if k < 1 {
+		k = 1
+	}
+	steps := k
+	if !f.started {
+		// The first epoch is distributed as pi_0 directly; epoch k is
+		// pi_0 advanced k-1 steps.
+		steps = k - 1
+	}
+	dist := append([]float64(nil), f.post...)
+	next := make([]float64, len(dist))
+	for s := 0; s < steps; s++ {
+		f.model.Trans.VecMat(dist, next)
+		dist, next = next, dist
+	}
+	return f.estimate(dist)
+}
+
+// estimate applies the prediction rule to a state distribution.
+func (f *Filter) estimate(dist []float64) float64 {
+	switch f.rule {
+	case PredictMean:
+		var s float64
+		for i, p := range dist {
+			s += p * f.model.Emit[i].Mu
+		}
+		return s
+	default:
+		return f.model.Emit[mathx.ArgMax(dist)].Mu
+	}
+}
+
+// Observe absorbs the measured throughput of the epoch that just finished
+// (Algorithm 1 lines 11-12): advance the posterior one transition step
+// (except for the very first observation, which pi_0 already describes) and
+// reweight by the Gaussian emission likelihood e(w).
+func (f *Filter) Observe(w float64) {
+	if f.started {
+		f.model.Trans.VecMat(f.post, f.scratch)
+		copy(f.post, f.scratch)
+	}
+	f.started = true
+	for i := range f.post {
+		f.post[i] *= emissionPDF(f.model.Emit[i], w)
+	}
+	mathx.Normalize(f.post)
+}
+
+// Reset returns the filter to its initial state for reuse across sessions.
+func (f *Filter) Reset() {
+	copy(f.post, f.model.Pi)
+	f.started = false
+}
+
+// PredictSeries replays an observation sequence through a fresh filter and
+// returns the 1-step-ahead prediction made before each observation. The
+// first entry corresponds to predicting obs[0] from pi_0 (the engine
+// substitutes the cluster median for that initial epoch; callers that want
+// the paper's exact pipeline should ignore index 0 or overwrite it).
+func (m *Model) PredictSeries(obs []float64) []float64 {
+	f := NewFilter(m)
+	preds := make([]float64, len(obs))
+	for i, w := range obs {
+		preds[i] = f.Predict()
+		f.Observe(w)
+	}
+	return preds
+}

@@ -1,0 +1,224 @@
+package hmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cs2p/internal/mathx"
+)
+
+func TestFilterPosteriorIsDistributionProperty(t *testing.T) {
+	// After any sequence of Observe calls the posterior must remain a
+	// probability distribution — the core safety invariant of Algorithm 1.
+	m := threeStateModel()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fl := NewFilter(m)
+		steps := 1 + r.Intn(30)
+		for s := 0; s < steps; s++ {
+			// Mix plausible and wild observations.
+			w := r.Float64() * 20
+			if r.Intn(5) == 0 {
+				w = r.Float64() * 1e6
+			}
+			fl.Observe(w)
+			post := fl.Posterior()
+			if math.Abs(mathx.Sum(post)-1) > 1e-9 {
+				return false
+			}
+			for _, p := range post {
+				if p < -1e-12 || math.IsNaN(p) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFilterConvergesToActiveState(t *testing.T) {
+	m := threeStateModel()
+	fl := NewFilter(m)
+	// Feed observations squarely in state 2 (mu = 11.2).
+	for i := 0; i < 10; i++ {
+		fl.Observe(11.2)
+	}
+	post := fl.Posterior()
+	if mathx.ArgMax(post) != 2 {
+		t.Errorf("posterior should peak at state 2, got %v", post)
+	}
+	if got := fl.Predict(); math.Abs(got-11.2) > 0.5 {
+		t.Errorf("Predict = %v, want ~11.2", got)
+	}
+}
+
+func TestFilterTracksStateSwitch(t *testing.T) {
+	m := threeStateModel()
+	fl := NewFilter(m)
+	for i := 0; i < 10; i++ {
+		fl.Observe(1.43)
+	}
+	if p := fl.Predict(); math.Abs(p-1.43) > 0.3 {
+		t.Fatalf("pre-switch Predict = %v", p)
+	}
+	// Jump to the high-throughput state; the filter should follow within
+	// a few epochs.
+	for i := 0; i < 5; i++ {
+		fl.Observe(11.0)
+	}
+	if p := fl.Predict(); math.Abs(p-11.2) > 0.5 {
+		t.Errorf("post-switch Predict = %v, want ~11.2", p)
+	}
+}
+
+func TestFilterPredictDoesNotMutate(t *testing.T) {
+	m := threeStateModel()
+	fl := NewFilter(m)
+	fl.Observe(2.4)
+	before := fl.Posterior()
+	fl.Predict()
+	fl.PredictAhead(7)
+	after := fl.Posterior()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("Predict mutated the posterior")
+		}
+	}
+}
+
+func TestFilterInitialPrediction(t *testing.T) {
+	m := threeStateModel()
+	fl := NewFilter(m)
+	// Before any observation the distribution is pi_0; argmax is state 0.
+	if got := fl.Predict(); got != m.Emit[0].Mu {
+		t.Errorf("initial Predict = %v, want %v", got, m.Emit[0].Mu)
+	}
+	if fl.Started() {
+		t.Error("filter should not be started before Observe")
+	}
+	fl.Observe(2.4)
+	if !fl.Started() {
+		t.Error("filter should be started after Observe")
+	}
+}
+
+func TestFilterFirstObserveSkipsTransition(t *testing.T) {
+	// With pi_0 concentrated on state 0 and an observation that matches
+	// state 0 exactly, the first update must keep mass on state 0 without
+	// first leaking it through the transition matrix.
+	m := threeStateModel()
+	m.Pi = []float64{1, 0, 0}
+	fl := NewFilter(m)
+	fl.Observe(m.Emit[0].Mu)
+	post := fl.Posterior()
+	if post[0] < 0.99 {
+		t.Errorf("first observation should not pre-apply transition: %v", post)
+	}
+}
+
+func TestPredictAheadApproachesStationary(t *testing.T) {
+	m := threeStateModel()
+	fl := NewFilter(m)
+	fl.Observe(11.2) // lock onto state 2
+	// Far-ahead prediction should match the stationary argmax state.
+	stat := m.StationaryDistribution(1000)
+	wantMu := m.Emit[mathx.ArgMax(stat)].Mu
+	if got := fl.PredictAhead(500); got != wantMu {
+		t.Errorf("PredictAhead(500) = %v, want stationary-mode mean %v", got, wantMu)
+	}
+	// k < 1 behaves as k = 1.
+	if fl.PredictAhead(0) != fl.Predict() {
+		t.Error("PredictAhead(0) should equal Predict()")
+	}
+}
+
+func TestFilterMeanRule(t *testing.T) {
+	m := threeStateModel()
+	fl := NewFilter(m)
+	fl.SetRule(PredictMean)
+	fl.Observe(2.4)
+	got := fl.Predict()
+	// Mean rule is a convex combination of state means.
+	lo, hi := m.Emit[0].Mu, m.Emit[2].Mu
+	if got < lo || got > hi {
+		t.Errorf("mean-rule prediction %v outside [%v, %v]", got, lo, hi)
+	}
+	// It should differ from the MLE rule when mass is split.
+	fl2 := NewFilter(m)
+	fl2.Observe(2.4)
+	if got == fl2.Predict() {
+		t.Log("mean and MLE coincide here; acceptable but unusual")
+	}
+}
+
+func TestFilterReset(t *testing.T) {
+	m := threeStateModel()
+	fl := NewFilter(m)
+	fl.Observe(11.2)
+	fl.Reset()
+	if fl.Started() {
+		t.Error("Reset should clear started")
+	}
+	post := fl.Posterior()
+	for i := range post {
+		if post[i] != m.Pi[i] {
+			t.Error("Reset should restore pi_0")
+		}
+	}
+}
+
+func TestPredictSeriesAccuracyOnOwnData(t *testing.T) {
+	// On data sampled from the model itself, the filter's midstream
+	// median error should be small — the premise of the paper's §5.2.
+	m := threeStateModel()
+	r := rand.New(rand.NewSource(13))
+	var errs []float64
+	for s := 0; s < 30; s++ {
+		_, obs := m.Sample(r, 100)
+		preds := m.PredictSeries(obs)
+		for i := 1; i < len(obs); i++ {
+			if e := mathx.AbsRelErr(preds[i], obs[i]); !math.IsNaN(e) {
+				errs = append(errs, e)
+			}
+		}
+	}
+	med := mathx.Median(errs)
+	if med > 0.20 {
+		t.Errorf("median midstream error on own data = %v, want <= 0.20", med)
+	}
+}
+
+func TestSelectStateCount(t *testing.T) {
+	truth := threeStateModel()
+	seqs := sampleSequences(truth, 31, 24, 80)
+	cfg := DefaultTrainConfig()
+	cfg.MaxIters = 20
+	best, score, err := SelectStateCount(seqs, []int{1, 3, 8}, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best == 1 {
+		t.Errorf("1 state should not win on 3-state data (got N=%d, err=%v)", best, score)
+	}
+	if score < 0 || math.IsNaN(score) {
+		t.Errorf("score = %v", score)
+	}
+}
+
+func TestSelectStateCountErrors(t *testing.T) {
+	cfg := DefaultTrainConfig()
+	if _, _, err := SelectStateCount(nil, nil, 4, cfg); err == nil {
+		t.Error("no candidates should fail")
+	}
+	if _, _, err := SelectStateCount([][]float64{{1, 2}}, []int{2}, 1, cfg); err == nil {
+		t.Error("folds < 2 should fail")
+	}
+	if _, _, err := SelectStateCount([][]float64{{1, 2}}, []int{2}, 4, cfg); err == nil {
+		t.Error("too few sequences should fail")
+	}
+}

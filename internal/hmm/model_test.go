@@ -1,0 +1,229 @@
+package hmm
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cs2p/internal/mathx"
+)
+
+// threeStateModel mirrors the paper's Figure 8 example: three clearly
+// separated Gaussian states with sticky transitions.
+func threeStateModel() *Model {
+	trans := mathx.NewMatrix(3, 3)
+	rows := [][]float64{
+		{0.972, 0.012, 0.016},
+		{0.030, 0.950, 0.020},
+		{0.025, 0.025, 0.950},
+	}
+	for i, r := range rows {
+		copy(trans.Row(i), r)
+	}
+	return &Model{
+		Pi:    []float64{0.5, 0.3, 0.2},
+		Trans: trans,
+		Emit: []mathx.Gaussian{
+			{Mu: 1.43, Sigma: 0.15},
+			{Mu: 2.40, Sigma: 0.49},
+			{Mu: 11.2, Sigma: 1.0},
+		},
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	m := threeStateModel()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+	bad := m.Clone()
+	bad.Pi[0] = 2
+	if err := bad.Validate(); err == nil {
+		t.Error("pi not summing to 1 should fail")
+	}
+	bad = m.Clone()
+	bad.Trans.Set(0, 0, 0.5)
+	if err := bad.Validate(); err == nil {
+		t.Error("non-stochastic transition row should fail")
+	}
+	bad = m.Clone()
+	bad.Emit[1].Sigma = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero sigma should fail")
+	}
+	empty := &Model{}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty model should fail")
+	}
+}
+
+func TestModelClone(t *testing.T) {
+	m := threeStateModel()
+	c := m.Clone()
+	c.Pi[0] = 0.9
+	c.Trans.Set(0, 0, 0)
+	c.Emit[0].Mu = -5
+	if m.Pi[0] == 0.9 || m.Trans.At(0, 0) == 0 || m.Emit[0].Mu == -5 {
+		t.Error("Clone should be deep")
+	}
+}
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	m := threeStateModel()
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Model
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 3 || got.Emit[2].Mu != 11.2 || got.Trans.At(0, 0) != 0.972 {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestModelJSONRejectsInvalid(t *testing.T) {
+	var got Model
+	// pi sums to 2.
+	bad := `{"pi":[1,1],"trans":{"Rows":2,"Cols":2,"Data":[1,0,0,1]},"emit":[{"mu":0,"sigma":1},{"mu":1,"sigma":1}]}`
+	if err := json.Unmarshal([]byte(bad), &got); err == nil {
+		t.Error("invalid model should fail to unmarshal")
+	}
+}
+
+func TestModelSizeBytes(t *testing.T) {
+	// The paper reports <5KB per model (§5.3); a 6-state model must fit.
+	cfg := DefaultTrainConfig()
+	m := initModel([][]float64{{1, 2, 3, 4, 5, 6, 7, 8}}, cfg)
+	if s := m.SizeBytes(); s <= 0 || s > 5*1024 {
+		t.Errorf("6-state model size = %d bytes, want (0, 5120]", s)
+	}
+}
+
+func TestSampleReproducibleAndPlausible(t *testing.T) {
+	m := threeStateModel()
+	r1 := rand.New(rand.NewSource(42))
+	r2 := rand.New(rand.NewSource(42))
+	s1, o1 := m.Sample(r1, 100)
+	s2, o2 := m.Sample(r2, 100)
+	for i := range s1 {
+		if s1[i] != s2[i] || o1[i] != o2[i] {
+			t.Fatal("same seed should reproduce the same sample")
+		}
+	}
+	// With sticky transitions most steps stay in the same state.
+	stays := 0
+	for i := 1; i < len(s1); i++ {
+		if s1[i] == s1[i-1] {
+			stays++
+		}
+	}
+	if stays < 80 {
+		t.Errorf("sticky chain changed state too often: %d stays", stays)
+	}
+	if _, obs := m.Sample(rand.New(rand.NewSource(1)), 0); len(obs) != 0 {
+		t.Error("zero-length sample should be empty")
+	}
+}
+
+func TestLogLikelihoodSaneOrdering(t *testing.T) {
+	m := threeStateModel()
+	r := rand.New(rand.NewSource(7))
+	_, obs := m.Sample(r, 200)
+	own := m.LogLikelihood(obs)
+	// A mismatched model (means shifted far away) must score lower.
+	shifted := m.Clone()
+	for i := range shifted.Emit {
+		shifted.Emit[i].Mu += 50
+	}
+	if shifted.LogLikelihood(obs) >= own {
+		t.Error("shifted model should have lower likelihood on own data")
+	}
+	if m.LogLikelihood(nil) != 0 {
+		t.Error("empty sequence log-likelihood should be 0")
+	}
+}
+
+func TestForwardBackwardConsistency(t *testing.T) {
+	// For every t, sum_i alpha_t(i)*beta_t(i) must be constant (equal to
+	// 1/c_t scaled mass) — the classic forward-backward invariant. With
+	// Rabiner scaling, sum_i alpha_t(i)*beta_t(i)*c_t == 1... we verify
+	// the normalized gamma sums to 1 and is non-negative.
+	m := threeStateModel()
+	r := rand.New(rand.NewSource(11))
+	_, obs := m.Sample(r, 50)
+	n := m.N()
+	alphas := mathx.NewMatrix(len(obs), n)
+	betas := mathx.NewMatrix(len(obs), n)
+	scales, _ := m.forward(obs, alphas)
+	m.backward(obs, scales, betas)
+	for k := range obs {
+		var sum float64
+		for i := 0; i < n; i++ {
+			g := alphas.At(k, i) * betas.At(k, i)
+			if g < -1e-12 {
+				t.Fatalf("negative gamma at t=%d", k)
+			}
+			sum += g
+		}
+		if sum <= 0 {
+			t.Fatalf("gamma mass vanished at t=%d", k)
+		}
+	}
+}
+
+func TestViterbiRecoversStates(t *testing.T) {
+	m := threeStateModel()
+	r := rand.New(rand.NewSource(5))
+	states, obs := m.Sample(r, 300)
+	path := m.Viterbi(obs)
+	agree := 0
+	for i := range states {
+		if states[i] == path[i] {
+			agree++
+		}
+	}
+	// States are well separated, so Viterbi should get the vast majority.
+	if agree < 270 {
+		t.Errorf("Viterbi agreement %d/300, want >= 270", agree)
+	}
+	if m.Viterbi(nil) != nil {
+		t.Error("Viterbi of empty should be nil")
+	}
+}
+
+func TestStationaryDistribution(t *testing.T) {
+	m := threeStateModel()
+	pi := m.StationaryDistribution(500)
+	if math.Abs(mathx.Sum(pi)-1) > 1e-9 {
+		t.Fatalf("stationary distribution not normalized: %v", pi)
+	}
+	// Check pi P = pi.
+	next := make([]float64, m.N())
+	m.Trans.VecMat(pi, next)
+	for i := range pi {
+		if math.Abs(pi[i]-next[i]) > 1e-6 {
+			t.Errorf("stationary fixed point violated: %v vs %v", pi, next)
+		}
+	}
+}
+
+func TestSampleCategoricalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = r.Float64()
+		}
+		w[r.Intn(n)] += 0.5 // ensure positive mass
+		idx := sampleCategorical(r, w)
+		return idx >= 0 && idx < n && w[idx] >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

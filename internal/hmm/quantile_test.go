@@ -1,0 +1,115 @@
+package hmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cs2p/internal/mathx"
+)
+
+func TestPredictiveDistributionSumsToOne(t *testing.T) {
+	m := threeStateModel()
+	f := NewFilter(m)
+	f.Observe(2.4)
+	for _, k := range []int{1, 3, 10} {
+		w, comps := f.PredictiveDistribution(k)
+		if len(w) != m.N() || len(comps) != m.N() {
+			t.Fatalf("k=%d: wrong sizes", k)
+		}
+		if math.Abs(mathx.Sum(w)-1) > 1e-9 {
+			t.Errorf("k=%d: weights sum to %v", k, mathx.Sum(w))
+		}
+	}
+}
+
+func TestPredictQuantileSingleComponent(t *testing.T) {
+	// With the posterior locked onto one state, quantiles must match that
+	// state's Gaussian quantiles.
+	m := threeStateModel()
+	m.Pi = []float64{0, 0, 1}
+	// Make the chain absorbing in state 2 so the one-step push stays put.
+	for j := 0; j < 3; j++ {
+		m.Trans.Set(2, j, 0)
+	}
+	m.Trans.Set(2, 2, 1)
+	f := NewFilter(m)
+	f.Observe(11.2)
+	med := f.PredictQuantile(1, 0.5)
+	if math.Abs(med-11.2) > 0.05 {
+		t.Errorf("median = %v, want ~11.2", med)
+	}
+	// 16th percentile of N(11.2, 1) is ~11.2 - 0.9945.
+	q16 := f.PredictQuantile(1, 0.1587)
+	if math.Abs(q16-(11.2-1)) > 0.05 {
+		t.Errorf("q16 = %v, want ~%v", q16, 11.2-1)
+	}
+}
+
+func TestPredictQuantileMonotoneProperty(t *testing.T) {
+	m := threeStateModel()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fl := NewFilter(m)
+		for i := 0; i < 1+r.Intn(6); i++ {
+			fl.Observe(r.Float64() * 12)
+		}
+		prev := math.Inf(-1)
+		for _, q := range []float64{0.05, 0.25, 0.5, 0.75, 0.95} {
+			v := fl.PredictQuantile(1, q)
+			if math.IsNaN(v) || v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPredictQuantileBounds(t *testing.T) {
+	m := threeStateModel()
+	f := NewFilter(m)
+	if !math.IsNaN(f.PredictQuantile(1, 0)) || !math.IsNaN(f.PredictQuantile(1, 1)) {
+		t.Error("q outside (0,1) should give NaN")
+	}
+	// Low quantile below the MLE prediction when mass spans states.
+	f.Observe(2.4)
+	if f.PredictQuantile(1, 0.05) >= f.Predict() {
+		t.Error("5th percentile should sit below the MLE-state prediction")
+	}
+}
+
+func TestPredictMeanVariance(t *testing.T) {
+	m := threeStateModel()
+	f := NewFilter(m)
+	f.Observe(2.4)
+	mean, variance := f.PredictMeanVariance(1)
+	if variance <= 0 {
+		t.Fatalf("variance = %v", variance)
+	}
+	// The mixture mean must match the PredictMean rule.
+	f2 := NewFilter(m)
+	f2.SetRule(PredictMean)
+	f2.Observe(2.4)
+	if math.Abs(mean-f2.Predict()) > 1e-9 {
+		t.Errorf("mixture mean %v != mean-rule prediction %v", mean, f2.Predict())
+	}
+	// Monte-Carlo check of the 1-step predictive variance.
+	r := rand.New(rand.NewSource(3))
+	w, comps := f.PredictiveDistribution(1)
+	var xs []float64
+	for i := 0; i < 40000; i++ {
+		c := sampleCategorical(r, w)
+		xs = append(xs, comps[c].Sample(r.NormFloat64()))
+	}
+	if mcMean := mathx.Mean(xs); math.Abs(mcMean-mean) > 0.1 {
+		t.Errorf("MC mean %v vs analytic %v", mcMean, mean)
+	}
+	if mcVar := mathx.Variance(xs); math.Abs(mcVar-variance) > 0.2*variance {
+		t.Errorf("MC variance %v vs analytic %v", mcVar, variance)
+	}
+}

@@ -1,0 +1,86 @@
+package hmm
+
+import (
+	"fmt"
+	"math"
+
+	"cs2p/internal/mathx"
+)
+
+// SelectStateCount chooses the number of HMM states by k-fold cross
+// validation over the training sequences, the procedure of §7.1: for every
+// candidate N, train on k-1 folds and score the held-out fold by the median
+// 1-step-ahead absolute normalized prediction error; pick the N with the
+// lowest mean held-out error. Returns the winning N and its score.
+//
+// The candidates slice must be non-empty; folds must be >= 2. Sequences are
+// assigned to folds round-robin, which is deterministic and — because the
+// caller's sequences are already i.i.d. sessions of one cluster — unbiased.
+func SelectStateCount(seqs [][]float64, candidates []int, folds int, cfg TrainConfig) (bestN int, bestErr float64, err error) {
+	if len(candidates) == 0 {
+		return 0, 0, fmt.Errorf("hmm: no candidate state counts")
+	}
+	if folds < 2 {
+		return 0, 0, fmt.Errorf("hmm: need at least 2 folds, got %d", folds)
+	}
+	var usable [][]float64
+	for _, s := range seqs {
+		if len(s) >= 2 { // need at least one (predict, observe) pair
+			usable = append(usable, s)
+		}
+	}
+	if len(usable) < folds {
+		return 0, 0, fmt.Errorf("hmm: %d usable sequences for %d folds", len(usable), folds)
+	}
+	bestN, bestErr = candidates[0], math.Inf(1)
+	for _, n := range candidates {
+		c := cfg
+		c.NStates = n
+		var foldErrs []float64
+		for f := 0; f < folds; f++ {
+			var train, test [][]float64
+			for i, s := range usable {
+				if i%folds == f {
+					test = append(test, s)
+				} else {
+					train = append(train, s)
+				}
+			}
+			m, terr := Train(train, c)
+			if terr != nil {
+				continue
+			}
+			if e := midstreamMedianError(m, test); !math.IsNaN(e) {
+				foldErrs = append(foldErrs, e)
+			}
+		}
+		if len(foldErrs) == 0 {
+			continue
+		}
+		score := mathx.Mean(foldErrs)
+		if score < bestErr {
+			bestN, bestErr = n, score
+		}
+	}
+	if math.IsInf(bestErr, 1) {
+		return 0, 0, fmt.Errorf("hmm: cross-validation failed for every candidate")
+	}
+	return bestN, bestErr, nil
+}
+
+// midstreamMedianError replays each sequence through the filter and returns
+// the median absolute normalized 1-step error over all midstream epochs
+// (epoch indices >= 1; the initial epoch is predicted by the cluster median
+// in the full system, not by the HMM).
+func midstreamMedianError(m *Model, seqs [][]float64) float64 {
+	var errs []float64
+	for _, obs := range seqs {
+		preds := m.PredictSeries(obs)
+		for i := 1; i < len(obs); i++ {
+			if e := mathx.AbsRelErr(preds[i], obs[i]); !math.IsNaN(e) {
+				errs = append(errs, e)
+			}
+		}
+	}
+	return mathx.Median(errs)
+}

@@ -1,0 +1,315 @@
+package hmm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"cs2p/internal/mathx"
+)
+
+// TrainConfig controls Baum-Welch training.
+type TrainConfig struct {
+	// NStates is the number of hidden states N. The paper selects it by
+	// cross-validation (§7.1, 6 states for the iQiyi dataset); see
+	// SelectStateCount.
+	NStates int
+	// MaxIters bounds the number of EM iterations.
+	MaxIters int
+	// Tol stops EM when the relative improvement of the total
+	// log-likelihood falls below it.
+	Tol float64
+	// VarFloor is the minimum emission variance, preventing a state from
+	// collapsing onto a single observation.
+	VarFloor float64
+	// Seed drives the k-means initialization.
+	Seed int64
+	// StickyInit, in [0,1), is the initial self-transition weight. The
+	// paper's Observation 2 (throughput persists in a state) motivates a
+	// sticky prior; 0 means uniform.
+	StickyInit float64
+}
+
+// DefaultTrainConfig returns the configuration used across the reproduction:
+// 6 states (the paper's cross-validated choice), 60 EM iterations, 1e-5
+// relative tolerance.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		NStates:    6,
+		MaxIters:   60,
+		Tol:        1e-5,
+		VarFloor:   1e-4,
+		Seed:       1,
+		StickyInit: 0.8,
+	}
+}
+
+// ErrNoData is returned when training receives no usable observations.
+var ErrNoData = errors.New("hmm: no training observations")
+
+// Train fits a Gaussian HMM to the observation sequences (one per session in
+// the cluster) with multi-sequence Baum-Welch. Empty sequences are ignored.
+func Train(seqs [][]float64, cfg TrainConfig) (*Model, error) {
+	if cfg.NStates <= 0 {
+		return nil, fmt.Errorf("hmm: NStates must be positive, got %d", cfg.NStates)
+	}
+	if cfg.MaxIters <= 0 {
+		cfg.MaxIters = 1
+	}
+	var usable [][]float64
+	total := 0
+	for _, s := range seqs {
+		if len(s) > 0 {
+			usable = append(usable, s)
+			total += len(s)
+		}
+	}
+	if total == 0 {
+		return nil, ErrNoData
+	}
+	m := initModel(usable, cfg)
+	prev := math.Inf(-1)
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		logLik := emStep(m, usable, cfg)
+		if math.IsNaN(logLik) {
+			return nil, fmt.Errorf("hmm: EM diverged at iteration %d", iter)
+		}
+		if iter > 0 {
+			denom := math.Abs(prev)
+			if denom < 1 {
+				denom = 1
+			}
+			if (logLik-prev)/denom < cfg.Tol {
+				break
+			}
+		}
+		prev = logLik
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("hmm: trained model invalid: %w", err)
+	}
+	return m, nil
+}
+
+// initModel seeds the EM with k-means over the pooled observations: state
+// means are the cluster centroids (sorted ascending so state indices are
+// stable across runs), variances the within-cluster variances, Pi uniform,
+// and the transition matrix sticky.
+func initModel(seqs [][]float64, cfg TrainConfig) *Model {
+	n := cfg.NStates
+	var all []float64
+	for _, s := range seqs {
+		all = append(all, s...)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	centers, assign := kmeans1D(r, all, n, 50)
+	sort.Float64s(centers)
+	// Re-assign after sorting so variances match the sorted centers.
+	for i, x := range all {
+		assign[i] = nearestCenter(centers, x)
+	}
+	emit := make([]mathx.Gaussian, n)
+	for k := 0; k < n; k++ {
+		var xs []float64
+		for i, a := range assign {
+			if a == k {
+				xs = append(xs, all[i])
+			}
+		}
+		mu := centers[k]
+		v := cfg.VarFloor
+		if len(xs) > 0 {
+			mu = mathx.Mean(xs)
+			if vv := mathx.Variance(xs); vv > v {
+				v = vv
+			}
+		}
+		emit[k] = mathx.Gaussian{Mu: mu, Sigma: math.Sqrt(v)}
+	}
+	pi := make([]float64, n)
+	for i := range pi {
+		pi[i] = 1 / float64(n)
+	}
+	trans := mathx.NewMatrix(n, n)
+	sticky := cfg.StickyInit
+	off := (1 - sticky) / float64(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := off
+			if i == j {
+				v += sticky
+			}
+			trans.Set(i, j, v)
+		}
+		mathx.Normalize(trans.Row(i))
+	}
+	return &Model{Pi: pi, Trans: trans, Emit: emit}
+}
+
+// emStep performs one E+M iteration over all sequences in place and returns
+// the total log-likelihood under the pre-update parameters.
+func emStep(m *Model, seqs [][]float64, cfg TrainConfig) float64 {
+	n := m.N()
+	piAcc := make([]float64, n)
+	transAcc := mathx.NewMatrix(n, n)
+	gammaSum := make([]float64, n)  // sum_t gamma_t(i) over all sequences
+	gammaObs := make([]float64, n)  // sum_t gamma_t(i) * o_t
+	gammaObs2 := make([]float64, n) // sum_t gamma_t(i) * o_t^2
+	var totalLogLik float64
+
+	for _, obs := range seqs {
+		t := len(obs)
+		alphas := mathx.NewMatrix(t, n)
+		betas := mathx.NewMatrix(t, n)
+		scales, logLik := m.forward(obs, alphas)
+		totalLogLik += logLik
+		m.backward(obs, scales, betas)
+
+		// gamma_t(i) proportional to alpha_t(i) * beta_t(i).
+		gamma := make([]float64, n)
+		for k := 0; k < t; k++ {
+			arow, brow := alphas.Row(k), betas.Row(k)
+			for i := 0; i < n; i++ {
+				gamma[i] = arow[i] * brow[i]
+			}
+			mathx.Normalize(gamma)
+			if k == 0 {
+				for i := 0; i < n; i++ {
+					piAcc[i] += gamma[i]
+				}
+			}
+			o := obs[k]
+			for i := 0; i < n; i++ {
+				g := gamma[i]
+				gammaSum[i] += g
+				gammaObs[i] += g * o
+				gammaObs2[i] += g * o * o
+			}
+		}
+		// xi_t(i,j) proportional to alpha_t(i) P_ij b_j(o_{t+1}) beta_{t+1}(j).
+		xi := mathx.NewMatrix(n, n)
+		for k := 0; k+1 < t; k++ {
+			arow := alphas.Row(k)
+			brow := betas.Row(k + 1)
+			var norm float64
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					v := arow[i] * m.Trans.At(i, j) * emissionPDF(m.Emit[j], obs[k+1]) * brow[j]
+					xi.Set(i, j, v)
+					norm += v
+				}
+			}
+			if norm <= 0 || math.IsNaN(norm) {
+				continue
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					transAcc.Set(i, j, transAcc.At(i, j)+xi.At(i, j)/norm)
+				}
+			}
+		}
+	}
+
+	// M-step.
+	copy(m.Pi, piAcc)
+	mathx.Normalize(m.Pi)
+	for i := 0; i < n; i++ {
+		copy(m.Trans.Row(i), transAcc.Row(i))
+	}
+	m.Trans.NormalizeRows()
+	for i := 0; i < n; i++ {
+		if gammaSum[i] <= 0 {
+			continue // keep previous parameters for a starved state
+		}
+		mu := gammaObs[i] / gammaSum[i]
+		v := gammaObs2[i]/gammaSum[i] - mu*mu
+		if v < cfg.VarFloor {
+			v = cfg.VarFloor
+		}
+		m.Emit[i] = mathx.Gaussian{Mu: mu, Sigma: math.Sqrt(v)}
+	}
+	return totalLogLik
+}
+
+// kmeans1D clusters scalar observations into k clusters with Lloyd's
+// algorithm, k-means++ style seeding. Returns centers and per-point
+// assignments.
+func kmeans1D(r *rand.Rand, xs []float64, k, iters int) (centers []float64, assign []int) {
+	assign = make([]int, len(xs))
+	centers = make([]float64, k)
+	if len(xs) == 0 {
+		return centers, assign
+	}
+	// k-means++ seeding.
+	centers[0] = xs[r.Intn(len(xs))]
+	d2 := make([]float64, len(xs))
+	for c := 1; c < k; c++ {
+		var total float64
+		for i, x := range xs {
+			best := math.Inf(1)
+			for _, ctr := range centers[:c] {
+				d := x - ctr
+				if dd := d * d; dd < best {
+					best = dd
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All points coincide with existing centers; spread
+			// the rest deterministically.
+			centers[c] = centers[c-1] + 1e-6
+			continue
+		}
+		u := r.Float64() * total
+		var acc float64
+		idx := len(xs) - 1
+		for i, d := range d2 {
+			acc += d
+			if u < acc {
+				idx = i
+				break
+			}
+		}
+		centers[c] = xs[idx]
+	}
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, x := range xs {
+			a := nearestCenter(centers, x)
+			if a != assign[i] {
+				assign[i] = a
+				changed = true
+			}
+		}
+		sums := make([]float64, k)
+		counts := make([]int, k)
+		for i, x := range xs {
+			sums[assign[i]] += x
+			counts[assign[i]]++
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] > 0 {
+				centers[c] = sums[c] / float64(counts[c])
+			}
+		}
+		if !changed && it > 0 {
+			break
+		}
+	}
+	return centers, assign
+}
+
+func nearestCenter(centers []float64, x float64) int {
+	best, bestI := math.Inf(1), 0
+	for i, c := range centers {
+		d := math.Abs(x - c)
+		if d < best {
+			best, bestI = d, i
+		}
+	}
+	return bestI
+}

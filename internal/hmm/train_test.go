@@ -1,0 +1,205 @@
+package hmm
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"cs2p/internal/mathx"
+)
+
+// sampleSequences draws nSeq sequences of length seqLen from the model.
+func sampleSequences(m *Model, seed int64, nSeq, seqLen int) [][]float64 {
+	r := rand.New(rand.NewSource(seed))
+	seqs := make([][]float64, nSeq)
+	for i := range seqs {
+		_, obs := m.Sample(r, seqLen)
+		seqs[i] = obs
+	}
+	return seqs
+}
+
+func TestTrainRecoversEmissionMeans(t *testing.T) {
+	truth := threeStateModel()
+	seqs := sampleSequences(truth, 21, 40, 120)
+	cfg := DefaultTrainConfig()
+	cfg.NStates = 3
+	m, err := Train(seqs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Learned means (sorted) should approximate the true means.
+	got := []float64{m.Emit[0].Mu, m.Emit[1].Mu, m.Emit[2].Mu}
+	sort.Float64s(got)
+	want := []float64{1.43, 2.40, 11.2}
+	for i := range want {
+		tol := 0.25 * want[i]
+		if math.Abs(got[i]-want[i]) > tol {
+			t.Errorf("recovered mean %d = %v, want ~%v", i, got[i], want[i])
+		}
+	}
+	// The learned chain must be sticky: high self-transition mass.
+	var diag float64
+	for i := 0; i < m.N(); i++ {
+		diag += m.Trans.At(i, i)
+	}
+	if diag/float64(m.N()) < 0.8 {
+		t.Errorf("mean self-transition = %v, want >= 0.8", diag/float64(m.N()))
+	}
+}
+
+func TestTrainImprovesLikelihood(t *testing.T) {
+	truth := threeStateModel()
+	seqs := sampleSequences(truth, 3, 20, 80)
+	cfg := DefaultTrainConfig()
+	cfg.NStates = 3
+	cfg.MaxIters = 1
+	oneIter, err := Train(seqs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MaxIters = 40
+	manyIter, err := Train(seqs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ll1, ll2 float64
+	for _, s := range seqs {
+		ll1 += oneIter.LogLikelihood(s)
+		ll2 += manyIter.LogLikelihood(s)
+	}
+	if ll2 < ll1-1e-6 {
+		t.Errorf("more EM iterations decreased likelihood: %v -> %v", ll1, ll2)
+	}
+}
+
+func TestTrainValidatesOutput(t *testing.T) {
+	truth := threeStateModel()
+	seqs := sampleSequences(truth, 9, 10, 60)
+	for _, n := range []int{1, 2, 4, 6} {
+		cfg := DefaultTrainConfig()
+		cfg.NStates = n
+		m, err := Train(seqs, cfg)
+		if err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("N=%d: invalid model: %v", n, err)
+		}
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, DefaultTrainConfig()); err == nil {
+		t.Error("no data should fail")
+	}
+	if _, err := Train([][]float64{{}, {}}, DefaultTrainConfig()); err == nil {
+		t.Error("all-empty sequences should fail")
+	}
+	cfg := DefaultTrainConfig()
+	cfg.NStates = 0
+	if _, err := Train([][]float64{{1, 2}}, cfg); err == nil {
+		t.Error("zero states should fail")
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	truth := threeStateModel()
+	seqs := sampleSequences(truth, 4, 10, 50)
+	cfg := DefaultTrainConfig()
+	cfg.NStates = 3
+	m1, err1 := Train(seqs, cfg)
+	m2, err2 := Train(seqs, cfg)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	for i := range m1.Pi {
+		if m1.Pi[i] != m2.Pi[i] {
+			t.Fatal("training not deterministic for fixed seed")
+		}
+	}
+	for i := range m1.Emit {
+		if m1.Emit[i] != m2.Emit[i] {
+			t.Fatal("emissions not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestTrainDegenerateData(t *testing.T) {
+	// Constant observations: variance floor must kick in; model stays valid.
+	seqs := [][]float64{{2, 2, 2, 2, 2}, {2, 2, 2}}
+	cfg := DefaultTrainConfig()
+	cfg.NStates = 2
+	m, err := Train(seqs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range m.Emit {
+		if e.Sigma < math.Sqrt(cfg.VarFloor)-1e-12 {
+			t.Errorf("state %d sigma %v below floor", i, e.Sigma)
+		}
+	}
+}
+
+func TestTrainSingleObservation(t *testing.T) {
+	m, err := Train([][]float64{{3.5}}, TrainConfig{NStates: 2, MaxIters: 5, Tol: 1e-5, VarFloor: 1e-4, StickyInit: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKMeans1D(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	var xs []float64
+	for i := 0; i < 100; i++ {
+		xs = append(xs, 1+0.05*r.NormFloat64())
+		xs = append(xs, 5+0.05*r.NormFloat64())
+	}
+	centers, assign := kmeans1D(r, xs, 2, 50)
+	sort.Float64s(centers)
+	if math.Abs(centers[0]-1) > 0.1 || math.Abs(centers[1]-5) > 0.1 {
+		t.Errorf("centers = %v, want ~[1 5]", centers)
+	}
+	if len(assign) != len(xs) {
+		t.Fatal("assignment length mismatch")
+	}
+	// All points near 1 share a cluster.
+	c0 := assign[0]
+	for i := 0; i < len(xs); i += 2 {
+		if assign[i] != c0 {
+			t.Error("points near 1 split across clusters")
+			break
+		}
+	}
+}
+
+func TestKMeans1DDegenerate(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	centers, _ := kmeans1D(r, []float64{7, 7, 7}, 3, 10)
+	if len(centers) != 3 {
+		t.Fatal("should return k centers even for constant data")
+	}
+	centers, assign := kmeans1D(r, nil, 2, 10)
+	if len(centers) != 2 || len(assign) != 0 {
+		t.Error("empty input should return zero centers slice of len k")
+	}
+}
+
+func TestInitModelSortedStates(t *testing.T) {
+	cfg := DefaultTrainConfig()
+	cfg.NStates = 3
+	m := initModel([][]float64{{1, 1, 5, 5, 9, 9}}, cfg)
+	if !(m.Emit[0].Mu <= m.Emit[1].Mu && m.Emit[1].Mu <= m.Emit[2].Mu) {
+		t.Errorf("initial states not sorted by mean: %+v", m.Emit)
+	}
+	if !m.Trans.IsRowStochastic(1e-9) {
+		t.Error("initial transition matrix not stochastic")
+	}
+	if math.Abs(mathx.Sum(m.Pi)-1) > 1e-9 {
+		t.Error("initial pi not normalized")
+	}
+}

@@ -1,0 +1,147 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	"cs2p/internal/engine"
+	"cs2p/internal/trace"
+)
+
+// Client is the player-side view of the prediction service. It implements
+// predict.Midstream for one session at a time, so the simulator can drive a
+// real HTTP round trip per chunk exactly like the Dash.js prototype (§6).
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient targets a server base URL like "http://127.0.0.1:8642".
+func NewClient(base string) *Client {
+	return &Client{
+		base: base,
+		hc:   &http.Client{Timeout: 5 * time.Second},
+	}
+}
+
+func (c *Client) post(path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("httpapi client: encoding request: %w", err)
+	}
+	r, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("httpapi client: POST %s: %w", path, err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode == http.StatusNoContent {
+		return nil
+	}
+	if r.StatusCode/100 != 2 {
+		var eb errorBody
+		_ = json.NewDecoder(r.Body).Decode(&eb)
+		return fmt.Errorf("httpapi client: POST %s: status %d: %s", path, r.StatusCode, eb.Error)
+	}
+	if resp == nil {
+		return nil
+	}
+	if err := json.NewDecoder(r.Body).Decode(resp); err != nil {
+		return fmt.Errorf("httpapi client: decoding response: %w", err)
+	}
+	return nil
+}
+
+// StartSession opens a session and returns the server's initial guidance.
+func (c *Client) StartSession(id string, f trace.Features, startUnix int64) (engine.StartResponse, error) {
+	var resp engine.StartResponse
+	err := c.post("/v1/session/start", StartRequest{SessionID: id, Features: f, StartUnix: startUnix}, &resp)
+	return resp, err
+}
+
+// ObserveAndPredict reports the last epoch's throughput and fetches the
+// next-epoch prediction.
+func (c *Client) ObserveAndPredict(id string, observedMbps float64, horizon int) (float64, error) {
+	var resp PredictResponse
+	err := c.post("/v1/predict", PredictRequest{SessionID: id, ObservedMbps: &observedMbps, Horizon: horizon}, &resp)
+	return resp.PredictionMbps, err
+}
+
+// PredictAt queries the current prediction at a horizon without reporting a
+// new observation.
+func (c *Client) PredictAt(id string, horizon int) (float64, error) {
+	var resp PredictResponse
+	err := c.post("/v1/predict", PredictRequest{SessionID: id, Horizon: horizon}, &resp)
+	return resp.PredictionMbps, err
+}
+
+// Log submits the end-of-session QoE report.
+func (c *Client) Log(lg engine.SessionLog) error {
+	return c.post("/v1/log", lg, nil)
+}
+
+// Healthz checks server liveness.
+func (c *Client) Healthz() error {
+	r, err := c.hc.Get(c.base + "/v1/healthz")
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		return fmt.Errorf("httpapi client: healthz status %d", r.StatusCode)
+	}
+	return nil
+}
+
+// SessionPredictor adapts one remote session to predict.Midstream: Predict
+// returns the server's latest guidance, Observe performs the HTTP round
+// trip. Network failures degrade to NaN predictions (the player falls back
+// to its local logic), matching a production player's behaviour when the
+// prediction service is unreachable.
+type SessionPredictor struct {
+	c        *Client
+	id       string
+	lastPred float64
+	started  bool
+}
+
+// NewSessionPredictor opens the session server-side and seeds the predictor
+// with the initial estimate.
+func (c *Client) NewSessionPredictor(id string, f trace.Features, startUnix int64) (*SessionPredictor, error) {
+	resp, err := c.StartSession(id, f, startUnix)
+	if err != nil {
+		return nil, err
+	}
+	return &SessionPredictor{c: c, id: id, lastPred: resp.InitialPredictionMbps}, nil
+}
+
+// Predict implements predict.Midstream.
+func (p *SessionPredictor) Predict() float64 { return p.lastPred }
+
+// PredictAhead implements predict.Midstream. Multi-epoch horizons are a
+// stateless server query; before the first observation the initial estimate
+// stands at every horizon (Algorithm 1).
+func (p *SessionPredictor) PredictAhead(k int) float64 {
+	if k <= 1 || !p.started {
+		return p.lastPred
+	}
+	pred, err := p.c.PredictAt(p.id, k)
+	if err != nil {
+		return p.lastPred
+	}
+	return pred
+}
+
+// Observe implements predict.Midstream: one POST /v1/predict round trip.
+func (p *SessionPredictor) Observe(w float64) {
+	pred, err := p.c.ObserveAndPredict(p.id, w, 1)
+	p.started = true
+	if err != nil {
+		p.lastPred = math.NaN()
+		return
+	}
+	p.lastPred = pred
+}

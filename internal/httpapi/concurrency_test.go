@@ -1,0 +1,77 @@
+package httpapi
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentPlayersOverHTTP drives many simultaneous sessions through
+// one server — the paper's server handles hundreds of predictions per
+// second across independent players (§5.3).
+func TestConcurrentPlayersOverHTTP(t *testing.T) {
+	ts, test := testServer(t)
+	defer ts.Close()
+	const players = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, players)
+	for i := 0; i < players; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := NewClient(ts.URL)
+			s := test.Sessions[i%len(test.Sessions)]
+			id := fmt.Sprintf("conc-%d", i)
+			p, err := c.NewSessionPredictor(id, s.Features, s.StartUnix)
+			if err != nil {
+				errs <- err
+				return
+			}
+			n := len(s.Throughput)
+			if n > 10 {
+				n = 10
+			}
+			for _, w := range s.Throughput[:n] {
+				p.Observe(w)
+				if math.IsNaN(p.Predict()) {
+					errs <- fmt.Errorf("player %d got NaN prediction", i)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestSessionsIsolated verifies two sessions do not share filter state: a
+// session fed low throughput must predict lower than one fed high.
+func TestSessionsIsolated(t *testing.T) {
+	ts, test := testServer(t)
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	s := test.Sessions[0]
+	var lowPred, highPred float64
+	var err error
+	if _, err = c.StartSession("iso-low", s.Features, s.StartUnix); err != nil {
+		t.Fatal(err)
+	}
+	if _, err = c.StartSession("iso-high", s.Features, s.StartUnix); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if lowPred, err = c.ObserveAndPredict("iso-low", 0.6, 1); err != nil {
+			t.Fatal(err)
+		}
+		if highPred, err = c.ObserveAndPredict("iso-high", 9.0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lowPred >= highPred {
+		t.Errorf("sessions leaked state: low=%v high=%v", lowPred, highPred)
+	}
+}

@@ -1,0 +1,71 @@
+package httpapi
+
+import (
+	"math"
+	"net"
+	"testing"
+
+	"cs2p/internal/trace"
+)
+
+// deadServerURL returns a URL nothing listens on.
+func deadServerURL(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return "http://" + addr
+}
+
+func TestClientAgainstDeadServer(t *testing.T) {
+	c := NewClient(deadServerURL(t))
+	if err := c.Healthz(); err == nil {
+		t.Error("healthz against a dead server should fail")
+	}
+	if _, err := c.StartSession("x", trace.Features{}, 0); err == nil {
+		t.Error("start against a dead server should fail")
+	}
+	if _, err := c.ObserveAndPredict("x", 1, 1); err == nil {
+		t.Error("predict against a dead server should fail")
+	}
+	if _, err := c.NewSessionPredictor("x", trace.Features{}, 0); err == nil {
+		t.Error("predictor setup against a dead server should fail")
+	}
+}
+
+// TestSessionPredictorDegradesToNaN verifies the documented fallback: if the
+// server vanishes mid-session, Observe leaves a NaN prediction instead of a
+// stale or bogus number, so the player can fall back to local logic.
+func TestSessionPredictorDegradesToNaN(t *testing.T) {
+	ts, test := testServer(t)
+	c := NewClient(ts.URL)
+	s := test.Sessions[0]
+	p, err := c.NewSessionPredictor("degrade", s.Features, s.StartUnix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(p.Predict()) {
+		t.Fatal("initial prediction should be defined")
+	}
+	ts.Close() // server goes away mid-session
+	p.Observe(3.0)
+	if !math.IsNaN(p.Predict()) {
+		t.Error("prediction after a failed round trip should be NaN")
+	}
+	// Horizon queries also degrade to the last known value (NaN here).
+	if !math.IsNaN(p.PredictAhead(3)) {
+		t.Error("horizon prediction should degrade to the last known value")
+	}
+}
+
+func TestHealthzWrongStatus(t *testing.T) {
+	ts, _ := testServer(t)
+	defer ts.Close()
+	c := NewClient(ts.URL + "/v1") // wrong base -> 404 on /v1/v1/healthz
+	if err := c.Healthz(); err == nil {
+		t.Error("non-200 healthz should be an error")
+	}
+}

@@ -1,0 +1,87 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/url"
+
+	"cs2p/internal/hmm"
+	"cs2p/internal/trace"
+)
+
+// modelResponse is the GET /v1/model payload.
+type modelResponse struct {
+	ClusterID     string     `json:"cluster_id"`
+	Model         *hmm.Model `json:"model"`
+	InitialMedian float64    `json:"initial_median"`
+}
+
+// LocalPredictor is the client-side (decentralized) deployment of §5.3: the
+// player downloads its cluster's model once and runs Algorithm 1 locally —
+// no per-chunk round trips. It implements predict.Midstream.
+type LocalPredictor struct {
+	clusterID string
+	filter    *hmm.Filter
+	initial   float64
+}
+
+// FetchLocalPredictor downloads the cluster model for the given features
+// and builds the local predictor. The returned artifact is the <5 KB model
+// the paper ships to clients.
+func (c *Client) FetchLocalPredictor(f trace.Features) (*LocalPredictor, error) {
+	q := url.Values{}
+	q.Set("ip", f.ClientIP)
+	q.Set("isp", f.ISP)
+	q.Set("as", f.AS)
+	q.Set("province", f.Province)
+	q.Set("city", f.City)
+	q.Set("server", f.Server)
+	resp, err := c.hc.Get(c.base + "/v1/model?" + q.Encode())
+	if err != nil {
+		return nil, fmt.Errorf("httpapi client: fetching model: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		_ = json.NewDecoder(resp.Body).Decode(&eb)
+		return nil, fmt.Errorf("httpapi client: fetching model: status %d: %s", resp.StatusCode, eb.Error)
+	}
+	var mr modelResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		return nil, fmt.Errorf("httpapi client: decoding model: %w", err)
+	}
+	if mr.Model == nil {
+		return nil, fmt.Errorf("httpapi client: server returned no model")
+	}
+	if err := mr.Model.Validate(); err != nil {
+		return nil, fmt.Errorf("httpapi client: invalid model from server: %w", err)
+	}
+	return &LocalPredictor{
+		clusterID: mr.ClusterID,
+		filter:    hmm.NewFilter(mr.Model),
+		initial:   mr.InitialMedian,
+	}, nil
+}
+
+// ClusterID identifies the downloaded model.
+func (p *LocalPredictor) ClusterID() string { return p.clusterID }
+
+// Predict implements predict.Midstream (Algorithm 1: cluster median before
+// any observation, HMM filter afterwards).
+func (p *LocalPredictor) Predict() float64 { return p.PredictAhead(1) }
+
+// PredictAhead implements predict.Midstream.
+func (p *LocalPredictor) PredictAhead(k int) float64 {
+	if !p.filter.Started() {
+		if math.IsNaN(p.initial) {
+			return math.NaN()
+		}
+		return p.initial
+	}
+	return p.filter.PredictAhead(k)
+}
+
+// Observe implements predict.Midstream.
+func (p *LocalPredictor) Observe(w float64) { p.filter.Observe(w) }

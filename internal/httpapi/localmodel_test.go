@@ -1,0 +1,81 @@
+package httpapi
+
+import (
+	"math"
+	"testing"
+
+	"cs2p/internal/predict"
+	"cs2p/internal/trace"
+)
+
+// TestLocalPredictorMatchesServerSide verifies the two deployments of §5.3
+// are equivalent: the client-side predictor built from the downloaded model
+// must produce the same midstream predictions as the server-side session
+// (same cluster routing, same filter), without per-chunk round trips.
+func TestLocalPredictorMatchesServerSide(t *testing.T) {
+	ts, test := testServer(t)
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	s := test.Sessions[0]
+
+	local, err := c.FetchLocalPredictor(s.Features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := c.NewSessionPredictor("local-vs-remote", s.Features, s.StartUnix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(local.Predict()) {
+		t.Fatal("local initial prediction undefined")
+	}
+	n := len(s.Throughput)
+	if n > 8 {
+		n = 8
+	}
+	for i, w := range s.Throughput[:n] {
+		local.Observe(w)
+		remote.Observe(w)
+		lp, rp := local.Predict(), remote.Predict()
+		if math.IsNaN(lp) || math.IsNaN(rp) {
+			t.Fatalf("epoch %d: NaN predictions (local %v, remote %v)", i, lp, rp)
+		}
+		// The engine may route to a cluster trained with windowed
+		// initial medians; midstream HMM predictions must agree when
+		// the routing matches.
+		if local.ClusterID() != "global" && math.Abs(lp-rp) > 1e-9 {
+			t.Fatalf("epoch %d: local %v != remote %v (cluster %s)", i, lp, rp, local.ClusterID())
+		}
+	}
+	// The local predictor satisfies the shared interface.
+	var _ predict.Midstream = local
+}
+
+func TestFetchLocalPredictorUnknownFeaturesFallsBack(t *testing.T) {
+	ts, _ := testServer(t)
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	local, err := c.FetchLocalPredictor(alienFeatures())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.ClusterID() != "global" {
+		t.Errorf("unknown features should get the global model, got %q", local.ClusterID())
+	}
+	local.Observe(2)
+	if math.IsNaN(local.Predict()) {
+		t.Error("global model should still predict")
+	}
+}
+
+func TestFetchLocalPredictorDeadServer(t *testing.T) {
+	c := NewClient(deadServerURL(t))
+	if _, err := c.FetchLocalPredictor(alienFeatures()); err == nil {
+		t.Error("dead server should fail")
+	}
+}
+
+// alienFeatures builds a feature set no training session carries.
+func alienFeatures() trace.Features {
+	return trace.Features{ClientIP: "250.9.9.9", ISP: "no-such-isp", City: "nowhere", Server: "zzz"}
+}

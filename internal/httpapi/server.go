@@ -1,0 +1,193 @@
+// Package httpapi implements the wire protocol of the paper's prototype
+// (§6): a Node.js-style HTTP prediction service, here built on net/http.
+// Before each chunk request the player POSTs the previous epoch's measured
+// throughput and receives the next prediction in-band; when playback ends it
+// POSTs a QoE log. Clients that prefer the decentralized deployment fetch
+// their cluster's model once and predict locally.
+//
+// Endpoints:
+//
+//	POST /v1/session/start  {session_id, features, start_unix}
+//	POST /v1/predict        {session_id, observed_mbps, horizon}
+//	POST /v1/log            {session_id, qoe, ...}
+//	GET  /v1/model          ?ip=&isp=&as=&province=&city=&server=
+//	GET  /v1/healthz
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+
+	"cs2p/internal/core"
+	"cs2p/internal/engine"
+	"cs2p/internal/trace"
+)
+
+// StartRequest opens a session.
+type StartRequest struct {
+	SessionID string         `json:"session_id"`
+	Features  trace.Features `json:"features"`
+	StartUnix int64          `json:"start_unix"`
+}
+
+// PredictRequest asks for a prediction, optionally reporting the last
+// epoch's measured throughput first. A null/absent observed_mbps queries
+// the current prediction without updating session state (used for
+// multi-horizon lookups). Horizon defaults to 1.
+type PredictRequest struct {
+	SessionID    string   `json:"session_id"`
+	ObservedMbps *float64 `json:"observed_mbps"`
+	Horizon      int      `json:"horizon,omitempty"`
+}
+
+// PredictResponse carries the prediction.
+type PredictResponse struct {
+	PredictionMbps float64 `json:"prediction_mbps"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Server exposes an engine.Service over HTTP.
+type Server struct {
+	svc *engine.Service
+	// exportMu guards the lazily built model store for GET /v1/model.
+	exportMu sync.Mutex
+	store    *core.ModelStore
+	exporter func() *core.ModelStore
+	logf     func(format string, args ...any)
+}
+
+// NewServer builds the HTTP facade. exporter, if non-nil, supplies the
+// deployable model store served by GET /v1/model (built lazily on first
+// request).
+func NewServer(svc *engine.Service, exporter func() *core.ModelStore) *Server {
+	return &Server{svc: svc, exporter: exporter, logf: log.Printf}
+}
+
+// SetLogf overrides the server's logger (tests silence it).
+func (s *Server) SetLogf(f func(string, ...any)) { s.logf = f }
+
+// Handler returns the route mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/session/start", s.handleStart)
+	mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	mux.HandleFunc("POST /v1/log", s.handleLog)
+	mux.HandleFunc("GET /v1/model", s.handleModel)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func (s *Server) handleStart(w http.ResponseWriter, r *http.Request) {
+	var req StartRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "malformed JSON: " + err.Error()})
+		return
+	}
+	if req.SessionID == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "session_id required"})
+		return
+	}
+	resp := s.svc.StartSession(req.SessionID, req.Features, req.StartUnix)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req PredictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "malformed JSON: " + err.Error()})
+		return
+	}
+	h := req.Horizon
+	if h <= 0 {
+		h = 1
+	}
+	var pred float64
+	var err error
+	if req.ObservedMbps != nil {
+		pred, err = s.svc.ObserveAndPredict(req.SessionID, *req.ObservedMbps, h)
+	} else {
+		pred, err = s.svc.Predict(req.SessionID, h)
+	}
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, engine.ErrUnknownSession) {
+			status = http.StatusNotFound
+		}
+		writeJSON(w, status, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, PredictResponse{PredictionMbps: pred})
+}
+
+func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
+	var lg engine.SessionLog
+	if err := json.NewDecoder(r.Body).Decode(&lg); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "malformed JSON: " + err.Error()})
+		return
+	}
+	if lg.SessionID == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "session_id required"})
+		return
+	}
+	s.svc.EndSession(lg)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleModel serves the per-cluster model for the requesting client's
+// features — the decentralized deployment path (§5.3).
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	if s.exporter == nil {
+		writeJSON(w, http.StatusNotImplemented, errorBody{Error: "model export not enabled"})
+		return
+	}
+	s.exportMu.Lock()
+	if s.store == nil {
+		s.store = s.exporter()
+	}
+	store := s.store
+	s.exportMu.Unlock()
+	q := r.URL.Query()
+	f := trace.Features{
+		ClientIP: q.Get("ip"),
+		ISP:      q.Get("isp"),
+		AS:       q.Get("as"),
+		Province: q.Get("province"),
+		City:     q.Get("city"),
+		Server:   q.Get("server"),
+	}
+	sm, id := store.Lookup(f)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"cluster_id":     id,
+		"model":          sm.Model,
+		"initial_median": sm.InitialMedian,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Too late for a status change; nothing useful to do.
+		_ = err
+	}
+}
+
+// ListenAndServe runs the server until the listener fails.
+func (s *Server) ListenAndServe(addr string) error {
+	srv := &http.Server{Addr: addr, Handler: s.Handler()}
+	s.logf("cs2p prediction engine listening on %s", addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("httpapi: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ECDF is an empirical cumulative distribution function over a sample.
+// The paper reports most results as CDFs (Figures 3, 5, 9); experiments build
+// an ECDF and then evaluate it at fixed probe points so two runs are
+// comparable row by row.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from the sample. NaNs are dropped. The input slice
+// is not mutated.
+func NewECDF(sample []float64) *ECDF {
+	s := make([]float64, 0, len(sample))
+	for _, x := range sample {
+		if !math.IsNaN(x) {
+			s = append(s, x)
+		}
+	}
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// Len returns the number of retained (non-NaN) samples.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// At returns P(X <= x), i.e. the fraction of samples <= x.
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	// First index with value > x.
+	i := sort.Search(len(e.sorted), func(i int) bool { return e.sorted[i] > x })
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile returns the q-th quantile of the sample.
+func (e *ECDF) Quantile(q float64) float64 {
+	return QuantileSorted(e.sorted, q)
+}
+
+// Median returns the sample median.
+func (e *ECDF) Median() float64 { return e.Quantile(0.5) }
+
+// Values returns a copy of the sorted sample.
+func (e *ECDF) Values() []float64 {
+	return append([]float64(nil), e.sorted...)
+}
+
+// Table evaluates the ECDF at each probe point and renders one line per
+// probe as "x=<probe> cdf=<value>". It is the printable "series" form used
+// by the benchmark harness.
+func (e *ECDF) Table(probes []float64) string {
+	var b strings.Builder
+	for _, p := range probes {
+		fmt.Fprintf(&b, "x=%.4g cdf=%.4f\n", p, e.At(p))
+	}
+	return b.String()
+}
+
+// Linspace returns n evenly spaced points from lo to hi inclusive.
+// n must be >= 2.
+func Linspace(lo, hi float64, n int) []float64 {
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi
+	return out
+}
+
+// Histogram counts samples into nbins equal-width bins over [lo, hi].
+// Samples outside the range are clamped into the first/last bin; NaNs are
+// dropped. Returns the bin counts and the bin edges (nbins+1 values).
+func Histogram(sample []float64, lo, hi float64, nbins int) (counts []int, edges []float64) {
+	counts = make([]int, nbins)
+	edges = Linspace(lo, hi, nbins+1)
+	width := (hi - lo) / float64(nbins)
+	for _, x := range sample {
+		if math.IsNaN(x) {
+			continue
+		}
+		i := int((x - lo) / width)
+		if i < 0 {
+			i = 0
+		}
+		if i >= nbins {
+			i = nbins - 1
+		}
+		counts[i]++
+	}
+	return counts, edges
+}

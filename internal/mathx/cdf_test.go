@@ -1,0 +1,109 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestECDFBasics(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 4})
+	if e.Len() != 4 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {3, 0.75}, {4, 1}, {9, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("At(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if got := e.Median(); got != 2 {
+		t.Errorf("Median = %v, want 2", got)
+	}
+}
+
+func TestECDFDropsNaN(t *testing.T) {
+	e := NewECDF([]float64{math.NaN(), 1, math.NaN(), 3})
+	if e.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", e.Len())
+	}
+	if got := e.At(2); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("At(2) = %v", got)
+	}
+}
+
+func TestECDFEmpty(t *testing.T) {
+	e := NewECDF(nil)
+	if !math.IsNaN(e.At(1)) || !math.IsNaN(e.Median()) {
+		t.Error("empty ECDF should return NaN")
+	}
+}
+
+func TestECDFMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 10
+		}
+		e := NewECDF(xs)
+		prev := -1.0
+		for _, p := range Linspace(-30, 30, 61) {
+			v := e.At(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return e.At(math.Inf(1)) == 1 // right tail covers all mass
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestECDFValuesCopy(t *testing.T) {
+	e := NewECDF([]float64{2, 1})
+	v := e.Values()
+	v[0] = 99
+	if e.At(1) != 0.5 {
+		t.Error("mutating Values() result should not affect the ECDF")
+	}
+}
+
+func TestECDFTable(t *testing.T) {
+	e := NewECDF([]float64{1, 2})
+	tbl := e.Table([]float64{1, 2})
+	if !strings.Contains(tbl, "cdf=0.5000") || !strings.Contains(tbl, "cdf=1.0000") {
+		t.Errorf("Table output unexpected:\n%s", tbl)
+	}
+	if got := strings.Count(tbl, "\n"); got != 2 {
+		t.Errorf("Table should have 2 lines, got %d", got)
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	xs := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if !almostEqual(xs[i], want[i], 1e-12) {
+			t.Fatalf("Linspace = %v", xs)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts, edges := Histogram([]float64{0.1, 0.2, 0.9, -5, 7, math.NaN()}, 0, 1, 2)
+	if len(edges) != 3 {
+		t.Fatalf("edges = %v", edges)
+	}
+	// -5 clamps into bin 0, 7 clamps into bin 1, NaN dropped.
+	if counts[0] != 3 || counts[1] != 2 {
+		t.Errorf("counts = %v, want [3 2]", counts)
+	}
+}

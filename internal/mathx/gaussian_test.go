@@ -1,0 +1,97 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGaussianPDFStandard(t *testing.T) {
+	g := Gaussian{Mu: 0, Sigma: 1}
+	// Density at the mean of N(0,1) is 1/sqrt(2*pi).
+	want := 1 / math.Sqrt(2*math.Pi)
+	if got := g.PDF(0); !almostEqual(got, want, 1e-12) {
+		t.Errorf("PDF(0) = %v, want %v", got, want)
+	}
+	// Symmetry.
+	if !almostEqual(g.PDF(1.3), g.PDF(-1.3), 1e-12) {
+		t.Error("PDF should be symmetric about the mean")
+	}
+}
+
+func TestGaussianLogPDFConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := Gaussian{Mu: 10 * r.NormFloat64(), Sigma: 0.1 + 5*r.Float64()}
+		x := g.Mu + 6*g.Sigma*(r.Float64()-0.5)
+		return almostEqual(math.Log(g.PDF(x)), g.LogPDF(x), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGaussianCDF(t *testing.T) {
+	g := Gaussian{Mu: 2, Sigma: 3}
+	if got := g.CDF(2); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("CDF at mean = %v, want 0.5", got)
+	}
+	// ~68% within one sigma.
+	within := g.CDF(5) - g.CDF(-1)
+	if math.Abs(within-0.6827) > 1e-3 {
+		t.Errorf("one-sigma mass = %v, want ~0.6827", within)
+	}
+	if g.CDF(-100) > 1e-9 || g.CDF(100) < 1-1e-9 {
+		t.Error("CDF tails wrong")
+	}
+}
+
+func TestGaussianDegenerateSigma(t *testing.T) {
+	g := Gaussian{Mu: 1, Sigma: 0}
+	if !math.IsInf(g.LogPDF(2), -1) {
+		t.Error("degenerate LogPDF off-mean should be -Inf")
+	}
+	if !math.IsInf(g.LogPDF(1), 1) {
+		t.Error("degenerate LogPDF at mean should be +Inf")
+	}
+	if g.CDF(0.5) != 0 || g.CDF(1.5) != 1 {
+		t.Error("degenerate CDF should be a step")
+	}
+}
+
+func TestGaussianSampleMoments(t *testing.T) {
+	g := Gaussian{Mu: 3, Sigma: 2}
+	r := rand.New(rand.NewSource(7))
+	n := 20000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = g.Sample(r.NormFloat64())
+	}
+	if m := Mean(xs); math.Abs(m-3) > 0.05 {
+		t.Errorf("sample mean = %v, want ~3", m)
+	}
+	if s := StdDev(xs); math.Abs(s-2) > 0.05 {
+		t.Errorf("sample stddev = %v, want ~2", s)
+	}
+}
+
+func TestGaussianPDFIntegratesToOne(t *testing.T) {
+	g := Gaussian{Mu: -1, Sigma: 0.7}
+	// Trapezoid rule over +-8 sigma.
+	lo, hi := g.Mu-8*g.Sigma, g.Mu+8*g.Sigma
+	n := 4000
+	h := (hi - lo) / float64(n)
+	var integral float64
+	for i := 0; i <= n; i++ {
+		w := 1.0
+		if i == 0 || i == n {
+			w = 0.5
+		}
+		integral += w * g.PDF(lo+float64(i)*h)
+	}
+	integral *= h
+	if math.Abs(integral-1) > 1e-6 {
+		t.Errorf("PDF integral = %v, want 1", integral)
+	}
+}

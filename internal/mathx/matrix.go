@@ -1,0 +1,207 @@
+package mathx
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix. It is deliberately small: the CS2P HMM
+// needs row-stochastic transition matrices, vector-matrix products for the
+// Markov state update (paper Eq. 4/7), and a linear solver for the ridge
+// regressions used by the AR and linear baselines.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewMatrix allocates a zero Rows x Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mathx: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// VecMat computes x^T * M for a row vector x (len == Rows) into out
+// (len == Cols). This is the distribution push-forward pi_{t+1} = pi_t * P.
+// out may not alias x.
+func (m *Matrix) VecMat(x, out []float64) {
+	if len(x) != m.Rows || len(out) != m.Cols {
+		panic("mathx: VecMat dimension mismatch")
+	}
+	for j := range out {
+		out[j] = 0
+	}
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j, p := range row {
+			out[j] += xi * p
+		}
+	}
+}
+
+// MatVec computes M * x for a column vector x (len == Cols) into out
+// (len == Rows). Used by the backward recursion. out may not alias x.
+func (m *Matrix) MatVec(x, out []float64) {
+	if len(x) != m.Cols || len(out) != m.Rows {
+		panic("mathx: MatVec dimension mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, p := range row {
+			s += p * x[j]
+		}
+		out[i] = s
+	}
+}
+
+// NormalizeRows scales every row to sum to 1; rows with non-positive or
+// non-finite sums become uniform. Keeps transition matrices stochastic after
+// an EM M-step with empty counts.
+func (m *Matrix) NormalizeRows() {
+	for i := 0; i < m.Rows; i++ {
+		Normalize(m.Row(i))
+	}
+}
+
+// IsRowStochastic reports whether each row is non-negative and sums to 1
+// within tol.
+func (m *Matrix) IsRowStochastic(tol float64) bool {
+	for i := 0; i < m.Rows; i++ {
+		var s float64
+		for _, v := range m.Row(i) {
+			if v < -tol || math.IsNaN(v) {
+				return false
+			}
+			s += v
+		}
+		if math.Abs(s-1) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Pow returns M^k for a square matrix using repeated squaring. k must be
+// >= 0; M^0 is the identity. Used for k-epoch-ahead prediction (Figure 9c).
+func (m *Matrix) Pow(k int) *Matrix {
+	if m.Rows != m.Cols {
+		panic("mathx: Pow requires a square matrix")
+	}
+	if k < 0 {
+		panic("mathx: Pow requires k >= 0")
+	}
+	result := Identity(m.Rows)
+	base := m.Clone()
+	for k > 0 {
+		if k&1 == 1 {
+			result = result.Mul(base)
+		}
+		base = base.Mul(base)
+		k >>= 1
+	}
+	return result
+}
+
+// Mul returns m * other.
+func (m *Matrix) Mul(other *Matrix) *Matrix {
+	if m.Cols != other.Rows {
+		panic("mathx: Mul dimension mismatch")
+	}
+	out := NewMatrix(m.Rows, other.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mrow := m.Row(i)
+		orow := out.Row(i)
+		for k, mik := range mrow {
+			if mik == 0 {
+				continue
+			}
+			krow := other.Row(k)
+			for j, okj := range krow {
+				orow[j] += mik * okj
+			}
+		}
+	}
+	return out
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// ErrSingular is returned by SolveSPD when the system is (numerically)
+// singular.
+var ErrSingular = errors.New("mathx: singular matrix")
+
+// SolveSPD solves A x = b for symmetric positive-definite A via Cholesky
+// decomposition. A is not mutated. Used by the ridge regressions (AR model,
+// linear SVR warm start) where A = X^T X + lambda I is SPD by construction.
+func SolveSPD(a *Matrix, b []float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		panic("mathx: SolveSPD dimension mismatch")
+	}
+	// Cholesky: A = L L^T.
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if s <= 0 || math.IsNaN(s) {
+					return nil, ErrSingular
+				}
+				l.Set(i, i, math.Sqrt(s))
+			} else {
+				l.Set(i, j, s/l.At(j, j))
+			}
+		}
+	}
+	// Forward solve L y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Back solve L^T x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x, nil
+}

@@ -1,0 +1,226 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomStochastic(r *rand.Rand, n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = r.Float64() + 0.01
+		}
+		Normalize(row)
+	}
+	return m
+}
+
+func TestMatrixAtSetRow(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 {
+		t.Error("At/Set mismatch")
+	}
+	row := m.Row(1)
+	row[0] = 7
+	if m.At(1, 0) != 7 {
+		t.Error("Row should be a view")
+	}
+}
+
+func TestMatrixClone(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone should deep-copy")
+	}
+}
+
+func TestVecMatMatVec(t *testing.T) {
+	m := NewMatrix(2, 2)
+	// [[0.9 0.1] [0.2 0.8]]
+	m.Set(0, 0, 0.9)
+	m.Set(0, 1, 0.1)
+	m.Set(1, 0, 0.2)
+	m.Set(1, 1, 0.8)
+	out := make([]float64, 2)
+	m.VecMat([]float64{1, 0}, out)
+	if !almostEqual(out[0], 0.9, 1e-12) || !almostEqual(out[1], 0.1, 1e-12) {
+		t.Errorf("VecMat = %v", out)
+	}
+	m.MatVec([]float64{1, 0}, out)
+	if !almostEqual(out[0], 0.9, 1e-12) || !almostEqual(out[1], 0.2, 1e-12) {
+		t.Errorf("MatVec = %v", out)
+	}
+}
+
+func TestVecMatPreservesMassProperty(t *testing.T) {
+	// pi * P stays a distribution when P is row-stochastic and pi is a
+	// distribution — the core invariant behind the HMM state update.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(5)
+		p := randomStochastic(r, n)
+		pi := make([]float64, n)
+		for i := range pi {
+			pi[i] = r.Float64()
+		}
+		Normalize(pi)
+		out := make([]float64, n)
+		p.VecMat(pi, out)
+		if !almostEqual(Sum(out), 1, 1e-9) {
+			return false
+		}
+		for _, v := range out {
+			if v < -1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizeRowsAndIsRowStochastic(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 2)
+	m.Set(0, 1, 2)
+	// Row 1 left all-zero: should become uniform.
+	m.NormalizeRows()
+	if !m.IsRowStochastic(1e-9) {
+		t.Error("NormalizeRows should produce a stochastic matrix")
+	}
+	if !almostEqual(m.At(1, 0), 0.5, 1e-12) {
+		t.Errorf("zero row should become uniform, got %v", m.Row(1))
+	}
+	bad := NewMatrix(1, 2)
+	bad.Set(0, 0, 0.7)
+	bad.Set(0, 1, 0.7)
+	if bad.IsRowStochastic(1e-9) {
+		t.Error("row summing to 1.4 should not be stochastic")
+	}
+}
+
+func TestMatrixPow(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	p := randomStochastic(r, 3)
+	// P^0 = I.
+	id := p.Pow(0)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if !almostEqual(id.At(i, j), want, 1e-12) {
+				t.Fatalf("Pow(0) not identity: %v", id.Data)
+			}
+		}
+	}
+	// P^3 == P*P*P.
+	p3 := p.Pow(3)
+	want := p.Mul(p).Mul(p)
+	for i := range p3.Data {
+		if !almostEqual(p3.Data[i], want.Data[i], 1e-9) {
+			t.Fatalf("Pow(3) mismatch at %d: %v vs %v", i, p3.Data[i], want.Data[i])
+		}
+	}
+	// Powers of a stochastic matrix stay stochastic.
+	if !p.Pow(10).IsRowStochastic(1e-6) {
+		t.Error("P^10 should remain row-stochastic")
+	}
+}
+
+func TestSolveSPD(t *testing.T) {
+	// A = [[4 2][2 3]], b = [2 1] -> x = A^-1 b = [0.5, 0].
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 4)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 3)
+	x, err := SolveSPD(a, []float64{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 0.5, 1e-9) || !almostEqual(x[1], 0, 1e-9) {
+		t.Errorf("SolveSPD = %v", x)
+	}
+}
+
+func TestSolveSPDSingular(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 1)
+	if _, err := SolveSPD(a, []float64{1, 1}); err == nil {
+		t.Error("expected ErrSingular for rank-deficient matrix")
+	}
+}
+
+func TestSolveSPDRoundTripProperty(t *testing.T) {
+	// Build SPD A = B^T B + I, random x, verify Solve(A, A x) ~= x.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		b := NewMatrix(n, n)
+		for i := range b.Data {
+			b.Data[i] = r.NormFloat64()
+		}
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var s float64
+				for k := 0; k < n; k++ {
+					s += b.At(k, i) * b.At(k, j)
+				}
+				if i == j {
+					s += 1
+				}
+				a.Set(i, j, s)
+			}
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		rhs := make([]float64, n)
+		for i := 0; i < n; i++ {
+			var s float64
+			for j := 0; j < n; j++ {
+				s += a.At(i, j) * x[j]
+			}
+			rhs[i] = s
+		}
+		got, err := SolveSPD(a, rhs)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(got[i]-x[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatrixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for bad shape")
+		}
+	}()
+	NewMatrix(0, 3)
+}

@@ -1,0 +1,217 @@
+// Package mathx provides the numerical substrate shared by the CS2P
+// implementation: descriptive statistics, quantiles, empirical CDFs,
+// histograms, Gaussian densities and small dense-matrix helpers.
+//
+// Everything operates on float64 slices and is allocation-conscious; the
+// functions that need sorted input copy their argument rather than mutating
+// it, so callers may pass shared slices safely.
+package mathx
+
+import (
+	"math"
+	"sort"
+)
+
+// Sum returns the sum of xs. An empty slice sums to 0.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs, or NaN if xs is empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// HarmonicMean returns the harmonic mean of xs, the estimator the MPC paper
+// uses for throughput ("HM"). Non-positive entries are skipped, matching the
+// convention of discarding degenerate throughput samples. Returns NaN when no
+// valid entry exists.
+func HarmonicMean(xs []float64) float64 {
+	var inv float64
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			inv += 1 / x
+			n++
+		}
+	}
+	if n == 0 || inv == 0 {
+		return math.NaN()
+	}
+	return float64(n) / inv
+}
+
+// Variance returns the population variance of xs (dividing by n, not n-1),
+// or NaN if xs is empty. The population form is what the HMM M-step needs.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// CoefficientOfVariation returns stddev/mean, the normalized spread the paper
+// uses in Observation 1. Returns NaN for empty input or zero mean.
+func CoefficientOfVariation(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 || math.IsNaN(m) {
+		return math.NaN()
+	}
+	return StdDev(xs) / math.Abs(m)
+}
+
+// Median returns the median of xs, or NaN if xs is empty.
+func Median(xs []float64) float64 {
+	return Quantile(xs, 0.5)
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics, or NaN if xs is empty.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return QuantileSorted(s, q)
+}
+
+// QuantileSorted is Quantile for input already sorted ascending. It does not
+// allocate.
+func QuantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Min returns the minimum of xs, or NaN if xs is empty.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or NaN if xs is empty.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ArgMax returns the index of the largest element of xs, or -1 if xs is
+// empty. Ties resolve to the lowest index, which makes the HMM MLE-state
+// prediction deterministic.
+func ArgMax(xs []float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Clamp limits x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// AbsRelErr computes the absolute normalized prediction error of the paper's
+// Eq. 1: |pred-actual|/actual. Returns NaN when actual is zero.
+func AbsRelErr(pred, actual float64) float64 {
+	if actual == 0 {
+		return math.NaN()
+	}
+	return math.Abs(pred-actual) / math.Abs(actual)
+}
+
+// Normalize scales xs in place so it sums to 1 and returns the original sum.
+// If the sum is zero or not finite, xs is set to the uniform distribution;
+// this mirrors the HMM filter's recovery path when an observation has
+// negligible likelihood under every state.
+func Normalize(xs []float64) float64 {
+	s := Sum(xs)
+	if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		u := 1 / float64(len(xs))
+		for i := range xs {
+			xs[i] = u
+		}
+		return s
+	}
+	for i := range xs {
+		xs[i] /= s
+	}
+	return s
+}
+
+// LogSumExp returns log(sum(exp(xs))) computed stably.
+func LogSumExp(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.Inf(-1)
+	}
+	m := Max(xs)
+	if math.IsInf(m, -1) {
+		return m
+	}
+	var s float64
+	for _, x := range xs {
+		s += math.Exp(x - m)
+	}
+	return m + math.Log(s)
+}

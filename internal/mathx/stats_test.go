@@ -1,0 +1,219 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestSumMean(t *testing.T) {
+	cases := []struct {
+		xs        []float64
+		sum, mean float64
+	}{
+		{nil, 0, math.NaN()},
+		{[]float64{2}, 2, 2},
+		{[]float64{1, 2, 3, 4}, 10, 2.5},
+		{[]float64{-1, 1}, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Sum(c.xs); !almostEqual(got, c.sum, 1e-12) {
+			t.Errorf("Sum(%v) = %v, want %v", c.xs, got, c.sum)
+		}
+		if got := Mean(c.xs); !almostEqual(got, c.mean, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.xs, got, c.mean)
+		}
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	if got := HarmonicMean([]float64{1, 1, 1}); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("HM of ones = %v", got)
+	}
+	// HM(1,2,4) = 3 / (1 + 0.5 + 0.25) = 12/7.
+	if got := HarmonicMean([]float64{1, 2, 4}); !almostEqual(got, 12.0/7.0, 1e-12) {
+		t.Errorf("HM(1,2,4) = %v, want %v", got, 12.0/7.0)
+	}
+	// Non-positive entries are skipped.
+	if got := HarmonicMean([]float64{0, -3, 2}); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("HM with non-positive entries = %v, want 2", got)
+	}
+	if got := HarmonicMean([]float64{0, -1}); !math.IsNaN(got) {
+		t.Errorf("HM of all-invalid = %v, want NaN", got)
+	}
+}
+
+func TestHarmonicMeanLEQArithmetic(t *testing.T) {
+	// AM-HM inequality on positive samples, checked as a property.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = 0.01 + 10*r.Float64()
+		}
+		return HarmonicMean(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVarianceStdDevCV(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := CoefficientOfVariation(xs); !almostEqual(got, 0.4, 1e-12) {
+		t.Errorf("CV = %v, want 0.4", got)
+	}
+	if !math.IsNaN(CoefficientOfVariation([]float64{0, 0})) {
+		t.Error("CV of zero-mean sample should be NaN")
+	}
+}
+
+func TestMedianQuantile(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("Median = %v, want 2", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); !almostEqual(got, 2.5, 1e-12) {
+		t.Errorf("Median = %v, want 2.5", got)
+	}
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("Q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Errorf("Q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.25); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("Q.25 = %v, want 2", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile(nil) should be NaN")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Quantile mutated its input: %v", xs)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(30)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMaxArgMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max wrong: %v %v", Min(xs), Max(xs))
+	}
+	if got := ArgMax(xs); got != 2 {
+		t.Errorf("ArgMax = %d, want 2 (first of ties)", got)
+	}
+	if ArgMax(nil) != -1 {
+		t.Error("ArgMax(nil) should be -1")
+	}
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Error("Min/Max of empty should be NaN")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-2, 0, 3) != 0 || Clamp(1, 0, 3) != 1 {
+		t.Error("Clamp wrong")
+	}
+}
+
+func TestAbsRelErr(t *testing.T) {
+	if got := AbsRelErr(1.2, 1.0); !almostEqual(got, 0.2, 1e-12) {
+		t.Errorf("AbsRelErr = %v", got)
+	}
+	if got := AbsRelErr(0.5, 1.0); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("AbsRelErr = %v", got)
+	}
+	if !math.IsNaN(AbsRelErr(1, 0)) {
+		t.Error("AbsRelErr with zero actual should be NaN")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	xs := []float64{1, 3}
+	Normalize(xs)
+	if !almostEqual(xs[0], 0.25, 1e-12) || !almostEqual(xs[1], 0.75, 1e-12) {
+		t.Errorf("Normalize = %v", xs)
+	}
+	// Degenerate input becomes uniform.
+	zeros := []float64{0, 0, 0, 0}
+	Normalize(zeros)
+	for _, v := range zeros {
+		if !almostEqual(v, 0.25, 1e-12) {
+			t.Errorf("Normalize of zeros = %v", zeros)
+		}
+	}
+}
+
+func TestNormalizeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(10)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64()
+		}
+		Normalize(xs)
+		return almostEqual(Sum(xs), 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	// LSE(log 1, log 3) = log 4.
+	got := LogSumExp([]float64{0, math.Log(3)})
+	if !almostEqual(got, math.Log(4), 1e-12) {
+		t.Errorf("LogSumExp = %v, want %v", got, math.Log(4))
+	}
+	// Huge magnitudes must not overflow.
+	got = LogSumExp([]float64{1000, 1000})
+	if !almostEqual(got, 1000+math.Log(2), 1e-9) {
+		t.Errorf("LogSumExp large = %v", got)
+	}
+	if !math.IsInf(LogSumExp(nil), -1) {
+		t.Error("LogSumExp(nil) should be -Inf")
+	}
+}

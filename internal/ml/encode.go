@@ -1,0 +1,172 @@
+// Package ml is the machine-learning substrate for the CS2P baselines: the
+// paper compares against Support Vector Regression and Gradient Boosted
+// Regression trees (§7.1, implementations from scikit-learn in the original;
+// rebuilt here from scratch on the standard library), plus ridge linear
+// regression used by the AR predictor, one-hot feature encoding, and K-fold
+// cross-validation utilities.
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// OneHotEncoder maps categorical string features to indicator columns. The
+// baselines encode the Table 2 session features this way before regression.
+// Build the vocabulary with Fit, then Transform sessions to vectors;
+// categories unseen at fit time encode to all-zeros in their block, which is
+// the standard "unknown category" behaviour.
+type OneHotEncoder struct {
+	// fields[i] is the name of categorical field i (for diagnostics).
+	fields []string
+	// vocab[i] maps a value of field i to its column offset within the
+	// field's block.
+	vocab []map[string]int
+	// offsets[i] is the first output column of field i's block.
+	offsets []int
+	width   int
+}
+
+// FitOneHot builds an encoder over rows of categorical values. Every row
+// must have the same length as fieldNames.
+func FitOneHot(fieldNames []string, rows [][]string) (*OneHotEncoder, error) {
+	e := &OneHotEncoder{
+		fields: append([]string(nil), fieldNames...),
+		vocab:  make([]map[string]int, len(fieldNames)),
+	}
+	seen := make([]map[string]struct{}, len(fieldNames))
+	for i := range seen {
+		seen[i] = make(map[string]struct{})
+	}
+	for _, row := range rows {
+		if len(row) != len(fieldNames) {
+			return nil, fmt.Errorf("ml: row has %d fields, want %d", len(row), len(fieldNames))
+		}
+		for i, v := range row {
+			seen[i][v] = struct{}{}
+		}
+	}
+	e.offsets = make([]int, len(fieldNames))
+	col := 0
+	for i := range fieldNames {
+		vals := make([]string, 0, len(seen[i]))
+		for v := range seen[i] {
+			vals = append(vals, v)
+		}
+		sort.Strings(vals) // deterministic column order
+		e.vocab[i] = make(map[string]int, len(vals))
+		for j, v := range vals {
+			e.vocab[i][v] = j
+		}
+		e.offsets[i] = col
+		col += len(vals)
+	}
+	e.width = col
+	return e, nil
+}
+
+// Width returns the number of output columns.
+func (e *OneHotEncoder) Width() int { return e.width }
+
+// Transform encodes one categorical row into out (which must have length
+// >= Width(); the block is zeroed first). Returns out for chaining.
+func (e *OneHotEncoder) Transform(row []string, out []float64) ([]float64, error) {
+	if len(row) != len(e.fields) {
+		return nil, fmt.Errorf("ml: row has %d fields, want %d", len(row), len(e.fields))
+	}
+	for i := 0; i < e.width; i++ {
+		out[i] = 0
+	}
+	for i, v := range row {
+		if j, ok := e.vocab[i][v]; ok {
+			out[e.offsets[i]+j] = 1
+		}
+	}
+	return out[:e.width], nil
+}
+
+// Encode is Transform with a freshly allocated output slice.
+func (e *OneHotEncoder) Encode(row []string) ([]float64, error) {
+	return e.Transform(row, make([]float64, e.width))
+}
+
+// KFold yields train/test index splits for n samples into k folds,
+// assigning sample i to fold i%k — deterministic, no shuffling (callers
+// shuffle upstream if sample order is meaningful).
+func KFold(n, k int) (folds [][2][]int, err error) {
+	if k < 2 || k > n {
+		return nil, fmt.Errorf("ml: invalid fold count %d for %d samples", k, n)
+	}
+	folds = make([][2][]int, k)
+	for f := 0; f < k; f++ {
+		var train, test []int
+		for i := 0; i < n; i++ {
+			if i%k == f {
+				test = append(test, i)
+			} else {
+				train = append(train, i)
+			}
+		}
+		folds[f] = [2][]int{train, test}
+	}
+	return folds, nil
+}
+
+// StandardScaler standardizes numeric columns to zero mean and unit
+// variance, the preprocessing SVR needs to converge.
+type StandardScaler struct {
+	Mean  []float64
+	Scale []float64 // standard deviation, floored at a tiny epsilon
+}
+
+// FitScaler computes column statistics over the sample matrix.
+func FitScaler(x [][]float64) *StandardScaler {
+	if len(x) == 0 {
+		return &StandardScaler{}
+	}
+	d := len(x[0])
+	s := &StandardScaler{Mean: make([]float64, d), Scale: make([]float64, d)}
+	for _, row := range x {
+		for j, v := range row {
+			s.Mean[j] += v
+		}
+	}
+	n := float64(len(x))
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for _, row := range x {
+		for j, v := range row {
+			d := v - s.Mean[j]
+			s.Scale[j] += d * d
+		}
+	}
+	for j := range s.Scale {
+		s.Scale[j] = sqrtFloor(s.Scale[j] / n)
+	}
+	return s
+}
+
+func sqrtFloor(v float64) float64 {
+	const eps = 1e-9
+	if v < eps {
+		return 1 // constant column: leave it unscaled
+	}
+	return math.Sqrt(v)
+}
+
+// Apply standardizes a row in place and returns it.
+func (s *StandardScaler) Apply(row []float64) []float64 {
+	for j := range row {
+		row[j] = (row[j] - s.Mean[j]) / s.Scale[j]
+	}
+	return row
+}
+
+// ApplyAll standardizes every row of the matrix in place.
+func (s *StandardScaler) ApplyAll(x [][]float64) {
+	for _, row := range x {
+		s.Apply(row)
+	}
+}

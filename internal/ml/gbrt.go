@@ -1,0 +1,104 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cs2p/internal/mathx"
+)
+
+// GBRTConfig controls gradient-boosted regression-tree training (the GBR
+// baseline of §7.1).
+type GBRTConfig struct {
+	Trees        int     // number of boosting stages
+	LearningRate float64 // shrinkage per stage
+	Tree         TreeConfig
+	// Subsample, in (0,1], is the stochastic-gradient-boosting row
+	// fraction per stage; 1 disables subsampling.
+	Subsample float64
+	Seed      int64
+}
+
+// DefaultGBRTConfig mirrors common scikit-learn defaults scaled down for
+// the reproduction's dataset sizes.
+func DefaultGBRTConfig() GBRTConfig {
+	return GBRTConfig{
+		Trees:        100,
+		LearningRate: 0.1,
+		Tree:         DefaultTreeConfig(),
+		Subsample:    1.0,
+		Seed:         1,
+	}
+}
+
+// GBRT is a gradient-boosted ensemble for squared-error regression:
+// F(x) = base + lr * sum_m tree_m(x).
+type GBRT struct {
+	base  float64
+	lr    float64
+	trees []*Tree
+}
+
+// FitGBRT trains the ensemble on the design matrix.
+func FitGBRT(x [][]float64, y []float64, cfg GBRTConfig) (*GBRT, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("ml: gbrt needs matching non-empty x (%d) and y (%d)", len(x), len(y))
+	}
+	if cfg.Trees <= 0 {
+		return nil, fmt.Errorf("ml: gbrt needs at least one tree")
+	}
+	if cfg.LearningRate <= 0 {
+		return nil, fmt.Errorf("ml: gbrt needs a positive learning rate")
+	}
+	if cfg.Subsample <= 0 || cfg.Subsample > 1 {
+		cfg.Subsample = 1
+	}
+	g := &GBRT{base: mathx.Mean(y), lr: cfg.LearningRate}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	// Residuals under squared loss are y - F(x).
+	pred := make([]float64, len(y))
+	for i := range pred {
+		pred[i] = g.base
+	}
+	resid := make([]float64, len(y))
+	for m := 0; m < cfg.Trees; m++ {
+		for i := range y {
+			resid[i] = y[i] - pred[i]
+		}
+		xs, ys := x, resid
+		if cfg.Subsample < 1 {
+			n := int(cfg.Subsample * float64(len(x)))
+			if n < 1 {
+				n = 1
+			}
+			xs = make([][]float64, n)
+			ys = make([]float64, n)
+			for i := 0; i < n; i++ {
+				j := r.Intn(len(x))
+				xs[i] = x[j]
+				ys[i] = resid[j]
+			}
+		}
+		tree, err := FitTree(xs, ys, cfg.Tree)
+		if err != nil {
+			return nil, fmt.Errorf("ml: gbrt stage %d: %w", m, err)
+		}
+		g.trees = append(g.trees, tree)
+		for i := range pred {
+			pred[i] += g.lr * tree.Predict(x[i])
+		}
+	}
+	return g, nil
+}
+
+// Predict evaluates the ensemble.
+func (g *GBRT) Predict(x []float64) float64 {
+	s := g.base
+	for _, t := range g.trees {
+		s += g.lr * t.Predict(x)
+	}
+	return s
+}
+
+// NTrees returns the number of fitted stages.
+func (g *GBRT) NTrees() int { return len(g.trees) }

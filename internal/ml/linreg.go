@@ -1,0 +1,81 @@
+package ml
+
+import (
+	"fmt"
+
+	"cs2p/internal/mathx"
+)
+
+// Ridge is an L2-regularized linear regression y = w.x + b. The AR(p)
+// baseline (auto-regressive throughput model, §7.1) is a Ridge fit over
+// lagged throughputs; regularization keeps it stable on short sessions.
+type Ridge struct {
+	Weights   []float64
+	Intercept float64
+}
+
+// FitRidge solves min_w ||Xw + b - y||^2 + lambda ||w||^2 in closed form.
+// The intercept is not regularized (handled by centering).
+func FitRidge(x [][]float64, y []float64, lambda float64) (*Ridge, error) {
+	n := len(x)
+	if n == 0 || n != len(y) {
+		return nil, fmt.Errorf("ml: ridge needs matching non-empty x (%d) and y (%d)", n, len(y))
+	}
+	d := len(x[0])
+	if d == 0 {
+		return &Ridge{Intercept: mathx.Mean(y)}, nil
+	}
+	// Center features and target so the intercept drops out.
+	xm := make([]float64, d)
+	for _, row := range x {
+		if len(row) != d {
+			return nil, fmt.Errorf("ml: ragged design matrix")
+		}
+		for j, v := range row {
+			xm[j] += v
+		}
+	}
+	for j := range xm {
+		xm[j] /= float64(n)
+	}
+	ym := mathx.Mean(y)
+
+	// Normal equations on centered data: (Xc^T Xc + lambda I) w = Xc^T yc.
+	a := mathx.NewMatrix(d, d)
+	b := make([]float64, d)
+	for i, row := range x {
+		yc := y[i] - ym
+		for j := 0; j < d; j++ {
+			xj := row[j] - xm[j]
+			b[j] += xj * yc
+			arow := a.Row(j)
+			for k := j; k < d; k++ {
+				arow[k] += xj * (row[k] - xm[k])
+			}
+		}
+	}
+	for j := 0; j < d; j++ {
+		for k := 0; k < j; k++ {
+			a.Set(j, k, a.At(k, j))
+		}
+		a.Set(j, j, a.At(j, j)+lambda)
+	}
+	w, err := mathx.SolveSPD(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("ml: ridge solve: %w", err)
+	}
+	intercept := ym
+	for j := range w {
+		intercept -= w[j] * xm[j]
+	}
+	return &Ridge{Weights: w, Intercept: intercept}, nil
+}
+
+// Predict evaluates the model on one feature vector.
+func (r *Ridge) Predict(x []float64) float64 {
+	s := r.Intercept
+	for j, w := range r.Weights {
+		s += w * x[j]
+	}
+	return s
+}

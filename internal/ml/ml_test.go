@@ -1,0 +1,332 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOneHotEncoder(t *testing.T) {
+	rows := [][]string{
+		{"ispA", "city1"},
+		{"ispB", "city2"},
+		{"ispA", "city2"},
+	}
+	e, err := FitOneHot([]string{"isp", "city"}, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Width() != 4 {
+		t.Fatalf("Width = %d, want 4", e.Width())
+	}
+	v, err := e.Encode([]string{"ispA", "city2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sorted vocab: isp block [ispA ispB], city block [city1 city2].
+	want := []float64{1, 0, 0, 1}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("Encode = %v, want %v", v, want)
+		}
+	}
+	// Unknown category encodes to zeros in its block.
+	v, _ = e.Encode([]string{"ispC", "city1"})
+	if v[0] != 0 || v[1] != 0 || v[2] != 1 {
+		t.Errorf("unknown category encoding = %v", v)
+	}
+	if _, err := e.Encode([]string{"just-one"}); err == nil {
+		t.Error("wrong arity should fail")
+	}
+	if _, err := FitOneHot([]string{"a"}, [][]string{{"x", "y"}}); err == nil {
+		t.Error("ragged fit rows should fail")
+	}
+}
+
+func TestKFold(t *testing.T) {
+	folds, err := KFold(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 3 {
+		t.Fatalf("folds = %d", len(folds))
+	}
+	seen := make(map[int]int)
+	for _, f := range folds {
+		train, test := f[0], f[1]
+		if len(train)+len(test) != 10 {
+			t.Error("train+test should cover all samples")
+		}
+		inTrain := make(map[int]bool)
+		for _, i := range train {
+			inTrain[i] = true
+		}
+		for _, i := range test {
+			if inTrain[i] {
+				t.Error("train and test overlap")
+			}
+			seen[i]++
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if seen[i] != 1 {
+			t.Errorf("sample %d in %d test folds, want exactly 1", i, seen[i])
+		}
+	}
+	if _, err := KFold(3, 5); err == nil {
+		t.Error("k > n should fail")
+	}
+	if _, err := KFold(10, 1); err == nil {
+		t.Error("k < 2 should fail")
+	}
+}
+
+func TestStandardScaler(t *testing.T) {
+	x := [][]float64{{1, 10}, {3, 10}, {5, 10}}
+	s := FitScaler(x)
+	if math.Abs(s.Mean[0]-3) > 1e-12 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	if s.Scale[1] != 1 {
+		t.Errorf("constant column scale = %v, want 1", s.Scale[1])
+	}
+	row := s.Apply([]float64{3, 10})
+	if math.Abs(row[0]) > 1e-12 || math.Abs(row[1]) > 1e-12 {
+		t.Errorf("Apply at mean = %v, want zeros", row)
+	}
+}
+
+func TestRidgeRecoversLinear(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	n := 200
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		a, b := r.NormFloat64(), r.NormFloat64()
+		x[i] = []float64{a, b}
+		y[i] = 3*a - 2*b + 1 + 0.01*r.NormFloat64()
+	}
+	m, err := FitRidge(x, y, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Weights[0]-3) > 0.05 || math.Abs(m.Weights[1]+2) > 0.05 || math.Abs(m.Intercept-1) > 0.05 {
+		t.Errorf("ridge fit = %+v", m)
+	}
+	if got := m.Predict([]float64{1, 1}); math.Abs(got-2) > 0.1 {
+		t.Errorf("Predict = %v, want ~2", got)
+	}
+}
+
+func TestRidgeEdgeCases(t *testing.T) {
+	if _, err := FitRidge(nil, nil, 1); err == nil {
+		t.Error("empty fit should fail")
+	}
+	// Zero-dimensional features: prediction is the target mean.
+	m, err := FitRidge([][]float64{{}, {}}, []float64{2, 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Predict(nil) != 3 {
+		t.Errorf("0-dim ridge = %v, want 3", m.Predict(nil))
+	}
+	// Collinear features still solve thanks to regularization.
+	x := [][]float64{{1, 1}, {2, 2}, {3, 3}}
+	if _, err := FitRidge(x, []float64{1, 2, 3}, 1e-3); err != nil {
+		t.Errorf("collinear ridge should succeed: %v", err)
+	}
+}
+
+func TestTreeFitsStep(t *testing.T) {
+	// y = 1 for x<0, 5 for x>=0: a depth-1 tree nails it.
+	var x [][]float64
+	var y []float64
+	for i := -10; i < 10; i++ {
+		x = append(x, []float64{float64(i)})
+		if i < 0 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 5)
+		}
+	}
+	tr, err := FitTree(x, y, TreeConfig{MaxDepth: 2, MinLeaf: 1, MinImpurity: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Predict([]float64{-3}); got != 1 {
+		t.Errorf("Predict(-3) = %v, want 1", got)
+	}
+	if got := tr.Predict([]float64{4}); got != 5 {
+		t.Errorf("Predict(4) = %v, want 5", got)
+	}
+	if tr.Depth() < 1 || tr.Leaves() < 2 {
+		t.Errorf("tree did not split: depth=%d leaves=%d", tr.Depth(), tr.Leaves())
+	}
+}
+
+func TestTreeRespectsMaxDepthAndMinLeaf(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		v := r.Float64() * 10
+		x = append(x, []float64{v})
+		y = append(y, math.Sin(v)+0.1*r.NormFloat64())
+	}
+	tr, err := FitTree(x, y, TreeConfig{MaxDepth: 2, MinLeaf: 20, MinImpurity: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tr.Depth(); d > 2 {
+		t.Errorf("Depth = %d exceeds max 2", d)
+	}
+	if l := tr.Leaves(); l > 4 {
+		t.Errorf("Leaves = %d, max 4 at depth 2", l)
+	}
+}
+
+func TestTreeConstantTarget(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}}
+	y := []float64{7, 7, 7}
+	tr, err := FitTree(x, y, DefaultTreeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Leaves() != 1 {
+		t.Error("constant target should not split")
+	}
+	if tr.Predict([]float64{99}) != 7 {
+		t.Error("constant tree should predict the constant")
+	}
+}
+
+func TestGBRTImprovesOverMean(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 400; i++ {
+		a := r.Float64()*4 - 2
+		b := r.Float64()*4 - 2
+		x = append(x, []float64{a, b})
+		y = append(y, a*a+b+0.05*r.NormFloat64())
+	}
+	cfg := DefaultGBRTConfig()
+	cfg.Trees = 80
+	g, err := FitGBRT(x, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NTrees() != 80 {
+		t.Fatalf("NTrees = %d", g.NTrees())
+	}
+	var sseModel, sseMean, mean float64
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	for i := range x {
+		d := g.Predict(x[i]) - y[i]
+		sseModel += d * d
+		d = mean - y[i]
+		sseMean += d * d
+	}
+	if sseModel > 0.2*sseMean {
+		t.Errorf("GBRT SSE %v should be well below mean-predictor SSE %v", sseModel, sseMean)
+	}
+}
+
+func TestGBRTSubsampleAndErrors(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}, {4}, {5}, {6}}
+	y := []float64{1, 2, 3, 4, 5, 6}
+	cfg := DefaultGBRTConfig()
+	cfg.Trees = 10
+	cfg.Subsample = 0.5
+	cfg.Tree.MinLeaf = 1
+	if _, err := FitGBRT(x, y, cfg); err != nil {
+		t.Errorf("subsampled GBRT failed: %v", err)
+	}
+	if _, err := FitGBRT(nil, nil, cfg); err == nil {
+		t.Error("empty fit should fail")
+	}
+	bad := cfg
+	bad.Trees = 0
+	if _, err := FitGBRT(x, y, bad); err == nil {
+		t.Error("zero trees should fail")
+	}
+	bad = cfg
+	bad.LearningRate = 0
+	if _, err := FitGBRT(x, y, bad); err == nil {
+		t.Error("zero learning rate should fail")
+	}
+}
+
+func TestSVRRecoversLinear(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	n := 500
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		a, b := r.NormFloat64(), r.NormFloat64()
+		x[i] = []float64{a, b}
+		y[i] = 2*a - b + 0.5
+	}
+	s, err := FitSVR(x, y, DefaultSVRConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sse float64
+	for i := range x {
+		d := s.Predict(x[i]) - y[i]
+		sse += d * d
+	}
+	rmse := math.Sqrt(sse / float64(n))
+	if rmse > 0.15 {
+		t.Errorf("SVR RMSE = %v, want <= 0.15", rmse)
+	}
+}
+
+func TestSVRErrors(t *testing.T) {
+	if _, err := FitSVR(nil, nil, DefaultSVRConfig()); err == nil {
+		t.Error("empty fit should fail")
+	}
+	if _, err := FitSVR([][]float64{{1}, {1, 2}}, []float64{1, 2}, DefaultSVRConfig()); err == nil {
+		t.Error("ragged matrix should fail")
+	}
+}
+
+func TestTreePredictionWithinRangeProperty(t *testing.T) {
+	// A regression tree's predictions are means of training targets, so
+	// they must lie within [min(y), max(y)].
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 10 + r.Intn(50)
+		x := make([][]float64, n)
+		y := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range x {
+			x[i] = []float64{r.Float64() * 10, r.Float64() * 10}
+			y[i] = r.NormFloat64() * 5
+			if y[i] < lo {
+				lo = y[i]
+			}
+			if y[i] > hi {
+				hi = y[i]
+			}
+		}
+		tr, err := FitTree(x, y, TreeConfig{MaxDepth: 4, MinLeaf: 1, MinImpurity: 1e-12})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 20; i++ {
+			p := tr.Predict([]float64{r.Float64() * 10, r.Float64() * 10})
+			if p < lo-1e-9 || p > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

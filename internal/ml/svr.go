@@ -1,0 +1,119 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SVRConfig controls linear epsilon-insensitive support vector regression
+// (the SVR baseline of §7.1), trained with averaged stochastic subgradient
+// descent on the primal:
+//
+//	min_w lambda/2 ||w||^2 + 1/n sum max(0, |w.x + b - y| - epsilon)
+type SVRConfig struct {
+	Epsilon float64 // insensitivity tube half-width
+	Lambda  float64 // L2 regularization strength
+	Epochs  int     // passes over the data
+	Seed    int64
+}
+
+// DefaultSVRConfig returns settings that converge on standardized features.
+func DefaultSVRConfig() SVRConfig {
+	return SVRConfig{Epsilon: 0.05, Lambda: 1e-4, Epochs: 40, Seed: 1}
+}
+
+// SVR is a trained linear SVR together with the scaler fitted on its
+// training features. Predict applies the scaler, so callers pass raw
+// feature vectors.
+type SVR struct {
+	Weights   []float64
+	Intercept float64
+	scaler    *StandardScaler
+}
+
+// FitSVR trains on the raw (unscaled) design matrix; standardization is
+// handled internally.
+func FitSVR(x [][]float64, y []float64, cfg SVRConfig) (*SVR, error) {
+	n := len(x)
+	if n == 0 || n != len(y) {
+		return nil, fmt.Errorf("ml: svr needs matching non-empty x (%d) and y (%d)", n, len(y))
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	if cfg.Lambda <= 0 {
+		cfg.Lambda = 1e-6
+	}
+	d := len(x[0])
+	for _, row := range x {
+		if len(row) != d {
+			return nil, fmt.Errorf("ml: ragged design matrix")
+		}
+	}
+	scaler := FitScaler(x)
+	xs := make([][]float64, n)
+	for i, row := range x {
+		xs[i] = scaler.Apply(append([]float64(nil), row...))
+	}
+	w := make([]float64, d)
+	wAvg := make([]float64, d)
+	var b, bAvg float64
+	r := rand.New(rand.NewSource(cfg.Seed))
+	order := r.Perm(n)
+	// Bottou's robust SGD schedule: eta_t = eta0 / (1 + lambda*eta0*t).
+	const eta0 = 0.5
+	t := 0
+	updates := 0
+	avgFrom := (cfg.Epochs * n) / 2 // Polyak-Ruppert averaging over the 2nd half
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		// Fisher-Yates reshuffle each epoch.
+		for i := n - 1; i > 0; i-- {
+			j := r.Intn(i + 1)
+			order[i], order[j] = order[j], order[i]
+		}
+		for _, i := range order {
+			eta := eta0 / (1 + cfg.Lambda*eta0*float64(t))
+			t++
+			pred := b
+			for j, wj := range w {
+				pred += wj * xs[i][j]
+			}
+			resid := pred - y[i]
+			// Subgradient of the epsilon-insensitive loss.
+			var g float64
+			switch {
+			case resid > cfg.Epsilon:
+				g = 1
+			case resid < -cfg.Epsilon:
+				g = -1
+			}
+			for j := range w {
+				w[j] -= eta * (cfg.Lambda*w[j] + g*xs[i][j])
+			}
+			b -= eta * g
+			if t >= avgFrom {
+				updates++
+				rho := 1 / float64(updates)
+				for j := range w {
+					wAvg[j] += rho * (w[j] - wAvg[j])
+				}
+				bAvg += rho * (b - bAvg)
+			}
+		}
+	}
+	if updates == 0 {
+		copy(wAvg, w)
+		bAvg = b
+	}
+	return &SVR{Weights: wAvg, Intercept: bAvg, scaler: scaler}, nil
+}
+
+// Predict evaluates the model on a raw feature vector.
+func (s *SVR) Predict(x []float64) float64 {
+	pred := s.Intercept
+	for j, w := range s.Weights {
+		v := (x[j] - s.scaler.Mean[j]) / s.scaler.Scale[j]
+		pred += w * v
+	}
+	return pred
+}

@@ -1,0 +1,178 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// TreeConfig controls CART regression-tree growth.
+type TreeConfig struct {
+	MaxDepth    int     // maximum depth (root at depth 0)
+	MinLeaf     int     // minimum samples per leaf
+	MinImpurity float64 // minimum variance-reduction gain to split
+}
+
+// DefaultTreeConfig matches the shallow trees gradient boosting wants.
+func DefaultTreeConfig() TreeConfig {
+	return TreeConfig{MaxDepth: 3, MinLeaf: 5, MinImpurity: 1e-9}
+}
+
+// Tree is a CART regression tree over dense float64 feature vectors
+// (one-hot encoded categoricals work naturally: the split "x[j] < 0.5"
+// partitions a category in/out).
+type Tree struct {
+	root *treeNode
+	dim  int
+}
+
+type treeNode struct {
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+	value     float64 // leaf prediction
+	leaf      bool
+}
+
+// FitTree grows a regression tree minimizing squared error.
+func FitTree(x [][]float64, y []float64, cfg TreeConfig) (*Tree, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("ml: tree needs matching non-empty x (%d) and y (%d)", len(x), len(y))
+	}
+	if cfg.MaxDepth < 0 {
+		cfg.MaxDepth = 0
+	}
+	if cfg.MinLeaf < 1 {
+		cfg.MinLeaf = 1
+	}
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	t := &Tree{dim: len(x[0])}
+	t.root = grow(x, y, idx, cfg, 0)
+	return t, nil
+}
+
+// grow recursively builds a node over the samples in idx.
+func grow(x [][]float64, y []float64, idx []int, cfg TreeConfig, depth int) *treeNode {
+	mean, sse := meanSSE(y, idx)
+	node := &treeNode{leaf: true, value: mean}
+	if depth >= cfg.MaxDepth || len(idx) < 2*cfg.MinLeaf || sse <= 0 {
+		return node
+	}
+	bestGain := cfg.MinImpurity
+	bestFeat, bestThr := -1, 0.0
+	dim := len(x[idx[0]])
+	order := make([]int, len(idx))
+	for j := 0; j < dim; j++ {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return x[order[a]][j] < x[order[b]][j] })
+		// Prefix sums over the sorted order enable O(n) split scan.
+		var sumL, sumSqL float64
+		var sumR, sumSqR float64
+		for _, i := range order {
+			sumR += y[i]
+			sumSqR += y[i] * y[i]
+		}
+		nL := 0
+		nR := len(order)
+		for k := 0; k < len(order)-1; k++ {
+			i := order[k]
+			sumL += y[i]
+			sumSqL += y[i] * y[i]
+			sumR -= y[i]
+			sumSqR -= y[i] * y[i]
+			nL++
+			nR--
+			// Can't split between equal feature values.
+			if x[order[k]][j] == x[order[k+1]][j] {
+				continue
+			}
+			if nL < cfg.MinLeaf || nR < cfg.MinLeaf {
+				continue
+			}
+			sseL := sumSqL - sumL*sumL/float64(nL)
+			sseR := sumSqR - sumR*sumR/float64(nR)
+			gain := sse - (sseL + sseR)
+			if gain > bestGain {
+				bestGain = gain
+				bestFeat = j
+				bestThr = (x[order[k]][j] + x[order[k+1]][j]) / 2
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return node
+	}
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if x[i][bestFeat] < bestThr {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	if len(leftIdx) == 0 || len(rightIdx) == 0 {
+		return node
+	}
+	node.leaf = false
+	node.feature = bestFeat
+	node.threshold = bestThr
+	node.left = grow(x, y, leftIdx, cfg, depth+1)
+	node.right = grow(x, y, rightIdx, cfg, depth+1)
+	return node
+}
+
+func meanSSE(y []float64, idx []int) (mean, sse float64) {
+	if len(idx) == 0 {
+		return 0, 0
+	}
+	for _, i := range idx {
+		mean += y[i]
+	}
+	mean /= float64(len(idx))
+	for _, i := range idx {
+		d := y[i] - mean
+		sse += d * d
+	}
+	return mean, sse
+}
+
+// Predict evaluates the tree on one feature vector.
+func (t *Tree) Predict(x []float64) float64 {
+	n := t.root
+	for !n.leaf {
+		if x[n.feature] < n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// Depth returns the maximum depth of the tree (root = 0).
+func (t *Tree) Depth() int { return nodeDepth(t.root) }
+
+func nodeDepth(n *treeNode) int {
+	if n == nil || n.leaf {
+		return 0
+	}
+	l, r := nodeDepth(n.left), nodeDepth(n.right)
+	return 1 + int(math.Max(float64(l), float64(r)))
+}
+
+// Leaves returns the number of leaf nodes.
+func (t *Tree) Leaves() int { return countLeaves(t.root) }
+
+func countLeaves(n *treeNode) int {
+	if n == nil {
+		return 0
+	}
+	if n.leaf {
+		return 1
+	}
+	return countLeaves(n.left) + countLeaves(n.right)
+}

@@ -1,0 +1,120 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"cs2p/internal/mathx"
+	"cs2p/internal/trace"
+)
+
+// stepOracle predicts a constant and ignores observations; used to verify
+// the evaluation bookkeeping exactly.
+type stepOracle float64
+
+func (s stepOracle) Name() string { return "const" }
+
+func (s stepOracle) NewSession(*trace.Session) Midstream { return constMid(s) }
+
+type constMid float64
+
+func (c constMid) Predict() float64         { return float64(c) }
+func (c constMid) PredictAhead(int) float64 { return float64(c) }
+func (c constMid) Observe(float64)          {}
+
+func TestEvaluateMidstreamHorizonTargets(t *testing.T) {
+	// Session 10, 20, 30, 40: a constant predictor of 20 has horizon-1
+	// errors |20-20|/20, |20-30|/30, |20-40|/40 evaluated at t=1,2,3.
+	s := sess(10, 20, 30, 40)
+	res := EvaluateMidstream(stepOracle(20), []*trace.Session{s}, 1)
+	want := []float64{0, 1.0 / 3.0, 0.5}
+	if len(res[0].Errors) != len(want) {
+		t.Fatalf("errors = %v", res[0].Errors)
+	}
+	for i := range want {
+		if math.Abs(res[0].Errors[i]-want[i]) > 1e-12 {
+			t.Errorf("error[%d] = %v, want %v", i, res[0].Errors[i], want[i])
+		}
+	}
+	// Horizon 2: targets are epochs 2 and 3, predictions made at t=1,2.
+	res = EvaluateMidstream(stepOracle(20), []*trace.Session{s}, 2)
+	want = []float64{1.0 / 3.0, 0.5}
+	if len(res[0].Errors) != len(want) {
+		t.Fatalf("h2 errors = %v", res[0].Errors)
+	}
+	for i := range want {
+		if math.Abs(res[0].Errors[i]-want[i]) > 1e-12 {
+			t.Errorf("h2 error[%d] = %v, want %v", i, res[0].Errors[i], want[i])
+		}
+	}
+}
+
+func TestEvaluateMidstreamSkipsNaNPredictions(t *testing.T) {
+	// LS has no prediction at t=1's first evaluation? It does (observed
+	// epoch 0). But a predictor returning NaN always must produce zero
+	// errors rather than NaNs.
+	s := sess(1, 2, 3)
+	res := EvaluateMidstream(stepOracle(math.NaN()), []*trace.Session{s}, 1)
+	if len(res[0].Errors) != 0 {
+		t.Errorf("NaN predictions should be skipped, got %v", res[0].Errors)
+	}
+}
+
+func TestEvaluateMidstreamShortSessions(t *testing.T) {
+	one := sess(5)
+	res := EvaluateMidstream(LS{}, []*trace.Session{one}, 1)
+	if len(res[0].Errors) != 0 {
+		t.Errorf("single-epoch session has no midstream targets, got %v", res[0].Errors)
+	}
+	empty := &trace.Session{ID: "e"}
+	res = EvaluateMidstream(LS{}, []*trace.Session{empty}, 1)
+	if len(res[0].Errors) != 0 {
+		t.Error("empty session should yield no errors")
+	}
+}
+
+func TestSummarizeAllEmpty(t *testing.T) {
+	sum := Summarize([]SessionErrors{{ID: "a"}, {ID: "b"}})
+	if sum.Sessions != 0 || sum.Samples != 0 {
+		t.Errorf("counts = %+v", sum)
+	}
+	if !math.IsNaN(sum.FlatMedian) || !math.IsNaN(sum.MedianOfMedians) {
+		t.Error("empty summary statistics should be NaN")
+	}
+}
+
+func TestEvaluateInitialCoverage(t *testing.T) {
+	d := []*trace.Session{sess(2, 3), sess(4, 5)}
+	errs := EvaluateInitial(stepOracleInitial(3), d)
+	if len(errs) != 2 {
+		t.Fatalf("errs = %v", errs)
+	}
+	if math.Abs(errs[0]-0.5) > 1e-12 || math.Abs(errs[1]-0.25) > 1e-12 {
+		t.Errorf("errs = %v, want [0.5 0.25]", errs)
+	}
+}
+
+type stepOracleInitial float64
+
+func (s stepOracleInitial) Name() string { return "const-init" }
+
+func (s stepOracleInitial) PredictInitial(*trace.Session) float64 { return float64(s) }
+
+func TestHMWindowedVsFull(t *testing.T) {
+	// On a session that shifts level, the windowed HM tracks faster than
+	// the all-history HM.
+	tput := append(mathx.Linspace(8, 8, 20), mathx.Linspace(2, 2, 20)...)
+	s := sess(tput...)
+	full := HM{}.NewSession(s)
+	windowed := HM{MaxSamples: 5}.NewSession(s)
+	for _, w := range tput {
+		full.Observe(w)
+		windowed.Observe(w)
+	}
+	if math.Abs(windowed.Predict()-2) > 1e-9 {
+		t.Errorf("windowed HM = %v, want 2", windowed.Predict())
+	}
+	if full.Predict() <= windowed.Predict() {
+		t.Errorf("all-history HM (%v) should lag above the windowed one (%v)", full.Predict(), windowed.Predict())
+	}
+}

@@ -1,0 +1,60 @@
+package predict
+
+import (
+	"fmt"
+
+	"cs2p/internal/hmm"
+	"cs2p/internal/trace"
+)
+
+// GHM is the Global Hidden-Markov-Model baseline of §7.2: one HMM trained on
+// all sessions without clustering. Its gap to CS2P quantifies the value of
+// per-cluster models.
+type GHM struct {
+	model *hmm.Model
+}
+
+// TrainGHM fits the global HMM. MaxSessions caps the training set (a stride
+// subsample) since one global model does not need millions of sequences;
+// 0 means no cap.
+func TrainGHM(train *trace.Dataset, cfg hmm.TrainConfig, maxSessions int) (*GHM, error) {
+	seqs := make([][]float64, 0, len(train.Sessions))
+	for _, s := range train.Sessions {
+		seqs = append(seqs, s.Throughput)
+	}
+	if maxSessions > 0 && len(seqs) > maxSessions {
+		stride := float64(len(seqs)) / float64(maxSessions)
+		sub := make([][]float64, 0, maxSessions)
+		for i := 0; i < maxSessions; i++ {
+			sub = append(sub, seqs[int(float64(i)*stride)])
+		}
+		seqs = sub
+	}
+	m, err := hmm.Train(seqs, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("predict: training global HMM: %w", err)
+	}
+	return &GHM{model: m}, nil
+}
+
+// Name implements Factory.
+func (*GHM) Name() string { return "GHM" }
+
+// Model exposes the underlying HMM (for diagnostics).
+func (g *GHM) Model() *hmm.Model { return g.model }
+
+// NewSession implements Factory.
+func (g *GHM) NewSession(*trace.Session) Midstream {
+	return hmmAdapter{hmm.NewFilter(g.model)}
+}
+
+// hmmAdapter adapts an hmm.Filter to the Midstream interface. It is shared
+// with the CS2P engine (internal/core).
+type hmmAdapter struct{ f *hmm.Filter }
+
+// WrapFilter adapts an HMM filter to the Midstream interface.
+func WrapFilter(f *hmm.Filter) Midstream { return hmmAdapter{f} }
+
+func (a hmmAdapter) Predict() float64           { return a.f.Predict() }
+func (a hmmAdapter) PredictAhead(k int) float64 { return a.f.PredictAhead(k) }
+func (a hmmAdapter) Observe(w float64)          { a.f.Observe(w) }

@@ -1,0 +1,135 @@
+package predict
+
+import (
+	"math"
+
+	"cs2p/internal/mathx"
+	"cs2p/internal/ml"
+	"cs2p/internal/trace"
+)
+
+// LS is the Last-Sample baseline: predict the previous epoch's throughput.
+type LS struct{}
+
+// Name implements Factory.
+func (LS) Name() string { return "LS" }
+
+// NewSession implements Factory.
+func (LS) NewSession(*trace.Session) Midstream { return &lsState{last: math.NaN()} }
+
+type lsState struct{ last float64 }
+
+func (s *lsState) Predict() float64           { return s.last }
+func (s *lsState) PredictAhead(k int) float64 { return s.last }
+func (s *lsState) Observe(w float64)          { s.last = w }
+
+// HM is the Harmonic-Mean baseline of the MPC paper: predict the harmonic
+// mean of all throughputs observed so far in the session.
+type HM struct {
+	// MaxSamples, if positive, limits the harmonic mean to the most
+	// recent samples (the MPC paper uses the last 5 chunks; 0 keeps the
+	// paper-described "all previous measurements").
+	MaxSamples int
+}
+
+// Name implements Factory.
+func (h HM) Name() string { return "HM" }
+
+// NewSession implements Factory.
+func (h HM) NewSession(*trace.Session) Midstream { return &hmState{max: h.MaxSamples} }
+
+type hmState struct {
+	hist []float64
+	max  int
+}
+
+func (s *hmState) Predict() float64 {
+	if len(s.hist) == 0 {
+		return math.NaN()
+	}
+	return mathx.HarmonicMean(s.hist)
+}
+
+func (s *hmState) PredictAhead(k int) float64 { return s.Predict() }
+
+func (s *hmState) Observe(w float64) {
+	s.hist = append(s.hist, w)
+	if s.max > 0 && len(s.hist) > s.max {
+		s.hist = s.hist[len(s.hist)-s.max:]
+	}
+}
+
+// AR is the auto-regressive baseline: an AR(p) model refit on the session's
+// own history at every epoch (ridge-regularized least squares), falling back
+// to the running mean until p+2 samples exist.
+type AR struct {
+	// Order is p (default 3).
+	Order int
+	// Lambda is the ridge strength (default 1e-3).
+	Lambda float64
+}
+
+// Name implements Factory.
+func (AR) Name() string { return "AR" }
+
+// NewSession implements Factory.
+func (a AR) NewSession(*trace.Session) Midstream {
+	p := a.Order
+	if p <= 0 {
+		p = 3
+	}
+	l := a.Lambda
+	if l <= 0 {
+		l = 1e-3
+	}
+	return &arState{p: p, lambda: l}
+}
+
+type arState struct {
+	p      int
+	lambda float64
+	hist   []float64
+}
+
+func (s *arState) Predict() float64 { return s.PredictAhead(1) }
+
+// PredictAhead iterates the fitted AR recurrence k steps, feeding
+// predictions back as pseudo-observations (standard multi-step AR
+// forecasting).
+func (s *arState) PredictAhead(k int) float64 {
+	if len(s.hist) == 0 {
+		return math.NaN()
+	}
+	if len(s.hist) < s.p+2 {
+		return mathx.Mean(s.hist)
+	}
+	model := s.fit()
+	if model == nil {
+		return mathx.Mean(s.hist)
+	}
+	window := append([]float64(nil), s.hist[len(s.hist)-s.p:]...)
+	var pred float64
+	for step := 0; step < k; step++ {
+		pred = model.Predict(window)
+		copy(window, window[1:])
+		window[s.p-1] = pred
+	}
+	return pred
+}
+
+func (s *arState) fit() *ml.Ridge {
+	n := len(s.hist) - s.p
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = s.hist[i : i+s.p]
+		y[i] = s.hist[i+s.p]
+	}
+	model, err := ml.FitRidge(x, y, s.lambda)
+	if err != nil {
+		return nil
+	}
+	return model
+}
+
+func (s *arState) Observe(w float64) { s.hist = append(s.hist, w) }

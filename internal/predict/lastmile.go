@@ -1,0 +1,88 @@
+package predict
+
+import (
+	"cs2p/internal/mathx"
+	"cs2p/internal/trace"
+)
+
+// groupMedianInitial is the shared machinery of the last-mile and global
+// baselines: predict a session's initial throughput as the median initial
+// throughput of training sessions sharing one grouping feature (or all
+// sessions for the global predictor).
+type groupMedianInitial struct {
+	name    string
+	medians map[string]float64
+	global  float64
+}
+
+func newGroupMedianInitial(name string, train *trace.Dataset, feature string) *groupMedianInitial {
+	g := &groupMedianInitial{name: name, medians: make(map[string]float64)}
+	byKey := map[string][]float64{}
+	var all []float64
+	for _, s := range train.Sessions {
+		if len(s.Throughput) == 0 {
+			continue
+		}
+		w0 := s.InitialThroughput()
+		all = append(all, w0)
+		if feature != "" {
+			k := s.Features.Get(feature)
+			byKey[k] = append(byKey[k], w0)
+		}
+	}
+	for k, vals := range byKey {
+		g.medians[k] = mathx.Median(vals)
+	}
+	g.global = mathx.Median(all)
+	return g
+}
+
+func (g *groupMedianInitial) Name() string { return g.name }
+
+func (g *groupMedianInitial) predictKey(key string) float64 {
+	if m, ok := g.medians[key]; ok {
+		return m
+	}
+	return g.global
+}
+
+// LMClient is the "Last Mile - client" baseline of Figure 9a: predict by the
+// median of sessions sharing the client's /16 IP prefix.
+type LMClient struct{ *groupMedianInitial }
+
+// NewLMClient trains the predictor on the training dataset.
+func NewLMClient(train *trace.Dataset) LMClient {
+	return LMClient{newGroupMedianInitial("LM-client", train, trace.FeatPrefix16)}
+}
+
+// PredictInitial implements Initial.
+func (p LMClient) PredictInitial(s *trace.Session) float64 {
+	return p.predictKey(s.Features.Get(trace.FeatPrefix16))
+}
+
+// LMServer is the "Last Mile - server" baseline: predict by the median of
+// sessions connecting to the same server.
+type LMServer struct{ *groupMedianInitial }
+
+// NewLMServer trains the predictor on the training dataset.
+func NewLMServer(train *trace.Dataset) LMServer {
+	return LMServer{newGroupMedianInitial("LM-server", train, trace.FeatServer)}
+}
+
+// PredictInitial implements Initial.
+func (p LMServer) PredictInitial(s *trace.Session) float64 {
+	return p.predictKey(s.Features.Get(trace.FeatServer))
+}
+
+// GlobalMedian predicts every session's initial throughput as the global
+// median — the spatially coarsest end of the design spectrum discussed in
+// §4.
+type GlobalMedian struct{ *groupMedianInitial }
+
+// NewGlobalMedian trains the predictor on the training dataset.
+func NewGlobalMedian(train *trace.Dataset) GlobalMedian {
+	return GlobalMedian{newGroupMedianInitial("GlobalMedian", train, "")}
+}
+
+// PredictInitial implements Initial.
+func (p GlobalMedian) PredictInitial(*trace.Session) float64 { return p.global }

@@ -1,0 +1,255 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+
+	"cs2p/internal/mathx"
+	"cs2p/internal/ml"
+	"cs2p/internal/trace"
+)
+
+// MLFeatures are the categorical session features the machine-learning
+// baselines encode (the Table 2 set; the raw client IP and /16 prefix are
+// omitted — they explode the one-hot width without adding signal beyond
+// city/AS at the synthetic trace's scale).
+var MLFeatures = []string{
+	trace.FeatISP, trace.FeatAS, trace.FeatProvince, trace.FeatCity, trace.FeatServer,
+}
+
+// MLConfig controls training of the SVR/GBR baselines.
+type MLConfig struct {
+	// Lags is the number of previous throughput samples fed as numeric
+	// features for midstream prediction.
+	Lags int
+	// MaxRows caps the training design matrix (deterministic stride
+	// subsample); the paper trains on all sessions, we bound compute.
+	MaxRows int
+	// ExtraFeatures appends additional categorical feature names (e.g.
+	// the FCC profile's ConnType/SpeedTier).
+	ExtraFeatures []string
+	SVR           ml.SVRConfig
+	GBRT          ml.GBRTConfig
+}
+
+// DefaultMLConfig returns the configuration used by the benchmarks.
+func DefaultMLConfig() MLConfig {
+	g := ml.DefaultGBRTConfig()
+	g.Trees = 60
+	return MLConfig{
+		Lags:    5,
+		MaxRows: 15000,
+		SVR:     ml.DefaultSVRConfig(),
+		GBRT:    g,
+	}
+}
+
+// regressor is the common surface of ml.SVR and ml.GBRT.
+type regressor interface {
+	Predict(x []float64) float64
+}
+
+// MLPredictor wraps a trained regressor as both a midstream Factory and an
+// Initial predictor.
+type MLPredictor struct {
+	name     string
+	enc      *ml.OneHotEncoder
+	features []string
+	lags     int
+	mid      regressor // trained with lag features
+	init     regressor // trained on static features only
+}
+
+// Name implements Factory and Initial.
+func (m *MLPredictor) Name() string { return m.name }
+
+// kind selects which baseline to train.
+type kind int
+
+const (
+	kindSVR kind = iota
+	kindGBRT
+)
+
+// TrainSVR fits the SVR baseline (linear epsilon-SVR on one-hot session
+// features + lagged throughputs).
+func TrainSVR(train *trace.Dataset, cfg MLConfig) (*MLPredictor, error) {
+	return trainML("SVR", kindSVR, train, cfg)
+}
+
+// TrainGBRT fits the GBR baseline (gradient boosted regression trees).
+func TrainGBRT(train *trace.Dataset, cfg MLConfig) (*MLPredictor, error) {
+	return trainML("GBR", kindGBRT, train, cfg)
+}
+
+func trainML(name string, k kind, train *trace.Dataset, cfg MLConfig) (*MLPredictor, error) {
+	if cfg.Lags <= 0 {
+		cfg.Lags = 5
+	}
+	if cfg.MaxRows <= 0 {
+		cfg.MaxRows = 15000
+	}
+	features := append(append([]string(nil), MLFeatures...), cfg.ExtraFeatures...)
+	rows := make([][]string, 0, len(train.Sessions))
+	for _, s := range train.Sessions {
+		rows = append(rows, featureRow(s, features))
+	}
+	enc, err := ml.FitOneHot(features, rows)
+	if err != nil {
+		return nil, fmt.Errorf("predict: encoding features: %w", err)
+	}
+	p := &MLPredictor{name: name, enc: enc, features: features, lags: cfg.Lags}
+
+	// Midstream design matrix: one row per (session, epoch >= 1).
+	var xMid [][]float64
+	var yMid []float64
+	for _, s := range train.Sessions {
+		static, err := enc.Encode(featureRow(s, features))
+		if err != nil {
+			return nil, err
+		}
+		for t := 1; t < len(s.Throughput); t++ {
+			xMid = append(xMid, midRow(static, s.Throughput[:t], cfg.Lags, s.StartUnix))
+			yMid = append(yMid, s.Throughput[t])
+		}
+	}
+	xMid, yMid = strideSample(xMid, yMid, cfg.MaxRows)
+
+	// Initial design matrix: one row per session, static features only.
+	var xInit [][]float64
+	var yInit []float64
+	for _, s := range train.Sessions {
+		if len(s.Throughput) == 0 {
+			continue
+		}
+		static, err := enc.Encode(featureRow(s, features))
+		if err != nil {
+			return nil, err
+		}
+		xInit = append(xInit, initRow(static, s.StartUnix))
+		yInit = append(yInit, s.Throughput[0])
+	}
+	xInit, yInit = strideSample(xInit, yInit, cfg.MaxRows)
+
+	switch k {
+	case kindSVR:
+		mid, err := ml.FitSVR(xMid, yMid, cfg.SVR)
+		if err != nil {
+			return nil, fmt.Errorf("predict: SVR midstream: %w", err)
+		}
+		init, err := ml.FitSVR(xInit, yInit, cfg.SVR)
+		if err != nil {
+			return nil, fmt.Errorf("predict: SVR initial: %w", err)
+		}
+		p.mid, p.init = mid, init
+	default:
+		mid, err := ml.FitGBRT(xMid, yMid, cfg.GBRT)
+		if err != nil {
+			return nil, fmt.Errorf("predict: GBRT midstream: %w", err)
+		}
+		init, err := ml.FitGBRT(xInit, yInit, cfg.GBRT)
+		if err != nil {
+			return nil, fmt.Errorf("predict: GBRT initial: %w", err)
+		}
+		p.mid, p.init = mid, init
+	}
+	return p, nil
+}
+
+func featureRow(s *trace.Session, features []string) []string {
+	row := make([]string, len(features))
+	for i, f := range features {
+		row[i] = s.Features.Get(f)
+	}
+	return row
+}
+
+// midRow appends lag features and hour-of-day to the static one-hot block.
+// Lags are right-aligned: the most recent sample is last; missing history is
+// padded with the history mean.
+func midRow(static []float64, hist []float64, lags int, startUnix int64) []float64 {
+	row := make([]float64, 0, len(static)+lags+1)
+	row = append(row, static...)
+	mean := mathx.Mean(hist)
+	for i := lags; i >= 1; i-- {
+		idx := len(hist) - i
+		if idx < 0 {
+			row = append(row, mean)
+		} else {
+			row = append(row, hist[idx])
+		}
+	}
+	row = append(row, hourFeature(startUnix))
+	return row
+}
+
+func initRow(static []float64, startUnix int64) []float64 {
+	row := make([]float64, 0, len(static)+1)
+	row = append(row, static...)
+	row = append(row, hourFeature(startUnix))
+	return row
+}
+
+func hourFeature(unix int64) float64 {
+	return float64((unix % 86400) / 3600)
+}
+
+// strideSample caps the design matrix at maxRows via a deterministic stride.
+func strideSample(x [][]float64, y []float64, maxRows int) ([][]float64, []float64) {
+	if len(x) <= maxRows {
+		return x, y
+	}
+	stride := float64(len(x)) / float64(maxRows)
+	xs := make([][]float64, 0, maxRows)
+	ys := make([]float64, 0, maxRows)
+	for i := 0; i < maxRows; i++ {
+		j := int(float64(i) * stride)
+		xs = append(xs, x[j])
+		ys = append(ys, y[j])
+	}
+	return xs, ys
+}
+
+// NewSession implements Factory.
+func (m *MLPredictor) NewSession(s *trace.Session) Midstream {
+	static, err := m.enc.Encode(featureRow(s, m.features))
+	if err != nil {
+		static = make([]float64, m.enc.Width())
+	}
+	return &mlState{p: m, static: static, start: s.StartUnix}
+}
+
+type mlState struct {
+	p      *MLPredictor
+	static []float64
+	start  int64
+	hist   []float64
+}
+
+func (s *mlState) Predict() float64 { return s.PredictAhead(1) }
+
+// PredictAhead feeds predictions back as pseudo-observations for multi-step
+// horizons, like the AR baseline.
+func (s *mlState) PredictAhead(k int) float64 {
+	if len(s.hist) == 0 {
+		return math.NaN()
+	}
+	hist := s.hist
+	var pred float64
+	for step := 0; step < k; step++ {
+		pred = s.p.mid.Predict(midRow(s.static, hist, s.p.lags, s.start))
+		hist = append(hist[:len(hist):len(hist)], pred)
+	}
+	return pred
+}
+
+func (s *mlState) Observe(w float64) { s.hist = append(s.hist, w) }
+
+// PredictInitial implements Initial.
+func (m *MLPredictor) PredictInitial(s *trace.Session) float64 {
+	static, err := m.enc.Encode(featureRow(s, m.features))
+	if err != nil {
+		return math.NaN()
+	}
+	return m.init.Predict(initRow(static, s.StartUnix))
+}

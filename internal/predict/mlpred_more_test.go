@@ -1,0 +1,105 @@
+package predict
+
+import (
+	"fmt"
+	"testing"
+
+	"cs2p/internal/trace"
+)
+
+func TestNames(t *testing.T) {
+	d := tinyMLDataset(80)
+	cfg := DefaultMLConfig()
+	cfg.GBRT.Trees = 3
+	cfg.SVR.Epochs = 3
+	gbr, err := TrainGBRT(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svr, err := TrainSVR(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for want, f := range map[string]interface{ Name() string }{
+		"LS": LS{}, "HM": HM{}, "AR": AR{},
+		"GBR": gbr, "SVR": svr,
+		"LM-client": NewLMClient(d), "LM-server": NewLMServer(d),
+		"GlobalMedian": NewGlobalMedian(d),
+	} {
+		if f.Name() != want {
+			t.Errorf("Name = %q, want %q", f.Name(), want)
+		}
+	}
+}
+
+func tinyMLDataset(n int) *trace.Dataset {
+	d := trace.NewDataset()
+	for i := 0; i < n; i++ {
+		d.Sessions = append(d.Sessions, &trace.Session{
+			ID: fmt.Sprintf("s%d", i), StartUnix: 1700000000 + int64(i)*60,
+			Features:   trace.Features{ClientIP: "1.2.3.4", ISP: "i", AS: "a", Province: "p", City: "c", Server: "v"},
+			Throughput: []float64{2, 3, 2, 3},
+		})
+	}
+	return d
+}
+
+func TestStrideSampleCapsRows(t *testing.T) {
+	x := make([][]float64, 100)
+	y := make([]float64, 100)
+	for i := range x {
+		x[i] = []float64{float64(i)}
+		y[i] = float64(i)
+	}
+	xs, ys := strideSample(x, y, 10)
+	if len(xs) != 10 || len(ys) != 10 {
+		t.Fatalf("sampled %d/%d rows", len(xs), len(ys))
+	}
+	// Stride keeps order and spans the range.
+	if xs[0][0] != 0 || xs[9][0] < 80 {
+		t.Errorf("stride sample not spanning: first=%v last=%v", xs[0][0], xs[9][0])
+	}
+	// No cap when under the limit.
+	xs, ys = strideSample(x[:5], y[:5], 10)
+	if len(xs) != 5 || len(ys) != 5 {
+		t.Error("under-limit input should pass through")
+	}
+}
+
+func TestTrainMLRowCap(t *testing.T) {
+	// A dataset with far more (session, epoch) pairs than MaxRows must
+	// still train (and quickly).
+	d := trace.NewDataset()
+	for i := 0; i < 50; i++ {
+		tput := make([]float64, 50)
+		for j := range tput {
+			tput[j] = 2 + float64(j%3)
+		}
+		d.Sessions = append(d.Sessions, &trace.Session{
+			ID: fmt.Sprintf("s%d", i), StartUnix: 1700000000 + int64(i),
+			Features:   trace.Features{ClientIP: "1.2.3.4", ISP: "i", AS: "a", Province: "p", City: "c", Server: "v"},
+			Throughput: tput,
+		})
+	}
+	cfg := DefaultMLConfig()
+	cfg.MaxRows = 200
+	cfg.GBRT.Trees = 5
+	p, err := TrainGBRT(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.NewSession(d.Sessions[0])
+	m.Observe(2)
+	if got := m.Predict(); got <= 0 {
+		t.Errorf("prediction = %v", got)
+	}
+}
+
+func TestMLConfigZeroValuesDefaulted(t *testing.T) {
+	d := tinyMLDataset(40)
+	cfg := MLConfig{GBRT: DefaultMLConfig().GBRT}
+	cfg.GBRT.Trees = 3
+	if _, err := TrainGBRT(d, cfg); err != nil {
+		t.Fatalf("zero Lags/MaxRows should default: %v", err)
+	}
+}

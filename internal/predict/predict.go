@@ -1,0 +1,143 @@
+// Package predict defines the throughput-predictor interfaces shared by
+// CS2P and every baseline the paper compares against (§7.1), implements the
+// history-based (LS, HM, AR), machine-learning (SVR, GBR), last-mile
+// (LM-client, LM-server) and global-HMM (GHM) baselines, and provides the
+// evaluation harness computing the paper's error metrics (Eq. 1).
+package predict
+
+import (
+	"math"
+
+	"cs2p/internal/mathx"
+	"cs2p/internal/trace"
+)
+
+// Midstream predicts throughput within one running session. Implementations
+// are per-session and not safe for concurrent use.
+type Midstream interface {
+	// Predict estimates the next epoch's throughput (Mbps). Before any
+	// observation, implementations return their best prior (possibly NaN
+	// for pure history-based predictors).
+	Predict() float64
+	// PredictAhead estimates the throughput k >= 1 epochs ahead.
+	// History-based predictors extrapolate flat.
+	PredictAhead(k int) float64
+	// Observe feeds the measured throughput of the epoch that finished.
+	Observe(w float64)
+}
+
+// Factory creates per-session midstream predictors. Name identifies the
+// algorithm in experiment output.
+type Factory interface {
+	Name() string
+	// NewSession returns a fresh predictor for a session with the given
+	// features and start time. The session's throughput samples must be
+	// fed via Observe only.
+	NewSession(s *trace.Session) Midstream
+}
+
+// Initial predicts the first epoch's throughput from cross-session
+// information only (§5.1/Eq. 6); there is no history yet.
+type Initial interface {
+	Name() string
+	PredictInitial(s *trace.Session) float64
+}
+
+// SessionErrors holds the Eq.-1 errors of one predictor over one session's
+// midstream epochs.
+type SessionErrors struct {
+	ID     string
+	Errors []float64
+}
+
+// EvaluateMidstream replays each test session through a fresh predictor and
+// collects the absolute normalized error of the horizon-step-ahead
+// prediction for every epoch where it is defined. horizon >= 1; epoch 0 is
+// excluded (it belongs to the initial predictor).
+func EvaluateMidstream(f Factory, sessions []*trace.Session, horizon int) []SessionErrors {
+	if horizon < 1 {
+		horizon = 1
+	}
+	out := make([]SessionErrors, 0, len(sessions))
+	for _, s := range sessions {
+		p := f.NewSession(s)
+		var errs []float64
+		for t, w := range s.Throughput {
+			// At time t (before observing w_t) the predictor made a
+			// horizon-ahead estimate for epoch t+horizon-1... To keep
+			// bookkeeping simple and symmetric across predictors, we
+			// evaluate: prediction made after observing epochs
+			// [0, t) for epoch t+horizon-1.
+			target := t + horizon - 1
+			if t >= 1 && target < len(s.Throughput) {
+				pred := p.PredictAhead(horizon)
+				if e := mathx.AbsRelErr(pred, s.Throughput[target]); !math.IsNaN(e) {
+					errs = append(errs, e)
+				}
+			}
+			p.Observe(w)
+		}
+		out = append(out, SessionErrors{ID: s.ID, Errors: errs})
+	}
+	return out
+}
+
+// EvaluateInitial computes the Eq.-1 error of an initial predictor on each
+// session's first epoch. Sessions where the predictor returns NaN are
+// recorded as NaN so callers can count coverage.
+func EvaluateInitial(p Initial, sessions []*trace.Session) []float64 {
+	out := make([]float64, len(sessions))
+	for i, s := range sessions {
+		out[i] = mathx.AbsRelErr(p.PredictInitial(s), s.InitialThroughput())
+	}
+	return out
+}
+
+// Summary aggregates per-session errors the ways §7.1 lists: median of
+// per-session medians, 90th percentile of per-session medians, and median of
+// per-session 90th percentiles, plus the flat median/75th percentile used by
+// Figure 9.
+type Summary struct {
+	MedianOfMedians float64
+	P90OfMedians    float64
+	MedianOfP90s    float64
+	FlatMedian      float64
+	FlatP75         float64
+	Sessions        int
+	Samples         int
+}
+
+// Summarize computes the Summary over per-session error sets. Sessions with
+// no defined errors are skipped.
+func Summarize(per []SessionErrors) Summary {
+	var medians, p90s, flat []float64
+	n := 0
+	for _, se := range per {
+		if len(se.Errors) == 0 {
+			continue
+		}
+		n++
+		medians = append(medians, mathx.Median(se.Errors))
+		p90s = append(p90s, mathx.Quantile(se.Errors, 0.9))
+		flat = append(flat, se.Errors...)
+	}
+	return Summary{
+		MedianOfMedians: mathx.Median(medians),
+		P90OfMedians:    mathx.Quantile(medians, 0.9),
+		MedianOfP90s:    mathx.Median(p90s),
+		FlatMedian:      mathx.Median(flat),
+		FlatP75:         mathx.Quantile(flat, 0.75),
+		Sessions:        n,
+		Samples:         len(flat),
+	}
+}
+
+// FlatErrors concatenates all defined per-session errors (the sample behind
+// the Figure 9 CDFs).
+func FlatErrors(per []SessionErrors) []float64 {
+	var out []float64
+	for _, se := range per {
+		out = append(out, se.Errors...)
+	}
+	return out
+}

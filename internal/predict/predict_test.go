@@ -1,0 +1,292 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"cs2p/internal/hmm"
+	"cs2p/internal/mathx"
+	"cs2p/internal/trace"
+	"cs2p/internal/tracegen"
+)
+
+func sess(tput ...float64) *trace.Session {
+	return &trace.Session{
+		ID: "s", StartUnix: 1700000000,
+		Features:   trace.Features{ClientIP: "1.2.3.4", ISP: "i", AS: "a", Province: "p", City: "c", Server: "v"},
+		Throughput: tput,
+	}
+}
+
+func TestLS(t *testing.T) {
+	p := LS{}.NewSession(sess())
+	if !math.IsNaN(p.Predict()) {
+		t.Error("LS before any sample should be NaN")
+	}
+	p.Observe(3)
+	if p.Predict() != 3 || p.PredictAhead(5) != 3 {
+		t.Error("LS should return the last sample at any horizon")
+	}
+	p.Observe(7)
+	if p.Predict() != 7 {
+		t.Error("LS should track the newest sample")
+	}
+}
+
+func TestHM(t *testing.T) {
+	p := HM{}.NewSession(sess())
+	if !math.IsNaN(p.Predict()) {
+		t.Error("HM before any sample should be NaN")
+	}
+	p.Observe(1)
+	p.Observe(2)
+	p.Observe(4)
+	want := mathx.HarmonicMean([]float64{1, 2, 4})
+	if got := p.Predict(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("HM = %v, want %v", got, want)
+	}
+	if p.PredictAhead(3) != p.Predict() {
+		t.Error("HM extrapolates flat")
+	}
+	// Windowed variant keeps only the most recent samples.
+	pw := HM{MaxSamples: 2}.NewSession(sess())
+	pw.Observe(100)
+	pw.Observe(2)
+	pw.Observe(4)
+	want = mathx.HarmonicMean([]float64{2, 4})
+	if got := pw.Predict(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("windowed HM = %v, want %v", got, want)
+	}
+}
+
+func TestARConvergesOnLinearRecurrence(t *testing.T) {
+	// A deterministic AR(1) process w_t = 0.8 w_{t-1} + 1 converges to 5;
+	// the AR predictor should learn the recurrence almost exactly.
+	p := AR{Order: 2}.NewSession(sess())
+	w := 10.0
+	for i := 0; i < 40; i++ {
+		p.Observe(w)
+		w = 0.8*w + 1
+	}
+	pred := p.Predict()
+	if math.Abs(pred-w) > 0.05*w {
+		t.Errorf("AR predicted %v, next value is %v", pred, w)
+	}
+}
+
+func TestARFallbacks(t *testing.T) {
+	p := AR{Order: 3}.NewSession(sess())
+	if !math.IsNaN(p.Predict()) {
+		t.Error("AR with no samples should be NaN")
+	}
+	p.Observe(2)
+	p.Observe(4)
+	if got := p.Predict(); got != 3 {
+		t.Errorf("AR with too little history should fall back to mean, got %v", got)
+	}
+}
+
+func TestARMultiStep(t *testing.T) {
+	p := AR{Order: 1}.NewSession(sess())
+	// Constant series: any horizon should predict the constant.
+	for i := 0; i < 10; i++ {
+		p.Observe(5)
+	}
+	if got := p.PredictAhead(10); math.Abs(got-5) > 0.1 {
+		t.Errorf("AR 10-step on constant series = %v, want 5", got)
+	}
+}
+
+func TestEvaluateMidstreamCountsAndErrors(t *testing.T) {
+	s := sess(1, 1, 1, 1)
+	res := EvaluateMidstream(LS{}, []*trace.Session{s}, 1)
+	if len(res) != 1 {
+		t.Fatalf("results = %d", len(res))
+	}
+	// Epochs 1..3 are predictable from history: 3 errors, all zero.
+	if len(res[0].Errors) != 3 {
+		t.Fatalf("errors = %v", res[0].Errors)
+	}
+	for _, e := range res[0].Errors {
+		if e != 0 {
+			t.Errorf("constant series should have zero LS error, got %v", e)
+		}
+	}
+	// Horizon 2 has one fewer target.
+	res = EvaluateMidstream(LS{}, []*trace.Session{s}, 2)
+	if len(res[0].Errors) != 2 {
+		t.Errorf("horizon-2 errors = %v", res[0].Errors)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	per := []SessionErrors{
+		{ID: "a", Errors: []float64{0.1, 0.2, 0.3}},
+		{ID: "b", Errors: []float64{0.4}},
+		{ID: "empty"},
+	}
+	sum := Summarize(per)
+	if sum.Sessions != 2 || sum.Samples != 4 {
+		t.Errorf("Summary counts = %+v", sum)
+	}
+	if math.Abs(sum.MedianOfMedians-0.3) > 1e-12 { // medians 0.2, 0.4
+		t.Errorf("MedianOfMedians = %v", sum.MedianOfMedians)
+	}
+	if math.Abs(sum.FlatMedian-0.25) > 1e-12 {
+		t.Errorf("FlatMedian = %v", sum.FlatMedian)
+	}
+	flat := FlatErrors(per)
+	if len(flat) != 4 {
+		t.Errorf("FlatErrors = %v", flat)
+	}
+}
+
+func TestLastMileAndGlobalInitial(t *testing.T) {
+	d := trace.NewDataset()
+	for i := 0; i < 40; i++ {
+		ip, tput, srv := "10.1.0.9", 8.0, "s1"
+		if i%2 == 1 {
+			ip, tput, srv = "10.2.0.9", 2.0, "s2"
+		}
+		d.Sessions = append(d.Sessions, &trace.Session{
+			ID: fmt.Sprintf("s%d", i), StartUnix: 1700000000 + int64(i),
+			Features:   trace.Features{ClientIP: ip, ISP: "i", Server: srv},
+			Throughput: []float64{tput, tput},
+		})
+	}
+	lmc := NewLMClient(d)
+	lms := NewLMServer(d)
+	gm := NewGlobalMedian(d)
+	fast := d.Sessions[0]
+	slow := d.Sessions[1]
+	if got := lmc.PredictInitial(fast); got != 8 {
+		t.Errorf("LM-client fast = %v", got)
+	}
+	if got := lmc.PredictInitial(slow); got != 2 {
+		t.Errorf("LM-client slow = %v", got)
+	}
+	if got := lms.PredictInitial(fast); got != 8 {
+		t.Errorf("LM-server fast = %v", got)
+	}
+	if got := gm.PredictInitial(fast); got != 5 {
+		t.Errorf("GlobalMedian = %v, want 5", got)
+	}
+	// Unknown keys fall back to the global median.
+	alien := sess(1)
+	alien.Features.ClientIP = "99.99.0.1"
+	alien.Features.Server = "zzz"
+	if got := lmc.PredictInitial(alien); got != 5 {
+		t.Errorf("LM-client fallback = %v, want 5", got)
+	}
+	if got := lms.PredictInitial(alien); got != 5 {
+		t.Errorf("LM-server fallback = %v, want 5", got)
+	}
+	errs := EvaluateInitial(gm, d.Sessions[:4])
+	if len(errs) != 4 {
+		t.Fatalf("EvaluateInitial len = %d", len(errs))
+	}
+}
+
+func TestGHMTrainsAndPredicts(t *testing.T) {
+	cfg := tracegen.SmallConfig()
+	cfg.Sessions = 200
+	d, _ := tracegen.Generate(cfg)
+	hcfg := hmm.DefaultTrainConfig()
+	hcfg.NStates = 4
+	hcfg.MaxIters = 15
+	g, err := TrainGHM(d, hcfg, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "GHM" {
+		t.Error("name mismatch")
+	}
+	if err := g.Model().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res := EvaluateMidstream(g, d.Sessions[:50], 1)
+	sum := Summarize(res)
+	if sum.Sessions == 0 || math.IsNaN(sum.FlatMedian) {
+		t.Errorf("GHM produced no usable predictions: %+v", sum)
+	}
+}
+
+func TestMLPredictorsLearnFeatureSignal(t *testing.T) {
+	// Two populations distinguishable only by ISP; both SVR and GBR must
+	// beat the global-mean error on initial prediction.
+	d := trace.NewDataset()
+	for i := 0; i < 300; i++ {
+		isp, tput := "fast", 9.0
+		if i%2 == 1 {
+			isp, tput = "slow", 1.0
+		}
+		d.Sessions = append(d.Sessions, &trace.Session{
+			ID: fmt.Sprintf("s%d", i), StartUnix: 1700000000 + int64(i)*30,
+			Features:   trace.Features{ClientIP: "9.9.9.9", ISP: isp, AS: "a", Province: "p", City: "c", Server: "v"},
+			Throughput: []float64{tput, tput, tput, tput},
+		})
+	}
+	cfg := DefaultMLConfig()
+	cfg.MaxRows = 2000
+	cfg.GBRT.Trees = 30
+	for _, train := range []func(*trace.Dataset, MLConfig) (*MLPredictor, error){TrainSVR, TrainGBRT} {
+		p, err := train(d, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errsInit := EvaluateInitial(p, d.Sessions[:20])
+		if med := mathx.Median(errsInit); med > 0.25 {
+			t.Errorf("%s initial median error = %v, want <= 0.25", p.Name(), med)
+		}
+		res := EvaluateMidstream(p, d.Sessions[:20], 1)
+		if sum := Summarize(res); sum.FlatMedian > 0.25 {
+			t.Errorf("%s midstream median error = %v, want <= 0.25", p.Name(), sum.FlatMedian)
+		}
+	}
+}
+
+func TestMLPredictorUnknownCategory(t *testing.T) {
+	d := trace.NewDataset()
+	for i := 0; i < 60; i++ {
+		d.Sessions = append(d.Sessions, &trace.Session{
+			ID: fmt.Sprintf("s%d", i), StartUnix: 1700000000 + int64(i),
+			Features:   trace.Features{ClientIP: "9.9.9.9", ISP: "i", AS: "a", Province: "p", City: "c", Server: "v"},
+			Throughput: []float64{4, 4, 4},
+		})
+	}
+	cfg := DefaultMLConfig()
+	cfg.GBRT.Trees = 5
+	p, err := TrainGBRT(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alien := sess(4, 4)
+	alien.Features.ISP = "never-seen"
+	if got := p.PredictInitial(alien); math.IsNaN(got) {
+		t.Error("unknown category should still produce a prediction")
+	}
+	m := p.NewSession(alien)
+	if !math.IsNaN(m.Predict()) {
+		t.Error("midstream prediction before any observation should be NaN")
+	}
+	m.Observe(4)
+	if math.IsNaN(m.Predict()) {
+		t.Error("midstream prediction after observation should be defined")
+	}
+	if math.IsNaN(m.PredictAhead(5)) {
+		t.Error("multi-step prediction should be defined")
+	}
+}
+
+func TestWrapFilter(t *testing.T) {
+	model, err := hmm.Train([][]float64{{1, 1, 1, 5, 5, 5}}, hmm.TrainConfig{NStates: 2, MaxIters: 10, Tol: 1e-5, VarFloor: 1e-4, StickyInit: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := WrapFilter(hmm.NewFilter(model))
+	m.Observe(5)
+	if math.IsNaN(m.Predict()) || math.IsNaN(m.PredictAhead(3)) {
+		t.Error("wrapped filter should predict")
+	}
+}

@@ -1,0 +1,84 @@
+package predict
+
+import (
+	"math"
+
+	"cs2p/internal/trace"
+)
+
+// Robust wraps any midstream predictor with the error-discounting rule of
+// RobustMPC (the robust variant of the MPC paper, widely used as a baseline
+// by follow-on work such as Pensieve): the prediction is divided by
+// 1 + max(recent normalized prediction errors), so a predictor that has
+// recently been wrong plans conservatively.
+type Robust struct {
+	// Window is how many recent errors to track (default 5, as in
+	// RobustMPC).
+	Window int
+	// Inner produces the underlying predictions.
+	Inner Factory
+}
+
+// Name implements Factory.
+func (r Robust) Name() string {
+	if r.Inner == nil {
+		return "Robust"
+	}
+	return "Robust" + r.Inner.Name()
+}
+
+// NewSession implements Factory.
+func (r Robust) NewSession(s *trace.Session) Midstream {
+	w := r.Window
+	if w <= 0 {
+		w = 5
+	}
+	return &robustState{inner: r.Inner.NewSession(s), window: w}
+}
+
+type robustState struct {
+	inner    Midstream
+	window   int
+	errs     []float64 // recent |pred-actual|/actual
+	lastPred float64
+	havePred bool
+}
+
+func (r *robustState) discount() float64 {
+	var maxErr float64
+	for _, e := range r.errs {
+		if e > maxErr {
+			maxErr = e
+		}
+	}
+	return 1 + maxErr
+}
+
+// Predict implements Midstream.
+func (r *robustState) Predict() float64 { return r.PredictAhead(1) }
+
+// PredictAhead implements Midstream.
+func (r *robustState) PredictAhead(k int) float64 {
+	p := r.inner.PredictAhead(k)
+	if k == 1 {
+		r.lastPred = p
+		r.havePred = true
+	}
+	if math.IsNaN(p) {
+		return p
+	}
+	return p / r.discount()
+}
+
+// Observe implements Midstream: records the undiscounted predictor's error
+// before passing the measurement through.
+func (r *robustState) Observe(w float64) {
+	if r.havePred && !math.IsNaN(r.lastPred) && w > 0 {
+		e := math.Abs(r.lastPred-w) / w
+		r.errs = append(r.errs, e)
+		if len(r.errs) > r.window {
+			r.errs = r.errs[len(r.errs)-r.window:]
+		}
+	}
+	r.inner.Observe(w)
+}

@@ -1,0 +1,73 @@
+package predict
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRobustDiscountsAfterErrors(t *testing.T) {
+	// Inner predicts a constant 10; feed actuals of 5 (100% error), so the
+	// robust wrapper should discount by 1 + 1 = 2 after the first miss.
+	r := Robust{Inner: stepOracle(10)}.NewSession(sess())
+	if got := r.Predict(); got != 10 {
+		t.Fatalf("first prediction = %v, want undiscounted 10", got)
+	}
+	r.Observe(5) // error |10-5|/5 = 1
+	if got := r.Predict(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("post-miss prediction = %v, want 10/(1+1)=5", got)
+	}
+}
+
+func TestRobustNoDiscountWhenAccurate(t *testing.T) {
+	r := Robust{Inner: stepOracle(10)}.NewSession(sess())
+	r.Predict()
+	r.Observe(10) // perfect
+	if got := r.Predict(); got != 10 {
+		t.Errorf("accurate predictor should not be discounted: %v", got)
+	}
+}
+
+func TestRobustWindowForgets(t *testing.T) {
+	r := Robust{Window: 2, Inner: stepOracle(10)}.NewSession(sess())
+	r.Predict()
+	r.Observe(5) // big error
+	// Two accurate rounds push the big error out of the window.
+	r.Predict()
+	r.Observe(10)
+	r.Predict()
+	r.Observe(10)
+	if got := r.Predict(); got != 10 {
+		t.Errorf("old error should be forgotten: %v", got)
+	}
+}
+
+func TestRobustName(t *testing.T) {
+	if got := (Robust{Inner: HM{}}).Name(); got != "RobustHM" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := (Robust{}).Name(); got != "Robust" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestRobustPropagatesNaN(t *testing.T) {
+	r := Robust{Inner: LS{}}.NewSession(sess())
+	if !math.IsNaN(r.Predict()) {
+		t.Error("NaN from inner predictor should pass through")
+	}
+	r.Observe(4)
+	if math.IsNaN(r.Predict()) {
+		t.Error("prediction should be defined after an observation")
+	}
+}
+
+func TestRobustMultiHorizonUsesSameDiscount(t *testing.T) {
+	r := Robust{Inner: stepOracle(10)}.NewSession(sess())
+	r.Predict()
+	r.Observe(5)
+	one := r.PredictAhead(1)
+	five := r.PredictAhead(5)
+	if math.Abs(one-five) > 1e-12 {
+		t.Errorf("constant inner predictor should be discounted equally at all horizons: %v vs %v", one, five)
+	}
+}

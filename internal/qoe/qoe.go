@@ -1,0 +1,115 @@
+// Package qoe implements the video quality-of-experience model the paper
+// adopts from Yin et al. (§7.1 footnote 11):
+//
+//	QoE = sum_k q(R_k)
+//	    - lambda * sum_k |q(R_{k+1}) - q(R_k)|
+//	    - mu    * total rebuffer time
+//	    - mu_s  * startup delay
+//
+// with q the identity on the chunk bitrate (kbps), lambda = 1 and
+// mu = mu_s = 3000 (kbps per second of stall).
+package qoe
+
+import (
+	"fmt"
+	"math"
+
+	"cs2p/internal/mathx"
+)
+
+// Weights are the QoE model coefficients.
+type Weights struct {
+	Lambda float64 // smoothness penalty per kbps of switch magnitude
+	Mu     float64 // rebuffer penalty, kbps-equivalent per second
+	MuS    float64 // startup penalty, kbps-equivalent per second
+}
+
+// DefaultWeights returns the paper's setting (lambda=1, mu=mu_s=3000).
+func DefaultWeights() Weights {
+	return Weights{Lambda: 1, Mu: 3000, MuS: 3000}
+}
+
+// Metrics records what one playback session experienced.
+type Metrics struct {
+	// BitratesKbps is the bitrate of each rendered chunk.
+	BitratesKbps []float64
+	// RebufferSeconds is the per-chunk stall time (index-aligned).
+	RebufferSeconds []float64
+	// StartupSeconds is the initial delay before playback started.
+	StartupSeconds float64
+}
+
+// Validate reports structural problems.
+func (m Metrics) Validate() error {
+	if len(m.BitratesKbps) == 0 {
+		return fmt.Errorf("qoe: no chunks")
+	}
+	if len(m.RebufferSeconds) != len(m.BitratesKbps) {
+		return fmt.Errorf("qoe: %d rebuffer entries for %d chunks", len(m.RebufferSeconds), len(m.BitratesKbps))
+	}
+	for _, r := range m.RebufferSeconds {
+		if r < 0 || math.IsNaN(r) {
+			return fmt.Errorf("qoe: negative rebuffer %v", r)
+		}
+	}
+	if m.StartupSeconds < 0 {
+		return fmt.Errorf("qoe: negative startup %v", m.StartupSeconds)
+	}
+	return nil
+}
+
+// Score computes the QoE value.
+func Score(m Metrics, w Weights) float64 {
+	var q float64
+	for _, b := range m.BitratesKbps {
+		q += b
+	}
+	for i := 0; i+1 < len(m.BitratesKbps); i++ {
+		q -= w.Lambda * math.Abs(m.BitratesKbps[i+1]-m.BitratesKbps[i])
+	}
+	q -= w.Mu * mathx.Sum(m.RebufferSeconds)
+	q -= w.MuS * m.StartupSeconds
+	return q
+}
+
+// AvgBitrateKbps is the paper's AvgBitrate component.
+func (m Metrics) AvgBitrateKbps() float64 { return mathx.Mean(m.BitratesKbps) }
+
+// GoodRatio is the paper's GoodRatio component: the fraction of chunks
+// rendered without rebuffering.
+func (m Metrics) GoodRatio() float64 {
+	if len(m.RebufferSeconds) == 0 {
+		return math.NaN()
+	}
+	good := 0
+	for _, r := range m.RebufferSeconds {
+		if r == 0 {
+			good++
+		}
+	}
+	return float64(good) / float64(len(m.RebufferSeconds))
+}
+
+// TotalRebufferSeconds sums all stalls (excluding startup).
+func (m Metrics) TotalRebufferSeconds() float64 { return mathx.Sum(m.RebufferSeconds) }
+
+// Switches counts bitrate changes between consecutive chunks.
+func (m Metrics) Switches() int {
+	n := 0
+	for i := 0; i+1 < len(m.BitratesKbps); i++ {
+		if m.BitratesKbps[i+1] != m.BitratesKbps[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// Normalized computes the paper's n-QoE: actual QoE divided by the offline
+// optimal. When the optimal is non-positive (pathological traces) it returns
+// NaN — callers drop those sessions, as the paper's normalization implies.
+func Normalized(actual, optimal float64) float64 {
+	if optimal <= 0 || math.IsNaN(optimal) {
+		return math.NaN()
+	}
+	return actual / optimal
+}

@@ -1,0 +1,95 @@
+package qoe
+
+import (
+	"math"
+	"testing"
+)
+
+func TestScoreComponents(t *testing.T) {
+	w := DefaultWeights()
+	m := Metrics{
+		BitratesKbps:    []float64{1000, 2000, 2000},
+		RebufferSeconds: []float64{0, 0.5, 0},
+		StartupSeconds:  1,
+	}
+	// quality 5000, switch penalty 1000, rebuffer 3000*0.5, startup 3000.
+	want := 5000.0 - 1000 - 1500 - 3000
+	if got := Score(m, w); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Score = %v, want %v", got, want)
+	}
+}
+
+func TestScoreMonotonicity(t *testing.T) {
+	w := DefaultWeights()
+	base := Metrics{
+		BitratesKbps:    []float64{1000, 1000},
+		RebufferSeconds: []float64{0, 0},
+		StartupSeconds:  1,
+	}
+	s0 := Score(base, w)
+	// More rebuffering strictly lowers QoE.
+	worse := base
+	worse.RebufferSeconds = []float64{0, 2}
+	if Score(worse, w) >= s0 {
+		t.Error("rebuffering should lower QoE")
+	}
+	// Higher steady bitrate strictly raises QoE.
+	better := base
+	better.BitratesKbps = []float64{2000, 2000}
+	if Score(better, w) <= s0 {
+		t.Error("higher bitrate should raise QoE")
+	}
+	// Oscillation is worse than steady at the same average bitrate.
+	smooth := Metrics{BitratesKbps: []float64{1500, 1500}, RebufferSeconds: []float64{0, 0}}
+	jumpy := Metrics{BitratesKbps: []float64{1000, 2000}, RebufferSeconds: []float64{0, 0}}
+	if Score(jumpy, w) >= Score(smooth, w) {
+		t.Error("switching should be penalized")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := Metrics{BitratesKbps: []float64{1}, RebufferSeconds: []float64{0}}
+	if err := ok.Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := []Metrics{
+		{},
+		{BitratesKbps: []float64{1}, RebufferSeconds: []float64{0, 0}},
+		{BitratesKbps: []float64{1}, RebufferSeconds: []float64{-1}},
+		{BitratesKbps: []float64{1}, RebufferSeconds: []float64{0}, StartupSeconds: -2},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+}
+
+func TestComponents(t *testing.T) {
+	m := Metrics{
+		BitratesKbps:    []float64{1000, 2000, 2000, 1000},
+		RebufferSeconds: []float64{0, 1, 0, 0},
+		StartupSeconds:  2,
+	}
+	if got := m.AvgBitrateKbps(); got != 1500 {
+		t.Errorf("AvgBitrate = %v", got)
+	}
+	if got := m.GoodRatio(); got != 0.75 {
+		t.Errorf("GoodRatio = %v", got)
+	}
+	if got := m.TotalRebufferSeconds(); got != 1 {
+		t.Errorf("TotalRebuffer = %v", got)
+	}
+	if got := m.Switches(); got != 2 {
+		t.Errorf("Switches = %v", got)
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	if got := Normalized(80, 100); got != 0.8 {
+		t.Errorf("Normalized = %v", got)
+	}
+	if !math.IsNaN(Normalized(50, 0)) || !math.IsNaN(Normalized(50, -1)) {
+		t.Error("non-positive optimal should yield NaN")
+	}
+}

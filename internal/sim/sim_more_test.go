@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cs2p/internal/abr"
+	"cs2p/internal/qoe"
+	"cs2p/internal/video"
+)
+
+func TestRequestOverheadLengthensDownloads(t *testing.T) {
+	spec := video.Default()
+	noOverhead := spec
+	noOverhead.RequestOverheadSeconds = 0
+	tput := flat(2, spec.NumChunks())
+	withOH := Play(spec, abr.Fixed{Level: 0}, nil, tput, qoe.DefaultWeights())
+	without := Play(noOverhead, abr.Fixed{Level: 0}, nil, tput, qoe.DefaultWeights())
+	if withOH.Metrics.StartupSeconds <= without.Metrics.StartupSeconds {
+		t.Errorf("overhead should lengthen startup: %v vs %v",
+			withOH.Metrics.StartupSeconds, without.Metrics.StartupSeconds)
+	}
+	diff := withOH.Metrics.StartupSeconds - without.Metrics.StartupSeconds
+	if math.Abs(diff-spec.RequestOverheadSeconds) > 1e-9 {
+		t.Errorf("startup difference = %v, want %v", diff, spec.RequestOverheadSeconds)
+	}
+}
+
+func TestPredictorSeesCapacityNotEffectiveRate(t *testing.T) {
+	// The simulator reports the trace's capacity to the predictor (the
+	// paper's epoch-level measurement), not the per-chunk effective rate.
+	spec := video.Default()
+	tput := flat(4, 10)
+	rec := &recordingPredictor{}
+	Play(spec, abr.Fixed{Level: 0}, rec, tput, qoe.DefaultWeights())
+	if len(rec.observed) != 10 {
+		t.Fatalf("observed %d values", len(rec.observed))
+	}
+	for _, w := range rec.observed {
+		if w != 4 {
+			t.Fatalf("observed %v, want the capacity 4", w)
+		}
+	}
+}
+
+type recordingPredictor struct {
+	observed []float64
+}
+
+func (r *recordingPredictor) Predict() float64         { return math.NaN() }
+func (r *recordingPredictor) PredictAhead(int) float64 { return math.NaN() }
+func (r *recordingPredictor) Observe(w float64)        { r.observed = append(r.observed, w) }
+
+func TestFixedControllerLowBitrateNeverStallsOnModestLink(t *testing.T) {
+	// The Table 1 "fixed low bitrate" strategy: 350 kbps over a 1 Mbps
+	// link must play cleanly (dl = 2.1/1 + 0.35 = 2.45 s < 6 s).
+	spec := video.Default()
+	tput := flat(1, spec.NumChunks())
+	res := Play(spec, abr.Fixed{Level: 0}, nil, tput, qoe.DefaultWeights())
+	if res.Metrics.TotalRebufferSeconds() > 0 {
+		t.Errorf("fixed-low stalled %v s on a 1 Mbps link", res.Metrics.TotalRebufferSeconds())
+	}
+	// And the fixed high bitrate strategy stalls heavily.
+	resHigh := Play(spec, abr.Fixed{Level: 4}, nil, tput, qoe.DefaultWeights())
+	if resHigh.Metrics.TotalRebufferSeconds() < 60 {
+		t.Errorf("fixed-high should stall badly at 1 Mbps, got %v s", resHigh.Metrics.TotalRebufferSeconds())
+	}
+}
+
+func TestBufferDynamicsAgainstHandComputation(t *testing.T) {
+	// Two chunks, fixed level 2 (1000 kbps, 6 Mb/chunk), throughput 3,
+	// overhead 0.35: dl = 2.35 s.
+	spec := video.Default()
+	tput := []float64{3, 3, 3}
+	res := Play(spec, abr.Fixed{Level: 2}, nil, tput, qoe.DefaultWeights())
+	// Chunk 0: startup 2.35 s, buffer 6. Chunk 1: dl 2.35 from buffer 6 ->
+	// 3.65, +6 -> 9.65. Chunk 2: -> 7.3, +6 -> 13.3. No rebuffer.
+	if math.Abs(res.Metrics.StartupSeconds-2.35) > 1e-9 {
+		t.Errorf("startup = %v, want 2.35", res.Metrics.StartupSeconds)
+	}
+	if res.Metrics.TotalRebufferSeconds() != 0 {
+		t.Errorf("unexpected rebuffer %v", res.Metrics.TotalRebufferSeconds())
+	}
+	if res.Levels[0] != 2 || res.Levels[1] != 2 {
+		t.Errorf("levels = %v", res.Levels)
+	}
+}
+
+func TestRebufferAccounting(t *testing.T) {
+	// Level 2 chunk (6 Mb) at 0.5 Mbps: dl = 12.35 s. After chunk 0
+	// (startup), buffer 6. Chunk 1 stalls 12.35 - 6 = 6.35 s.
+	spec := video.Default()
+	tput := []float64{0.5, 0.5}
+	res := Play(spec, abr.Fixed{Level: 2}, nil, tput, qoe.DefaultWeights())
+	if math.Abs(res.Metrics.RebufferSeconds[1]-6.35) > 1e-9 {
+		t.Errorf("rebuffer = %v, want 6.35", res.Metrics.RebufferSeconds[1])
+	}
+}
+
+func TestNoisyOracleAdvancesWithPlayback(t *testing.T) {
+	// The oracle must track the playback position: with a step trace, its
+	// post-step predictions reflect the step.
+	tput := append(flat(2, 5), flat(8, 5)...)
+	o := NewNoisyOracle(tput, 0, 1)
+	for i := 0; i < 5; i++ {
+		o.Observe(tput[i])
+	}
+	if got := o.Predict(); got != 8 {
+		t.Errorf("post-step prediction = %v, want 8", got)
+	}
+	// Beyond the end it clamps to the final sample.
+	if got := o.PredictAhead(100); got != 8 {
+		t.Errorf("beyond-end prediction = %v, want 8", got)
+	}
+}
+
+func TestNormalizedQoENaNOnEmptyTrace(t *testing.T) {
+	if v := NormalizedQoE(video.Default(), abr.BB{}, nil, nil, qoe.DefaultWeights()); !math.IsNaN(v) {
+		t.Errorf("empty trace n-QoE = %v, want NaN", v)
+	}
+}
+
+func TestPlayDeterministicGivenSeededOracle(t *testing.T) {
+	spec := video.Default()
+	r := rand.New(rand.NewSource(9))
+	tput := make([]float64, spec.NumChunks())
+	for i := range tput {
+		tput[i] = 0.5 + 6*r.Float64()
+	}
+	a := Play(spec, abr.MPC{}, NewNoisyOracle(tput, 0.4, 7), tput, qoe.DefaultWeights())
+	b := Play(spec, abr.MPC{}, NewNoisyOracle(tput, 0.4, 7), tput, qoe.DefaultWeights())
+	if a.QoE != b.QoE {
+		t.Error("identical seeds should give identical playbacks")
+	}
+	for i := range a.Levels {
+		if a.Levels[i] != b.Levels[i] {
+			t.Fatal("level sequences differ")
+		}
+	}
+}

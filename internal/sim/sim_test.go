@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cs2p/internal/abr"
+	"cs2p/internal/qoe"
+	"cs2p/internal/video"
+)
+
+func flat(mbps float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = mbps
+	}
+	return out
+}
+
+func TestPlayAbundantBandwidthNoRebuffer(t *testing.T) {
+	spec := video.Default()
+	tput := flat(10, spec.NumChunks())
+	res := Play(spec, abr.MPC{}, NewNoisyOracle(tput, 0, 1), tput, qoe.DefaultWeights())
+	if res.Chunks != spec.NumChunks() {
+		t.Fatalf("Chunks = %d", res.Chunks)
+	}
+	if res.Metrics.TotalRebufferSeconds() > 0 {
+		t.Errorf("rebuffered %v s with 10 Mbps", res.Metrics.TotalRebufferSeconds())
+	}
+	if res.Metrics.GoodRatio() != 1 {
+		t.Errorf("GoodRatio = %v", res.Metrics.GoodRatio())
+	}
+	if res.Metrics.AvgBitrateKbps() < 2500 {
+		t.Errorf("AvgBitrate = %v, want near the top of the ladder", res.Metrics.AvgBitrateKbps())
+	}
+	if err := res.Metrics.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlayStarvedNetworkStaysLow(t *testing.T) {
+	spec := video.Default()
+	tput := flat(0.4, spec.NumChunks())
+	res := Play(spec, abr.MPC{}, NewNoisyOracle(tput, 0, 1), tput, qoe.DefaultWeights())
+	// 0.4 Mbps sustains only the 350 kbps level steadily; MPC may briefly
+	// ride the buffer at 600 kbps but must stay low on average and must
+	// not stall meaningfully.
+	if avg := res.Metrics.AvgBitrateKbps(); avg > 600 {
+		t.Errorf("average bitrate %v kbps despite 0.4 Mbps", avg)
+	}
+	for k, lvl := range res.Levels {
+		if lvl > 1 {
+			t.Errorf("chunk %d at level %d despite 0.4 Mbps", k, lvl)
+		}
+	}
+	if rb := res.Metrics.TotalRebufferSeconds(); rb > 5 {
+		t.Errorf("rebuffered %v s; MPC should avoid sustained stalls", rb)
+	}
+}
+
+func TestPlayTruncatesToTrace(t *testing.T) {
+	spec := video.Default()
+	tput := flat(2, 10) // shorter than the 44-chunk video
+	res := Play(spec, abr.BB{}, nil, tput, qoe.DefaultWeights())
+	if res.Chunks != 10 {
+		t.Errorf("Chunks = %d, want 10", res.Chunks)
+	}
+	if len(res.Levels) != 10 || len(res.Metrics.BitratesKbps) != 10 {
+		t.Error("outputs not truncated consistently")
+	}
+}
+
+func TestPlayEmptyTrace(t *testing.T) {
+	res := Play(video.Default(), abr.BB{}, nil, nil, qoe.DefaultWeights())
+	if res.Chunks != 0 || len(res.Levels) != 0 {
+		t.Errorf("empty trace should play nothing: %+v", res)
+	}
+}
+
+func TestPlayNilPredictorStartsLow(t *testing.T) {
+	spec := video.Default()
+	tput := flat(5, spec.NumChunks())
+	res := Play(spec, abr.BB{}, nil, tput, qoe.DefaultWeights())
+	if res.Levels[0] != 0 {
+		t.Errorf("without initial prediction the first chunk should be level 0, got %d", res.Levels[0])
+	}
+}
+
+func TestPlayGoodInitialPredictionRaisesFirstChunk(t *testing.T) {
+	spec := video.Default()
+	tput := flat(2.5, spec.NumChunks())
+	res := Play(spec, abr.MPC{}, NewNoisyOracle(tput, 0, 1), tput, qoe.DefaultWeights())
+	if res.Levels[0] != 3 { // 2000 kbps sustainable under 2.5 Mbps
+		t.Errorf("first chunk level = %d, want 3", res.Levels[0])
+	}
+	want := spec.ChunkMegabits(3)/2.5 + spec.RequestOverheadSeconds
+	if math.Abs(res.Metrics.StartupSeconds-want) > 1e-9 {
+		t.Errorf("startup = %v, want %v", res.Metrics.StartupSeconds, want)
+	}
+}
+
+func TestBufferNeverExceedsCapProperty(t *testing.T) {
+	// Replaying random traces, the recorded dynamics must satisfy the
+	// invariants: rebuffers non-negative, startup equals first download
+	// time, QoE consistent with the metrics.
+	spec := video.Default()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + r.Intn(spec.NumChunks())
+		tput := make([]float64, n)
+		for i := range tput {
+			tput[i] = 0.2 + 8*r.Float64()
+		}
+		res := Play(spec, abr.MPC{}, NewNoisyOracle(tput, 0.3, seed), tput, qoe.DefaultWeights())
+		if res.Metrics.Validate() != nil {
+			return false
+		}
+		want := qoe.Score(res.Metrics, qoe.DefaultWeights())
+		return math.Abs(want-res.QoE) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizedQoEBounds(t *testing.T) {
+	spec := video.Default()
+	tput := flat(3.5, spec.NumChunks())
+	n := NormalizedQoE(spec, abr.MPC{}, NewNoisyOracle(tput, 0, 1), tput, qoe.DefaultWeights())
+	if math.IsNaN(n) {
+		t.Fatal("n-QoE NaN on a clean trace")
+	}
+	if n > 1+1e-9 {
+		t.Errorf("n-QoE %v exceeds 1: controller beat the offline optimal", n)
+	}
+	if n < 0.8 {
+		t.Errorf("perfect-oracle MPC n-QoE = %v, want >= 0.8", n)
+	}
+}
+
+func TestNoisyOracleErrorMagnitude(t *testing.T) {
+	tput := flat(4, 100)
+	o := NewNoisyOracle(tput, 0.5, 7)
+	for i := 0; i < 50; i++ {
+		p := o.PredictAhead(1)
+		if p < 2-1e-9 || p > 6+1e-9 {
+			t.Fatalf("prediction %v outside +-50%% of 4", p)
+		}
+		o.Observe(4)
+	}
+	// Perfect oracle returns the truth exactly.
+	po := NewNoisyOracle(tput, 0, 1)
+	if po.Predict() != 4 || po.PredictAhead(3) != 4 {
+		t.Error("perfect oracle should return the truth")
+	}
+}
+
+func TestNoisyOracleDegradesQoE(t *testing.T) {
+	// The core premise of Figure 2: larger prediction error lowers the
+	// n-QoE of MPC. Check the two endpoints.
+	spec := video.Default()
+	r := rand.New(rand.NewSource(42))
+	var perfect, noisy []float64
+	for s := 0; s < 30; s++ {
+		n := spec.NumChunks()
+		tput := make([]float64, n)
+		level := 1 + 4*r.Float64()
+		for i := range tput {
+			if r.Float64() < 0.07 {
+				level = 1 + 4*r.Float64()
+			}
+			tput[i] = level * (0.85 + 0.3*r.Float64())
+		}
+		perfect = append(perfect, NormalizedQoE(spec, abr.MPC{}, NewNoisyOracle(tput, 0, int64(s)), tput, qoe.DefaultWeights()))
+		noisy = append(noisy, NormalizedQoE(spec, abr.MPC{}, NewNoisyOracle(tput, 1.0, int64(s)), tput, qoe.DefaultWeights()))
+	}
+	mp, mn := mean(perfect), mean(noisy)
+	if mp <= mn {
+		t.Errorf("perfect-prediction n-QoE (%v) should exceed 100%%-error n-QoE (%v)", mp, mn)
+	}
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	n := 0
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			s += x
+			n++
+		}
+	}
+	return s / float64(n)
+}

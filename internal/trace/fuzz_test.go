@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV hardens the trace parser: arbitrary input must either parse
+// into a dataset that round-trips, or return an error — never panic.
+func FuzzReadCSV(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WriteCSV(&seed, buildDataset())
+	f.Add(seed.String())
+	f.Add("id,start_unix,client_ip,isp,as,province,city,server,throughput_mbps\n")
+	f.Add("id,start_unix,client_ip,isp,as,province,city,server,throughput_mbps\nx,12,1.2.3.4,i,a,p,c,s,1;2;3\n")
+	f.Add("garbage")
+	f.Add("")
+	f.Add("id,start_unix,client_ip,isp,as,province,city,server,throughput_mbps\nx,nan,1.2.3.4,i,a,p,c,s,;;\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Whatever parsed must re-encode and re-parse identically.
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, d); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		d2, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if d2.Len() != d.Len() {
+			t.Fatalf("round trip changed session count: %d -> %d", d.Len(), d2.Len())
+		}
+	})
+}
+
+// FuzzFeaturesGet ensures feature lookup never panics on odd IPs/names.
+func FuzzFeaturesGet(f *testing.F) {
+	f.Add("1.2.3.4", "ISP")
+	f.Add("", "Prefix16")
+	f.Add("not-an-ip", "Prefix24")
+	f.Add("1.2.3.4.5.6", "ClientIP")
+	f.Fuzz(func(t *testing.T, ip, name string) {
+		feat := Features{ClientIP: ip}
+		_ = feat.Get(name)
+		_ = feat.Key([]string{name, FeatPrefix16})
+	})
+}

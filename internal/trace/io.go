@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CSV layout: one row per session.
+//
+//	id,start_unix,client_ip,isp,as,province,city,server,w0;w1;w2;...
+//
+// Throughputs are semicolon-separated Mbps values so a session stays one row
+// regardless of its epoch count, which keeps multi-million-session files
+// streamable.
+var csvHeader = []string{
+	"id", "start_unix", "client_ip", "isp", "as", "province", "city", "server", "throughput_mbps",
+}
+
+// WriteCSV writes the dataset in the session-per-row CSV layout.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: writing CSV header: %w", err)
+	}
+	row := make([]string, len(csvHeader))
+	var sb strings.Builder
+	for _, s := range d.Sessions {
+		sb.Reset()
+		for i, t := range s.Throughput {
+			if i > 0 {
+				sb.WriteByte(';')
+			}
+			sb.WriteString(strconv.FormatFloat(t, 'g', -1, 64))
+		}
+		row[0] = s.ID
+		row[1] = strconv.FormatInt(s.StartUnix, 10)
+		row[2] = s.Features.ClientIP
+		row[3] = s.Features.ISP
+		row[4] = s.Features.AS
+		row[5] = s.Features.Province
+		row[6] = s.Features.City
+		row[7] = s.Features.Server
+		row[8] = sb.String()
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: writing session %s: %w", s.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a dataset written by WriteCSV. The epoch length is not part
+// of the CSV; the returned dataset uses DefaultEpochSeconds.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading CSV header: %w", err)
+	}
+	for i, h := range csvHeader {
+		if header[i] != h {
+			return nil, fmt.Errorf("trace: unexpected CSV header column %d: got %q, want %q", i, header[i], h)
+		}
+	}
+	d := NewDataset()
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading CSV line %d: %w", line, err)
+		}
+		start, err := strconv.ParseInt(row[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad start_unix %q: %w", line, row[1], err)
+		}
+		var tput []float64
+		if row[8] != "" {
+			parts := strings.Split(row[8], ";")
+			tput = make([]float64, len(parts))
+			for i, p := range parts {
+				v, err := strconv.ParseFloat(p, 64)
+				if err != nil {
+					return nil, fmt.Errorf("trace: line %d: bad throughput %q: %w", line, p, err)
+				}
+				tput[i] = v
+			}
+		}
+		d.Sessions = append(d.Sessions, &Session{
+			ID:        row[0],
+			StartUnix: start,
+			Features: Features{
+				ClientIP: row[2], ISP: row[3], AS: row[4],
+				Province: row[5], City: row[6], Server: row[7],
+			},
+			Throughput: tput,
+		})
+	}
+	return d, nil
+}
+
+// WriteJSON writes the dataset as a single JSON document. Handy for small
+// example traces; the CSV form is preferred at scale.
+func WriteJSON(w io.Writer, d *Dataset) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(d)
+}
+
+// ReadJSON reads a dataset written by WriteJSON.
+func ReadJSON(r io.Reader) (*Dataset, error) {
+	var d Dataset
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("trace: decoding JSON dataset: %w", err)
+	}
+	if d.EpochSeconds == 0 {
+		d.EpochSeconds = DefaultEpochSeconds
+	}
+	return &d, nil
+}

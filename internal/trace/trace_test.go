@@ -1,0 +1,187 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func sampleSession() *Session {
+	return &Session{
+		ID:        "s1",
+		StartUnix: 1700000000,
+		Features: Features{
+			ClientIP: "10.20.30.40", ISP: "TelecomA", AS: "AS100",
+			Province: "Zhejiang", City: "Hangzhou", Server: "srv-8",
+		},
+		Throughput: []float64{2, 4, 4, 4, 5, 5, 7, 9},
+	}
+}
+
+func TestFeaturesGet(t *testing.T) {
+	f := sampleSession().Features
+	cases := map[string]string{
+		FeatClientIP: "10.20.30.40",
+		FeatPrefix24: "10.20.30",
+		FeatPrefix16: "10.20",
+		FeatISP:      "TelecomA",
+		FeatAS:       "AS100",
+		FeatProvince: "Zhejiang",
+		FeatCity:     "Hangzhou",
+		FeatServer:   "srv-8",
+		"Missing":    "",
+	}
+	for name, want := range cases {
+		if got := f.Get(name); got != want {
+			t.Errorf("Get(%q) = %q, want %q", name, got, want)
+		}
+	}
+	f.Extra = map[string]string{"ConnType": "fiber"}
+	if f.Get("ConnType") != "fiber" {
+		t.Error("Extra lookup failed")
+	}
+}
+
+func TestIPPrefixMalformed(t *testing.T) {
+	f := Features{ClientIP: "not-an-ip"}
+	if got := f.Get(FeatPrefix16); got != "not-an-ip" {
+		t.Errorf("malformed IP prefix = %q", got)
+	}
+}
+
+func TestFeaturesKey(t *testing.T) {
+	f := sampleSession().Features
+	k1 := f.Key([]string{FeatISP, FeatCity})
+	k2 := f.Key([]string{FeatCity, FeatISP})
+	if k1 == k2 {
+		t.Error("key should be order-sensitive (feature sets are canonicalized upstream)")
+	}
+	g := f
+	g.City = "Beijing"
+	if f.Key([]string{FeatISP, FeatCity}) == g.Key([]string{FeatISP, FeatCity}) {
+		t.Error("different cities should produce different keys")
+	}
+}
+
+func TestSessionAccessors(t *testing.T) {
+	s := sampleSession()
+	if got := s.Start(); !got.Equal(time.Unix(1700000000, 0)) {
+		t.Errorf("Start = %v", got)
+	}
+	if got := s.DurationSeconds(6); got != 48 {
+		t.Errorf("Duration = %v, want 48", got)
+	}
+	if got := s.MeanThroughput(); got != 5 {
+		t.Errorf("MeanThroughput = %v, want 5", got)
+	}
+	if got := s.InitialThroughput(); got != 2 {
+		t.Errorf("InitialThroughput = %v, want 2", got)
+	}
+	if got := s.CoefficientOfVariation(); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("CV = %v, want 0.4", got)
+	}
+	empty := &Session{ID: "e"}
+	if empty.InitialThroughput() != 0 {
+		t.Error("empty session initial throughput should be 0")
+	}
+}
+
+func TestSessionValidate(t *testing.T) {
+	if err := sampleSession().Validate(); err != nil {
+		t.Errorf("valid session rejected: %v", err)
+	}
+	if err := (&Session{Throughput: []float64{1}}).Validate(); err == nil {
+		t.Error("empty ID should be invalid")
+	}
+	if err := (&Session{ID: "x"}).Validate(); err == nil {
+		t.Error("no epochs should be invalid")
+	}
+	bad := sampleSession()
+	bad.Throughput[3] = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative throughput should be invalid")
+	}
+}
+
+func buildDataset() *Dataset {
+	d := NewDataset()
+	base := int64(1700000000)
+	mk := func(id string, start int64, isp, city string, tput ...float64) *Session {
+		return &Session{
+			ID: id, StartUnix: start,
+			Features: Features{
+				ClientIP: "1.2.3.4", ISP: isp, AS: "AS1",
+				Province: "P", City: city, Server: "s1",
+			},
+			Throughput: tput,
+		}
+	}
+	d.Sessions = append(d.Sessions,
+		mk("a", base, "ispA", "c1", 1, 2, 3),
+		mk("b", base+3600, "ispA", "c2", 4, 5),
+		mk("c", base+7200, "ispB", "c1", 6),
+	)
+	return d
+}
+
+func TestDatasetFilterAndSplit(t *testing.T) {
+	d := buildDataset()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ispA := d.Filter(func(s *Session) bool { return s.Features.ISP == "ispA" })
+	if ispA.Len() != 2 {
+		t.Errorf("Filter kept %d, want 2", ispA.Len())
+	}
+	before, after := d.SplitByTime(time.Unix(1700000000+3600, 0))
+	if before.Len() != 1 || after.Len() != 2 {
+		t.Errorf("Split = %d/%d, want 1/2", before.Len(), after.Len())
+	}
+}
+
+func TestDatasetGroupBy(t *testing.T) {
+	d := buildDataset()
+	groups := d.GroupBy([]string{FeatISP})
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(groups))
+	}
+	k := d.Sessions[0].Features.Key([]string{FeatISP})
+	if len(groups[k]) != 2 {
+		t.Errorf("ispA group size = %d, want 2", len(groups[k]))
+	}
+}
+
+func TestDatasetFlattenAndDurations(t *testing.T) {
+	d := buildDataset()
+	all := d.AllEpochThroughputs()
+	if len(all) != 6 {
+		t.Fatalf("flattened %d epochs, want 6", len(all))
+	}
+	dur := d.Durations()
+	if dur[0] != 18 || dur[1] != 12 || dur[2] != 6 {
+		t.Errorf("Durations = %v", dur)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	d := buildDataset()
+	sum := d.Summarize(nil)
+	if sum.Sessions != 3 || sum.Epochs != 6 {
+		t.Errorf("summary totals = %+v", sum)
+	}
+	if sum.UniqueValues[FeatISP] != 2 || sum.UniqueValues[FeatCity] != 2 || sum.UniqueValues[FeatServer] != 1 {
+		t.Errorf("unique counts = %v", sum.UniqueValues)
+	}
+	str := sum.String()
+	if str == "" {
+		t.Error("summary String should not be empty")
+	}
+}
+
+func TestDatasetValidateErrors(t *testing.T) {
+	d := buildDataset()
+	d.EpochSeconds = 0
+	if err := d.Validate(); err == nil {
+		t.Error("zero epoch length should be invalid")
+	}
+}

@@ -1,0 +1,74 @@
+package tracegen
+
+import (
+	"testing"
+
+	"cs2p/internal/trace"
+)
+
+// TestFCCExtrasFinerThanPrefix16 verifies that the FCC connection type is
+// derived at /24 granularity: within at least one /16 prefix, different /24
+// prefixes must carry different connection types. If ConnType were a
+// function of the /16, the clustering's existing Prefix16 feature would
+// subsume it and the F9a-fcc experiment would show no gain.
+func TestFCCExtrasFinerThanPrefix16(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.Sessions = 1200
+	d, _ := Generate(cfg)
+	AttachFCCExtras(d)
+	conns16 := map[string]map[string]bool{}
+	for _, s := range d.Sessions {
+		p16 := s.Features.Get(trace.FeatPrefix16)
+		if conns16[p16] == nil {
+			conns16[p16] = map[string]bool{}
+		}
+		conns16[p16][s.Features.Extra["ConnType"]] = true
+	}
+	diverse := 0
+	for _, set := range conns16 {
+		if len(set) > 1 {
+			diverse++
+		}
+	}
+	if diverse == 0 {
+		t.Error("no /16 prefix carries multiple connection types; extras add no information")
+	}
+}
+
+// TestFCCExtrasScaleThroughput checks the fiber/satellite scaling is
+// reflected in the data: fiber sessions should be substantially faster than
+// satellite sessions on average.
+func TestFCCExtrasScaleThroughput(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.Sessions = 1500
+	d, _ := Generate(cfg)
+	AttachFCCExtras(d)
+	sums := map[string]float64{}
+	counts := map[string]float64{}
+	for _, s := range d.Sessions {
+		c := s.Features.Extra["ConnType"]
+		sums[c] += s.MeanThroughput()
+		counts[c]++
+	}
+	if counts["fiber"] == 0 || counts["satellite"] == 0 {
+		t.Skip("connection types not both present at this scale")
+	}
+	fiber := sums["fiber"] / counts["fiber"]
+	sat := sums["satellite"] / counts["satellite"]
+	if fiber < 2*sat {
+		t.Errorf("fiber mean %v should be well above satellite %v", fiber, sat)
+	}
+}
+
+// TestFCCExtrasDeterministic ensures re-attaching yields identical labels.
+func TestFCCExtrasDeterministic(t *testing.T) {
+	d1, _ := Generate(SmallConfig())
+	d2, _ := Generate(SmallConfig())
+	AttachFCCExtras(d1)
+	AttachFCCExtras(d2)
+	for i := range d1.Sessions {
+		if d1.Sessions[i].Features.Extra["ConnType"] != d2.Sessions[i].Features.Extra["ConnType"] {
+			t.Fatal("ConnType assignment not deterministic")
+		}
+	}
+}

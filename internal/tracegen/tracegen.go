@@ -1,0 +1,470 @@
+// Package tracegen synthesizes an iQiyi-like throughput dataset (the
+// substitute for the paper's proprietary trace, see DESIGN.md §2).
+//
+// The generator is built so the paper's four observations (§3) hold by
+// construction, which makes it a faithful testbed for every code path the
+// evaluation exercises:
+//
+//  1. Intra-session variability — sessions sample a sticky Gaussian HMM, so
+//     per-epoch throughput is noisy with a coefficient of variation
+//     comparable to the paper's (Observation 1).
+//  2. Stateful evolution — the ground truth *is* an HMM (Observation 2).
+//  3. Cross-session similarity — sessions sharing the ground-truth cluster
+//     key (ISP, City, Server) draw from the same HMM (Observation 3).
+//  4. High-dimensional feature effects — each cluster's capacity mixes
+//     per-ISP, per-city and per-server factors with an interaction term
+//     keyed on the full combination, so no single feature explains the
+//     throughput (Observation 4).
+//
+// Everything is deterministic given Config.Seed.
+package tracegen
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+
+	"cs2p/internal/hmm"
+	"cs2p/internal/mathx"
+	"cs2p/internal/trace"
+)
+
+// ClusterKeyFeatures is the ground-truth cluster identity: the feature
+// combination that actually determines a session's throughput distribution.
+// (The clustering algorithm of §5.1 has to *discover* this.)
+var ClusterKeyFeatures = []string{trace.FeatISP, trace.FeatCity, trace.FeatServer}
+
+// Config parameterizes the synthetic population.
+type Config struct {
+	Seed     int64
+	Sessions int
+	// Days spreads session start times uniformly over this many days.
+	Days int
+	// Population shape.
+	ISPs              int
+	Provinces         int
+	CitiesPerProvince int
+	Servers           int
+	ASesPerISP        int
+	PrefixesPerCell   int // /16 prefixes per (ISP, city) cell
+	// MeanEpochs controls the lognormal session-length distribution.
+	MeanEpochs int
+	// MaxEpochs caps session length.
+	MaxEpochs int
+	// Diurnal, if true, applies a mild time-of-day congestion multiplier,
+	// exercising the clustering algorithm's time windows.
+	Diurnal bool
+	// FCCExtras, if true, attaches the FCC-profile extra features
+	// (ConnType, SpeedTier) that §7.2 credits for better initial
+	// prediction, and makes them strongly informative.
+	FCCExtras bool
+	// StartUnix is the timestamp of the first day (defaults to
+	// 2025-09-01T00:00:00Z, matching the paper's September 2015 capture
+	// shifted a decade).
+	StartUnix int64
+}
+
+// DefaultConfig is the laptop-scale stand-in for the 20M-session trace:
+// large enough that clusters reach the paper's >=100-session threshold,
+// small enough that the full benchmark suite runs in minutes.
+func DefaultConfig() Config {
+	return Config{
+		Seed:              1,
+		Sessions:          6000,
+		Days:              2,
+		ISPs:              6,
+		Provinces:         5,
+		CitiesPerProvince: 2,
+		Servers:           4,
+		ASesPerISP:        2,
+		PrefixesPerCell:   2,
+		MeanEpochs:        45,
+		MaxEpochs:         400,
+		Diurnal:           true,
+		FCCExtras:         false,
+		StartUnix:         1756684800, // 2025-09-01T00:00:00Z
+	}
+}
+
+// SmallConfig is a fast profile for unit tests and examples.
+func SmallConfig() Config {
+	c := DefaultConfig()
+	c.Sessions = 600
+	c.ISPs = 3
+	c.Provinces = 2
+	c.CitiesPerProvince = 2
+	c.Servers = 2
+	c.MeanEpochs = 30
+	c.MaxEpochs = 120
+	return c
+}
+
+// GroundTruth exposes the hidden population so tests and experiments can
+// compare what CS2P learned against what generated the data.
+type GroundTruth struct {
+	cfg    Config
+	models map[string]*hmm.Model // cluster key -> generating HMM (pre-diurnal)
+}
+
+// Model returns the generating HMM for a session's ground-truth cluster,
+// or nil if the combination never occurred.
+func (g *GroundTruth) Model(f trace.Features) *hmm.Model {
+	return g.models[f.Key(ClusterKeyFeatures)]
+}
+
+// Clusters returns the number of distinct ground-truth clusters realized.
+func (g *GroundTruth) Clusters() int { return len(g.models) }
+
+// Generate synthesizes the dataset. Sessions come out sorted by start time.
+func Generate(cfg Config) (*trace.Dataset, *GroundTruth) {
+	cfg = withDefaults(cfg)
+	r := rand.New(rand.NewSource(cfg.Seed))
+	pop := buildPopulation(cfg, r)
+	gt := &GroundTruth{cfg: cfg, models: make(map[string]*hmm.Model)}
+	d := trace.NewDataset()
+
+	daySeconds := int64(86400)
+	for i := 0; i < cfg.Sessions; i++ {
+		f := pop.sampleFeatures(r)
+		model := pop.clusterModel(cfg, f)
+		gt.models[f.Key(ClusterKeyFeatures)] = model
+
+		start := cfg.StartUnix + r.Int63n(int64(cfg.Days)*daySeconds)
+		epochs := sampleEpochs(r, cfg)
+		states, _ := model.Sample(r, epochs)
+		obs := emitCorrelated(r, model, states)
+
+		scale := pop.prefixScale(f)
+		if cfg.Diurnal {
+			scale *= diurnalScale(start)
+		}
+		if cfg.FCCExtras {
+			scale *= pop.fccScale(f)
+		}
+		for j := range obs {
+			obs[j] *= scale
+			if obs[j] < 0.05 {
+				obs[j] = 0.05
+			}
+		}
+		d.Sessions = append(d.Sessions, &trace.Session{
+			ID:         fmt.Sprintf("sess-%06d", i),
+			StartUnix:  start,
+			Features:   f,
+			Throughput: obs,
+		})
+	}
+	sortByStart(d.Sessions)
+	return d, gt
+}
+
+func withDefaults(cfg Config) Config {
+	def := DefaultConfig()
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = def.Sessions
+	}
+	if cfg.Days <= 0 {
+		cfg.Days = def.Days
+	}
+	if cfg.ISPs <= 0 {
+		cfg.ISPs = def.ISPs
+	}
+	if cfg.Provinces <= 0 {
+		cfg.Provinces = def.Provinces
+	}
+	if cfg.CitiesPerProvince <= 0 {
+		cfg.CitiesPerProvince = def.CitiesPerProvince
+	}
+	if cfg.Servers <= 0 {
+		cfg.Servers = def.Servers
+	}
+	if cfg.ASesPerISP <= 0 {
+		cfg.ASesPerISP = def.ASesPerISP
+	}
+	if cfg.PrefixesPerCell <= 0 {
+		cfg.PrefixesPerCell = def.PrefixesPerCell
+	}
+	if cfg.MeanEpochs <= 0 {
+		cfg.MeanEpochs = def.MeanEpochs
+	}
+	if cfg.MaxEpochs <= 0 {
+		cfg.MaxEpochs = def.MaxEpochs
+	}
+	if cfg.StartUnix == 0 {
+		cfg.StartUnix = def.StartUnix
+	}
+	return cfg
+}
+
+// population holds the sampled universe of ISPs, cities, servers and their
+// capacity factors.
+type population struct {
+	isps       []string
+	ispBase    map[string]float64 // base capacity in Mbps
+	ispASes    map[string][]string
+	provinces  []string
+	cities     []string // "province/city" flattened
+	cityOf     map[string]string
+	cityFactor map[string]float64
+	servers    []string
+	srvFactor  map[string]float64
+	// ispWeights zipf-like popularity for sampling.
+	ispWeights  []float64
+	cityWeights []float64
+	srvWeights  []float64
+	seed        int64
+	prefixes    int // /16 prefixes per (ISP, city) cell
+}
+
+func buildPopulation(cfg Config, r *rand.Rand) *population {
+	p := &population{
+		ispBase:    make(map[string]float64),
+		ispASes:    make(map[string][]string),
+		cityOf:     make(map[string]string),
+		cityFactor: make(map[string]float64),
+		srvFactor:  make(map[string]float64),
+		seed:       cfg.Seed,
+		prefixes:   cfg.PrefixesPerCell,
+	}
+	for i := 0; i < cfg.ISPs; i++ {
+		name := fmt.Sprintf("ISP-%02d", i)
+		p.isps = append(p.isps, name)
+		// Base capacities spread across a broadband-like range
+		// (Figure 3b shows most epochs between ~0.5 and ~15 Mbps,
+		// median ~5), straddling the 3 Mbps ladder top so bitrate
+		// adaptation has real decisions to make.
+		p.ispBase[name] = 1.6 + 7.5*r.Float64()
+		nas := 1 + r.Intn(cfg.ASesPerISP)
+		for a := 0; a < nas; a++ {
+			p.ispASes[name] = append(p.ispASes[name], fmt.Sprintf("AS%d", 100+i*10+a))
+		}
+		p.ispWeights = append(p.ispWeights, 1/float64(i+1)) // zipf
+	}
+	for pr := 0; pr < cfg.Provinces; pr++ {
+		prov := fmt.Sprintf("Prov-%02d", pr)
+		p.provinces = append(p.provinces, prov)
+		for c := 0; c < cfg.CitiesPerProvince; c++ {
+			city := fmt.Sprintf("City-%02d-%02d", pr, c)
+			p.cities = append(p.cities, city)
+			p.cityOf[city] = prov
+			p.cityFactor[city] = 0.6 + 0.8*r.Float64()
+			p.cityWeights = append(p.cityWeights, 1/float64(len(p.cities)))
+		}
+	}
+	for s := 0; s < cfg.Servers; s++ {
+		name := fmt.Sprintf("srv-%02d", s)
+		p.servers = append(p.servers, name)
+		p.srvFactor[name] = 0.5 + 1.0*r.Float64()
+		p.srvWeights = append(p.srvWeights, 1/float64(s+1))
+	}
+	return p
+}
+
+func weightedPick(r *rand.Rand, items []string, weights []float64) string {
+	u := r.Float64() * mathx.Sum(weights)
+	var acc float64
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return items[i]
+		}
+	}
+	return items[len(items)-1]
+}
+
+// sampleFeatures draws one session's feature vector.
+func (p *population) sampleFeatures(r *rand.Rand) trace.Features {
+	isp := weightedPick(r, p.isps, p.ispWeights)
+	city := weightedPick(r, p.cities, p.cityWeights)
+	server := weightedPick(r, p.servers, p.srvWeights)
+	ases := p.ispASes[isp]
+	as := ases[r.Intn(len(ases))]
+	// The /16 prefix is a deterministic function of (ISP, city, index):
+	// octet1 from ISP, octet2 from city+index. Client host bits random.
+	prefIdx := r.Intn(p.prefixes)
+	o1 := 11 + hashMod(isp, 200)
+	o2 := hashMod(city, 200) + prefIdx
+	ip := fmt.Sprintf("%d.%d.%d.%d", o1, o2%256, r.Intn(256), 1+r.Intn(254))
+	f := trace.Features{
+		ClientIP: ip, ISP: isp, AS: as,
+		Province: p.cityOf[city], City: city, Server: server,
+	}
+	return f
+}
+
+// clusterModel derives (deterministically, from the combination hash) the
+// ground-truth HMM for an (ISP, City, Server) combination.
+func (p *population) clusterModel(cfg Config, f trace.Features) *hmm.Model {
+	key := f.Key(ClusterKeyFeatures)
+	lr := rand.New(rand.NewSource(int64(hash64(key)) ^ p.seed))
+	// Capacity mixes individual factors with a combination-specific
+	// interaction term, so subsets of features underdetermine it (Obs 4).
+	capacity := p.ispBase[f.ISP] * p.cityFactor[f.City] * p.srvFactor[f.Server]
+	capacity *= 0.5 + 1.1*lr.Float64() // interaction
+	if capacity < 1.0 {
+		capacity = 1.0
+	}
+
+	// State levels follow the paper's Figure 4a example (states around
+	// 1.2/2.8/4.3 Mbps): adjacent states differ by ~1.5-1.8x.
+	n := 3 + lr.Intn(2) // 3 or 4 states
+	levels := []float64{0.35, 0.62, 1.0, 1.4}[:n]
+	emit := make([]mathx.Gaussian, n)
+	for i, lv := range levels {
+		mu := capacity * lv * (0.9 + 0.2*lr.Float64())
+		// Per-epoch noise is substantial (the paper's Observation 1:
+		// half the sessions have CV >= 0.3) while states stay well
+		// separated, the regime where stateful prediction wins.
+		emit[i] = mathx.Gaussian{Mu: mu, Sigma: 0.04*capacity + 0.12*mu}
+	}
+	trans := mathx.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		sticky := 0.93 + 0.05*lr.Float64()
+		row := trans.Row(i)
+		var offSum float64
+		for j := 0; j < n; j++ {
+			if j != i {
+				row[j] = 0.5 + lr.Float64()
+				offSum += row[j]
+			}
+		}
+		for j := 0; j < n; j++ {
+			if j == i {
+				row[j] = sticky
+			} else {
+				row[j] *= (1 - sticky) / offSum
+			}
+		}
+	}
+	pi := make([]float64, n)
+	for i := range pi {
+		pi[i] = 0.1 + 0.2*lr.Float64()
+	}
+	// Sessions usually start uncongested: concentrate the initial
+	// distribution on the top state (~75-80% of its mass).
+	pi[n-1] += 2.0
+	mathx.Normalize(pi)
+	return &hmm.Model{Pi: pi, Trans: trans, Emit: emit}
+}
+
+// prefixScale gives each /16 prefix a small multiplicative identity, the
+// within-cluster heterogeneity Figure 4b's per-prefix scatter shows.
+func (p *population) prefixScale(f trace.Features) float64 {
+	h := hash64(f.Get(trace.FeatPrefix16))
+	return 0.95 + 0.1*unitFloat(h)
+}
+
+// fccScale makes the FCC extra features strongly informative: connection
+// technology and speed tier scale capacity by up to ~2x.
+func (p *population) fccScale(f trace.Features) float64 {
+	switch f.Extra["ConnType"] {
+	case "fiber":
+		return 1.8
+	case "cable":
+		return 1.3
+	case "dsl":
+		return 0.7
+	case "satellite":
+		return 0.4
+	default:
+		return 1.0
+	}
+}
+
+// AttachFCCExtras annotates a generated dataset with the FCC-profile extra
+// features and rescales throughput accordingly. The connection type is
+// derived from the client's /24 prefix — finer than the /16 the standard
+// clustering features see — so the extra features carry information the
+// base feature set cannot recover, exactly the situation of the paper's
+// FCC-dataset comparison (§7.2). Kept public for the Figure 9a FCC
+// experiment.
+func AttachFCCExtras(d *trace.Dataset) {
+	conns := []string{"fiber", "cable", "dsl", "satellite"}
+	scales := map[string]float64{"fiber": 1.8, "cable": 1.3, "dsl": 0.7, "satellite": 0.4}
+	for _, s := range d.Sessions {
+		h := hash64(s.Features.Get(trace.FeatPrefix24))
+		conn := conns[h%uint64(len(conns))]
+		tier := fmt.Sprintf("tier-%d", (h/7)%4)
+		if s.Features.Extra == nil {
+			s.Features.Extra = map[string]string{}
+		}
+		s.Features.Extra["ConnType"] = conn
+		s.Features.Extra["SpeedTier"] = tier
+		sc := scales[conn]
+		for i := range s.Throughput {
+			s.Throughput[i] *= sc
+			if s.Throughput[i] < 0.05 {
+				s.Throughput[i] = 0.05
+			}
+		}
+	}
+}
+
+// noiseRho is the lag-1 autocorrelation of within-state observation noise.
+// Six-second TCP throughput samples oscillate around the fair-share level
+// (congestion-window sawtooth), so adjacent epochs are negatively
+// correlated; this is the regime where last-sample prediction is noticeably
+// worse than predicting the state mean, as the paper's Observation 1 finds.
+const noiseRho = -0.45
+
+// emitCorrelated generates observations for a sampled state path with
+// AR(1) within-state noise of marginal variance sigma_state^2 and lag-1
+// correlation noiseRho.
+func emitCorrelated(r *rand.Rand, m *hmm.Model, states []int) []float64 {
+	obs := make([]float64, len(states))
+	innovScale := math.Sqrt(1 - noiseRho*noiseRho)
+	var n float64 // normalized noise state, marginal N(0, 1)
+	for i, st := range states {
+		if i == 0 {
+			n = r.NormFloat64()
+		} else {
+			n = noiseRho*n + innovScale*r.NormFloat64()
+		}
+		e := m.Emit[st]
+		obs[i] = e.Mu + e.Sigma*n
+	}
+	return obs
+}
+
+// sampleEpochs draws a lognormal-ish session length: median near
+// cfg.MeanEpochs with a heavy right tail (Figure 3a).
+func sampleEpochs(r *rand.Rand, cfg Config) int {
+	mu := math.Log(float64(cfg.MeanEpochs))
+	n := int(math.Exp(mu + 0.6*r.NormFloat64()))
+	if n < 5 {
+		n = 5
+	}
+	if n > cfg.MaxEpochs {
+		n = cfg.MaxEpochs
+	}
+	return n
+}
+
+// diurnalScale models evening congestion: capacity dips ~12% around 21:00
+// local, peaks slightly in the early morning.
+func diurnalScale(startUnix int64) float64 {
+	hour := float64((startUnix % 86400) / 3600)
+	// Cosine with trough at hour 21 (evening congestion).
+	return 1 - 0.06*(0.5+0.5*math.Cos((hour-21)/24*2*math.Pi))
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+func hashMod(s string, m int) int {
+	return int(hash64(s) % uint64(m))
+}
+
+// unitFloat maps a hash to [0, 1).
+func unitFloat(h uint64) float64 {
+	return float64(h%1000000) / 1000000
+}
+
+func sortByStart(ss []*trace.Session) {
+	sort.SliceStable(ss, func(i, j int) bool { return ss[i].StartUnix < ss[j].StartUnix })
+}

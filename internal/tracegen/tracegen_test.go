@@ -1,0 +1,223 @@
+package tracegen
+
+import (
+	"math"
+	"testing"
+
+	"cs2p/internal/mathx"
+	"cs2p/internal/trace"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := SmallConfig()
+	d1, _ := Generate(cfg)
+	d2, _ := Generate(cfg)
+	if d1.Len() != d2.Len() {
+		t.Fatalf("lengths differ: %d vs %d", d1.Len(), d2.Len())
+	}
+	for i := range d1.Sessions {
+		a, b := d1.Sessions[i], d2.Sessions[i]
+		if a.ID != b.ID || a.StartUnix != b.StartUnix || a.Features.Key(ClusterKeyFeatures) != b.Features.Key(ClusterKeyFeatures) {
+			t.Fatalf("session %d differs", i)
+		}
+		for j := range a.Throughput {
+			if a.Throughput[j] != b.Throughput[j] {
+				t.Fatalf("session %d epoch %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateValidAndSorted(t *testing.T) {
+	d, gt := Generate(SmallConfig())
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != SmallConfig().Sessions {
+		t.Fatalf("generated %d sessions, want %d", d.Len(), SmallConfig().Sessions)
+	}
+	for i := 1; i < d.Len(); i++ {
+		if d.Sessions[i].StartUnix < d.Sessions[i-1].StartUnix {
+			t.Fatal("sessions not sorted by start time")
+		}
+	}
+	if gt.Clusters() == 0 {
+		t.Fatal("no ground-truth clusters recorded")
+	}
+	// Every session must map to a ground-truth model.
+	for _, s := range d.Sessions {
+		if gt.Model(s.Features) == nil {
+			t.Fatalf("session %s has no ground-truth model", s.ID)
+		}
+	}
+}
+
+func TestObservation1IntraSessionVariability(t *testing.T) {
+	// The paper: ~half the sessions have CV >= 0.3. Our synthetic trace
+	// must show substantial intra-session variability too (we accept a
+	// looser band: median CV in [0.1, 1.0]).
+	d, _ := Generate(SmallConfig())
+	var cvs []float64
+	for _, s := range d.Sessions {
+		if cv := s.CoefficientOfVariation(); !math.IsNaN(cv) {
+			cvs = append(cvs, cv)
+		}
+	}
+	med := mathx.Median(cvs)
+	if med < 0.1 || med > 1.0 {
+		t.Errorf("median intra-session CV = %v, want within [0.1, 1.0]", med)
+	}
+}
+
+func TestObservation3ClusterSimilarity(t *testing.T) {
+	// Sessions within a ground-truth cluster must be far more similar in
+	// mean throughput than sessions across clusters: the within-cluster
+	// stddev of session means should be well below the global stddev.
+	d, _ := Generate(SmallConfig())
+	groups := d.GroupBy(ClusterKeyFeatures)
+	var within []float64
+	var all []float64
+	for _, sess := range groups {
+		if len(sess) < 5 {
+			continue
+		}
+		var means []float64
+		for _, s := range sess {
+			means = append(means, s.MeanThroughput())
+		}
+		within = append(within, mathx.StdDev(means))
+		all = append(all, means...)
+	}
+	if len(within) == 0 {
+		t.Skip("no cluster with >= 5 sessions in small config")
+	}
+	globalSD := mathx.StdDev(all)
+	medianWithin := mathx.Median(within)
+	if medianWithin >= 0.7*globalSD {
+		t.Errorf("within-cluster sd %v not clearly below global sd %v", medianWithin, globalSD)
+	}
+}
+
+func TestObservation4CombinationBeatsSubsets(t *testing.T) {
+	// The spread of session means when all three key features are fixed
+	// must be smaller than when only one feature is fixed (Figure 6).
+	d, _ := Generate(DefaultConfig())
+	spread := func(features []string) float64 {
+		groups := d.GroupBy(features)
+		var sds []float64
+		for _, sess := range groups {
+			if len(sess) < 10 {
+				continue
+			}
+			var means []float64
+			for _, s := range sess {
+				means = append(means, s.MeanThroughput())
+			}
+			sds = append(sds, mathx.StdDev(means))
+		}
+		return mathx.Median(sds)
+	}
+	full := spread(ClusterKeyFeatures)
+	ispOnly := spread([]string{trace.FeatISP})
+	if math.IsNaN(full) || math.IsNaN(ispOnly) {
+		t.Skip("insufficient group sizes")
+	}
+	if full >= ispOnly {
+		t.Errorf("full-combination spread %v should beat ISP-only spread %v", full, ispOnly)
+	}
+}
+
+func TestSessionLengthDistribution(t *testing.T) {
+	cfg := SmallConfig()
+	d, _ := Generate(cfg)
+	durs := d.Durations()
+	for _, dd := range durs {
+		epochs := dd / d.EpochSeconds
+		if epochs < 5 || epochs > float64(cfg.MaxEpochs) {
+			t.Fatalf("session length %v epochs out of bounds", epochs)
+		}
+	}
+	// Heavy tail: the 95th percentile should exceed twice the median.
+	med := mathx.Median(durs)
+	p95 := mathx.Quantile(durs, 0.95)
+	if p95 < 1.5*med {
+		t.Errorf("session durations lack a tail: median %v, p95 %v", med, p95)
+	}
+}
+
+func TestThroughputRange(t *testing.T) {
+	d, _ := Generate(SmallConfig())
+	all := d.AllEpochThroughputs()
+	lo, hi := mathx.Min(all), mathx.Max(all)
+	if lo < 0.05 {
+		t.Errorf("throughput floor violated: %v", lo)
+	}
+	if hi > 100 {
+		t.Errorf("throughput implausibly high: %v", hi)
+	}
+	med := mathx.Median(all)
+	if med < 0.3 || med > 20 {
+		t.Errorf("median epoch throughput %v outside broadband-like range", med)
+	}
+}
+
+func TestAttachFCCExtras(t *testing.T) {
+	d, _ := Generate(SmallConfig())
+	AttachFCCExtras(d)
+	conns := map[string]bool{}
+	for _, s := range d.Sessions {
+		c := s.Features.Extra["ConnType"]
+		if c == "" {
+			t.Fatal("missing ConnType")
+		}
+		conns[c] = true
+		if s.Features.Extra["SpeedTier"] == "" {
+			t.Fatal("missing SpeedTier")
+		}
+	}
+	if len(conns) < 2 {
+		t.Errorf("expected multiple connection types, got %v", conns)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroundTruthModelsValid(t *testing.T) {
+	_, gt := Generate(SmallConfig())
+	for key, m := range gt.models {
+		if err := m.Validate(); err != nil {
+			t.Errorf("ground-truth model %q invalid: %v", key, err)
+		}
+		// Sticky chains, per Observation 2.
+		var diag float64
+		for i := 0; i < m.N(); i++ {
+			diag += m.Trans.At(i, i)
+		}
+		if diag/float64(m.N()) < 0.9 {
+			t.Errorf("cluster %q transition not sticky: %v", key, diag/float64(m.N()))
+		}
+	}
+}
+
+func TestDiurnalScale(t *testing.T) {
+	// Trough near 21:00, higher near 09:00.
+	evening := diurnalScale(21 * 3600)
+	morning := diurnalScale(9 * 3600)
+	if evening >= morning {
+		t.Errorf("diurnal: evening %v should be below morning %v", evening, morning)
+	}
+	for h := int64(0); h < 24; h++ {
+		v := diurnalScale(h * 3600)
+		if v < 0.85 || v > 1.01 {
+			t.Errorf("diurnal scale at hour %d = %v out of range", h, v)
+		}
+	}
+}
+
+func TestWithDefaultsFillsZeros(t *testing.T) {
+	cfg := withDefaults(Config{Seed: 9})
+	if cfg.Sessions == 0 || cfg.ISPs == 0 || cfg.MaxEpochs == 0 || cfg.StartUnix == 0 {
+		t.Errorf("withDefaults left zeros: %+v", cfg)
+	}
+}

@@ -1,0 +1,45 @@
+package video
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDownloadSeconds(t *testing.T) {
+	s := Default()
+	// 1000 kbps chunk = 6 Mb; at 3 Mbps: 2 s + 0.35 s overhead.
+	if got := s.DownloadSeconds(2, 3); math.Abs(got-2.35) > 1e-12 {
+		t.Errorf("DownloadSeconds = %v, want 2.35", got)
+	}
+	// Zero/negative throughput is floored, not a division by zero.
+	if got := s.DownloadSeconds(0, 0); math.IsInf(got, 0) == false && got < 1e6 {
+		t.Errorf("zero throughput should give a huge but finite-ish time, got %v", got)
+	}
+	if got := s.DownloadSeconds(0, -5); math.IsNaN(got) {
+		t.Error("negative throughput must not produce NaN")
+	}
+}
+
+func TestValidateNegativeOverhead(t *testing.T) {
+	s := Default()
+	s.RequestOverheadSeconds = -1
+	if err := s.Validate(); err == nil {
+		t.Error("negative overhead should be invalid")
+	}
+	s.RequestOverheadSeconds = 0
+	if err := s.Validate(); err != nil {
+		t.Errorf("zero overhead should be valid: %v", err)
+	}
+}
+
+func TestNumChunksRoundsUp(t *testing.T) {
+	s := Default()
+	s.LengthSeconds = 13 // 2.17 chunks -> 3
+	if got := s.NumChunks(); got != 3 {
+		t.Errorf("NumChunks = %d, want 3", got)
+	}
+	s.LengthSeconds = 12 // exact
+	if got := s.NumChunks(); got != 2 {
+		t.Errorf("NumChunks = %d, want 2", got)
+	}
+}

@@ -1,0 +1,103 @@
+// Package video describes the DASH content model used by the evaluation
+// (§7.1): a fixed bitrate ladder, aligned chunks of one epoch length, and a
+// playback buffer cap.
+package video
+
+import "fmt"
+
+// Spec describes one video and the player constraints.
+type Spec struct {
+	// BitratesKbps is the encoding ladder, ascending. The default is the
+	// Envivio/DASH-264 reference ladder the paper uses, matching
+	// YouTube's levels: 350, 600, 1000, 2000, 3000 kbps.
+	BitratesKbps []float64
+	// ChunkSeconds is the chunk (and epoch) duration: 6 s.
+	ChunkSeconds float64
+	// LengthSeconds is the nominal video length: 260 s.
+	LengthSeconds float64
+	// BufferCapSeconds is the playback buffer limit: 30 s.
+	BufferCapSeconds float64
+	// RequestOverheadSeconds models the fixed per-chunk cost of an HTTP
+	// request plus TCP ramp-up (slow start): every download takes
+	// chunk_bits/throughput + this. It is what makes low-bitrate probing
+	// expensive — small chunks measure throughput far below capacity —
+	// the inefficiency the paper's Table 1 attributes to players without
+	// initial throughput prediction.
+	RequestOverheadSeconds float64
+}
+
+// Default returns the paper's evaluation setup.
+func Default() Spec {
+	return Spec{
+		BitratesKbps:           []float64{350, 600, 1000, 2000, 3000},
+		ChunkSeconds:           6,
+		LengthSeconds:          260,
+		BufferCapSeconds:       30,
+		RequestOverheadSeconds: 0.35,
+	}
+}
+
+// Validate reports structural problems.
+func (s Spec) Validate() error {
+	if len(s.BitratesKbps) == 0 {
+		return fmt.Errorf("video: empty bitrate ladder")
+	}
+	for i, b := range s.BitratesKbps {
+		if b <= 0 {
+			return fmt.Errorf("video: non-positive bitrate %v", b)
+		}
+		if i > 0 && b <= s.BitratesKbps[i-1] {
+			return fmt.Errorf("video: ladder not strictly ascending at %d", i)
+		}
+	}
+	if s.ChunkSeconds <= 0 || s.LengthSeconds <= 0 || s.BufferCapSeconds <= 0 {
+		return fmt.Errorf("video: non-positive duration parameter")
+	}
+	if s.RequestOverheadSeconds < 0 {
+		return fmt.Errorf("video: negative request overhead")
+	}
+	return nil
+}
+
+// DownloadSeconds returns the time to fetch one chunk of the given level at
+// the given steady-state throughput (Mbps), including the per-request
+// overhead.
+func (s Spec) DownloadSeconds(level int, mbps float64) float64 {
+	if mbps <= 0 {
+		mbps = 1e-9
+	}
+	return s.ChunkMegabits(level)/mbps + s.RequestOverheadSeconds
+}
+
+// Levels returns the number of bitrate levels.
+func (s Spec) Levels() int { return len(s.BitratesKbps) }
+
+// NumChunks returns how many chunks the video has (rounded up).
+func (s Spec) NumChunks() int {
+	n := int(s.LengthSeconds / s.ChunkSeconds)
+	if float64(n)*s.ChunkSeconds < s.LengthSeconds {
+		n++
+	}
+	return n
+}
+
+// ChunkMegabits returns the size of one chunk at the given level in Mb,
+// so that download time (s) = ChunkMegabits / throughput (Mbps).
+func (s Spec) ChunkMegabits(level int) float64 {
+	return s.BitratesKbps[level] / 1000 * s.ChunkSeconds
+}
+
+// LevelForThroughput returns the highest level whose bitrate is at most
+// mbps megabits/s (the paper's initial-bitrate rule: "the highest
+// sustainable bitrate below the predicted initial throughput"), or level 0
+// if even the lowest exceeds it.
+func (s Spec) LevelForThroughput(mbps float64) int {
+	kbps := mbps * 1000
+	best := 0
+	for i, b := range s.BitratesKbps {
+		if b <= kbps {
+			best = i
+		}
+	}
+	return best
+}

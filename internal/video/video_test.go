@@ -1,0 +1,69 @@
+package video
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultSpecValid(t *testing.T) {
+	s := Default()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Levels() != 5 {
+		t.Errorf("Levels = %d", s.Levels())
+	}
+	// 260 s at 6 s chunks -> 44 chunks (rounded up).
+	if got := s.NumChunks(); got != 44 {
+		t.Errorf("NumChunks = %d, want 44", got)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []Spec{
+		{},
+		{BitratesKbps: []float64{100, 100}, ChunkSeconds: 6, LengthSeconds: 60, BufferCapSeconds: 30},
+		{BitratesKbps: []float64{100, 50}, ChunkSeconds: 6, LengthSeconds: 60, BufferCapSeconds: 30},
+		{BitratesKbps: []float64{-1}, ChunkSeconds: 6, LengthSeconds: 60, BufferCapSeconds: 30},
+		{BitratesKbps: []float64{100}, ChunkSeconds: 0, LengthSeconds: 60, BufferCapSeconds: 30},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+}
+
+func TestChunkMegabits(t *testing.T) {
+	s := Default()
+	// 350 kbps x 6 s = 2.1 Mb.
+	if got := s.ChunkMegabits(0); math.Abs(got-2.1) > 1e-12 {
+		t.Errorf("ChunkMegabits(0) = %v, want 2.1", got)
+	}
+	// 3000 kbps x 6 s = 18 Mb.
+	if got := s.ChunkMegabits(4); math.Abs(got-18) > 1e-12 {
+		t.Errorf("ChunkMegabits(4) = %v, want 18", got)
+	}
+}
+
+func TestLevelForThroughput(t *testing.T) {
+	s := Default()
+	cases := []struct {
+		mbps float64
+		want int
+	}{
+		{0.1, 0},  // below the ladder: lowest
+		{0.35, 0}, // exactly 350 kbps
+		{0.5, 0},
+		{0.61, 1},
+		{1.5, 2},
+		{2.5, 3},
+		{3.0, 4},
+		{50, 4},
+	}
+	for _, c := range cases {
+		if got := s.LevelForThroughput(c.mbps); got != c.want {
+			t.Errorf("LevelForThroughput(%v) = %d, want %d", c.mbps, got, c.want)
+		}
+	}
+}
