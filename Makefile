@@ -1,0 +1,26 @@
+# Developer entry points. `make check` is the gate CI runs; the race target
+# covers the packages with concurrent code paths (the training worker pool
+# and its two consumers).
+
+GO ?= go
+RACE_PKGS := ./internal/parallel ./internal/core ./internal/hmm ./internal/cluster
+
+.PHONY: check vet build test race bench
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# Microbenchmarks of the training hot paths (allocation-counted).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkHMMTrain$$|BenchmarkEngineTrain|BenchmarkClusterSelect' -benchmem .

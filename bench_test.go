@@ -10,17 +10,21 @@
 package cs2p_test
 
 import (
+	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
 	"cs2p/internal/abr"
 	"cs2p/internal/cluster"
+	"cs2p/internal/core"
 	"cs2p/internal/experiments"
 	"cs2p/internal/hmm"
 	"cs2p/internal/qoe"
 	"cs2p/internal/sim"
+	"cs2p/internal/trace"
 	"cs2p/internal/tracegen"
 	"cs2p/internal/video"
 )
@@ -110,7 +114,8 @@ func BenchmarkHMMFilterStep(b *testing.B) {
 }
 
 // BenchmarkHMMTrain measures Baum-Welch over a realistic cluster (40
-// sessions x 60 epochs, 6 states).
+// sessions x 60 epochs, 6 states). Allocations are reported because the EM
+// hot loop is engineered to run entirely on a reusable scratch buffer.
 func BenchmarkHMMTrain(b *testing.B) {
 	truth := benchModel()
 	r := rand.New(rand.NewSource(2))
@@ -120,11 +125,64 @@ func BenchmarkHMMTrain(b *testing.B) {
 	}
 	cfg := hmm.DefaultTrainConfig()
 	cfg.MaxIters = 20
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := hmm.Train(seqs, cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchTrainDataset builds the shared offline-training fixture for the
+// engine and rule-search benchmarks.
+func benchTrainDataset() *trace.Dataset {
+	cfg := tracegen.SmallConfig()
+	cfg.Sessions = 800
+	d, _ := tracegen.Generate(cfg)
+	return d
+}
+
+// BenchmarkEngineTrain measures the full offline pipeline (rule search +
+// per-cluster Baum-Welch + global fallback) at Parallelism=1 and at one
+// worker per CPU. The trained engines are bit-identical; only wall clock
+// changes, so the pair quantifies the pool's speedup on this machine.
+func BenchmarkEngineTrain(b *testing.B) {
+	d := benchTrainDataset()
+	counts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("parallelism=%d", workers), func(b *testing.B) {
+			ecfg := core.DefaultConfig()
+			ecfg.Cluster.MinGroupSize = 10
+			ecfg.HMM.NStates = 4
+			ecfg.HMM.MaxIters = 20
+			ecfg.MinClusterSessions = 8
+			ecfg.Parallelism = workers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Train(d, ecfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkClusterSelect measures the §5.1 candidate-rule search over every
+// cell of the training index.
+func BenchmarkClusterSelect(b *testing.B) {
+	d := benchTrainDataset()
+	ccfg := cluster.DefaultConfig()
+	ccfg.MinGroupSize = 10
+	c := cluster.New(ccfg, d)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Select()
 	}
 }
 

@@ -26,6 +26,7 @@ func main() {
 		exps  = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
 		small = flag.Bool("small", false, "small scale (seconds instead of minutes)")
 		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		par   = flag.Int("parallelism", 0, "training workers (0 = one per CPU, 1 = sequential)")
 	)
 	flag.Parse()
 	if *list {
@@ -39,6 +40,7 @@ func main() {
 		scale = experiments.ScaleSmall
 	}
 	ctx := experiments.NewContext(scale)
+	ctx.Parallelism = *par
 	ids := experiments.IDs()
 	if *exps != "" {
 		ids = strings.Split(*exps, ",")

@@ -32,6 +32,7 @@ func main() {
 		states    = flag.Int("states", 6, "HMM state count")
 		minGroup  = flag.Int("min-group", 30, "minimum sessions per aggregation")
 		gcEvery   = flag.Duration("session-gc", 10*time.Minute, "drop sessions idle longer than this")
+		par       = flag.Int("parallelism", 0, "training workers (0 = one per CPU, 1 = sequential)")
 	)
 	flag.Parse()
 	if *tracePath == "" {
@@ -50,6 +51,8 @@ func main() {
 	cfg := core.DefaultConfig()
 	cfg.HMM.NStates = *states
 	cfg.Cluster.MinGroupSize = *minGroup
+	cfg.Parallelism = *par
+	cfg.Logf = log.Printf
 	log.Printf("training on %d sessions...", d.Len())
 	start := time.Now()
 	eng, err := core.Train(d, cfg)

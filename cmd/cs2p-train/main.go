@@ -24,6 +24,7 @@ func main() {
 		states    = flag.Int("states", 6, "HMM state count (paper: 6 via cross-validation)")
 		minGroup  = flag.Int("min-group", 30, "minimum sessions per aggregation (paper threshold)")
 		selectN   = flag.Bool("select-states", false, "cross-validate the state count per cluster (slow)")
+		par       = flag.Int("parallelism", 0, "training workers (0 = one per CPU, 1 = sequential)")
 	)
 	flag.Parse()
 	if *tracePath == "" {
@@ -46,6 +47,10 @@ func main() {
 	cfg.HMM.NStates = *states
 	cfg.Cluster.MinGroupSize = *minGroup
 	cfg.SelectStates = *selectN
+	cfg.Parallelism = *par
+	cfg.Logf = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "cs2p-train: "+format+"\n", args...)
+	}
 	start := time.Now()
 	eng, err := core.Train(d, cfg)
 	if err != nil {

@@ -29,6 +29,7 @@
 package cs2p
 
 import (
+	"context"
 	"io"
 
 	"cs2p/internal/abr"
@@ -84,6 +85,13 @@ type (
 // paper's Figure 1).
 func Train(train *Dataset, cfg Config) (*Engine, error) {
 	return core.Train(train, cfg)
+}
+
+// TrainContext is Train with cancellation. Training fans out across
+// cfg.Parallelism workers (0 = one per CPU, 1 = sequential); the trained
+// engine is identical at every setting.
+func TrainContext(ctx context.Context, train *Dataset, cfg Config) (*Engine, error) {
+	return core.TrainContext(ctx, train, cfg)
 }
 
 // DefaultConfig returns the training configuration used by the paper's

@@ -1,10 +1,13 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"cs2p/internal/mathx"
+	"cs2p/internal/parallel"
 	"cs2p/internal/trace"
 )
 
@@ -25,6 +28,11 @@ type Config struct {
 	// SamplePerCell caps how many reference sessions per full-feature
 	// cell are used to score candidate rules.
 	SamplePerCell int
+	// Parallelism bounds the rule-search worker fan-out in Select (0 means
+	// one worker per CPU, 1 reproduces the sequential loop). Each cell's
+	// winning rule is a deterministic function of the training data, so the
+	// selection is identical at every setting.
+	Parallelism int
 }
 
 // DefaultConfig returns the settings used throughout the reproduction.
@@ -157,52 +165,98 @@ func MedianInitial(sessions []*trace.Session) float64 {
 // reference sessions, discarding rules whose aggregation falls below
 // MinGroupSize, and records the winner. Cells where nothing qualifies fall
 // back to the global rule.
-func (c *Clusterer) Select() {
-	cells := c.index[NewFeatureSet(c.fullFeatures, TimeWindow{Kind: WindowAll}).Key()]
-	// Medians repeat across cells exactly when rule, matched feature
-	// values and reference time coincide, so the cache key is exact —
-	// approximate keys (e.g. bucketing time) would let a "too small"
-	// verdict from one reference leak to another.
-	medianCache := map[string]float64{}
+func (c *Clusterer) Select() { _ = c.SelectCtx(context.Background()) }
 
-	for cellKey, sessions := range cells {
-		refs := sampleRefs(sessions, c.cfg.SamplePerCell)
-		best := c.global
-		bestErr := nan()
-		for _, cand := range c.cands {
-			var errs []float64
-			for _, ref := range refs {
-				ck := cand.String() + "\x00" + ref.Features.Key(cand.Features) + fmt.Sprintf("\x00%d", ref.StartUnix)
-				med, found := medianCache[ck]
-				if !found {
-					agg := c.Aggregate(cand, ref)
-					if len(agg) < c.cfg.MinGroupSize {
-						med = nan()
-					} else {
-						med = MedianInitial(agg)
-					}
-					medianCache[ck] = med
+// SelectCtx is Select with cancellation: cells fan out across
+// cfg.Parallelism workers and a cancelled ctx stops the search, returning
+// ctx's error with the rule table unmodified. On a nil error every cell has
+// its winner recorded.
+func (c *Clusterer) SelectCtx(ctx context.Context) error {
+	cells := c.index[NewFeatureSet(c.fullFeatures, TimeWindow{Kind: WindowAll}).Key()]
+	cellKeys := make([]string, 0, len(cells))
+	for k := range cells {
+		cellKeys = append(cellKeys, k)
+	}
+	sort.Strings(cellKeys)
+	cache := &medianCache{m: make(map[string]float64)}
+
+	winners, err := parallel.Map(ctx, c.cfg.Parallelism, cellKeys, func(_ context.Context, _ int, cellKey string) (FeatureSet, error) {
+		return c.selectCell(cells[cellKey], cache), nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, k := range cellKeys {
+		c.chosen[k] = winners[i]
+	}
+	return nil
+}
+
+// selectCell scores every candidate rule for one cell and returns the
+// winner. It only reads the clusterer's index, so concurrent calls for
+// different cells are safe.
+func (c *Clusterer) selectCell(sessions []*trace.Session, cache *medianCache) FeatureSet {
+	refs := sampleRefs(sessions, c.cfg.SamplePerCell)
+	best := c.global
+	bestErr := nan()
+	for _, cand := range c.cands {
+		var errs []float64
+		for _, ref := range refs {
+			ck := cand.String() + "\x00" + ref.Features.Key(cand.Features) + fmt.Sprintf("\x00%d", ref.StartUnix)
+			med, found := cache.get(ck)
+			if !found {
+				agg := c.Aggregate(cand, ref)
+				if len(agg) < c.cfg.MinGroupSize {
+					med = nan()
+				} else {
+					med = MedianInitial(agg)
 				}
-				if isNaN(med) {
-					continue // rule unreliable for this ref (Agg too small)
-				}
-				if e := mathx.AbsRelErr(med, ref.InitialThroughput()); !isNaN(e) {
-					errs = append(errs, e)
-				}
+				cache.put(ck, med)
 			}
-			// A rule must be reliable for at least half the refs to
-			// compete; the paper drops rules whose aggregation is
-			// below the threshold.
-			if len(errs)*2 < len(refs) || len(errs) == 0 {
-				continue
+			if isNaN(med) {
+				continue // rule unreliable for this ref (Agg too small)
 			}
-			score := mathx.Mean(errs)
-			if isNaN(bestErr) || score < bestErr {
-				best, bestErr = cand, score
+			if e := mathx.AbsRelErr(med, ref.InitialThroughput()); !isNaN(e) {
+				errs = append(errs, e)
 			}
 		}
-		c.chosen[cellKey] = best
+		// A rule must be reliable for at least half the refs to
+		// compete; the paper drops rules whose aggregation is
+		// below the threshold.
+		if len(errs)*2 < len(refs) || len(errs) == 0 {
+			continue
+		}
+		score := mathx.Mean(errs)
+		if isNaN(bestErr) || score < bestErr {
+			best, bestErr = cand, score
+		}
 	}
+	return best
+}
+
+// medianCache memoizes Agg-median lookups across cells under concurrent
+// access. Medians repeat across cells exactly when rule, matched feature
+// values and reference time coincide, so the cache key is exact — approximate
+// keys (e.g. bucketing time) would let a "too small" verdict from one
+// reference leak to another. Two workers may race to compute the same entry;
+// both compute the identical deterministic value, so the duplicate work is
+// harmless.
+type medianCache struct {
+	mu sync.Mutex
+	m  map[string]float64
+}
+
+func (mc *medianCache) get(k string) (float64, bool) {
+	mc.mu.Lock()
+	v, ok := mc.m[k]
+	mc.mu.Unlock()
+	return v, ok
+}
+
+func (mc *medianCache) put(k string, v float64) {
+	mc.mu.Lock()
+	mc.m[k] = v
+	mc.mu.Unlock()
 }
 
 // ClusterFor returns the selected rule for session s (falling back to the

@@ -1,0 +1,50 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+)
+
+// TestSelectParallelMatchesSequential pins the rule-search determinism
+// invariant: the per-cell winners are identical whether cells are scored
+// sequentially or across a worker pool.
+func TestSelectParallelMatchesSequential(t *testing.T) {
+	d := toyDataset(300)
+	cfg := DefaultConfig()
+	cfg.MinGroupSize = 10
+
+	seqCfg := cfg
+	seqCfg.Parallelism = 1
+	parCfg := cfg
+	parCfg.Parallelism = 8
+
+	seq := New(seqCfg, d)
+	seq.Select()
+	par := New(parCfg, d)
+	par.Select()
+
+	if len(seq.chosen) == 0 {
+		t.Fatal("degenerate fixture: no cells selected")
+	}
+	if len(seq.chosen) != len(par.chosen) {
+		t.Fatalf("cell counts differ: %d vs %d", len(seq.chosen), len(par.chosen))
+	}
+	for cell, rule := range seq.chosen {
+		if got := par.chosen[cell].String(); got != rule.String() {
+			t.Errorf("cell %q: sequential chose %q, parallel %q", cell, rule.String(), got)
+		}
+	}
+}
+
+func TestSelectCtxCancelled(t *testing.T) {
+	d := toyDataset(100)
+	c := New(DefaultConfig(), d)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.SelectCtx(ctx); err == nil {
+		t.Fatal("cancelled context should abort the rule search")
+	}
+	if len(c.chosen) != 0 {
+		t.Error("aborted search should leave the rule table unmodified")
+	}
+}

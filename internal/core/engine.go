@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -25,6 +26,7 @@ import (
 	"cs2p/internal/cluster"
 	"cs2p/internal/hmm"
 	"cs2p/internal/mathx"
+	"cs2p/internal/parallel"
 	"cs2p/internal/predict"
 	"cs2p/internal/trace"
 )
@@ -51,6 +53,24 @@ type Config struct {
 	MaxClusterSessions int
 	// GlobalSessions caps the global fallback HMM's training set.
 	GlobalSessions int
+	// Parallelism bounds the offline-training worker fan-out: per-cluster
+	// HMM training, cross-validated state selection, and the clustering
+	// rule search all share the knob. 0 means one worker per CPU, 1
+	// reproduces the historical sequential behavior. Every cluster trains
+	// from its own seeded RNG, so the trained engine is identical at every
+	// setting.
+	Parallelism int
+	// Logf, when non-nil, receives training diagnostics (clusters that
+	// fell back to the global model, failed state selections). nil
+	// discards them; the same messages are always collected on the
+	// engine's Warnings.
+	Logf func(format string, args ...any)
+}
+
+func (cfg Config) logf(format string, args ...any) {
+	if cfg.Logf != nil {
+		cfg.Logf(format, args...)
+	}
 }
 
 // DefaultConfig returns the settings used across the reproduction: the
@@ -77,11 +97,27 @@ type Engine struct {
 	medians   map[string]float64    // cluster ID -> fallback initial median
 	global    *hmm.Model
 	globalMed float64
+	warnings  []string
 }
 
 // Train builds the engine: runs the clustering search, trains one HMM per
 // realized cluster, and fits the global fallback model.
 func Train(train *trace.Dataset, cfg Config) (*Engine, error) {
+	return TrainContext(context.Background(), train, cfg)
+}
+
+// clusterModel is the output of one cluster's training worker. A nil Model
+// means the cluster degenerated and will be served by the global fallback.
+type clusterModel struct {
+	model  *hmm.Model
+	median float64
+	warns  []string
+}
+
+// TrainContext is Train with cancellation. Per-cluster training fans out
+// across cfg.Parallelism workers (see Config.Parallelism); cancelling ctx
+// aborts training and returns ctx's error.
+func TrainContext(ctx context.Context, train *trace.Dataset, cfg Config) (*Engine, error) {
 	if train == nil || train.Len() == 0 {
 		return nil, fmt.Errorf("core: empty training dataset")
 	}
@@ -93,8 +129,14 @@ func Train(train *trace.Dataset, cfg Config) (*Engine, error) {
 		models:  make(map[string]*hmm.Model),
 		medians: make(map[string]float64),
 	}
-	e.clusterer = cluster.New(cfg.Cluster, train)
-	e.clusterer.Select()
+	ccfg := cfg.Cluster
+	if ccfg.Parallelism == 0 {
+		ccfg.Parallelism = cfg.Parallelism
+	}
+	e.clusterer = cluster.New(ccfg, train)
+	if err := e.clusterer.SelectCtx(ctx); err != nil {
+		return nil, fmt.Errorf("core: clustering rule search: %w", err)
+	}
 
 	// Group training sessions by their assigned cluster ID. Sessions whose
 	// cell fell back to the global rule are served by the global model.
@@ -106,31 +148,64 @@ func Train(train *trace.Dataset, cfg Config) (*Engine, error) {
 		}
 		byCluster[id] = append(byCluster[id], s)
 	}
-	// Deterministic iteration order.
+	// Deterministic iteration order; clusters too small for a dedicated
+	// model fall back to the global model at prediction time.
 	ids := make([]string, 0, len(byCluster))
 	for id := range byCluster {
-		ids = append(ids, id)
+		if len(byCluster[id]) >= cfg.MinClusterSessions {
+			ids = append(ids, id)
+		}
 	}
 	sort.Strings(ids)
 
-	for _, id := range ids {
+	// Fan the per-cluster work across the pool. Each cluster trains from
+	// its own seeded RNG and appends its results/warnings into its own
+	// slot, so the assembled engine is independent of worker interleaving.
+	hcfgBase := cfg.HMM
+	if hcfgBase.Parallelism == 0 {
+		hcfgBase.Parallelism = cfg.Parallelism
+	}
+	results, err := parallel.Map(ctx, cfg.Parallelism, ids, func(ctx context.Context, _ int, id string) (clusterModel, error) {
 		members := byCluster[id]
-		if len(members) < cfg.MinClusterSessions {
-			continue // falls back to the global model at prediction time
-		}
 		seqs := sequences(members, cfg.MaxClusterSessions)
-		hcfg := cfg.HMM
+		hcfg := hcfgBase
+		var cm clusterModel
 		if cfg.SelectStates {
-			if n, _, err := hmm.SelectStateCount(seqs, cfg.StateCandidates, cfg.CVFolds, hcfg); err == nil {
+			n, _, serr := hmm.SelectStateCountCtx(ctx, seqs, cfg.StateCandidates, cfg.CVFolds, hcfg)
+			switch {
+			case serr != nil && ctx.Err() != nil:
+				return cm, ctx.Err()
+			case serr != nil:
+				// Selection failure is survivable — fall back to the
+				// configured state count — but never silent.
+				cm.warns = append(cm.warns, fmt.Sprintf("cluster %s: state selection failed (%v); using %d states", id, serr, hcfg.NStates))
+			default:
 				hcfg.NStates = n
 			}
 		}
-		m, err := hmm.Train(seqs, hcfg)
-		if err != nil {
-			continue // degenerate cluster; global fallback covers it
+		m, terr := hmm.Train(seqs, hcfg)
+		if terr != nil {
+			cm.warns = append(cm.warns, fmt.Sprintf("cluster %s: training failed (%v); using global fallback", id, terr))
+			return cm, nil // degenerate cluster; global fallback covers it
 		}
-		e.models[id] = m
-		e.medians[id] = staticMedian(members)
+		cm.model = m
+		cm.median = staticMedian(members)
+		return cm, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: training cluster models: %w", err)
+	}
+	for i, id := range ids {
+		cm := results[i]
+		for _, w := range cm.warns {
+			cfg.logf("core: %s", w)
+			e.warnings = append(e.warnings, w)
+		}
+		if cm.model == nil {
+			continue
+		}
+		e.models[id] = cm.model
+		e.medians[id] = cm.median
 	}
 
 	// Global fallback model over a stride subsample of everything.
@@ -143,6 +218,11 @@ func Train(train *trace.Dataset, cfg Config) (*Engine, error) {
 	e.globalMed = staticMedian(train.Sessions)
 	return e, nil
 }
+
+// Warnings returns the non-fatal diagnostics collected while training
+// (clusters served by the global fallback, failed state selections), in
+// deterministic cluster-ID order.
+func (e *Engine) Warnings() []string { return e.warnings }
 
 func sequences(sessions []*trace.Session, cap int) [][]float64 {
 	seqs := make([][]float64, 0, len(sessions))

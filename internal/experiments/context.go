@@ -59,6 +59,11 @@ const (
 type Context struct {
 	Scale Scale
 	Spec  video.Spec
+	// Parallelism is forwarded to every engine configuration built by
+	// EngineConfig (0 = one worker per CPU, 1 = sequential). Trained
+	// models are identical at every setting, so experiment outputs don't
+	// depend on it.
+	Parallelism int
 
 	mu     sync.Mutex
 	data   *trace.Dataset
@@ -128,6 +133,7 @@ func (c *Context) ensureSplitLocked() {
 // EngineConfig returns the core configuration the context trains with.
 func (c *Context) EngineConfig() core.Config {
 	cfg := core.DefaultConfig()
+	cfg.Parallelism = c.Parallelism
 	if c.Scale == ScaleSmall {
 		cfg.Cluster.MinGroupSize = 10
 		cfg.HMM.NStates = 4

@@ -201,14 +201,16 @@ func (m *Model) backward(obs []float64, scales []float64, betas *mathx.Matrix) {
 	}
 }
 
-// emissionPDF evaluates the state's Gaussian density with a floor that keeps
-// the scaled recursions away from exact zeros when an observation is far
-// outside every state (e.g. a throughput spike the training data never saw).
+// emissionFloor keeps the scaled recursions away from exact zeros when an
+// observation is far outside every state (e.g. a throughput spike the
+// training data never saw).
+const emissionFloor = 1e-290
+
+// emissionPDF evaluates the state's Gaussian density with the shared floor.
 func emissionPDF(g mathx.Gaussian, x float64) float64 {
-	const floor = 1e-290
 	p := g.PDF(x)
-	if p < floor || math.IsNaN(p) {
-		return floor
+	if p < emissionFloor || math.IsNaN(p) {
+		return emissionFloor
 	}
 	return p
 }

@@ -1,0 +1,155 @@
+package hmm
+
+import (
+	"math"
+
+	"cs2p/internal/mathx"
+)
+
+const sqrt2Pi = 2.5066282746310002 // sqrt(2*pi)
+
+// emScratch holds every buffer one Baum-Welch run needs, allocated once per
+// Train call (sized to the longest sequence) and reused across sequences and
+// EM iterations. The EM hot loop touches no allocator at all: forward/backward
+// variables, the per-step posteriors, the M-step accumulators and the
+// emission-density table all live here.
+type emScratch struct {
+	n, maxT int
+
+	// pdfs caches b_i(o_t) (with the emission floor applied) for the current
+	// sequence, so each density is evaluated once per iteration instead of
+	// once each by the forward, backward and xi recursions.
+	pdfs   *mathx.Matrix // maxT x n
+	alphas *mathx.Matrix // maxT x n scaled forward variables
+	betas  *mathx.Matrix // maxT x n scaled backward variables
+	scales []float64     // maxT Rabiner scaling factors
+
+	gamma          []float64 // n: per-step state posterior
+	cur, next, tmp []float64 // n: recursion work vectors
+	xi             *mathx.Matrix
+
+	// M-step accumulators, zeroed at the start of every iteration.
+	piAcc     []float64
+	transAcc  *mathx.Matrix
+	gammaSum  []float64 // sum_t gamma_t(i) over all sequences
+	gammaObs  []float64 // sum_t gamma_t(i) * o_t
+	gammaObs2 []float64 // sum_t gamma_t(i) * o_t^2
+
+	// Per-state Gaussian constants, refreshed from the model after each
+	// M-step: pdf_i(x) = coef[i] * exp(negHalfInvVar[i] * (x-mu[i])^2).
+	// Hoisting them out of the density call removes a log and a divide per
+	// observation-state pair.
+	mu, coef, negHalfInvVar []float64
+}
+
+func newEMScratch(n, maxT int) *emScratch {
+	return &emScratch{
+		n: n, maxT: maxT,
+		pdfs:          mathx.NewMatrix(maxT, n),
+		alphas:        mathx.NewMatrix(maxT, n),
+		betas:         mathx.NewMatrix(maxT, n),
+		scales:        make([]float64, maxT),
+		gamma:         make([]float64, n),
+		cur:           make([]float64, n),
+		next:          make([]float64, n),
+		tmp:           make([]float64, n),
+		xi:            mathx.NewMatrix(n, n),
+		piAcc:         make([]float64, n),
+		transAcc:      mathx.NewMatrix(n, n),
+		gammaSum:      make([]float64, n),
+		gammaObs:      make([]float64, n),
+		gammaObs2:     make([]float64, n),
+		mu:            make([]float64, n),
+		coef:          make([]float64, n),
+		negHalfInvVar: make([]float64, n),
+	}
+}
+
+// beginIter prepares the scratch for one EM iteration: zeroes the M-step
+// accumulators and snapshots the model's emission constants (the E-step must
+// evaluate densities under the pre-update parameters).
+func (s *emScratch) beginIter(m *Model) {
+	zero(s.piAcc)
+	zero(s.transAcc.Data)
+	zero(s.gammaSum)
+	zero(s.gammaObs)
+	zero(s.gammaObs2)
+	for i, g := range m.Emit {
+		s.mu[i] = g.Mu
+		s.coef[i] = 1 / (g.Sigma * sqrt2Pi)
+		s.negHalfInvVar[i] = -0.5 / (g.Sigma * g.Sigma)
+	}
+}
+
+func zero(xs []float64) {
+	for i := range xs {
+		xs[i] = 0
+	}
+}
+
+// fillPDFs computes the floored emission densities for every (step, state)
+// pair of the sequence into s.pdfs.
+func (s *emScratch) fillPDFs(obs []float64) {
+	for k, x := range obs {
+		row := s.pdfs.Row(k)
+		for i := 0; i < s.n; i++ {
+			d := x - s.mu[i]
+			p := s.coef[i] * math.Exp(s.negHalfInvVar[i]*d*d)
+			if !(p >= emissionFloor) { // also catches NaN
+				p = emissionFloor
+			}
+			row[i] = p
+		}
+	}
+}
+
+// forward is the scaled forward pass of Model.forward rehosted on scratch
+// buffers and the precomputed density table. Fills s.alphas and s.scales for
+// the first len(obs) steps and returns the sequence log-likelihood.
+func (s *emScratch) forward(m *Model, obs []float64) float64 {
+	n, t := s.n, len(obs)
+	cur, next := s.cur, s.next
+	brow := s.pdfs.Row(0)
+	for i := 0; i < n; i++ {
+		cur[i] = m.Pi[i] * brow[i]
+	}
+	s.scales[0] = scaleStep(cur)
+	logLik := math.Log(s.scales[0])
+	copy(s.alphas.Row(0), cur)
+	for k := 1; k < t; k++ {
+		m.Trans.VecMat(cur, next)
+		brow = s.pdfs.Row(k)
+		for j := 0; j < n; j++ {
+			next[j] *= brow[j]
+		}
+		s.scales[k] = scaleStep(next)
+		logLik += math.Log(s.scales[k])
+		copy(s.alphas.Row(k), next)
+		cur, next = next, cur
+	}
+	return logLik
+}
+
+// backward is the scaled backward pass rehosted on scratch buffers, filling
+// the first len(obs) rows of s.betas using the scales left by forward.
+func (s *emScratch) backward(m *Model, obs []float64) {
+	n, t := s.n, len(obs)
+	last := s.betas.Row(t - 1)
+	for i := range last {
+		last[i] = 1 / s.scales[t-1]
+	}
+	tmp := s.tmp
+	for k := t - 2; k >= 0; k-- {
+		nextRow := s.betas.Row(k + 1)
+		prow := s.pdfs.Row(k + 1)
+		for j := 0; j < n; j++ {
+			tmp[j] = prow[j] * nextRow[j]
+		}
+		row := s.betas.Row(k)
+		m.Trans.MatVec(tmp, row)
+		inv := 1 / s.scales[k]
+		for i := range row {
+			row[i] *= inv
+		}
+	}
+}

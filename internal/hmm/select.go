@@ -1,10 +1,12 @@
 package hmm
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"cs2p/internal/mathx"
+	"cs2p/internal/parallel"
 )
 
 // SelectStateCount chooses the number of HMM states by k-fold cross
@@ -16,7 +18,17 @@ import (
 // The candidates slice must be non-empty; folds must be >= 2. Sequences are
 // assigned to folds round-robin, which is deterministic and — because the
 // caller's sequences are already i.i.d. sessions of one cluster — unbiased.
+//
+// The (candidate, fold) training runs fan out across cfg.Parallelism workers
+// (0 = one per CPU, 1 = sequential); fold scores are reduced in fold order so
+// the selection is identical at every parallelism level.
 func SelectStateCount(seqs [][]float64, candidates []int, folds int, cfg TrainConfig) (bestN int, bestErr float64, err error) {
+	return SelectStateCountCtx(context.Background(), seqs, candidates, folds, cfg)
+}
+
+// SelectStateCountCtx is SelectStateCount with cancellation: a cancelled ctx
+// stops dispatching new cross-validation runs and returns ctx's error.
+func SelectStateCountCtx(ctx context.Context, seqs [][]float64, candidates []int, folds int, cfg TrainConfig) (bestN int, bestErr float64, err error) {
 	if len(candidates) == 0 {
 		return 0, 0, fmt.Errorf("hmm: no candidate state counts")
 	}
@@ -32,25 +44,43 @@ func SelectStateCount(seqs [][]float64, candidates []int, folds int, cfg TrainCo
 	if len(usable) < folds {
 		return 0, 0, fmt.Errorf("hmm: %d usable sequences for %d folds", len(usable), folds)
 	}
-	bestN, bestErr = candidates[0], math.Inf(1)
-	for _, n := range candidates {
+
+	// One work item per (candidate, fold) pair; each trains on the other
+	// folds and scores the held-out one. A failed training run scores NaN,
+	// which the reduction below skips exactly like the sequential loop did.
+	type cvRun struct{ cand, fold int }
+	runs := make([]cvRun, 0, len(candidates)*folds)
+	for ci := range candidates {
+		for f := 0; f < folds; f++ {
+			runs = append(runs, cvRun{ci, f})
+		}
+	}
+	scores, perr := parallel.Map(ctx, cfg.Parallelism, runs, func(_ context.Context, _ int, r cvRun) (float64, error) {
 		c := cfg
-		c.NStates = n
+		c.NStates = candidates[r.cand]
+		var train, test [][]float64
+		for i, s := range usable {
+			if i%folds == r.fold {
+				test = append(test, s)
+			} else {
+				train = append(train, s)
+			}
+		}
+		m, terr := Train(train, c)
+		if terr != nil {
+			return math.NaN(), nil // degenerate fold: skipped, not fatal
+		}
+		return midstreamMedianError(m, test), nil
+	})
+	if perr != nil {
+		return 0, 0, perr
+	}
+
+	bestN, bestErr = candidates[0], math.Inf(1)
+	for ci, n := range candidates {
 		var foldErrs []float64
 		for f := 0; f < folds; f++ {
-			var train, test [][]float64
-			for i, s := range usable {
-				if i%folds == f {
-					test = append(test, s)
-				} else {
-					train = append(train, s)
-				}
-			}
-			m, terr := Train(train, c)
-			if terr != nil {
-				continue
-			}
-			if e := midstreamMedianError(m, test); !math.IsNaN(e) {
+			if e := scores[ci*folds+f]; !math.IsNaN(e) {
 				foldErrs = append(foldErrs, e)
 			}
 		}
@@ -58,7 +88,7 @@ func SelectStateCount(seqs [][]float64, candidates []int, folds int, cfg TrainCo
 			continue
 		}
 		score := mathx.Mean(foldErrs)
-		if score < bestErr {
+		if relImprovement(bestErr, score) < 0 {
 			bestN, bestErr = n, score
 		}
 	}

@@ -30,6 +30,11 @@ type TrainConfig struct {
 	// paper's Observation 2 (throughput persists in a state) motivates a
 	// sticky prior; 0 means uniform.
 	StickyInit float64
+	// Parallelism bounds the worker fan-out of SelectStateCount's
+	// cross-validation (0 means one worker per CPU, 1 reproduces the
+	// sequential loop). Train itself is single-threaded; callers parallelize
+	// across models instead. Results are identical at every setting.
+	Parallelism int
 }
 
 // DefaultTrainConfig returns the configuration used across the reproduction:
@@ -59,31 +64,29 @@ func Train(seqs [][]float64, cfg TrainConfig) (*Model, error) {
 		cfg.MaxIters = 1
 	}
 	var usable [][]float64
-	total := 0
+	total, maxT := 0, 0
 	for _, s := range seqs {
 		if len(s) > 0 {
 			usable = append(usable, s)
 			total += len(s)
+			if len(s) > maxT {
+				maxT = len(s)
+			}
 		}
 	}
 	if total == 0 {
 		return nil, ErrNoData
 	}
 	m := initModel(usable, cfg)
+	sc := newEMScratch(cfg.NStates, maxT)
 	prev := math.Inf(-1)
 	for iter := 0; iter < cfg.MaxIters; iter++ {
-		logLik := emStep(m, usable, cfg)
+		logLik := emStep(m, usable, cfg, sc)
 		if math.IsNaN(logLik) {
 			return nil, fmt.Errorf("hmm: EM diverged at iteration %d", iter)
 		}
-		if iter > 0 {
-			denom := math.Abs(prev)
-			if denom < 1 {
-				denom = 1
-			}
-			if (logLik-prev)/denom < cfg.Tol {
-				break
-			}
+		if iter > 0 && relImprovement(prev, logLik) < cfg.Tol {
+			break
 		}
 		prev = logLik
 	}
@@ -110,19 +113,25 @@ func initModel(seqs [][]float64, cfg TrainConfig) *Model {
 	for i, x := range all {
 		assign[i] = nearestCenter(centers, x)
 	}
+	// Per-cluster count/mean/M2 in one Welford pass over the observations,
+	// instead of re-collecting each state's members into a fresh slice.
+	count := make([]int, n)
+	mean := make([]float64, n)
+	m2 := make([]float64, n)
+	for i, x := range all {
+		k := assign[i]
+		count[k]++
+		d := x - mean[k]
+		mean[k] += d / float64(count[k])
+		m2[k] += d * (x - mean[k])
+	}
 	emit := make([]mathx.Gaussian, n)
 	for k := 0; k < n; k++ {
-		var xs []float64
-		for i, a := range assign {
-			if a == k {
-				xs = append(xs, all[i])
-			}
-		}
 		mu := centers[k]
 		v := cfg.VarFloor
-		if len(xs) > 0 {
-			mu = mathx.Mean(xs)
-			if vv := mathx.Variance(xs); vv > v {
+		if count[k] > 0 {
+			mu = mean[k]
+			if vv := m2[k] / float64(count[k]); vv > v {
 				v = vv
 			}
 		}
@@ -148,56 +157,67 @@ func initModel(seqs [][]float64, cfg TrainConfig) *Model {
 	return &Model{Pi: pi, Trans: trans, Emit: emit}
 }
 
+// relImprovement returns the improvement of cur over prev, normalized by
+// max(1, |prev|) so near-zero and non-finite baselines don't blow the ratio
+// up. Shared by Train's EM convergence check and SelectStateCount's
+// best-candidate comparison.
+func relImprovement(prev, cur float64) float64 {
+	denom := math.Abs(prev)
+	if denom < 1 || math.IsInf(denom, 0) || math.IsNaN(denom) {
+		denom = 1
+	}
+	return (cur - prev) / denom
+}
+
 // emStep performs one E+M iteration over all sequences in place and returns
-// the total log-likelihood under the pre-update parameters.
-func emStep(m *Model, seqs [][]float64, cfg TrainConfig) float64 {
+// the total log-likelihood under the pre-update parameters. All working
+// memory comes from sc; the loop itself does not allocate.
+func emStep(m *Model, seqs [][]float64, cfg TrainConfig, sc *emScratch) float64 {
 	n := m.N()
-	piAcc := make([]float64, n)
-	transAcc := mathx.NewMatrix(n, n)
-	gammaSum := make([]float64, n)  // sum_t gamma_t(i) over all sequences
-	gammaObs := make([]float64, n)  // sum_t gamma_t(i) * o_t
-	gammaObs2 := make([]float64, n) // sum_t gamma_t(i) * o_t^2
+	sc.beginIter(m)
 	var totalLogLik float64
 
 	for _, obs := range seqs {
 		t := len(obs)
-		alphas := mathx.NewMatrix(t, n)
-		betas := mathx.NewMatrix(t, n)
-		scales, logLik := m.forward(obs, alphas)
-		totalLogLik += logLik
-		m.backward(obs, scales, betas)
+		sc.fillPDFs(obs)
+		totalLogLik += sc.forward(m, obs)
+		sc.backward(m, obs)
 
 		// gamma_t(i) proportional to alpha_t(i) * beta_t(i).
-		gamma := make([]float64, n)
+		gamma := sc.gamma
 		for k := 0; k < t; k++ {
-			arow, brow := alphas.Row(k), betas.Row(k)
+			arow, brow := sc.alphas.Row(k), sc.betas.Row(k)
 			for i := 0; i < n; i++ {
 				gamma[i] = arow[i] * brow[i]
 			}
 			mathx.Normalize(gamma)
 			if k == 0 {
 				for i := 0; i < n; i++ {
-					piAcc[i] += gamma[i]
+					sc.piAcc[i] += gamma[i]
 				}
 			}
 			o := obs[k]
 			for i := 0; i < n; i++ {
 				g := gamma[i]
-				gammaSum[i] += g
-				gammaObs[i] += g * o
-				gammaObs2[i] += g * o * o
+				sc.gammaSum[i] += g
+				sc.gammaObs[i] += g * o
+				sc.gammaObs2[i] += g * o * o
 			}
 		}
 		// xi_t(i,j) proportional to alpha_t(i) P_ij b_j(o_{t+1}) beta_{t+1}(j).
-		xi := mathx.NewMatrix(n, n)
+		xi := sc.xi
 		for k := 0; k+1 < t; k++ {
-			arow := alphas.Row(k)
-			brow := betas.Row(k + 1)
+			arow := sc.alphas.Row(k)
+			brow := sc.betas.Row(k + 1)
+			prow := sc.pdfs.Row(k + 1)
 			var norm float64
 			for i := 0; i < n; i++ {
+				ai := arow[i]
+				trow := m.Trans.Row(i)
+				xrow := xi.Row(i)
 				for j := 0; j < n; j++ {
-					v := arow[i] * m.Trans.At(i, j) * emissionPDF(m.Emit[j], obs[k+1]) * brow[j]
-					xi.Set(i, j, v)
+					v := ai * trow[j] * prow[j] * brow[j]
+					xrow[j] = v
 					norm += v
 				}
 			}
@@ -205,26 +225,26 @@ func emStep(m *Model, seqs [][]float64, cfg TrainConfig) float64 {
 				continue
 			}
 			for i := 0; i < n; i++ {
+				xrow := xi.Row(i)
+				acc := sc.transAcc.Row(i)
 				for j := 0; j < n; j++ {
-					transAcc.Set(i, j, transAcc.At(i, j)+xi.At(i, j)/norm)
+					acc[j] += xrow[j] / norm
 				}
 			}
 		}
 	}
 
 	// M-step.
-	copy(m.Pi, piAcc)
+	copy(m.Pi, sc.piAcc)
 	mathx.Normalize(m.Pi)
-	for i := 0; i < n; i++ {
-		copy(m.Trans.Row(i), transAcc.Row(i))
-	}
+	copy(m.Trans.Data, sc.transAcc.Data)
 	m.Trans.NormalizeRows()
 	for i := 0; i < n; i++ {
-		if gammaSum[i] <= 0 {
+		if sc.gammaSum[i] <= 0 {
 			continue // keep previous parameters for a starved state
 		}
-		mu := gammaObs[i] / gammaSum[i]
-		v := gammaObs2[i]/gammaSum[i] - mu*mu
+		mu := sc.gammaObs[i] / sc.gammaSum[i]
+		v := sc.gammaObs2[i]/sc.gammaSum[i] - mu*mu
 		if v < cfg.VarFloor {
 			v = cfg.VarFloor
 		}

@@ -1,0 +1,161 @@
+// Package parallel provides the bounded worker pool used by the offline
+// training path (engine training, cross-validated state selection, and the
+// clustering rule search). It exists so every fan-out in the codebase shares
+// one carefully-tested set of semantics:
+//
+//   - results are ordered: Map's output slice lines up index-for-index with
+//     its input, no matter which worker finished first;
+//   - workers are bounded: at most Workers(n) goroutines run the callback at
+//     once, so nested fan-outs degrade to time-slicing instead of unbounded
+//     goroutine growth;
+//   - the first error wins: the error from the lowest-indexed failing item is
+//     returned, which is exactly the error a sequential loop would have
+//     stopped on (indices are dispatched in ascending order, so the lowest
+//     failing index is always among the executed items);
+//   - cancellation is cooperative: once an item fails or ctx is done, no new
+//     items are dispatched; in-flight callbacks run to completion;
+//   - panics propagate: a panicking callback does not deadlock the pool — the
+//     panic value is re-raised on the caller's goroutine with the worker's
+//     stack attached.
+//
+// Determinism contract: callbacks receive no shared mutable state from the
+// pool, so a callback that is itself a deterministic function of (index, item)
+// yields results independent of worker count. ForEach(ctx, 1, ...) is
+// guaranteed to visit items in index order on the calling goroutine, making
+// Parallelism=1 bit-identical to the pre-pool sequential loops.
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a parallelism knob to a concrete worker count: values <= 0
+// mean "one worker per available CPU" (runtime.GOMAXPROCS), anything else is
+// taken literally.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// panicError carries a recovered panic from a worker to the caller.
+type panicError struct {
+	value any
+	stack []byte
+}
+
+// Map applies fn to every item with at most Workers(workers) concurrent
+// callbacks and returns the results in input order. On error it returns the
+// lowest-indexed failure (results are still returned for items that completed
+// before cancellation took effect; failed and unvisited slots hold the zero
+// value). A nil error means every item was processed.
+func Map[T, R any](ctx context.Context, workers int, items []T, fn func(ctx context.Context, i int, item T) (R, error)) ([]R, error) {
+	results := make([]R, len(items))
+	err := ForEach(ctx, workers, items, func(ctx context.Context, i int, item T) error {
+		r, err := fn(ctx, i, item)
+		if err != nil {
+			return err
+		}
+		results[i] = r
+		return nil
+	})
+	return results, err
+}
+
+// ForEach applies fn to every item with at most Workers(workers) concurrent
+// callbacks. See Map for the error and cancellation semantics. With an
+// effective worker count of 1 it degenerates to a plain loop on the calling
+// goroutine, stopping at the first error exactly like hand-written code.
+func ForEach[T any](ctx context.Context, workers int, items []T, fn func(ctx context.Context, i int, item T) error) error {
+	if len(items) == 0 {
+		return ctx.Err()
+	}
+	w := Workers(workers)
+	if w > len(items) {
+		w = len(items)
+	}
+	if w <= 1 {
+		for i, item := range items {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i, item); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		firstIdx = -1
+		firstErr error
+		panicked *panicError
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if firstIdx == -1 || i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		cancel() // stop dispatching new items
+	}
+
+	// Workers pull ascending indices from an unbuffered channel, so the
+	// dispatched items always form a prefix of the input. Every dispatched
+	// item runs to completion even after cancellation; combined with the
+	// prefix property this makes the recorded minimum failing index exactly
+	// the index a sequential loop would have stopped on.
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							pe := &panicError{value: r, stack: make([]byte, 64<<10)}
+							pe.stack = pe.stack[:runtime.Stack(pe.stack, false)]
+							mu.Lock()
+							if panicked == nil {
+								panicked = pe
+							}
+							mu.Unlock()
+							cancel()
+						}
+					}()
+					if err := fn(ctx, i, items[i]); err != nil {
+						record(i, err)
+					}
+				}()
+			}
+		}()
+	}
+dispatch:
+	for i := range items {
+		select {
+		case indices <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(indices)
+	wg.Wait()
+
+	if panicked != nil {
+		panic(fmt.Sprintf("parallel: worker panicked: %v\n%s", panicked.value, panicked.stack))
+	}
+	if firstIdx != -1 {
+		return firstErr
+	}
+	return ctx.Err()
+}

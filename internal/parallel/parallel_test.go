@@ -1,0 +1,200 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d", got)
+	}
+}
+
+func TestMapOrderedResults(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{1, 2, 8, 100} {
+		got, err := Map(context.Background(), workers, items, func(_ context.Context, i, item int) (string, error) {
+			// Stagger completion so later indices tend to finish first.
+			time.Sleep(time.Duration(len(items)-i) * 10 * time.Microsecond)
+			return fmt.Sprintf("%d:%d", i, item*2), nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, r := range got {
+			if want := fmt.Sprintf("%d:%d", i, i*2); r != want {
+				t.Fatalf("workers=%d: result[%d] = %q, want %q", workers, i, r, want)
+			}
+		}
+	}
+}
+
+func TestMapEmptyAndNil(t *testing.T) {
+	got, err := Map(context.Background(), 4, nil, func(_ context.Context, i, item int) (int, error) {
+		return item, nil
+	})
+	if err != nil || len(got) != 0 {
+		t.Errorf("nil input: got %v, %v", got, err)
+	}
+}
+
+func TestForEachErrorPropagation(t *testing.T) {
+	sentinel := errors.New("boom")
+	items := make([]int, 50)
+	for _, workers := range []int{1, 4} {
+		var calls atomic.Int32
+		err := ForEach(context.Background(), workers, items, func(_ context.Context, i, _ int) error {
+			calls.Add(1)
+			if i == 10 {
+				return fmt.Errorf("item %d: %w", i, sentinel)
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: err = %v, want wrapped sentinel", workers, err)
+		}
+		if workers == 1 && calls.Load() != 11 {
+			t.Errorf("sequential run made %d calls, want 11 (stop at first error)", calls.Load())
+		}
+	}
+}
+
+// TestForEachLowestIndexError verifies the error contract: among multiple
+// failing items the returned error is the one a sequential loop would have
+// hit first.
+func TestForEachLowestIndexError(t *testing.T) {
+	items := make([]int, 64)
+	for _, workers := range []int{2, 8, 64} {
+		err := ForEach(context.Background(), workers, items, func(_ context.Context, i, _ int) error {
+			if i%3 == 2 { // items 2, 5, 8, ... all fail
+				return fmt.Errorf("fail@%d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail@2" {
+			t.Fatalf("workers=%d: err = %v, want fail@2", workers, err)
+		}
+	}
+}
+
+func TestForEachContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	items := make([]int, 1000)
+	var calls atomic.Int32
+	err := ForEach(ctx, 2, items, func(ctx context.Context, i, _ int) error {
+		if calls.Add(1) == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := calls.Load(); n >= 1000 {
+		t.Errorf("cancellation did not stop dispatch (%d calls)", n)
+	}
+	// A pre-cancelled context must not run anything.
+	calls.Store(0)
+	if err := ForEach(ctx, 1, items, func(context.Context, int, int) error {
+		calls.Add(1)
+		return nil
+	}); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled sequential err = %v", err)
+	}
+	if calls.Load() != 0 {
+		t.Errorf("pre-cancelled context still ran %d items", calls.Load())
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+				if workers > 1 {
+					s, ok := r.(string)
+					if !ok || !strings.Contains(s, "kaboom") {
+						t.Errorf("workers=%d: recovered %v, want message containing kaboom", workers, r)
+					}
+				}
+			}()
+			_ = ForEach(context.Background(), workers, []int{0, 1, 2, 3}, func(_ context.Context, i, _ int) error {
+				if i == 2 {
+					panic("kaboom")
+				}
+				return nil
+			})
+		}()
+	}
+}
+
+// TestSequentialMatchesDirectLoop pins the Parallelism=1 guarantee the
+// training determinism relies on: same visit order, same results, same
+// early-exit behavior as a hand-written loop.
+func TestSequentialMatchesDirectLoop(t *testing.T) {
+	items := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	var visited []int
+	got, err := Map(context.Background(), 1, items, func(_ context.Context, i int, x float64) (float64, error) {
+		visited = append(visited, i)
+		return x * x, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range items {
+		if visited[i] != i {
+			t.Fatalf("visit order %v not ascending", visited)
+		}
+		if got[i] != x*x {
+			t.Fatalf("result[%d] = %v, want %v", i, got[i], x*x)
+		}
+	}
+}
+
+// TestStress hammers the pool with many small tasks under varied worker
+// counts; `go test -race ./internal/parallel` exercises it for data races.
+func TestStress(t *testing.T) {
+	const items = 2000
+	in := make([]int, items)
+	for i := range in {
+		in[i] = i
+	}
+	var sum atomic.Int64
+	for _, workers := range []int{0, 1, 2, 3, 16, 33} {
+		sum.Store(0)
+		got, err := Map(context.Background(), workers, in, func(_ context.Context, i, item int) (int, error) {
+			sum.Add(int64(item))
+			return item + 1, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if want := int64(items) * (items - 1) / 2; sum.Load() != want {
+			t.Fatalf("workers=%d: sum = %d, want %d", workers, sum.Load(), want)
+		}
+		for i, r := range got {
+			if r != i+1 {
+				t.Fatalf("workers=%d: result[%d] = %d", workers, i, r)
+			}
+		}
+	}
+}
