@@ -1,11 +1,11 @@
 # Developer entry points. `make check` is the gate CI runs; the race target
 # covers the packages with concurrent code paths (the training worker pool
-# and its two consumers).
+# and its consumers, plus the serving stack and the fault-injection suite).
 
 GO ?= go
-RACE_PKGS := ./internal/parallel ./internal/core ./internal/hmm ./internal/cluster
+RACE_PKGS := ./internal/parallel ./internal/core ./internal/hmm ./internal/cluster ./internal/engine ./internal/httpapi ./internal/faultinject
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race chaos bench
 
 check: vet build test race
 
@@ -20,6 +20,12 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# Aggressive fault-injection schedule (25% drops + 5xxs + truncation +
+# latency + a mid-playback restart) through the real client/server stack,
+# under the race detector. See DESIGN.md §8.
+chaos:
+	CS2P_CHAOS=1 $(GO) test -race -run 'TestChaos' -v ./internal/httpapi
 
 # Microbenchmarks of the training hot paths (allocation-counted).
 bench:

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"cs2p/internal/abr"
 	"cs2p/internal/engine"
@@ -28,6 +29,13 @@ func main() {
 		server    = flag.String("server", "http://127.0.0.1:8642", "prediction service base URL")
 		tracePath = flag.String("trace", "", "trace supplying the sessions to replay (CSV; required)")
 		sessions  = flag.Int("sessions", 20, "number of sessions to play")
+
+		retries         = flag.Int("retries", 4, "attempts per idempotent request (1 disables retries)")
+		retryBase       = flag.Duration("retry-base", 50*time.Millisecond, "initial retry backoff")
+		retryMax        = flag.Duration("retry-max", 2*time.Second, "retry backoff cap")
+		breakerFails    = flag.Int("breaker-threshold", 3, "consecutive failures before the circuit opens")
+		breakerCooldown = flag.Duration("breaker-cooldown", 2*time.Second, "open-circuit probe interval")
+		localFallback   = flag.Bool("local-fallback", true, "fetch the cluster model at start and serve it when the service is unreachable")
 	)
 	flag.Parse()
 	if *tracePath == "" {
@@ -47,20 +55,31 @@ func main() {
 		fatalf("server not reachable: %v", err)
 	}
 
+	rcfg := httpapi.DefaultResilienceConfig()
+	rcfg.Retry.MaxAttempts = *retries
+	rcfg.Retry.BaseDelay = *retryBase
+	rcfg.Retry.MaxDelay = *retryMax
+	rcfg.BreakerThreshold = *breakerFails
+	rcfg.BreakerCooldown = *breakerCooldown
+	rcfg.DisableLocalFallback = !*localFallback
+
 	spec := video.Default()
 	w := qoe.DefaultWeights()
 	var qoes, bitrates, stalls []float64
-	played := 0
+	played, localFallbacks, reregs := 0, 0, 0
 	for i, s := range d.Sessions {
 		if played >= *sessions {
 			break
 		}
 		id := fmt.Sprintf("player-%d-%s", i, s.ID)
-		pred, err := client.NewSessionPredictor(id, s.Features, s.StartUnix)
+		pred, err := client.NewResilientSessionPredictor(id, s.Features, s.StartUnix, rcfg)
 		if err != nil {
 			fatalf("starting session: %v", err)
 		}
 		res := sim.Play(spec, abr.MPC{}, pred, s.Throughput, w)
+		st := pred.Stats()
+		localFallbacks += st.LocalFallbacks
+		reregs += st.Reregistrations
 		if res.Chunks == 0 {
 			continue
 		}
@@ -85,8 +104,8 @@ func main() {
 	if played == 0 {
 		fatalf("no playable sessions in the trace")
 	}
-	fmt.Printf("summary: sessions=%d median_qoe=%.0f mean_bitrate=%.0fkbps mean_rebuffer=%.2fs\n",
-		played, mathx.Median(qoes), mathx.Mean(bitrates), mathx.Mean(stalls))
+	fmt.Printf("summary: sessions=%d median_qoe=%.0f mean_bitrate=%.0fkbps mean_rebuffer=%.2fs local_fallbacks=%d reregistrations=%d\n",
+		played, mathx.Median(qoes), mathx.Mean(bitrates), mathx.Mean(stalls), localFallbacks, reregs)
 }
 
 func fatalf(format string, args ...any) {

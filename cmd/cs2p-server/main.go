@@ -1,7 +1,8 @@
 // Command cs2p-server runs the CS2P Prediction Engine as an HTTP service
 // (the server-side deployment of §6): it trains on a trace at startup and
 // then serves initial predictions, per-chunk midstream predictions, QoE log
-// collection, and per-cluster model downloads.
+// collection, and per-cluster model downloads. SIGINT/SIGTERM trigger a
+// graceful shutdown that drains in-flight predict calls.
 //
 // Usage:
 //
@@ -12,10 +13,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"cs2p/internal/core"
@@ -27,12 +31,17 @@ import (
 
 func main() {
 	var (
-		tracePath = flag.String("trace", "", "training trace (CSV; required)")
-		addr      = flag.String("addr", ":8642", "listen address")
-		states    = flag.Int("states", 6, "HMM state count")
-		minGroup  = flag.Int("min-group", 30, "minimum sessions per aggregation")
-		gcEvery   = flag.Duration("session-gc", 10*time.Minute, "drop sessions idle longer than this")
-		par       = flag.Int("parallelism", 0, "training workers (0 = one per CPU, 1 = sequential)")
+		tracePath    = flag.String("trace", "", "training trace (CSV; required)")
+		addr         = flag.String("addr", ":8642", "listen address")
+		states       = flag.Int("states", 6, "HMM state count")
+		minGroup     = flag.Int("min-group", 30, "minimum sessions per aggregation")
+		gcEvery      = flag.Duration("session-gc", 10*time.Minute, "drop sessions idle longer than this")
+		par          = flag.Int("parallelism", 0, "training workers (0 = one per CPU, 1 = sequential)")
+		grace        = flag.Duration("shutdown-grace", 10*time.Second, "in-flight request drain budget on SIGINT/SIGTERM")
+		retrainEvery = flag.Duration("retrain-every", 0, "hot-retrain cadence (0 disables; the paper retrains daily)")
+		reqTimeout   = flag.Duration("request-timeout", 15*time.Second, "per-request handling timeout")
+		maxBody      = flag.Int64("max-body", 1<<20, "request body size cap in bytes")
+		maxLogs      = flag.Int("max-logs", engine.DefaultMaxLogs, "session QoE logs retained (ring buffer)")
 	)
 	flag.Parse()
 	if *tracePath == "" {
@@ -48,31 +57,78 @@ func main() {
 		fatalf("reading trace: %v", err)
 	}
 
+	// One logger feeds training diagnostics, GC/retrain events, and the
+	// HTTP layer, so operational output is a single ordered stream.
+	logger := log.New(os.Stderr, "cs2p-server: ", log.LstdFlags)
+	logf := logger.Printf
+
 	cfg := core.DefaultConfig()
 	cfg.HMM.NStates = *states
 	cfg.Cluster.MinGroupSize = *minGroup
 	cfg.Parallelism = *par
-	cfg.Logf = log.Printf
-	log.Printf("training on %d sessions...", d.Len())
+	cfg.Logf = logf
+	logf("training on %d sessions...", d.Len())
 	start := time.Now()
 	eng, err := core.Train(d, cfg)
 	if err != nil {
 		fatalf("training: %v", err)
 	}
-	log.Printf("trained %d cluster models in %v", eng.Clusters(), time.Since(start).Round(time.Millisecond))
+	logf("trained %d cluster models in %v", eng.Clusters(), time.Since(start).Round(time.Millisecond))
 
 	svc := engine.NewService(eng, cfg, video.Default())
+	svc.SetLogf(logf)
+	svc.SetMaxLogs(*maxLogs)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Idle-session GC on a Ticker that shutdown stops (time.Tick leaks its
+	// goroutine forever).
 	go func() {
-		for range time.Tick(*gcEvery) {
-			if n := svc.GC(*gcEvery); n > 0 {
-				log.Printf("gc: dropped %d idle sessions", n)
+		t := time.NewTicker(*gcEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				svc.GC(*gcEvery)
 			}
 		}
 	}()
-	srv := httpapi.NewServer(svc, func() *core.ModelStore { return eng.Export(d) })
-	if err := srv.ListenAndServe(*addr); err != nil {
+
+	// Hot retrain: swaps the engine atomically; the /v1/model export cache
+	// invalidates via the service's model generation. Production would
+	// load fresh traces here; the startup dataset stands in.
+	if *retrainEvery > 0 {
+		go func() {
+			t := time.NewTicker(*retrainEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if err := svc.Retrain(d); err != nil {
+						logf("retrain failed (serving previous models): %v", err)
+					}
+				}
+			}
+		}()
+	}
+
+	// Export from the service's *current* engine: capturing the startup
+	// engine here would serve stale models after every retrain.
+	srv := httpapi.NewServer(svc, func() *core.ModelStore { return svc.Engine().Export(d) })
+	srv.SetLogf(logf)
+	scfg := httpapi.DefaultServerConfig()
+	scfg.RequestTimeout = *reqTimeout
+	scfg.MaxBodyBytes = *maxBody
+	srv.SetConfig(scfg)
+	if err := srv.Run(ctx, *addr, *grace); err != nil {
 		fatalf("%v", err)
 	}
+	logf("shutdown complete")
 }
 
 func fatalf(format string, args ...any) {

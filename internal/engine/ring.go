@@ -1,0 +1,61 @@
+package engine
+
+// logRing is a fixed-capacity ring buffer of completed-session logs. The
+// paper's engine collects QoE reports continuously; retaining them all in a
+// long-lived process is an unbounded leak, so only the most recent max
+// entries survive. Callers hold the Service lock.
+type logRing struct {
+	buf  []SessionLog
+	next int // index the next push writes
+	full bool
+	max  int
+}
+
+// push appends a log, evicting the oldest entry once full.
+func (r *logRing) push(lg SessionLog) {
+	if r.max <= 0 {
+		r.max = DefaultMaxLogs
+	}
+	if r.buf == nil {
+		// Grow lazily: most test services never approach the cap.
+		r.buf = make([]SessionLog, 0, min(r.max, 64))
+	}
+	if len(r.buf) < r.max {
+		r.buf = append(r.buf, lg)
+		r.next = len(r.buf) % r.max
+		r.full = len(r.buf) == r.max
+		return
+	}
+	r.buf[r.next] = lg
+	r.next = (r.next + 1) % r.max
+	r.full = true
+}
+
+// snapshot returns the retained logs oldest-first.
+func (r *logRing) snapshot() []SessionLog {
+	if !r.full {
+		return append([]SessionLog(nil), r.buf...)
+	}
+	out := make([]SessionLog, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// resize changes the capacity, keeping the newest entries.
+func (r *logRing) resize(max int) {
+	if max <= 0 {
+		max = DefaultMaxLogs
+	}
+	if max == r.max {
+		return
+	}
+	cur := r.snapshot()
+	if len(cur) > max {
+		cur = cur[len(cur)-max:]
+	}
+	r.max = max
+	r.buf = cur
+	r.next = len(cur) % max
+	r.full = len(cur) == max
+}

@@ -32,17 +32,28 @@ type SessionLog struct {
 	Strategy        string  `json:"strategy"`
 }
 
+// DefaultMaxLogs bounds the session-log ring buffer: a long-lived server
+// under heavy traffic must not grow its log slice without bound.
+const DefaultMaxLogs = 4096
+
 // Service is the concurrent-safe Prediction Engine front end.
 type Service struct {
 	mu       sync.RWMutex
 	engine   *core.Engine
+	gen      uint64 // bumped on every Retrain; keys derived-artifact caches
 	cfg      core.Config
 	spec     video.Spec
 	sessions map[string]*sessionState
-	logs     []SessionLog
+	logs     logRing
+	logf     func(format string, args ...any)
 }
 
+// sessionState carries one session's predictor. Its own mutex serializes
+// filter access: the protocol says one player drives one session
+// sequentially, but a misbehaving or retrying client can issue concurrent
+// /v1/predict calls for the same ID, and the HMM filter must not race.
 type sessionState struct {
+	mu       sync.Mutex
 	pred     *core.SessionPredictor
 	lastSeen time.Time
 }
@@ -54,12 +65,42 @@ func NewService(e *core.Engine, cfg core.Config, spec video.Spec) *Service {
 		cfg:      cfg,
 		spec:     spec,
 		sessions: make(map[string]*sessionState),
+		logs:     logRing{max: DefaultMaxLogs},
 	}
 }
 
+// SetLogf installs the service's event logger (retrain, GC). nil silences it.
+func (s *Service) SetLogf(f func(string, ...any)) {
+	s.mu.Lock()
+	s.logf = f
+	s.mu.Unlock()
+}
+
+func (s *Service) logfSafe(format string, args ...any) {
+	s.mu.RLock()
+	f := s.logf
+	s.mu.RUnlock()
+	if f != nil {
+		f(format, args...)
+	}
+}
+
+// SetMaxLogs resizes the completed-session log ring (keeping the most recent
+// entries). n <= 0 resets to DefaultMaxLogs.
+func (s *Service) SetMaxLogs(n int) {
+	if n <= 0 {
+		n = DefaultMaxLogs
+	}
+	s.mu.Lock()
+	s.logs.resize(n)
+	s.mu.Unlock()
+}
+
 // Retrain replaces the model set with one trained on fresh data — the
-// paper's per-day training cadence. Active sessions keep their old models
-// (their filters reference the prior engine's HMMs, which stay valid).
+// paper's per-day training cadence. The swap is atomic: in-flight sessions
+// keep their old models (their filters reference the prior engine's HMMs,
+// which stay valid), new sessions and the /v1/model exporter see the new
+// engine, and ModelGeneration advances so derived caches invalidate.
 func (s *Service) Retrain(train *trace.Dataset) error {
 	e, err := core.Train(train, s.cfg)
 	if err != nil {
@@ -67,7 +108,10 @@ func (s *Service) Retrain(train *trace.Dataset) error {
 	}
 	s.mu.Lock()
 	s.engine = e
+	s.gen++
+	gen := s.gen
 	s.mu.Unlock()
+	s.logfSafe("engine: retrained on %d sessions (%d clusters, generation %d)", train.Len(), e.Clusters(), gen)
 	return nil
 }
 
@@ -76,6 +120,15 @@ func (s *Service) Engine() *core.Engine {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.engine
+}
+
+// ModelGeneration counts completed retrains. Anything caching artifacts
+// derived from the engine (the HTTP layer's /v1/model export) compares
+// generations to know when its copy went stale.
+func (s *Service) ModelGeneration() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gen
 }
 
 // StartResponse is what a player receives when opening a session.
@@ -92,19 +145,23 @@ type StartResponse struct {
 // start-of-session rebuffer estimate. A duplicate ID resets the session.
 func (s *Service) StartSession(id string, f trace.Features, startUnix int64) StartResponse {
 	sess := &trace.Session{ID: id, StartUnix: startUnix, Features: f, Throughput: []float64{1}}
-	s.mu.Lock()
+	s.mu.RLock()
 	e := s.engine
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	p := e.NewSessionPredictor(sess)
 	s.mu.Lock()
 	s.sessions[id] = &sessionState{pred: p, lastSeen: time.Now()}
 	s.mu.Unlock()
 	model, _ := e.ModelFor(sess)
+	rebuffer := 0.0
+	if model != nil {
+		rebuffer = EstimateRebuffer(s.spec, model, p.InitialPrediction(), 30, 1)
+	}
 	lvl := abr.InitialLevel(s.spec, p.InitialPrediction())
 	return StartResponse{
 		InitialPredictionMbps: p.InitialPrediction(),
 		ClusterID:             p.ClusterID(),
-		RebufferEstimateSec:   EstimateRebuffer(s.spec, model, p.InitialPrediction(), 30, 1),
+		RebufferEstimateSec:   rebuffer,
 		SuggestedInitialLevel: lvl,
 		SuggestedInitialKbps:  s.spec.BitratesKbps[lvl],
 	}
@@ -113,11 +170,8 @@ func (s *Service) StartSession(id string, f trace.Features, startUnix int64) Sta
 // ErrUnknownSession is returned for predictions on unregistered sessions.
 var ErrUnknownSession = fmt.Errorf("engine: unknown session")
 
-// ObserveAndPredict feeds the last epoch's measured throughput and returns
-// the prediction for `horizon` epochs ahead (1 = next epoch). This is the
-// POST /predict round trip the Dash.js player makes before each chunk
-// request (§6).
-func (s *Service) ObserveAndPredict(id string, observedMbps float64, horizon int) (float64, error) {
+// session fetches a registered session's state, refreshing its idle clock.
+func (s *Service) session(id string) (*sessionState, error) {
 	s.mu.Lock()
 	st, ok := s.sessions[id]
 	if ok {
@@ -125,10 +179,22 @@ func (s *Service) ObserveAndPredict(id string, observedMbps float64, horizon int
 	}
 	s.mu.Unlock()
 	if !ok {
-		return 0, fmt.Errorf("%w: %s", ErrUnknownSession, id)
+		return nil, fmt.Errorf("%w: %s", ErrUnknownSession, id)
 	}
-	// Per-session predictors are single-threaded by protocol: one player
-	// drives one session sequentially.
+	return st, nil
+}
+
+// ObserveAndPredict feeds the last epoch's measured throughput and returns
+// the prediction for `horizon` epochs ahead (1 = next epoch). This is the
+// POST /predict round trip the Dash.js player makes before each chunk
+// request (§6).
+func (s *Service) ObserveAndPredict(id string, observedMbps float64, horizon int) (float64, error) {
+	st, err := s.session(id)
+	if err != nil {
+		return 0, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	st.pred.Observe(observedMbps)
 	return st.pred.PredictAhead(horizon), nil
 }
@@ -136,12 +202,12 @@ func (s *Service) ObserveAndPredict(id string, observedMbps float64, horizon int
 // Predict returns the current prediction without a new observation (used
 // for the initial chunk, whose estimate came with StartSession).
 func (s *Service) Predict(id string, horizon int) (float64, error) {
-	s.mu.RLock()
-	st, ok := s.sessions[id]
-	s.mu.RUnlock()
-	if !ok {
-		return 0, fmt.Errorf("%w: %s", ErrUnknownSession, id)
+	st, err := s.session(id)
+	if err != nil {
+		return 0, err
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	return st.pred.PredictAhead(horizon), nil
 }
 
@@ -150,14 +216,15 @@ func (s *Service) EndSession(log SessionLog) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.sessions, log.SessionID)
-	s.logs = append(s.logs, log)
+	s.logs.push(log)
 }
 
-// Logs returns a copy of the recorded session logs.
+// Logs returns a copy of the retained session logs, oldest first. Only the
+// most recent SetMaxLogs entries are kept.
 func (s *Service) Logs() []SessionLog {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return append([]SessionLog(nil), s.logs...)
+	return s.logs.snapshot()
 }
 
 // ActiveSessions returns the number of registered sessions.
@@ -172,13 +239,16 @@ func (s *Service) ActiveSessions() int {
 func (s *Service) GC(maxIdle time.Duration) int {
 	cut := time.Now().Add(-maxIdle)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	n := 0
 	for id, st := range s.sessions {
 		if st.lastSeen.Before(cut) {
 			delete(s.sessions, id)
 			n++
 		}
+	}
+	s.mu.Unlock()
+	if n > 0 {
+		s.logfSafe("engine: gc dropped %d idle sessions", n)
 	}
 	return n
 }
@@ -187,9 +257,13 @@ func (s *Service) GC(maxIdle time.Duration) int {
 // (§7.5): it rolls out `rollouts` Monte-Carlo throughput futures from the
 // session's cluster HMM, plays each through the MPC controller with a
 // perfect per-rollout oracle, and returns the median total stall time.
+// A nil model yields 0 (no forecast available).
 func EstimateRebuffer(spec video.Spec, model interface {
 	Sample(r *rand.Rand, t int) ([]int, []float64)
 }, initialMbps float64, rollouts int, seed int64) float64 {
+	if model == nil {
+		return 0
+	}
 	if rollouts <= 0 {
 		rollouts = 20
 	}

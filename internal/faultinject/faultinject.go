@@ -1,0 +1,280 @@
+// Package faultinject is a deterministic chaos harness for the HTTP
+// prediction service: it wraps an http.RoundTripper (client side) or a
+// net.Listener (server side) and injects connection drops, added latency,
+// synthetic 5xx replies, truncated response bodies, and full-outage
+// windows (server restarts) on a seeded schedule. Every fault decision
+// comes from one seeded RNG drawn in request order, so a single-threaded
+// test replays the exact same fault sequence for a given seed — the
+// property the integration suite relies on to compare faulty runs against
+// fault-free baselines.
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// ErrInjectedDrop is the connection-level error returned for dropped
+// requests.
+var ErrInjectedDrop = errors.New("faultinject: connection dropped")
+
+// ErrServerDown is returned while the transport simulates a full outage.
+var ErrServerDown = errors.New("faultinject: connection refused (server down)")
+
+// Config is a fault schedule. Probabilities are evaluated in the order
+// drop → error → truncate → latency; at most one fault fires per request
+// (latency excepted: it delays and then forwards).
+type Config struct {
+	// Seed drives the deterministic schedule.
+	Seed int64
+	// DropProb is the probability a request fails at the connection level
+	// without ever reaching the server.
+	DropProb float64
+	// ErrorProb is the probability the client sees a synthetic 5xx
+	// without the request reaching the server.
+	ErrorProb float64
+	// ErrorStatus is the synthetic status (default 503).
+	ErrorStatus int
+	// TruncateProb is the probability a successful response's body is cut
+	// mid-stream (the client sees an unexpected EOF while decoding).
+	TruncateProb float64
+	// LatencyProb is the probability a request is delayed by Latency
+	// before being forwarded.
+	LatencyProb float64
+	// Latency is the injected delay.
+	Latency time.Duration
+}
+
+// Aggressive returns the schedule `make chaos` runs: every fault class at
+// once, hot enough to exercise all recovery paths.
+func Aggressive(seed int64) Config {
+	return Config{
+		Seed:         seed,
+		DropProb:     0.25,
+		ErrorProb:    0.10,
+		TruncateProb: 0.05,
+		LatencyProb:  0.20,
+		Latency:      2 * time.Millisecond,
+	}
+}
+
+// Stats counts injected faults.
+type Stats struct {
+	Requests    int64
+	Drops       int64
+	Errors      int64
+	Truncations int64
+	Latencies   int64
+	Outages     int64 // requests refused during a down window
+	Passed      int64 // requests forwarded unharmed
+}
+
+// Transport is the client-side injector.
+type Transport struct {
+	next http.RoundTripper
+	cfg  Config
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	down  bool
+	stats Stats
+}
+
+// NewTransport wraps next (nil means http.DefaultTransport) with the fault
+// schedule.
+func NewTransport(next http.RoundTripper, cfg Config) *Transport {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	if cfg.ErrorStatus == 0 {
+		cfg.ErrorStatus = http.StatusServiceUnavailable
+	}
+	return &Transport{next: next, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// SetDown toggles a full-outage window: while down, every request fails
+// with ErrServerDown, exactly what a client sees during a server restart.
+func (t *Transport) SetDown(down bool) {
+	t.mu.Lock()
+	t.down = down
+	t.mu.Unlock()
+}
+
+// Stats returns a copy of the fault counters.
+func (t *Transport) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// fault is what the schedule decided for one request.
+type fault int
+
+const (
+	faultNone fault = iota
+	faultOutage
+	faultDrop
+	faultError
+	faultTruncate
+	faultLatency
+)
+
+// decide draws the next fault from the schedule. One RNG draw sequence per
+// transport keeps the schedule deterministic in request order.
+func (t *Transport) decide() fault {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats.Requests++
+	if t.down {
+		t.stats.Outages++
+		return faultOutage
+	}
+	u := t.rng.Float64()
+	switch {
+	case u < t.cfg.DropProb:
+		t.stats.Drops++
+		return faultDrop
+	case u < t.cfg.DropProb+t.cfg.ErrorProb:
+		t.stats.Errors++
+		return faultError
+	case u < t.cfg.DropProb+t.cfg.ErrorProb+t.cfg.TruncateProb:
+		t.stats.Truncations++
+		return faultTruncate
+	case u < t.cfg.DropProb+t.cfg.ErrorProb+t.cfg.TruncateProb+t.cfg.LatencyProb:
+		t.stats.Latencies++
+		return faultLatency
+	}
+	t.stats.Passed++
+	return faultNone
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	switch t.decide() {
+	case faultOutage:
+		drainBody(req)
+		return nil, ErrServerDown
+	case faultDrop:
+		drainBody(req)
+		return nil, fmt.Errorf("%w: %s %s", ErrInjectedDrop, req.Method, req.URL.Path)
+	case faultError:
+		drainBody(req)
+		return syntheticResponse(req, t.cfg.ErrorStatus), nil
+	case faultTruncate:
+		resp, err := t.next.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		return truncate(resp), nil
+	case faultLatency:
+		if t.cfg.Latency > 0 {
+			time.Sleep(t.cfg.Latency)
+		}
+	}
+	return t.next.RoundTrip(req)
+}
+
+// drainBody consumes a request body that will never reach a server, as a
+// real transport would before failing.
+func drainBody(req *http.Request) {
+	if req.Body != nil {
+		_, _ = io.Copy(io.Discard, req.Body)
+		_ = req.Body.Close()
+	}
+}
+
+// syntheticResponse fabricates the 5xx a proxy or overloaded server would
+// return.
+func syntheticResponse(req *http.Request, status int) *http.Response {
+	body := `{"error":"injected fault: upstream unavailable"}`
+	return &http.Response{
+		Status:        strconv.Itoa(status) + " " + http.StatusText(status),
+		StatusCode:    status,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": []string{"application/json"}},
+		Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// truncate cuts the response body in half so the client's JSON decode hits
+// an unexpected EOF mid-object.
+func truncate(resp *http.Response) *http.Response {
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		resp.Body = io.NopCloser(bytes.NewReader(nil))
+		return resp
+	}
+	cut := len(data) / 2
+	resp.Body = io.NopCloser(&truncatedReader{data: data[:cut]})
+	// ContentLength advertises the full payload so the decoder trusts the
+	// stream and then hits the cut.
+	resp.ContentLength = int64(len(data))
+	return resp
+}
+
+// truncatedReader serves a prefix and then fails like a torn connection.
+type truncatedReader struct {
+	data []byte
+	off  int
+}
+
+// Read implements io.Reader.
+func (r *truncatedReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// Listener wraps a net.Listener so a test can take the server "down"
+// without tearing the listener out from under net/http: while down,
+// accepted connections are closed immediately, which clients observe as a
+// refused/reset connection — the server-restart window seen from the
+// accept side.
+type Listener struct {
+	net.Listener
+	mu   sync.Mutex
+	down bool
+}
+
+// NewListener wraps ln.
+func NewListener(ln net.Listener) *Listener { return &Listener{Listener: ln} }
+
+// SetDown toggles the outage window.
+func (l *Listener) SetDown(down bool) {
+	l.mu.Lock()
+	l.down = down
+	l.mu.Unlock()
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		down := l.down
+		l.mu.Unlock()
+		if !down {
+			return c, nil
+		}
+		_ = c.Close()
+	}
+}

@@ -1,0 +1,181 @@
+package faultinject
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func okServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"prediction_mbps": 3.25, "padding": "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"}`))
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	ts := okServer(t)
+	cfg := Config{Seed: 42, DropProb: 0.3, ErrorProb: 0.2, TruncateProb: 0.1}
+	run := func() []string {
+		tr := NewTransport(http.DefaultTransport, cfg)
+		hc := &http.Client{Transport: tr, Timeout: 2 * time.Second}
+		var seq []string
+		for i := 0; i < 40; i++ {
+			resp, err := hc.Get(ts.URL)
+			switch {
+			case err != nil:
+				seq = append(seq, "drop")
+			case resp.StatusCode >= 500:
+				resp.Body.Close()
+				seq = append(seq, "5xx")
+			default:
+				_, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr != nil {
+					seq = append(seq, "truncate")
+				} else {
+					seq = append(seq, "ok")
+				}
+			}
+		}
+		return seq
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule diverged at request %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	kinds := map[string]bool{}
+	for _, k := range a {
+		kinds[k] = true
+	}
+	for _, want := range []string{"drop", "5xx", "ok"} {
+		if !kinds[want] {
+			t.Errorf("40 requests at these probabilities should include %q; got %v", want, a)
+		}
+	}
+}
+
+func TestSyntheticError(t *testing.T) {
+	ts := okServer(t)
+	tr := NewTransport(http.DefaultTransport, Config{Seed: 1, ErrorProb: 1})
+	hc := &http.Client{Transport: tr, Timeout: 2 * time.Second}
+	resp, err := hc.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", resp.StatusCode)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body.Error == "" {
+		t.Errorf("synthetic 5xx should carry a JSON error envelope: %v %q", err, body.Error)
+	}
+	if got := tr.Stats().Errors; got != 1 {
+		t.Errorf("error count = %d", got)
+	}
+}
+
+func TestTruncatedBody(t *testing.T) {
+	ts := okServer(t)
+	tr := NewTransport(http.DefaultTransport, Config{Seed: 1, TruncateProb: 1})
+	hc := &http.Client{Transport: tr, Timeout: 2 * time.Second}
+	resp, err := hc.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&v); err == nil {
+		t.Error("decoding a truncated body should fail")
+	}
+}
+
+func TestDropAndOutage(t *testing.T) {
+	ts := okServer(t)
+	tr := NewTransport(http.DefaultTransport, Config{Seed: 1, DropProb: 1})
+	hc := &http.Client{Transport: tr, Timeout: 2 * time.Second}
+	if _, err := hc.Get(ts.URL); err == nil {
+		t.Error("DropProb 1 should fail every request")
+	}
+	tr2 := NewTransport(http.DefaultTransport, Config{Seed: 1})
+	hc2 := &http.Client{Transport: tr2, Timeout: 2 * time.Second}
+	tr2.SetDown(true)
+	if _, err := hc2.Get(ts.URL); err == nil || !errors.Is(err, ErrServerDown) {
+		t.Errorf("down transport error = %v, want ErrServerDown", err)
+	}
+	tr2.SetDown(false)
+	resp, err := hc2.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("after SetDown(false): %v", err)
+	}
+	resp.Body.Close()
+	st := tr2.Stats()
+	if st.Outages != 1 || st.Passed != 1 {
+		t.Errorf("stats = %+v, want 1 outage and 1 pass", st)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	ts := okServer(t)
+	tr := NewTransport(http.DefaultTransport, Config{Seed: 1, LatencyProb: 1, Latency: 30 * time.Millisecond})
+	hc := &http.Client{Transport: tr, Timeout: 2 * time.Second}
+	start := time.Now()
+	resp, err := hc.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Errorf("request took %v, want >= 30ms of injected latency", d)
+	}
+	if tr.Stats().Latencies != 1 {
+		t.Errorf("latency count = %d", tr.Stats().Latencies)
+	}
+}
+
+func TestListenerOutage(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := NewListener(ln)
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})}
+	go func() { _ = srv.Serve(fl) }()
+	defer srv.Close()
+	url := "http://" + ln.Addr().String()
+	// Fresh client per phase: keep-alive connections bypass Accept, and a
+	// real restart kills those too.
+	newClient := func() *http.Client {
+		return &http.Client{Timeout: 2 * time.Second, Transport: &http.Transport{DisableKeepAlives: true}}
+	}
+	if resp, err := newClient().Get(url); err != nil {
+		t.Fatalf("healthy listener: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+	fl.SetDown(true)
+	if _, err := newClient().Get(url); err == nil {
+		t.Error("down listener should refuse requests")
+	}
+	fl.SetDown(false)
+	if resp, err := newClient().Get(url); err != nil {
+		t.Errorf("restored listener: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+}

@@ -3,6 +3,7 @@ package httpapi
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
@@ -11,6 +12,30 @@ import (
 	"cs2p/internal/engine"
 	"cs2p/internal/trace"
 )
+
+// StatusError is a non-2xx reply from the prediction service. Callers use
+// the code to distinguish retryable server trouble (5xx) from protocol
+// errors (4xx) and lost sessions (404, the re-registration trigger).
+type StatusError struct {
+	Status int
+	Path   string
+	Msg    string
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("httpapi client: %s: status %d: %s", e.Path, e.Status, e.Msg)
+}
+
+// HTTPStatus returns the status code of err if it is a StatusError, else 0
+// (connection-level failures have no status).
+func HTTPStatus(err error) int {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Status
+	}
+	return 0
+}
 
 // Client is the player-side view of the prediction service. It implements
 // predict.Midstream for one session at a time, so the simulator can drive a
@@ -26,6 +51,21 @@ func NewClient(base string) *Client {
 		base: base,
 		hc:   &http.Client{Timeout: 5 * time.Second},
 	}
+}
+
+// NewClientWith targets base through a caller-supplied http.Client — the
+// hook the fault-injection harness uses to wrap the transport.
+func NewClientWith(base string, hc *http.Client) *Client {
+	if hc == nil {
+		return NewClient(base)
+	}
+	return &Client{base: base, hc: hc}
+}
+
+// SetTransport swaps the underlying round tripper (fault injection,
+// instrumentation). A nil rt restores the default transport.
+func (c *Client) SetTransport(rt http.RoundTripper) {
+	c.hc.Transport = rt
 }
 
 func (c *Client) post(path string, req, resp any) error {
@@ -44,7 +84,7 @@ func (c *Client) post(path string, req, resp any) error {
 	if r.StatusCode/100 != 2 {
 		var eb errorBody
 		_ = json.NewDecoder(r.Body).Decode(&eb)
-		return fmt.Errorf("httpapi client: POST %s: status %d: %s", path, r.StatusCode, eb.Error)
+		return &StatusError{Status: r.StatusCode, Path: "POST " + path, Msg: eb.Error}
 	}
 	if resp == nil {
 		return nil
@@ -63,7 +103,9 @@ func (c *Client) StartSession(id string, f trace.Features, startUnix int64) (eng
 }
 
 // ObserveAndPredict reports the last epoch's throughput and fetches the
-// next-epoch prediction.
+// next-epoch prediction. Not idempotent: a duplicate delivery feeds the
+// observation into the session filter twice, so the resilient layer never
+// blind-retries it.
 func (c *Client) ObserveAndPredict(id string, observedMbps float64, horizon int) (float64, error) {
 	var resp PredictResponse
 	err := c.post("/v1/predict", PredictRequest{SessionID: id, ObservedMbps: &observedMbps, Horizon: horizon}, &resp)
@@ -71,7 +113,7 @@ func (c *Client) ObserveAndPredict(id string, observedMbps float64, horizon int)
 }
 
 // PredictAt queries the current prediction at a horizon without reporting a
-// new observation.
+// new observation. Idempotent (no session state changes).
 func (c *Client) PredictAt(id string, horizon int) (float64, error) {
 	var resp PredictResponse
 	err := c.post("/v1/predict", PredictRequest{SessionID: id, Horizon: horizon}, &resp)
@@ -100,7 +142,8 @@ func (c *Client) Healthz() error {
 // returns the server's latest guidance, Observe performs the HTTP round
 // trip. Network failures degrade to NaN predictions (the player falls back
 // to its local logic), matching a production player's behaviour when the
-// prediction service is unreachable.
+// prediction service is unreachable. For retries, circuit breaking, and
+// local-model failover, use NewResilientSessionPredictor instead.
 type SessionPredictor struct {
 	c        *Client
 	id       string

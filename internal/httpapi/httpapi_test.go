@@ -20,6 +20,7 @@ var (
 	envTest   *trace.Dataset
 	envEngine *core.Engine
 	envTrain  *trace.Dataset
+	envCfg    core.Config
 )
 
 func testServer(t *testing.T) (*httptest.Server, *trace.Dataset) {
@@ -44,6 +45,7 @@ func testServer(t *testing.T) (*httptest.Server, *trace.Dataset) {
 		envTest = test
 		envEngine = eng
 		envTrain = train
+		envCfg = ecfg
 	})
 	return httptest.NewServer(envServer.Handler()), envTest
 }

@@ -1,0 +1,300 @@
+package httpapi
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"cs2p/internal/trace"
+)
+
+// ResilienceConfig tunes the fault-tolerant client.
+type ResilienceConfig struct {
+	// Retry shapes backoff for idempotent calls (start, horizon queries,
+	// model fetch).
+	Retry RetryPolicy
+	// BreakerThreshold is the consecutive-failure count that opens the
+	// circuit (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before probing
+	// again (default 2s).
+	BreakerCooldown time.Duration
+	// ReplayWindow is how many recent observations are replayed after a
+	// 404-triggered re-registration, so the server-side HMM filter
+	// re-warms from the cluster prior instead of starting cold
+	// (default 8).
+	ReplayWindow int
+	// DisableLocalFallback skips fetching the §5.3 decentralized model at
+	// session start; without it, remote failures degrade to NaN like the
+	// plain SessionPredictor.
+	DisableLocalFallback bool
+	// Seed makes the retry jitter deterministic (tests, chaos harness).
+	Seed int64
+	// Sleep is the backoff sleeper (default time.Sleep; tests inject a
+	// no-op).
+	Sleep func(time.Duration)
+}
+
+// DefaultResilienceConfig returns player-shaped defaults.
+func DefaultResilienceConfig() ResilienceConfig {
+	return ResilienceConfig{
+		Retry:            DefaultRetryPolicy(),
+		BreakerThreshold: 3,
+		BreakerCooldown:  2 * time.Second,
+		ReplayWindow:     8,
+		Seed:             1,
+	}
+}
+
+// ResilienceStats counts what the degradation ladder actually did, so the
+// chaos harness can assert coverage ("≥90% of chunks got a non-NaN
+// prediction") instead of guessing.
+type ResilienceStats struct {
+	// Observations counts Observe calls (one per chunk).
+	Observations int
+	// RemoteOK counts observations answered by the server.
+	RemoteOK int
+	// RemoteFailures counts failed remote observe round trips.
+	RemoteFailures int
+	// Retries counts extra attempts spent on idempotent calls.
+	Retries int
+	// Reregistrations counts resyncs: session re-registrations (with
+	// observation replay) after a 404 or a failed observe left the
+	// server-side filter out of sync.
+	Reregistrations int
+	// LocalFallbacks counts predictions served by the local §5.3 model.
+	LocalFallbacks int
+	// NaNPredictions counts observations that left no usable prediction
+	// (remote down and no local model).
+	NaNPredictions int
+	// BreakerFastFails counts calls skipped because the circuit was open.
+	BreakerFastFails int
+}
+
+// ResilientSessionPredictor implements predict.Midstream over the remote
+// prediction service with the full degradation ladder of DESIGN.md §8:
+// remote call → (idempotent-only) retry → 404 re-registration with
+// observation replay → circuit breaker → local cluster-model fallback.
+// Playback keeps getting real predictions through server restarts and
+// network loss; only with no local model does it degrade to NaN (the
+// player's own heuristic). Not safe for concurrent use, like every other
+// predict.Midstream.
+type ResilientSessionPredictor struct {
+	c         *Client
+	id        string
+	features  trace.Features
+	startUnix int64
+	cfg       ResilienceConfig
+	breaker   *Breaker
+	rng       *rand.Rand
+	local     *LocalPredictor // nil when fetch failed or disabled
+	recent    []float64       // last ReplayWindow observations, oldest first
+	lastPred  float64
+	started   bool
+	// desync marks the server-side filter as diverged from the observation
+	// stream (a failed observe may or may not have reached it). While set,
+	// remote predictions are untrusted; the next Observe resyncs by
+	// re-registering and replaying the recent window.
+	desync bool
+	stats  ResilienceStats
+}
+
+// NewResilientSessionPredictor opens the session (with retries) and fetches
+// the decentralized cluster model for failover. A failed model fetch is
+// tolerated: the predictor still works, it just cannot serve local
+// predictions when the remote service is down.
+func (c *Client) NewResilientSessionPredictor(id string, f trace.Features, startUnix int64, cfg ResilienceConfig) (*ResilientSessionPredictor, error) {
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 2 * time.Second
+	}
+	if cfg.ReplayWindow <= 0 {
+		cfg.ReplayWindow = 8
+	}
+	p := &ResilientSessionPredictor{
+		c:         c,
+		id:        id,
+		features:  f,
+		startUnix: startUnix,
+		cfg:       cfg,
+		breaker:   NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		lastPred:  math.NaN(),
+	}
+	var resp struct {
+		initial float64
+	}
+	retries, err := withRetry(cfg.Retry, p.rng, cfg.Sleep, func() error {
+		r, err := c.StartSession(id, f, startUnix)
+		if err == nil {
+			resp.initial = r.InitialPredictionMbps
+		}
+		return err
+	})
+	p.stats.Retries += retries
+	if err != nil {
+		return nil, err
+	}
+	p.lastPred = resp.initial
+	if !cfg.DisableLocalFallback {
+		retries, err := withRetry(cfg.Retry, p.rng, cfg.Sleep, func() error {
+			lp, err := c.FetchLocalPredictor(f)
+			if err == nil {
+				p.local = lp
+			}
+			return err
+		})
+		p.stats.Retries += retries
+		// err != nil: degraded but functional; stats show local == nil
+		// via LocalFallbacks staying 0 and NaNPredictions rising.
+		_ = err
+	}
+	return p, nil
+}
+
+// Breaker exposes the circuit breaker (tests, metrics).
+func (p *ResilientSessionPredictor) Breaker() *Breaker { return p.breaker }
+
+// HasLocalFallback reports whether the §5.3 model was fetched.
+func (p *ResilientSessionPredictor) HasLocalFallback() bool { return p.local != nil }
+
+// Stats returns a copy of the resilience counters.
+func (p *ResilientSessionPredictor) Stats() ResilienceStats { return p.stats }
+
+// Predict implements predict.Midstream.
+func (p *ResilientSessionPredictor) Predict() float64 { return p.lastPred }
+
+// PredictAhead implements predict.Midstream. Horizon queries are
+// idempotent, so they retry; when the remote is unavailable the local
+// model answers, and the last known prediction is the final fallback.
+func (p *ResilientSessionPredictor) PredictAhead(k int) float64 {
+	if k <= 1 || !p.started {
+		return p.lastPred
+	}
+	if p.desync {
+		// The server's filter missed observations; its horizon estimates
+		// are stale until the next resync. The local mirror has the full
+		// observation stream, so it is the better source.
+		if p.local != nil {
+			p.stats.LocalFallbacks++
+			return p.local.PredictAhead(k)
+		}
+		return p.lastPred
+	}
+	if p.breaker.Allow() {
+		var pred float64
+		retries, err := withRetry(p.cfg.Retry, p.rng, p.cfg.Sleep, func() error {
+			v, err := p.c.PredictAt(p.id, k)
+			if err == nil {
+				pred = v
+			}
+			return err
+		})
+		p.stats.Retries += retries
+		if err == nil {
+			p.breaker.Success()
+			return pred
+		}
+		p.breaker.Failure()
+	} else {
+		p.stats.BreakerFastFails++
+	}
+	if p.local != nil {
+		p.stats.LocalFallbacks++
+		return p.local.PredictAhead(k)
+	}
+	return p.lastPred
+}
+
+// Observe implements predict.Midstream: report the measured throughput and
+// refresh the next-epoch prediction, riding the degradation ladder when
+// the remote call fails.
+func (p *ResilientSessionPredictor) Observe(w float64) {
+	p.stats.Observations++
+	p.started = true
+	p.recent = append(p.recent, w)
+	if len(p.recent) > p.cfg.ReplayWindow {
+		p.recent = p.recent[len(p.recent)-p.cfg.ReplayWindow:]
+	}
+	if p.local != nil {
+		// Mirror every observation into the local filter so failover is
+		// warm the instant it's needed.
+		p.local.Observe(w)
+	}
+	if !p.breaker.Allow() {
+		p.stats.BreakerFastFails++
+		p.fallback()
+		return
+	}
+	if !p.desync {
+		pred, err := p.c.ObserveAndPredict(p.id, w, 1)
+		if err == nil {
+			p.breaker.Success()
+			p.stats.RemoteOK++
+			p.lastPred = pred
+			return
+		}
+		p.stats.RemoteFailures++
+		// A 404 means the server lost the session (restart, GC). Any other
+		// failure leaves the server's filter in an unknown state: a dropped
+		// request never delivered the observation, a truncated response
+		// delivered it but lost the answer. Either way its posterior can no
+		// longer be trusted to match the observation stream.
+		p.desync = true
+	}
+	// Resync: re-register (StartSession resets the server-side filter, so
+	// a previously half-applied window cannot double-count) and replay the
+	// recent observations so the filter re-warms from the cluster prior
+	// (§5.2's posterior converges in a few epochs).
+	if pred, ok := p.reregister(); ok {
+		p.desync = false
+		p.breaker.Success()
+		p.stats.RemoteOK++
+		p.lastPred = pred
+		return
+	}
+	p.breaker.Failure()
+	p.fallback()
+}
+
+// reregister re-opens the session and replays the buffered observations
+// (the current one included, as its tail). Returns the freshest remote
+// prediction on success.
+func (p *ResilientSessionPredictor) reregister() (float64, bool) {
+	p.stats.Reregistrations++
+	retries, err := withRetry(p.cfg.Retry, p.rng, p.cfg.Sleep, func() error {
+		_, err := p.c.StartSession(p.id, p.features, p.startUnix)
+		return err
+	})
+	p.stats.Retries += retries
+	if err != nil {
+		return 0, false
+	}
+	pred := math.NaN()
+	for _, obs := range p.recent {
+		// Replay is not blind-retried either: each call feeds the new
+		// session's filter exactly once or the whole recovery aborts.
+		v, err := p.c.ObserveAndPredict(p.id, obs, 1)
+		if err != nil {
+			return 0, false
+		}
+		pred = v
+	}
+	return pred, !math.IsNaN(pred)
+}
+
+// fallback serves the prediction from the local §5.3 model, or NaN when
+// none is available (the bottom of the ladder: the player's heuristic).
+func (p *ResilientSessionPredictor) fallback() {
+	if p.local != nil {
+		p.stats.LocalFallbacks++
+		p.lastPred = p.local.Predict()
+	} else {
+		p.lastPred = math.NaN()
+	}
+	if math.IsNaN(p.lastPred) {
+		p.stats.NaNPredictions++
+	}
+}

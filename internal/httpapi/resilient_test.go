@@ -1,0 +1,193 @@
+package httpapi
+
+import (
+	"math"
+	"net/http"
+	"testing"
+	"time"
+
+	"cs2p/internal/engine"
+	"cs2p/internal/faultinject"
+	"cs2p/internal/trace"
+)
+
+// longSession returns the skip-th test session with at least n epochs.
+func longSession(t *testing.T, d *trace.Dataset, n, skip int) *trace.Session {
+	t.Helper()
+	for _, s := range d.Sessions {
+		if len(s.Throughput) >= n {
+			if skip == 0 {
+				return s
+			}
+			skip--
+		}
+	}
+	t.Fatalf("no test session with >= %d epochs", n)
+	return nil
+}
+
+// quietResilience returns a test config: deterministic, no wall-clock
+// sleeps.
+func quietResilience() ResilienceConfig {
+	cfg := DefaultResilienceConfig()
+	cfg.Sleep = func(time.Duration) {}
+	cfg.Retry.BaseDelay = time.Microsecond
+	return cfg
+}
+
+// TestResilientReregisterAfter404 is the restart-survival path: the server
+// forgets the session mid-stream (GC or restart), the next observation gets
+// a 404, and the predictor re-registers and replays its recent window so
+// predictions continue without a NaN gap.
+func TestResilientReregisterAfter404(t *testing.T) {
+	ts, test := testServer(t)
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	s := longSession(t, test, 8, 0)
+	p, err := c.NewResilientSessionPredictor("res-404", s.Features, s.StartUnix, quietResilience())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.HasLocalFallback() {
+		t.Fatal("local fallback model should have been fetched")
+	}
+	for _, w := range s.Throughput[:4] {
+		p.Observe(w)
+		if math.IsNaN(p.Predict()) {
+			t.Fatal("prediction NaN before the fault")
+		}
+	}
+	// The server loses the session (what a restart or GC does).
+	envServer.svc.EndSession(engine.SessionLog{SessionID: "res-404"})
+	p.Observe(s.Throughput[4])
+	if math.IsNaN(p.Predict()) {
+		t.Error("prediction should survive the lost session via re-registration")
+	}
+	st := p.Stats()
+	if st.Reregistrations != 1 {
+		t.Errorf("reregistrations = %d, want 1", st.Reregistrations)
+	}
+	if st.NaNPredictions != 0 {
+		t.Errorf("NaN predictions = %d, want 0", st.NaNPredictions)
+	}
+	// The session is live again server-side: a direct query works.
+	if _, err := c.PredictAt("res-404", 2); err != nil {
+		t.Errorf("session not re-registered server-side: %v", err)
+	}
+	// And the replayed filter is warm: horizon queries return real numbers.
+	if v := p.PredictAhead(3); math.IsNaN(v) || v <= 0 {
+		t.Errorf("post-recovery horizon prediction = %v", v)
+	}
+}
+
+// TestResilientLocalFallbackWhenDown covers the breaker + decentralized
+// model path: when the service is unreachable, predictions come from the
+// locally fetched cluster model instead of NaN, and the breaker stops
+// hammering the dead server.
+func TestResilientLocalFallbackWhenDown(t *testing.T) {
+	ts, test := testServer(t)
+	defer ts.Close()
+	ft := faultinject.NewTransport(http.DefaultTransport, faultinject.Config{Seed: 1})
+	c := NewClientWith(ts.URL, &http.Client{Transport: ft, Timeout: 5 * time.Second})
+	s := longSession(t, test, 8, 1)
+	cfg := quietResilience()
+	cfg.BreakerThreshold = 2
+	cfg.BreakerCooldown = time.Hour // stays open for the test's duration
+	p, err := c.NewResilientSessionPredictor("res-down", s.Features, s.StartUnix, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Observe(s.Throughput[0])
+	remotePred := p.Predict()
+	if math.IsNaN(remotePred) {
+		t.Fatal("healthy prediction NaN")
+	}
+	ft.SetDown(true) // server restarts and never comes back
+	for _, w := range s.Throughput[1:6] {
+		p.Observe(w)
+		if math.IsNaN(p.Predict()) {
+			t.Fatal("local fallback should keep predictions non-NaN")
+		}
+	}
+	st := p.Stats()
+	if st.LocalFallbacks == 0 {
+		t.Error("no local fallbacks recorded")
+	}
+	if p.Breaker().State() != BreakerOpen {
+		t.Errorf("breaker state = %v, want open", p.Breaker().State())
+	}
+	if st.BreakerFastFails == 0 {
+		t.Error("breaker should have fast-failed at least one call")
+	}
+	if st.NaNPredictions != 0 {
+		t.Errorf("NaN predictions = %d, want 0 with a local model", st.NaNPredictions)
+	}
+	// Horizon queries also come from the local model while down.
+	if v := p.PredictAhead(4); math.IsNaN(v) || v <= 0 {
+		t.Errorf("offline horizon prediction = %v", v)
+	}
+	// Service recovers; after the cooldown the breaker re-closes.
+	ft.SetDown(false)
+	p.Breaker().SetClock(func() time.Time { return time.Now().Add(2 * time.Hour) })
+	p.Observe(s.Throughput[6])
+	if p.Breaker().State() != BreakerClosed {
+		t.Errorf("breaker state after recovery = %v, want closed", p.Breaker().State())
+	}
+	if math.IsNaN(p.Predict()) {
+		t.Error("post-recovery prediction NaN")
+	}
+}
+
+// TestResilientWithoutLocalModel degrades like the plain predictor: no
+// local model means NaN when the service is unreachable — the bottom rung
+// of the ladder.
+func TestResilientWithoutLocalModel(t *testing.T) {
+	ts, test := testServer(t)
+	defer ts.Close()
+	ft := faultinject.NewTransport(http.DefaultTransport, faultinject.Config{Seed: 1})
+	c := NewClientWith(ts.URL, &http.Client{Transport: ft, Timeout: 5 * time.Second})
+	s := longSession(t, test, 2, 2)
+	cfg := quietResilience()
+	cfg.DisableLocalFallback = true
+	p, err := c.NewResilientSessionPredictor("res-nolocal", s.Features, s.StartUnix, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.HasLocalFallback() {
+		t.Fatal("local fallback should be disabled")
+	}
+	ft.SetDown(true)
+	p.Observe(s.Throughput[0])
+	if !math.IsNaN(p.Predict()) {
+		t.Error("without a local model, an unreachable service must yield NaN")
+	}
+	if p.Stats().NaNPredictions == 0 {
+		t.Error("NaN prediction not counted")
+	}
+}
+
+// TestResilientStartRetries verifies session start retries through
+// transient connection drops.
+func TestResilientStartRetries(t *testing.T) {
+	ts, test := testServer(t)
+	defer ts.Close()
+	// Seed chosen so the first request draws a drop (DropProb 0.5).
+	ft := faultinject.NewTransport(http.DefaultTransport, faultinject.Config{Seed: 3, DropProb: 0.5})
+	c := NewClientWith(ts.URL, &http.Client{Transport: ft, Timeout: 5 * time.Second})
+	s := longSession(t, test, 2, 3)
+	cfg := quietResilience()
+	cfg.Retry.MaxAttempts = 8
+	p, err := c.NewResilientSessionPredictor("res-retry", s.Features, s.StartUnix, cfg)
+	if err != nil {
+		t.Fatalf("start should survive 50%% drops with retries: %v", err)
+	}
+	if math.IsNaN(p.Predict()) {
+		t.Error("initial prediction NaN")
+	}
+	if drops := ft.Stats().Drops; drops == 0 {
+		t.Skip("seed produced no drops; schedule changed")
+	}
+	if p.Stats().Retries == 0 {
+		t.Error("no retries recorded despite drops")
+	}
+}

@@ -1,0 +1,219 @@
+package httpapi
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryPolicy is a capped exponential backoff with proportional jitter.
+// Only idempotent calls (session start, stateless horizon queries, model
+// fetch) go through it — ObserveAndPredict mutates the session filter, so
+// a blind retry would double-count the observation.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first.
+	// Values <= 1 disable retries.
+	MaxAttempts int
+	// BaseDelay is the wait after the first failure.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff growth.
+	MaxDelay time.Duration
+	// Multiplier scales the delay between consecutive attempts
+	// (default 2).
+	Multiplier float64
+	// JitterFrac perturbs each delay by ±JitterFrac·delay so a fleet of
+	// players recovering from the same outage doesn't retry in lockstep.
+	JitterFrac float64
+}
+
+// DefaultRetryPolicy matches a per-chunk control loop: a few fast retries
+// well inside one chunk's download time.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+		Multiplier:  2,
+		JitterFrac:  0.2,
+	}
+}
+
+// BackoffAt returns the pre-jitter delay before retry attempt `attempt`
+// (0-based: attempt 0 is the wait after the first failure).
+func (p RetryPolicy) BackoffAt(attempt int) time.Duration {
+	if p.BaseDelay <= 0 {
+		return 0
+	}
+	mult := p.Multiplier
+	if mult <= 1 {
+		mult = 2
+	}
+	d := float64(p.BaseDelay)
+	for i := 0; i < attempt; i++ {
+		d *= mult
+		if p.MaxDelay > 0 && d >= float64(p.MaxDelay) {
+			return p.MaxDelay
+		}
+	}
+	if p.MaxDelay > 0 && d > float64(p.MaxDelay) {
+		return p.MaxDelay
+	}
+	return time.Duration(d)
+}
+
+// delay applies jitter to BackoffAt using the caller's RNG (seeded by the
+// resilient predictor for deterministic tests).
+func (p RetryPolicy) delay(attempt int, rng *rand.Rand) time.Duration {
+	d := p.BackoffAt(attempt)
+	if d <= 0 || p.JitterFrac <= 0 || rng == nil {
+		return d
+	}
+	j := 1 + p.JitterFrac*(2*rng.Float64()-1)
+	return time.Duration(float64(d) * j)
+}
+
+// retryable reports whether an error is safe and useful to retry:
+// connection-level failures and 5xx/429 replies. 4xx protocol errors
+// (including the 404 that signals a lost session) are not retried — they
+// need a different recovery, not the same request again.
+func retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	status := HTTPStatus(err)
+	if status == 0 {
+		return true // connection-level failure; the request never landed deterministically
+	}
+	return status >= 500 || status == 429
+}
+
+// withRetry runs fn up to p.MaxAttempts times, sleeping the jittered
+// backoff between attempts, and returns the last error. sleep is
+// injectable so tests don't wait wall-clock time.
+func withRetry(p RetryPolicy, rng *rand.Rand, sleep func(time.Duration), fn func() error) (retries int, err error) {
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	attempts := p.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for i := 0; i < attempts; i++ {
+		if err = fn(); err == nil || !retryable(err) {
+			return retries, err
+		}
+		if i == attempts-1 {
+			break
+		}
+		sleep(p.delay(i, rng))
+		retries++
+	}
+	return retries, err
+}
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed passes all calls through.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen fails fast: the service is presumed down.
+	BreakerOpen
+	// BreakerHalfOpen allows one trial call after the cooldown.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker is a consecutive-failure circuit breaker. While open, the
+// resilient predictor skips the network entirely and serves local-model
+// predictions, so a dead prediction service costs one connection timeout —
+// not one per chunk. After Cooldown a single trial request probes the
+// service; success re-closes the breaker.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable clock for deterministic tests
+	state     BreakerState
+	fails     int
+	openedAt  time.Time
+}
+
+// NewBreaker builds a breaker that opens after `threshold` consecutive
+// failures and probes again after `cooldown`. threshold <= 0 means 3;
+// cooldown <= 0 means 2s.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 2 * time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// SetClock overrides the time source (tests).
+func (b *Breaker) SetClock(now func() time.Time) {
+	b.mu.Lock()
+	b.now = now
+	b.mu.Unlock()
+}
+
+// Allow reports whether a call may proceed. In the open state it returns
+// false until the cooldown elapses, then admits exactly one half-open
+// trial; the caller must report the outcome via Success or Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = BreakerHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: a trial is already in flight
+		return false
+	}
+}
+
+// Success records a completed call and closes the breaker.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	b.fails = 0
+	b.state = BreakerClosed
+	b.mu.Unlock()
+}
+
+// Failure records a failed call; enough consecutive failures (or any
+// failed half-open trial) opens the breaker.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	b.fails++
+	if b.state == BreakerHalfOpen || b.fails >= b.threshold {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+	}
+	b.mu.Unlock()
+}
+
+// State returns the current position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

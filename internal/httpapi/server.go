@@ -12,15 +12,24 @@
 //	POST /v1/log            {session_id, qoe, ...}
 //	GET  /v1/model          ?ip=&isp=&as=&province=&city=&server=
 //	GET  /v1/healthz
+//
+// The handler stack is hardened for unattended operation: panics are
+// recovered into 500s, request bodies are size-capped, slow requests are
+// timed out, inputs are validated before they can corrupt session state,
+// and Run drains in-flight requests on shutdown.
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"cs2p/internal/core"
 	"cs2p/internal/engine"
@@ -54,27 +63,87 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// ServerConfig tunes the hardening middleware and input validation.
+type ServerConfig struct {
+	// MaxBodyBytes caps request bodies (413 beyond it).
+	MaxBodyBytes int64
+	// RequestTimeout bounds one request's handling time (503 beyond it).
+	// 0 disables the timeout middleware.
+	RequestTimeout time.Duration
+	// MaxHorizon rejects absurd prediction horizons with 400. The paper
+	// evaluates horizons up to 10; anything beyond a full video is a bug
+	// or an attack on the k-step transition loop.
+	MaxHorizon int
+	// MaxSessionIDLen bounds session identifiers (they key a map held for
+	// the session's lifetime).
+	MaxSessionIDLen int
+	// MaxObservedMbps rejects physically implausible throughput reports
+	// that would otherwise distort the session's HMM posterior.
+	MaxObservedMbps float64
+}
+
+// DefaultServerConfig returns production-shaped limits.
+func DefaultServerConfig() ServerConfig {
+	return ServerConfig{
+		MaxBodyBytes:    1 << 20, // 1 MiB; requests are a few hundred bytes
+		RequestTimeout:  15 * time.Second,
+		MaxHorizon:      512,
+		MaxSessionIDLen: 256,
+		MaxObservedMbps: 1e5, // 100 Gbps
+	}
+}
+
 // Server exposes an engine.Service over HTTP.
 type Server struct {
 	svc *engine.Service
-	// exportMu guards the lazily built model store for GET /v1/model.
+	cfg ServerConfig
+	// exportMu guards the lazily built model store for GET /v1/model. The
+	// cache is keyed by the service's model generation so a hot retrain
+	// invalidates it (stale-model bug: the store used to be built once and
+	// served forever).
 	exportMu sync.Mutex
 	store    *core.ModelStore
+	storeGen uint64
 	exporter func() *core.ModelStore
 	logf     func(format string, args ...any)
+	panics   atomic.Int64
 }
 
 // NewServer builds the HTTP facade. exporter, if non-nil, supplies the
 // deployable model store served by GET /v1/model (built lazily on first
-// request).
+// request and rebuilt after each retrain); it must export from the
+// service's *current* engine.
 func NewServer(svc *engine.Service, exporter func() *core.ModelStore) *Server {
-	return &Server{svc: svc, exporter: exporter, logf: log.Printf}
+	return &Server{svc: svc, cfg: DefaultServerConfig(), exporter: exporter, logf: log.Printf}
 }
 
 // SetLogf overrides the server's logger (tests silence it).
 func (s *Server) SetLogf(f func(string, ...any)) { s.logf = f }
 
-// Handler returns the route mux.
+// SetConfig replaces the hardening limits (call before Handler).
+func (s *Server) SetConfig(cfg ServerConfig) {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultServerConfig().MaxBodyBytes
+	}
+	if cfg.MaxHorizon <= 0 {
+		cfg.MaxHorizon = DefaultServerConfig().MaxHorizon
+	}
+	if cfg.MaxSessionIDLen <= 0 {
+		cfg.MaxSessionIDLen = DefaultServerConfig().MaxSessionIDLen
+	}
+	if cfg.MaxObservedMbps <= 0 {
+		cfg.MaxObservedMbps = DefaultServerConfig().MaxObservedMbps
+	}
+	s.cfg = cfg
+}
+
+// PanicCount reports how many handler panics the recovery middleware
+// absorbed — the chaos harness asserts it stays zero.
+func (s *Server) PanicCount() int64 { return s.panics.Load() }
+
+// Handler returns the hardened route mux: recovery wraps timeout wraps
+// body-limit wraps routes, so a panic anywhere becomes a 500, a stuck
+// handler becomes a 503, and an oversized body becomes a 413.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/session/start", s.handleStart)
@@ -84,17 +153,48 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	return mux
+	h := http.Handler(mux)
+	h = s.limitBodyMiddleware(h)
+	if s.cfg.RequestTimeout > 0 {
+		h = http.TimeoutHandler(h, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
+	}
+	return s.recoverMiddleware(h)
+}
+
+// decodeJSON reads a JSON request body, mapping oversized bodies to 413 and
+// malformed payloads to 400. It reports whether decoding succeeded.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{Error: "request body too large"})
+			return false
+		}
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "malformed JSON: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+// validSessionID rejects empty or absurdly long session identifiers.
+func (s *Server) validSessionID(w http.ResponseWriter, id string) bool {
+	if id == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "session_id required"})
+		return false
+	}
+	if len(id) > s.cfg.MaxSessionIDLen {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("session_id exceeds %d bytes", s.cfg.MaxSessionIDLen)})
+		return false
+	}
+	return true
 }
 
 func (s *Server) handleStart(w http.ResponseWriter, r *http.Request) {
 	var req StartRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "malformed JSON: " + err.Error()})
+	if !decodeJSON(w, r, &req) {
 		return
 	}
-	if req.SessionID == "" {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "session_id required"})
+	if !s.validSessionID(w, req.SessionID) {
 		return
 	}
 	resp := s.svc.StartSession(req.SessionID, req.Features, req.StartUnix)
@@ -103,8 +203,24 @@ func (s *Server) handleStart(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	var req PredictRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "malformed JSON: " + err.Error()})
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if !s.validSessionID(w, req.SessionID) {
+		return
+	}
+	// Validate before touching session state: a NaN/Inf/negative
+	// observation would permanently corrupt the session's HMM posterior,
+	// and a huge horizon burns CPU in the k-step transition loop.
+	if req.ObservedMbps != nil {
+		o := *req.ObservedMbps
+		if math.IsNaN(o) || math.IsInf(o, 0) || o < 0 || o > s.cfg.MaxObservedMbps {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("observed_mbps must be finite and in [0, %g]", s.cfg.MaxObservedMbps)})
+			return
+		}
+	}
+	if req.Horizon < 0 || req.Horizon > s.cfg.MaxHorizon {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("horizon must be in [0, %d]", s.cfg.MaxHorizon)})
 		return
 	}
 	h := req.Horizon
@@ -131,16 +247,28 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
 	var lg engine.SessionLog
-	if err := json.NewDecoder(r.Body).Decode(&lg); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "malformed JSON: " + err.Error()})
+	if !decodeJSON(w, r, &lg) {
 		return
 	}
-	if lg.SessionID == "" {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "session_id required"})
+	if !s.validSessionID(w, lg.SessionID) {
 		return
 	}
 	s.svc.EndSession(lg)
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// exportStore returns the cached model store, rebuilding it when the
+// service's model generation has advanced past the cached copy (hot
+// retrain invalidation).
+func (s *Server) exportStore() *core.ModelStore {
+	s.exportMu.Lock()
+	defer s.exportMu.Unlock()
+	gen := s.svc.ModelGeneration()
+	if s.store == nil || s.storeGen != gen {
+		s.store = s.exporter()
+		s.storeGen = gen
+	}
+	return s.store
 }
 
 // handleModel serves the per-cluster model for the requesting client's
@@ -150,12 +278,7 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotImplemented, errorBody{Error: "model export not enabled"})
 		return
 	}
-	s.exportMu.Lock()
-	if s.store == nil {
-		s.store = s.exporter()
-	}
-	store := s.store
-	s.exportMu.Unlock()
+	store := s.exportStore()
 	q := r.URL.Query()
 	f := trace.Features{
 		ClientIP: q.Get("ip"),
@@ -182,12 +305,38 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-// ListenAndServe runs the server until the listener fails.
+// ListenAndServe runs the server until the listener fails, with no
+// shutdown hook. Prefer Run in long-lived processes.
 func (s *Server) ListenAndServe(addr string) error {
+	return s.Run(context.Background(), addr, 0)
+}
+
+// Run serves until ctx is cancelled, then shuts down gracefully: the
+// listener closes immediately (new connections refused) while in-flight
+// predict/start/log requests get up to grace to finish, so a deploy or
+// SIGTERM never truncates a player's round trip mid-write.
+func (s *Server) Run(ctx context.Context, addr string, grace time.Duration) error {
 	srv := &http.Server{Addr: addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	s.logf("cs2p prediction engine listening on %s", addr)
-	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		return fmt.Errorf("httpapi: %w", err)
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return fmt.Errorf("httpapi: %w", err)
+		}
+		return nil
+	case <-ctx.Done():
 	}
+	if grace <= 0 {
+		grace = 10 * time.Second
+	}
+	s.logf("shutting down: draining in-flight requests (grace %v)", grace)
+	sctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("httpapi: shutdown: %w", err)
+	}
+	<-errc // reap the serve goroutine (returns ErrServerClosed)
 	return nil
 }
