@@ -19,14 +19,16 @@ import (
 	"time"
 
 	"cs2p/internal/experiments"
+	"cs2p/internal/obs"
 )
 
 func main() {
 	var (
-		exps  = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
-		small = flag.Bool("small", false, "small scale (seconds instead of minutes)")
-		list  = flag.Bool("list", false, "list experiment IDs and exit")
-		par   = flag.Int("parallelism", 0, "training workers (0 = one per CPU, 1 = sequential)")
+		exps       = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		small      = flag.Bool("small", false, "small scale (seconds instead of minutes)")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		par        = flag.Int("parallelism", 0, "training workers (0 = one per CPU, 1 = sequential)")
+		metricsOut = flag.String("metrics-out", "", "dump training metrics (Prometheus text) to this file, or - for stderr")
 	)
 	flag.Parse()
 	if *list {
@@ -41,6 +43,11 @@ func main() {
 	}
 	ctx := experiments.NewContext(scale)
 	ctx.Parallelism = *par
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+		ctx.Metrics = reg
+	}
 	ids := experiments.IDs()
 	if *exps != "" {
 		ids = strings.Split(*exps, ",")
@@ -56,4 +63,27 @@ func main() {
 		fmt.Print(res.String())
 		fmt.Printf("(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	if reg != nil {
+		if err := dumpMetrics(reg, *metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "cs2p-bench: writing metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// dumpMetrics writes the accumulated training metrics in Prometheus text
+// format, to a file or stderr ("-").
+func dumpMetrics(reg *obs.Registry, path string) error {
+	if path == "-" {
+		return reg.WritePrometheus(os.Stderr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -14,9 +14,11 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -25,6 +27,7 @@ import (
 	"cs2p/internal/core"
 	"cs2p/internal/engine"
 	"cs2p/internal/httpapi"
+	"cs2p/internal/obs"
 	"cs2p/internal/trace"
 	"cs2p/internal/video"
 )
@@ -42,6 +45,8 @@ func main() {
 		reqTimeout   = flag.Duration("request-timeout", 15*time.Second, "per-request handling timeout")
 		maxBody      = flag.Int64("max-body", 1<<20, "request body size cap in bytes")
 		maxLogs      = flag.Int("max-logs", engine.DefaultMaxLogs, "session QoE logs retained (ring buffer)")
+		debugAddr    = flag.String("debug-addr", "", "serve /debug/pprof, /metrics and /healthz on this private address (empty disables)")
+		traceReqs    = flag.Bool("trace-requests", false, "log a per-request stage-timing line with the request id")
 	)
 	flag.Parse()
 	if *tracePath == "" {
@@ -62,11 +67,16 @@ func main() {
 	logger := log.New(os.Stderr, "cs2p-server: ", log.LstdFlags)
 	logf := logger.Printf
 
+	// One registry spans training, the engine, and the HTTP layer, so a
+	// single /metrics scrape shows the whole serving stack.
+	reg := obs.NewRegistry()
+
 	cfg := core.DefaultConfig()
 	cfg.HMM.NStates = *states
 	cfg.Cluster.MinGroupSize = *minGroup
 	cfg.Parallelism = *par
 	cfg.Logf = logf
+	cfg.Metrics = reg
 	logf("training on %d sessions...", d.Len())
 	start := time.Now()
 	eng, err := core.Train(d, cfg)
@@ -78,6 +88,7 @@ func main() {
 	svc := engine.NewService(eng, cfg, video.Default())
 	svc.SetLogf(logf)
 	svc.SetMaxLogs(*maxLogs)
+	svc.SetMetrics(reg)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -121,10 +132,31 @@ func main() {
 	// engine here would serve stale models after every retrain.
 	srv := httpapi.NewServer(svc, func() *core.ModelStore { return svc.Engine().Export(d) })
 	srv.SetLogf(logf)
+	srv.SetMetrics(reg)
+	srv.SetTraceRequests(*traceReqs)
 	scfg := httpapi.DefaultServerConfig()
 	scfg.RequestTimeout = *reqTimeout
 	scfg.MaxBodyBytes = *maxBody
 	srv.SetConfig(scfg)
+
+	// The debug listener carries pprof and is meant for a private interface;
+	// it is separate from the public API port on purpose.
+	if *debugAddr != "" {
+		dsrv := &http.Server{Addr: *debugAddr, Handler: obs.DebugMux(reg)}
+		go func() {
+			logf("debug server (pprof, metrics) listening on %s", *debugAddr)
+			if err := dsrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logf("debug server: %v", err)
+			}
+		}()
+		go func() {
+			<-ctx.Done()
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = dsrv.Shutdown(sctx)
+		}()
+	}
+
 	if err := srv.Run(ctx, *addr, *grace); err != nil {
 		fatalf("%v", err)
 	}

@@ -14,17 +14,19 @@ import (
 	"time"
 
 	"cs2p/internal/core"
+	"cs2p/internal/obs"
 	"cs2p/internal/trace"
 )
 
 func main() {
 	var (
-		tracePath = flag.String("trace", "", "input trace (CSV from tracegen; required)")
-		out       = flag.String("o", "models.json", "output model store")
-		states    = flag.Int("states", 6, "HMM state count (paper: 6 via cross-validation)")
-		minGroup  = flag.Int("min-group", 30, "minimum sessions per aggregation (paper threshold)")
-		selectN   = flag.Bool("select-states", false, "cross-validate the state count per cluster (slow)")
-		par       = flag.Int("parallelism", 0, "training workers (0 = one per CPU, 1 = sequential)")
+		tracePath  = flag.String("trace", "", "input trace (CSV from tracegen; required)")
+		out        = flag.String("o", "models.json", "output model store")
+		states     = flag.Int("states", 6, "HMM state count (paper: 6 via cross-validation)")
+		minGroup   = flag.Int("min-group", 30, "minimum sessions per aggregation (paper threshold)")
+		selectN    = flag.Bool("select-states", false, "cross-validate the state count per cluster (slow)")
+		par        = flag.Int("parallelism", 0, "training workers (0 = one per CPU, 1 = sequential)")
+		metricsOut = flag.String("metrics-out", "", "dump training metrics (Prometheus text) to this file, or - for stderr")
 	)
 	flag.Parse()
 	if *tracePath == "" {
@@ -51,6 +53,11 @@ func main() {
 	cfg.Logf = func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "cs2p-train: "+format+"\n", args...)
 	}
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+		cfg.Metrics = reg
+	}
 	start := time.Now()
 	eng, err := core.Train(d, cfg)
 	if err != nil {
@@ -68,6 +75,29 @@ func main() {
 	fmt.Fprintf(os.Stderr,
 		"trained %d cluster models (+global) from %d sessions in %v; largest artifact %d bytes -> %s\n",
 		eng.Clusters(), d.Len(), time.Since(start).Round(time.Millisecond), store.MaxModelSize(), *out)
+	if reg != nil {
+		if err := dumpMetrics(reg, *metricsOut); err != nil {
+			fatalf("writing metrics: %v", err)
+		}
+	}
+}
+
+// dumpMetrics writes the one-shot training metrics (fit times, EM iteration
+// counts, CV scores) in Prometheus text format — greppable, and ingestible
+// by any Prometheus tooling.
+func dumpMetrics(reg *obs.Registry, path string) error {
+	if path == "-" {
+		return reg.WritePrometheus(os.Stderr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatalf(format string, args ...any) {

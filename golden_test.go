@@ -1,0 +1,115 @@
+package cs2p_test
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cs2p/internal/core"
+	"cs2p/internal/engine"
+	"cs2p/internal/httpapi"
+	"cs2p/internal/tracegen"
+	"cs2p/internal/video"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files instead of comparing")
+
+// goldenReplay runs the seeded tracegen -> train -> serve -> player pipeline
+// end to end and renders every prediction the players saw. The rendering is
+// the regression contract: any drift in clustering, EM, the filter, or the
+// HTTP round trip changes a line.
+func goldenReplay(t *testing.T) string {
+	t.Helper()
+	cfg := tracegen.SmallConfig()
+	cfg.Sessions = 300
+	d, _ := tracegen.Generate(cfg)
+	cut := d.Sessions[d.Len()*2/3].Start()
+	train, test := d.SplitByTime(cut)
+	ecfg := core.DefaultConfig()
+	ecfg.Cluster.MinGroupSize = 10
+	ecfg.HMM.NStates = 3
+	ecfg.HMM.MaxIters = 12
+	eng, err := core.Train(train, ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := engine.NewService(eng, ecfg, video.Default())
+	srv := httpapi.NewServer(svc, func() *core.ModelStore { return eng.Export(train) })
+	srv.SetLogf(func(string, ...any) {})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := httpapi.NewClient(ts.URL)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace sessions=%d train=%d test=%d clusters=%d\n",
+		d.Len(), train.Len(), test.Len(), eng.Clusters())
+	for i, s := range test.Sessions[:4] {
+		id := fmt.Sprintf("golden-%d", i)
+		start, err := client.StartSession(id, s.Features, s.StartUnix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&b, "session %d cluster=%s init=%.10g level=%d\n",
+			i, start.ClusterID, start.InitialPredictionMbps, start.SuggestedInitialLevel)
+		n := len(s.Throughput)
+		if n > 12 {
+			n = 12
+		}
+		for j, w := range s.Throughput[:n] {
+			pred, err := client.ObserveAndPredict(id, w, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.IsNaN(pred) {
+				t.Fatalf("session %d chunk %d: NaN prediction", i, j)
+			}
+			fmt.Fprintf(&b, "  s%d c%d obs=%.10g pred=%.10g\n", i, j, w, pred)
+		}
+		p3, err := client.PredictAt(id, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&b, "session %d horizon3=%.10g\n", i, p3)
+	}
+	return b.String()
+}
+
+// TestGoldenReplay replays the full pipeline twice: the two live runs must
+// be bit-identical (the whole stack is deterministic under fixed seeds) and
+// must match the checked-in golden file. Regenerate with:
+//
+//	go test -run TestGoldenReplay -update .
+func TestGoldenReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden replay trains a model; slow for -short")
+	}
+	got := goldenReplay(t)
+	again := goldenReplay(t)
+	if got != again {
+		t.Fatalf("pipeline is nondeterministic: two replays differ\nfirst:\n%s\nsecond:\n%s", got, again)
+	}
+	path := filepath.Join("testdata", "golden_replay.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("replay diverged from %s (regenerate with -update if the change is intended)\ngot:\n%s\nwant:\n%s",
+			path, got, string(want))
+	}
+}

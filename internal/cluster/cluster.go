@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"cs2p/internal/mathx"
+	"cs2p/internal/obs"
 	"cs2p/internal/parallel"
 	"cs2p/internal/trace"
 )
@@ -33,6 +35,10 @@ type Config struct {
 	// winning rule is a deterministic function of the training data, so the
 	// selection is identical at every setting.
 	Parallelism int
+	// Metrics, when non-nil, receives rule-search telemetry (cell count,
+	// per-cell search time, global-fallback cells). Selection results are
+	// identical with or without it.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns the settings used throughout the reproduction.
@@ -180,15 +186,28 @@ func (c *Clusterer) SelectCtx(ctx context.Context) error {
 	sort.Strings(cellKeys)
 	cache := &medianCache{m: make(map[string]float64)}
 
+	cellSeconds := c.cfg.Metrics.Histogram("cs2p_cluster_cell_search_seconds",
+		"Rule-search time per full-feature cell (§5.1).", obs.LatencyBuckets, nil)
 	winners, err := parallel.Map(ctx, c.cfg.Parallelism, cellKeys, func(_ context.Context, _ int, cellKey string) (FeatureSet, error) {
-		return c.selectCell(cells[cellKey], cache), nil
+		start := time.Now()
+		w := c.selectCell(cells[cellKey], cache)
+		cellSeconds.Observe(time.Since(start).Seconds())
+		return w, nil
 	})
 	if err != nil {
 		return err
 	}
+	globalCells := 0
 	for i, k := range cellKeys {
 		c.chosen[k] = winners[i]
+		if winners[i].IsGlobal() {
+			globalCells++
+		}
 	}
+	c.cfg.Metrics.Gauge("cs2p_cluster_cells",
+		"Full-feature cells seen in training (rule-search granularity).", nil).Set(float64(len(cellKeys)))
+	c.cfg.Metrics.Gauge("cs2p_cluster_cells_global_fallback",
+		"Cells whose winning rule degenerated to the global aggregation.", nil).Set(float64(globalCells))
 	return nil
 }
 

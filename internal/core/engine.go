@@ -22,10 +22,12 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"cs2p/internal/cluster"
 	"cs2p/internal/hmm"
 	"cs2p/internal/mathx"
+	"cs2p/internal/obs"
 	"cs2p/internal/parallel"
 	"cs2p/internal/predict"
 	"cs2p/internal/trace"
@@ -65,6 +67,11 @@ type Config struct {
 	// discards them; the same messages are always collected on the
 	// engine's Warnings.
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, receives offline-training telemetry
+	// (per-cluster fit time, EM iteration counts, CV candidate scores,
+	// cluster-rule-search timings) and is forwarded to the HMM and
+	// clustering stages. Trained models are identical with or without it.
+	Metrics *obs.Registry
 }
 
 func (cfg Config) logf(format string, args ...any) {
@@ -129,9 +136,13 @@ func TrainContext(ctx context.Context, train *trace.Dataset, cfg Config) (*Engin
 		models:  make(map[string]*hmm.Model),
 		medians: make(map[string]float64),
 	}
+	trainStart := time.Now()
 	ccfg := cfg.Cluster
 	if ccfg.Parallelism == 0 {
 		ccfg.Parallelism = cfg.Parallelism
+	}
+	if ccfg.Metrics == nil {
+		ccfg.Metrics = cfg.Metrics
 	}
 	e.clusterer = cluster.New(ccfg, train)
 	if err := e.clusterer.SelectCtx(ctx); err != nil {
@@ -165,7 +176,15 @@ func TrainContext(ctx context.Context, train *trace.Dataset, cfg Config) (*Engin
 	if hcfgBase.Parallelism == 0 {
 		hcfgBase.Parallelism = cfg.Parallelism
 	}
+	if hcfgBase.Metrics == nil {
+		hcfgBase.Metrics = cfg.Metrics
+	}
+	fitSeconds := cfg.Metrics.Histogram("cs2p_train_cluster_fit_seconds",
+		"Wall time to fit one cluster HMM (state selection included).",
+		obs.LatencyBuckets, nil)
 	results, err := parallel.Map(ctx, cfg.Parallelism, ids, func(ctx context.Context, _ int, id string) (clusterModel, error) {
+		fitStart := time.Now()
+		defer func() { fitSeconds.Observe(time.Since(fitStart).Seconds()) }()
 		members := byCluster[id]
 		seqs := sequences(members, cfg.MaxClusterSessions)
 		hcfg := hcfgBase
@@ -202,20 +221,27 @@ func TrainContext(ctx context.Context, train *trace.Dataset, cfg Config) (*Engin
 			e.warnings = append(e.warnings, w)
 		}
 		if cm.model == nil {
+			cfg.Metrics.Counter("cs2p_train_clusters_total",
+				"Clusters trained, by outcome.", obs.Labels{"result": "fallback"}).Inc()
 			continue
 		}
+		cfg.Metrics.Counter("cs2p_train_clusters_total",
+			"Clusters trained, by outcome.", obs.Labels{"result": "ok"}).Inc()
 		e.models[id] = cm.model
 		e.medians[id] = cm.median
 	}
 
 	// Global fallback model over a stride subsample of everything.
 	gseqs := sequences(train.Sessions, cfg.GlobalSessions)
-	g, err := hmm.Train(gseqs, cfg.HMM)
+	g, err := hmm.Train(gseqs, hcfgBase)
 	if err != nil {
 		return nil, fmt.Errorf("core: training global model: %w", err)
 	}
 	e.global = g
 	e.globalMed = staticMedian(train.Sessions)
+	cfg.Metrics.Histogram("cs2p_train_seconds",
+		"End-to-end offline training time (clustering + all HMM fits).",
+		obs.LatencyBuckets, nil).Observe(time.Since(trainStart).Seconds())
 	return e, nil
 }
 
@@ -250,6 +276,11 @@ func staticMedian(sessions []*trace.Session) float64 {
 	return mathx.Median(vals)
 }
 
+// GlobalClusterID is the cluster ID reported for sessions served by the
+// global fallback model rather than a dedicated cluster HMM. The telemetry
+// pipeline keys its cluster-hit-rate metric on it.
+const GlobalClusterID = "global"
+
 // Name implements predict.Factory and predict.Initial.
 func (e *Engine) Name() string { return "CS2P" }
 
@@ -268,7 +299,7 @@ func (e *Engine) ModelFor(s *trace.Session) (*hmm.Model, string) {
 			return m, id
 		}
 	}
-	return e.global, "global"
+	return e.global, GlobalClusterID
 }
 
 // Clusterer exposes the trained clustering stage.

@@ -1,0 +1,145 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"cs2p/internal/core"
+	"cs2p/internal/obs"
+	"cs2p/internal/trace"
+	"cs2p/internal/tracegen"
+	"cs2p/internal/video"
+)
+
+// freshService trains a deliberately tiny engine and wraps it in a Service
+// with its own metrics registry, so eviction tests see isolated counters
+// instead of the shared harness service's accumulated state.
+func freshService(t *testing.T) *Service {
+	t.Helper()
+	cfg := tracegen.SmallConfig()
+	cfg.Sessions = 120
+	d, _ := tracegen.Generate(cfg)
+	ecfg := core.DefaultConfig()
+	ecfg.Cluster.MinGroupSize = 10
+	ecfg.HMM.NStates = 2
+	ecfg.HMM.MaxIters = 4
+	eng, err := core.Train(d, ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A two-chunk video keeps StartSession's Monte-Carlo rebuffer rollout
+	// cheap; these tests start hundreds of sessions under -race.
+	spec := video.Default()
+	spec.LengthSeconds = 2 * spec.ChunkSeconds
+	svc := NewService(eng, ecfg, spec)
+	svc.SetLogf(func(string, ...any) {})
+	svc.SetMetrics(obs.NewRegistry())
+	return svc
+}
+
+// TestLogRingEvictionOrderAndCounter pins the ring's contract: once full it
+// evicts strictly oldest-first, and every eviction is counted on
+// cs2p_engine_log_evictions_total.
+func TestLogRingEvictionOrderAndCounter(t *testing.T) {
+	svc := freshService(t)
+	const cap, pushed = 50, 120
+	svc.SetMaxLogs(cap)
+	for i := 0; i < pushed; i++ {
+		svc.EndSession(SessionLog{SessionID: fmt.Sprintf("seq-%03d", i), QoE: float64(i)})
+	}
+	logs := svc.Logs()
+	if len(logs) != cap {
+		t.Fatalf("retained %d logs, want %d", len(logs), cap)
+	}
+	for i, lg := range logs {
+		if want := fmt.Sprintf("seq-%03d", pushed-cap+i); lg.SessionID != want {
+			t.Fatalf("logs[%d] = %s, want %s (oldest-first eviction violated)", i, lg.SessionID, want)
+		}
+	}
+	if got := svc.m.logEvictions.Value(); got != pushed-cap {
+		t.Errorf("log eviction counter = %d, want %d", got, pushed-cap)
+	}
+	// Shrinking the ring evicts the oldest survivors and counts them too.
+	svc.SetMaxLogs(20)
+	if got := svc.m.logEvictions.Value(); got != pushed-cap+30 {
+		t.Errorf("after shrink, eviction counter = %d, want %d", got, pushed-cap+30)
+	}
+	if logs = svc.Logs(); logs[0].SessionID != fmt.Sprintf("seq-%03d", pushed-20) {
+		t.Errorf("shrink kept %s first, want seq-%03d", logs[0].SessionID, pushed-20)
+	}
+}
+
+// TestConcurrentEvictionRace hammers the session table and log ring from
+// many goroutines while GC runs concurrently (run with -race). At the end,
+// every session is accounted for: started = ended + gc-evicted + still
+// active, and the log eviction counter matches what the ring dropped.
+func TestConcurrentEvictionRace(t *testing.T) {
+	svc := freshService(t)
+	const workers, perWorker, logCap = 8, 40, 25
+	svc.SetMaxLogs(logCap)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				id := fmt.Sprintf("w%d-%d", w, i)
+				svc.StartSession(id, trace.Features{}, 1000)
+				if _, err := svc.ObserveAndPredict(id, 2.5, 1); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%2 == 0 {
+					// Half the sessions end cleanly (and feed the ring)...
+					svc.EndSession(SessionLog{SessionID: id, QoE: 1})
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		// ...while GC sweeps concurrently with a horizon no live session
+		// reaches, exercising the lock paths without evicting anything.
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				svc.GC(time.Hour)
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+
+	const total = workers * perWorker
+	ended := total / 2
+	if got := svc.m.sessionsStarted.Value(); got != total {
+		t.Errorf("sessions started = %d, want %d", got, total)
+	}
+	if got := svc.m.sessionsEnded.Value(); got != uint64(ended) {
+		t.Errorf("sessions ended = %d, want %d", got, ended)
+	}
+	if got := svc.ActiveSessions(); got != total-ended {
+		t.Errorf("active sessions = %d, want %d", got, total-ended)
+	}
+	if got := svc.m.logEvictions.Value(); got != uint64(ended-logCap) {
+		t.Errorf("log evictions = %d, want %d", got, ended-logCap)
+	}
+	// Now age everything out: a zero-idle GC must evict every survivor and
+	// count each one.
+	time.Sleep(time.Millisecond)
+	n := svc.GC(time.Microsecond)
+	if n != total-ended {
+		t.Errorf("GC evicted %d, want %d", n, total-ended)
+	}
+	if got := svc.m.gcEvictions.Value(); got != uint64(n) {
+		t.Errorf("gc eviction counter = %d, want %d", got, n)
+	}
+	if svc.ActiveSessions() != 0 {
+		t.Errorf("%d sessions survived the sweep", svc.ActiveSessions())
+	}
+}

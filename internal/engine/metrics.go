@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"cs2p/internal/obs"
+)
+
+// serviceMetrics caches every instrument the service touches so the hot
+// path never takes the registry lock. A zero serviceMetrics (nil handles)
+// is fully inert — obs instruments are nil-safe — so services without a
+// registry pay one nil check per event.
+type serviceMetrics struct {
+	reg *obs.Registry
+
+	sessionsActive  *obs.Gauge
+	sessionsStarted *obs.Counter
+	sessionsEnded   *obs.Counter
+	gcEvictions     *obs.Counter
+	logEvictions    *obs.Counter
+
+	retrains        *obs.Counter
+	retrainFailures *obs.Counter
+	retrainSeconds  *obs.Histogram
+	modelGeneration *obs.Gauge
+
+	lockWait *obs.Histogram
+
+	// Prediction-quality pipeline (the live analogue of Figures 9-11):
+	// per-epoch absolute percentage error split initial/midstream, the
+	// cluster-hit vs global-fallback rate, and the HMM posterior entropy.
+	epochs          *obs.Counter
+	apeInitial      *obs.Histogram
+	apeMidstream    *obs.Histogram
+	clusterHit      *obs.Counter
+	clusterFallback *obs.Counter
+	entropy         *obs.Histogram
+}
+
+// newServiceMetrics registers (or re-binds) the engine's instruments on reg.
+// A nil reg yields the inert zero value.
+func newServiceMetrics(reg *obs.Registry) serviceMetrics {
+	if reg == nil {
+		return serviceMetrics{}
+	}
+	return serviceMetrics{
+		reg: reg,
+
+		sessionsActive: reg.Gauge("cs2p_engine_sessions_active",
+			"Playback sessions currently registered.", nil),
+		sessionsStarted: reg.Counter("cs2p_engine_sessions_started_total",
+			"Sessions opened via StartSession (duplicates reset and recount).", nil),
+		sessionsEnded: reg.Counter("cs2p_engine_sessions_ended_total",
+			"Sessions closed by an end-of-playback QoE log.", nil),
+		gcEvictions: reg.Counter("cs2p_engine_session_evictions_total",
+			"Sessions evicted, by reason.", obs.Labels{"reason": "idle"}),
+		logEvictions: reg.Counter("cs2p_engine_log_evictions_total",
+			"QoE log entries evicted from the bounded session-log ring.", nil),
+
+		retrains: reg.Counter("cs2p_engine_retrains_total",
+			"Completed hot retrains (the paper's daily training cadence).", nil),
+		retrainFailures: reg.Counter("cs2p_engine_retrain_failures_total",
+			"Retrains that failed; the previous model generation kept serving.", nil),
+		retrainSeconds: reg.Histogram("cs2p_engine_retrain_seconds",
+			"Wall time of each hot retrain.", obs.LatencyBuckets, nil),
+		modelGeneration: reg.Gauge("cs2p_engine_model_generation",
+			"Current model generation (bumped per completed retrain).", nil),
+
+		lockWait: reg.Histogram("cs2p_engine_session_lock_wait_seconds",
+			"Time spent waiting on a per-session filter lock (contention signal).",
+			obs.LatencyBuckets, nil),
+
+		epochs: reg.Counter("cs2p_prediction_epochs_total",
+			"Observation epochs absorbed across all sessions.", nil),
+		apeInitial: reg.Histogram("cs2p_prediction_ape",
+			"Per-epoch absolute percentage error |pred-actual|/actual (Figure 9).",
+			obs.ErrorBuckets, obs.Labels{"phase": "initial"}),
+		apeMidstream: reg.Histogram("cs2p_prediction_ape",
+			"Per-epoch absolute percentage error |pred-actual|/actual (Figure 9).",
+			obs.ErrorBuckets, obs.Labels{"phase": "midstream"}),
+		clusterHit: reg.Counter("cs2p_prediction_cluster_total",
+			"Sessions served by a dedicated cluster HMM vs the global fallback.",
+			obs.Labels{"source": "cluster"}),
+		clusterFallback: reg.Counter("cs2p_prediction_cluster_total",
+			"Sessions served by a dedicated cluster HMM vs the global fallback.",
+			obs.Labels{"source": "global"}),
+		entropy: reg.Histogram("cs2p_prediction_posterior_entropy_bits",
+			"HMM posterior entropy after each observation (0 = certain state).",
+			obs.EntropyBuckets, nil),
+	}
+}
+
+// enabled reports whether a registry is attached; callers use it to skip
+// telemetry-only computation (an extra 1-step prediction, entropy).
+func (m *serviceMetrics) enabled() bool { return m.reg != nil }

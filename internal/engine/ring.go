@@ -11,8 +11,9 @@ type logRing struct {
 	max  int
 }
 
-// push appends a log, evicting the oldest entry once full.
-func (r *logRing) push(lg SessionLog) {
+// push appends a log, evicting the oldest entry once full. It reports
+// whether an entry was evicted, so the service can count evictions.
+func (r *logRing) push(lg SessionLog) (evicted bool) {
 	if r.max <= 0 {
 		r.max = DefaultMaxLogs
 	}
@@ -24,11 +25,12 @@ func (r *logRing) push(lg SessionLog) {
 		r.buf = append(r.buf, lg)
 		r.next = len(r.buf) % r.max
 		r.full = len(r.buf) == r.max
-		return
+		return false
 	}
 	r.buf[r.next] = lg
 	r.next = (r.next + 1) % r.max
 	r.full = true
+	return true
 }
 
 // snapshot returns the retained logs oldest-first.
@@ -42,20 +44,23 @@ func (r *logRing) snapshot() []SessionLog {
 	return out
 }
 
-// resize changes the capacity, keeping the newest entries.
-func (r *logRing) resize(max int) {
+// resize changes the capacity, keeping the newest entries. It returns how
+// many entries a shrink evicted.
+func (r *logRing) resize(max int) (evicted int) {
 	if max <= 0 {
 		max = DefaultMaxLogs
 	}
 	if max == r.max {
-		return
+		return 0
 	}
 	cur := r.snapshot()
 	if len(cur) > max {
+		evicted = len(cur) - max
 		cur = cur[len(cur)-max:]
 	}
 	r.max = max
 	r.buf = cur
 	r.next = len(cur) % max
 	r.full = len(cur) == max
+	return evicted
 }

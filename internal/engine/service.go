@@ -7,6 +7,7 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
@@ -15,6 +16,7 @@ import (
 	"cs2p/internal/abr"
 	"cs2p/internal/core"
 	"cs2p/internal/mathx"
+	"cs2p/internal/obs"
 	"cs2p/internal/qoe"
 	"cs2p/internal/sim"
 	"cs2p/internal/trace"
@@ -46,6 +48,7 @@ type Service struct {
 	sessions map[string]*sessionState
 	logs     logRing
 	logf     func(format string, args ...any)
+	m        serviceMetrics
 }
 
 // sessionState carries one session's predictor. Its own mutex serializes
@@ -56,6 +59,11 @@ type sessionState struct {
 	mu       sync.Mutex
 	pred     *core.SessionPredictor
 	lastSeen time.Time
+	// Telemetry state for the prediction-quality pipeline: the last
+	// 1-step-ahead prediction (scored against the next observation) and
+	// the number of observations absorbed so far. Guarded by mu.
+	lastOneStep float64
+	epoch       int
 }
 
 // NewService wraps a trained engine.
@@ -67,6 +75,17 @@ func NewService(e *core.Engine, cfg core.Config, spec video.Spec) *Service {
 		sessions: make(map[string]*sessionState),
 		logs:     logRing{max: DefaultMaxLogs},
 	}
+}
+
+// SetMetrics attaches a metrics registry; every event after the call is
+// counted. nil detaches (instruments become inert). Call before serving
+// traffic — the handles swap is not synchronized against in-flight requests.
+func (s *Service) SetMetrics(reg *obs.Registry) {
+	s.m = newServiceMetrics(reg)
+	s.mu.RLock()
+	s.m.modelGeneration.Set(float64(s.gen))
+	s.m.sessionsActive.Set(float64(len(s.sessions)))
+	s.mu.RUnlock()
 }
 
 // SetLogf installs the service's event logger (retrain, GC). nil silences it.
@@ -92,8 +111,9 @@ func (s *Service) SetMaxLogs(n int) {
 		n = DefaultMaxLogs
 	}
 	s.mu.Lock()
-	s.logs.resize(n)
+	evicted := s.logs.resize(n)
 	s.mu.Unlock()
+	s.m.logEvictions.Add(evicted)
 }
 
 // Retrain replaces the model set with one trained on fresh data — the
@@ -102,8 +122,10 @@ func (s *Service) SetMaxLogs(n int) {
 // which stay valid), new sessions and the /v1/model exporter see the new
 // engine, and ModelGeneration advances so derived caches invalidate.
 func (s *Service) Retrain(train *trace.Dataset) error {
+	start := time.Now()
 	e, err := core.Train(train, s.cfg)
 	if err != nil {
+		s.m.retrainFailures.Inc()
 		return fmt.Errorf("engine: retraining: %w", err)
 	}
 	s.mu.Lock()
@@ -111,6 +133,9 @@ func (s *Service) Retrain(train *trace.Dataset) error {
 	s.gen++
 	gen := s.gen
 	s.mu.Unlock()
+	s.m.retrains.Inc()
+	s.m.retrainSeconds.Observe(time.Since(start).Seconds())
+	s.m.modelGeneration.Set(float64(gen))
 	s.logfSafe("engine: retrained on %d sessions (%d clusters, generation %d)", train.Len(), e.Clusters(), gen)
 	return nil
 }
@@ -150,8 +175,16 @@ func (s *Service) StartSession(id string, f trace.Features, startUnix int64) Sta
 	s.mu.RUnlock()
 	p := e.NewSessionPredictor(sess)
 	s.mu.Lock()
-	s.sessions[id] = &sessionState{pred: p, lastSeen: time.Now()}
+	s.sessions[id] = &sessionState{pred: p, lastSeen: time.Now(), lastOneStep: p.InitialPrediction()}
+	active := len(s.sessions)
 	s.mu.Unlock()
+	s.m.sessionsStarted.Inc()
+	s.m.sessionsActive.Set(float64(active))
+	if p.ClusterID() == core.GlobalClusterID {
+		s.m.clusterFallback.Inc()
+	} else {
+		s.m.clusterHit.Inc()
+	}
 	model, _ := e.ModelFor(sess)
 	rebuffer := 0.0
 	if model != nil {
@@ -193,10 +226,51 @@ func (s *Service) ObserveAndPredict(id string, observedMbps float64, horizon int
 	if err != nil {
 		return 0, err
 	}
-	st.mu.Lock()
+	s.lockSession(st)
 	defer st.mu.Unlock()
 	st.pred.Observe(observedMbps)
-	return st.pred.PredictAhead(horizon), nil
+	pred := st.pred.PredictAhead(horizon)
+	if s.m.enabled() {
+		s.recordEpoch(st, observedMbps, horizon, pred)
+	}
+	st.epoch++
+	return pred, nil
+}
+
+// recordEpoch feeds the prediction-quality pipeline after one observation:
+// it scores the previous epoch's 1-step prediction against the measured
+// throughput (the per-epoch APE of Figure 9, split initial/midstream),
+// samples the filter's posterior entropy, and refreshes the session's
+// 1-step prediction for the next epoch. Caller holds st.mu.
+func (s *Service) recordEpoch(st *sessionState, observedMbps float64, horizon int, pred float64) {
+	s.m.epochs.Inc()
+	if observedMbps > 0 && !math.IsNaN(st.lastOneStep) {
+		ape := math.Abs(st.lastOneStep-observedMbps) / observedMbps
+		if st.epoch == 0 {
+			s.m.apeInitial.Observe(ape)
+		} else {
+			s.m.apeMidstream.Observe(ape)
+		}
+	}
+	s.m.entropy.Observe(st.pred.Filter().PosteriorEntropyBits())
+	if horizon == 1 {
+		st.lastOneStep = pred
+	} else {
+		st.lastOneStep = st.pred.PredictAhead(1)
+	}
+}
+
+// lockSession acquires the per-session filter lock, timing the wait when
+// metrics are attached (lock-wait time is the earliest signal of a client
+// hammering one session concurrently).
+func (s *Service) lockSession(st *sessionState) {
+	if !s.m.enabled() {
+		st.mu.Lock()
+		return
+	}
+	start := time.Now()
+	st.mu.Lock()
+	s.m.lockWait.Observe(time.Since(start).Seconds())
 }
 
 // Predict returns the current prediction without a new observation (used
@@ -206,7 +280,7 @@ func (s *Service) Predict(id string, horizon int) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	st.mu.Lock()
+	s.lockSession(st)
 	defer st.mu.Unlock()
 	return st.pred.PredictAhead(horizon), nil
 }
@@ -214,9 +288,18 @@ func (s *Service) Predict(id string, horizon int) (float64, error) {
 // EndSession records the player's final QoE log and forgets the session.
 func (s *Service) EndSession(log SessionLog) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	_, existed := s.sessions[log.SessionID]
 	delete(s.sessions, log.SessionID)
-	s.logs.push(log)
+	active := len(s.sessions)
+	evicted := s.logs.push(log)
+	s.mu.Unlock()
+	if existed {
+		s.m.sessionsEnded.Inc()
+	}
+	s.m.sessionsActive.Set(float64(active))
+	if evicted {
+		s.m.logEvictions.Inc()
+	}
 }
 
 // Logs returns a copy of the retained session logs, oldest first. Only the
@@ -246,8 +329,11 @@ func (s *Service) GC(maxIdle time.Duration) int {
 			n++
 		}
 	}
+	active := len(s.sessions)
 	s.mu.Unlock()
 	if n > 0 {
+		s.m.gcEvictions.Add(n)
+		s.m.sessionsActive.Set(float64(active))
 		s.logfSafe("engine: gc dropped %d idle sessions", n)
 	}
 	return n

@@ -14,6 +14,7 @@ import (
 
 	"cs2p/internal/core"
 	"cs2p/internal/hmm"
+	"cs2p/internal/obs"
 	"cs2p/internal/predict"
 	"cs2p/internal/trace"
 	"cs2p/internal/tracegen"
@@ -64,6 +65,10 @@ type Context struct {
 	// models are identical at every setting, so experiment outputs don't
 	// depend on it.
 	Parallelism int
+	// Metrics, when set, is forwarded to EngineConfig so training emits
+	// fit-time/EM-iteration series (cs2p-bench -metrics-out). Instruments
+	// are nil-safe, so experiment outputs don't depend on it.
+	Metrics *obs.Registry
 
 	mu     sync.Mutex
 	data   *trace.Dataset
@@ -134,6 +139,7 @@ func (c *Context) ensureSplitLocked() {
 func (c *Context) EngineConfig() core.Config {
 	cfg := core.DefaultConfig()
 	cfg.Parallelism = c.Parallelism
+	cfg.Metrics = c.Metrics
 	if c.Scale == ScaleSmall {
 		cfg.Cluster.MinGroupSize = 10
 		cfg.HMM.NStates = 4

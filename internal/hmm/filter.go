@@ -1,6 +1,8 @@
 package hmm
 
 import (
+	"math"
+
 	"cs2p/internal/mathx"
 )
 
@@ -53,6 +55,21 @@ func (f *Filter) Posterior() []float64 {
 
 // Started reports whether at least one observation has been absorbed.
 func (f *Filter) Started() bool { return f.started }
+
+// PosteriorEntropyBits returns the Shannon entropy of the current state
+// posterior in bits: 0 when the filter is certain of the hidden state,
+// log2(N) when it knows nothing. The telemetry pipeline tracks it per epoch
+// as a confidence signal — entropy spikes flag sessions whose throughput the
+// cluster model does not explain (the populations §5.1's clustering missed).
+func (f *Filter) PosteriorEntropyBits() float64 {
+	var h float64
+	for _, p := range f.post {
+		if p > 0 {
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}
 
 // Predict estimates the next epoch's throughput. Before any observation the
 // state distribution is pi_0 itself; afterwards it is the one-step push

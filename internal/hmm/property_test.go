@@ -1,0 +1,152 @@
+package hmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cs2p/internal/mathx"
+)
+
+// randomModel builds a valid n-state Gaussian HMM with random stochastic
+// Pi/Trans and emissions spread over a plausible throughput range.
+func randomModel(r *rand.Rand, n int) *Model {
+	pi := make([]float64, n)
+	for i := range pi {
+		pi[i] = 0.05 + r.Float64()
+	}
+	mathx.Normalize(pi)
+	tr := mathx.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		row := tr.Row(i)
+		for j := range row {
+			row[j] = 0.05 + r.Float64()
+		}
+	}
+	tr.NormalizeRows()
+	emit := make([]mathx.Gaussian, n)
+	for i := range emit {
+		emit[i] = mathx.Gaussian{
+			Mu:    0.2 + 20*r.Float64(),
+			Sigma: 0.05 + 3*r.Float64(),
+		}
+	}
+	m := &Model{Pi: pi, Trans: tr, Emit: emit}
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// randomObservation draws the next throughput sample: usually from the model
+// itself, but with deliberate probability mass on adversarial values — far
+// outliers, near-zeros, and spikes the emission floor has to absorb.
+func randomObservation(r *rand.Rand, m *Model, states []int, i int) float64 {
+	switch r.Intn(10) {
+	case 0:
+		return 0 // a stalled epoch
+	case 1:
+		return 1e-9 // below every state
+	case 2:
+		return 1e4 * (1 + r.Float64()) // far above every state
+	case 3:
+		return r.Float64() * 1e-3
+	default:
+		return math.Abs(m.Emit[states[i]].Sample(r.NormFloat64()))
+	}
+}
+
+// convexHull returns the min and max emission means: every prediction rule
+// (MLE and posterior-mean) is a convex combination or selection of means,
+// so predictions can never leave this interval.
+func convexHull(m *Model) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, e := range m.Emit {
+		lo = math.Min(lo, e.Mu)
+		hi = math.Max(hi, e.Mu)
+	}
+	return lo, hi
+}
+
+func checkPosterior(t *testing.T, trial, step int, f *Filter) {
+	t.Helper()
+	post := f.Posterior()
+	var sum float64
+	for i, p := range post {
+		if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 {
+			t.Fatalf("trial %d step %d: posterior[%d] = %v", trial, step, i, p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("trial %d step %d: posterior sums to %.15g", trial, step, sum)
+	}
+	maxH := math.Log2(float64(len(post)))
+	if h := f.PosteriorEntropyBits(); h < -1e-12 || h > maxH+1e-9 || math.IsNaN(h) {
+		t.Fatalf("trial %d step %d: entropy = %v (max %v)", trial, step, h, maxH)
+	}
+}
+
+func checkPredictions(t *testing.T, trial, step int, f *Filter, lo, hi float64) {
+	t.Helper()
+	for _, k := range []int{1, 2, 5, 10} {
+		p := f.PredictAhead(k)
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			t.Fatalf("trial %d step %d: PredictAhead(%d) = %v", trial, step, k, p)
+		}
+		if p < lo-1e-9 || p > hi+1e-9 {
+			t.Fatalf("trial %d step %d: PredictAhead(%d) = %v outside hull [%v, %v]",
+				trial, step, k, p, lo, hi)
+		}
+	}
+}
+
+// TestFilterInvariantsProperty is a property-based stress test of Algorithm 1:
+// across randomized models and observation streams (including adversarial
+// values), the posterior must stay a probability distribution (sums to 1,
+// never NaN/Inf), entropy must stay in [0, log2 N], and every prediction must
+// lie in the convex hull of the state means.
+func TestFilterInvariantsProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(20260805))
+	const trials = 150
+	for trial := 0; trial < trials; trial++ {
+		n := 2 + r.Intn(5)
+		m := randomModel(r, n)
+		lo, hi := convexHull(m)
+		f := NewFilter(m)
+		if trial%2 == 1 {
+			f.SetRule(PredictMean)
+		}
+		// Invariants must hold before the first observation too.
+		checkPosterior(t, trial, -1, f)
+		checkPredictions(t, trial, -1, f, lo, hi)
+		steps := 5 + r.Intn(60)
+		states, _ := m.Sample(r, steps)
+		for i := 0; i < steps; i++ {
+			f.Observe(randomObservation(r, m, states, i))
+			checkPosterior(t, trial, i, f)
+			checkPredictions(t, trial, i, f, lo, hi)
+		}
+		// Reset restores the initial distribution exactly.
+		f.Reset()
+		checkPosterior(t, trial, steps, f)
+		if f.Started() {
+			t.Fatalf("trial %d: Started() true after Reset", trial)
+		}
+	}
+}
+
+// TestFilterConsecutiveOutliers drives the filter with a long run of
+// observations the model assigns essentially zero likelihood — the emission
+// floor and normalization must keep the posterior usable throughout.
+func TestFilterConsecutiveOutliers(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	m := randomModel(r, 4)
+	lo, hi := convexHull(m)
+	f := NewFilter(m)
+	for i := 0; i < 50; i++ {
+		f.Observe(1e6)
+		checkPosterior(t, 0, i, f)
+		checkPredictions(t, 0, i, f, lo, hi)
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strconv"
 
 	"cs2p/internal/mathx"
+	"cs2p/internal/obs"
 	"cs2p/internal/parallel"
 )
 
@@ -88,6 +90,9 @@ func SelectStateCountCtx(ctx context.Context, seqs [][]float64, candidates []int
 			continue
 		}
 		score := mathx.Mean(foldErrs)
+		cfg.Metrics.Histogram("cs2p_train_cv_score",
+			"Cross-validated held-out median error per candidate state count (§7.1).",
+			obs.ErrorBuckets, obs.Labels{"states": strconv.Itoa(n)}).Observe(score)
 		if relImprovement(bestErr, score) < 0 {
 			bestN, bestErr = n, score
 		}

@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"cs2p/internal/mathx"
+	"cs2p/internal/obs"
 )
 
 // TrainConfig controls Baum-Welch training.
@@ -35,6 +36,10 @@ type TrainConfig struct {
 	// sequential loop). Train itself is single-threaded; callers parallelize
 	// across models instead. Results are identical at every setting.
 	Parallelism int
+	// Metrics, when non-nil, receives training telemetry (EM iteration
+	// counts, CV candidate scores). Training behaves identically with or
+	// without it.
+	Metrics *obs.Registry
 }
 
 // DefaultTrainConfig returns the configuration used across the reproduction:
@@ -80,8 +85,10 @@ func Train(seqs [][]float64, cfg TrainConfig) (*Model, error) {
 	m := initModel(usable, cfg)
 	sc := newEMScratch(cfg.NStates, maxT)
 	prev := math.Inf(-1)
+	iters := 0
 	for iter := 0; iter < cfg.MaxIters; iter++ {
 		logLik := emStep(m, usable, cfg, sc)
+		iters = iter + 1
 		if math.IsNaN(logLik) {
 			return nil, fmt.Errorf("hmm: EM diverged at iteration %d", iter)
 		}
@@ -90,6 +97,9 @@ func Train(seqs [][]float64, cfg TrainConfig) (*Model, error) {
 		}
 		prev = logLik
 	}
+	cfg.Metrics.Histogram("cs2p_train_em_iterations",
+		"Baum-Welch EM iterations per HMM fit (capped by MaxIters).",
+		obs.ExpBuckets(1, 2, 9), nil).Observe(float64(iters))
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("hmm: trained model invalid: %w", err)
 	}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"cs2p/internal/engine"
+	"cs2p/internal/obs"
 	"cs2p/internal/trace"
 )
 
@@ -73,7 +74,16 @@ func (c *Client) post(path string, req, resp any) error {
 	if err != nil {
 		return fmt.Errorf("httpapi client: encoding request: %w", err)
 	}
-	r, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+	hreq, err := http.NewRequest(http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("httpapi client: building request: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	// Mint a request id so server-side traces and logs can be joined to
+	// this client call; the server echoes it back (and mints one itself for
+	// clients that don't send it).
+	hreq.Header.Set(obs.RequestIDHeader, obs.NewRequestID())
+	r, err := c.hc.Do(hreq)
 	if err != nil {
 		return fmt.Errorf("httpapi client: POST %s: %w", path, err)
 	}

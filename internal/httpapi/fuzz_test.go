@@ -1,0 +1,138 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"cs2p/internal/core"
+	"cs2p/internal/engine"
+	"cs2p/internal/tracegen"
+	"cs2p/internal/video"
+)
+
+var (
+	fuzzOnce sync.Once
+	fuzzSrv  *Server
+)
+
+// fuzzHandler builds one small trained server shared by all fuzz targets.
+// Training is deliberately tiny: fuzzing exercises the decode/validate
+// layer, not model quality.
+func fuzzHandler() (*Server, http.Handler) {
+	fuzzOnce.Do(func() {
+		cfg := tracegen.SmallConfig()
+		cfg.Sessions = 120
+		d, _ := tracegen.Generate(cfg)
+		ecfg := core.DefaultConfig()
+		ecfg.Cluster.MinGroupSize = 10
+		ecfg.HMM.NStates = 2
+		ecfg.HMM.MaxIters = 4
+		eng, err := core.Train(d, ecfg)
+		if err != nil {
+			panic(err)
+		}
+		// A two-chunk video keeps StartSession's Monte-Carlo rebuffer
+		// rollout cheap; fuzz throughput depends on it.
+		spec := video.Default()
+		spec.LengthSeconds = 2 * spec.ChunkSeconds
+		svc := engine.NewService(eng, ecfg, spec)
+		fuzzSrv = NewServer(svc, nil)
+		fuzzSrv.SetLogf(func(string, ...any) {})
+	})
+	return fuzzSrv, fuzzSrv.Handler()
+}
+
+// fuzzPost drives one request and applies the shared oracle: the server must
+// not panic (PanicCount is the recovery middleware's tally), must answer
+// with a plausible status, and every non-204 reply must be valid JSON.
+func fuzzPost(t *testing.T, path string, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	srv, h := fuzzHandler()
+	before := srv.PanicCount()
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := srv.PanicCount(); got != before {
+		t.Fatalf("handler panicked on %q", body)
+	}
+	switch rec.Code {
+	case http.StatusOK, http.StatusBadRequest, http.StatusNotFound,
+		http.StatusRequestEntityTooLarge, http.StatusNoContent:
+	default:
+		t.Fatalf("unexpected status %d for %q", rec.Code, body)
+	}
+	if rec.Code != http.StatusNoContent && !json.Valid(rec.Body.Bytes()) {
+		t.Fatalf("non-JSON response %q for %q", rec.Body.Bytes(), body)
+	}
+	return rec
+}
+
+// FuzzStartSession fuzzes the POST /v1/session/start decoder and validators.
+// It found two real holes, both fixed and pinned by seeds here: trailing
+// data after the JSON document was silently accepted, and feature strings
+// were unbounded up to the body cap.
+func FuzzStartSession(f *testing.F) {
+	f.Add([]byte(`{"session_id":"fz","features":{"isp":"a","province":"b"},"start_unix":100}`))
+	f.Add([]byte(`{"session_id":"fz"}{"session_id":"fz2"}`)) // trailing document
+	f.Add([]byte(`{"session_id":"fz"}garbage`))              // trailing garbage
+	f.Add([]byte(`{"session_id":""}`))
+	f.Add([]byte(`{"session_id":"` + string(make([]byte, 300)) + `"}`))
+	f.Add([]byte(`{"session_id":"fz","features":{"city":"` + string(bytes.Repeat([]byte("x"), 4096)) + `"}}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"session_id":"fz","start_unix":1e99}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		rec := fuzzPost(t, "/v1/session/start", body)
+		if rec.Code != http.StatusOK {
+			return
+		}
+		// A 200 means the body passed validation; the start response must
+		// then be complete and finite.
+		var resp engine.StartResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("200 response not a StartResponse: %v", err)
+		}
+		if math.IsNaN(resp.InitialPredictionMbps) || resp.InitialPredictionMbps <= 0 {
+			t.Fatalf("accepted start produced initial prediction %v", resp.InitialPredictionMbps)
+		}
+	})
+}
+
+// FuzzObserve fuzzes POST /v1/predict against a live session: no input may
+// panic the server, corrupt the session filter into NaN predictions, or be
+// accepted with trailing data.
+func FuzzObserve(f *testing.F) {
+	f.Add([]byte(`{"session_id":"fz-obs","observed_mbps":3.5,"horizon":1}`))
+	f.Add([]byte(`{"session_id":"fz-obs","observed_mbps":0}`))
+	f.Add([]byte(`{"session_id":"fz-obs","observed_mbps":-1}`))
+	f.Add([]byte(`{"session_id":"fz-obs","observed_mbps":1e300}`))
+	f.Add([]byte(`{"session_id":"fz-obs","horizon":9999999}`))
+	f.Add([]byte(`{"session_id":"fz-obs","horizon":-3}`))
+	f.Add([]byte(`{"session_id":"nope","observed_mbps":1}`))
+	f.Add([]byte(`{"session_id":"fz-obs","observed_mbps":2} extra`))
+	f.Add([]byte(`{"session_id":"fz-obs","observed_mbps":null,"horizon":2}`))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		// (Re-)register the target session so stateful inputs land on a live
+		// filter; duplicate starts reset it, keeping iterations independent.
+		fuzzPost(t, "/v1/session/start", []byte(`{"session_id":"fz-obs","start_unix":1}`))
+		rec := fuzzPost(t, "/v1/predict", body)
+		if rec.Code != http.StatusOK {
+			return
+		}
+		var resp PredictResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("200 response not a PredictResponse: %v", err)
+		}
+		if math.IsNaN(resp.PredictionMbps) || math.IsInf(resp.PredictionMbps, 0) || resp.PredictionMbps <= 0 {
+			t.Fatalf("accepted observation produced prediction %v for %q", resp.PredictionMbps, body)
+		}
+	})
+}

@@ -25,6 +25,13 @@ var (
 
 func testServer(t *testing.T) (*httptest.Server, *trace.Dataset) {
 	t.Helper()
+	ensureEnv()
+	return httptest.NewServer(envServer.Handler()), envTest
+}
+
+// ensureEnv trains the shared engine once for every test and benchmark in
+// the package.
+func ensureEnv() {
 	envOnce.Do(func() {
 		cfg := tracegen.SmallConfig()
 		cfg.Sessions = 400
@@ -47,7 +54,6 @@ func testServer(t *testing.T) (*httptest.Server, *trace.Dataset) {
 		envTrain = train
 		envCfg = ecfg
 	})
-	return httptest.NewServer(envServer.Handler()), envTest
 }
 
 func TestHealthz(t *testing.T) {

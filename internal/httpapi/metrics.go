@@ -1,0 +1,198 @@
+package httpapi
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"cs2p/internal/obs"
+)
+
+// serverMetrics caches the HTTP-layer instruments. Route label cardinality
+// is bounded by normalizeRoute (unknown paths collapse to "other"), and the
+// per-(route,code) counters are cached behind an RWMutex so steady-state
+// requests never touch the registry lock.
+type serverMetrics struct {
+	reg      *obs.Registry
+	inFlight *obs.Gauge
+	panics   *obs.Counter
+
+	mu       sync.RWMutex
+	counters map[string]*obs.Counter   // route + "|" + code
+	latency  map[string]*obs.Histogram // route
+}
+
+// newServerMetrics binds the HTTP instruments on reg. A nil reg yields an
+// inert value (nil handles, no-op request recording), so the server always
+// holds a usable *serverMetrics.
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	if reg == nil {
+		return &serverMetrics{}
+	}
+	return &serverMetrics{
+		reg: reg,
+		inFlight: reg.Gauge("cs2p_http_in_flight",
+			"Requests currently being handled.", nil),
+		panics: reg.Counter("cs2p_http_panics_total",
+			"Handler panics absorbed by the recovery middleware.", nil),
+		counters: make(map[string]*obs.Counter),
+		latency:  make(map[string]*obs.Histogram),
+	}
+}
+
+// request records one completed request; inert when no registry is bound.
+func (m *serverMetrics) request(route string, code int, dur time.Duration) {
+	if m == nil || m.reg == nil {
+		return
+	}
+	key := route + "|" + strconv.Itoa(code)
+	m.mu.RLock()
+	c, okC := m.counters[key]
+	h, okH := m.latency[route]
+	m.mu.RUnlock()
+	if !okC || !okH {
+		m.mu.Lock()
+		if c, okC = m.counters[key]; !okC {
+			c = m.reg.Counter("cs2p_http_requests_total",
+				"HTTP requests by route and status code.",
+				obs.Labels{"route": route, "code": strconv.Itoa(code)})
+			m.counters[key] = c
+		}
+		if h, okH = m.latency[route]; !okH {
+			h = m.reg.Histogram("cs2p_http_request_seconds",
+				"HTTP request handling latency by route.",
+				obs.LatencyBuckets, obs.Labels{"route": route})
+			m.latency[route] = h
+		}
+		m.mu.Unlock()
+	}
+	c.Inc()
+	h.Observe(dur.Seconds())
+}
+
+// clientMetrics mirrors ResilienceStats onto a registry so a fleet of
+// players can be scraped live instead of polled via Stats(). The zero value
+// (no registry) is inert: every handle is nil and obs instruments no-op on
+// nil receivers.
+type clientMetrics struct {
+	reg            *obs.Registry
+	observations   *obs.Counter
+	remoteOK       *obs.Counter
+	remoteFailures *obs.Counter
+	retries        *obs.Counter
+	rereg          *obs.Counter
+	localFallbacks *obs.Counter
+	nanPreds       *obs.Counter
+	fastFails      *obs.Counter
+}
+
+func newClientMetrics(reg *obs.Registry) clientMetrics {
+	if reg == nil {
+		return clientMetrics{}
+	}
+	return clientMetrics{
+		reg: reg,
+		observations: reg.Counter("cs2p_client_observations_total",
+			"Observe calls issued by resilient predictors (one per chunk).", nil),
+		remoteOK: reg.Counter("cs2p_client_remote_ok_total",
+			"Observations answered by the remote prediction service.", nil),
+		remoteFailures: reg.Counter("cs2p_client_remote_failures_total",
+			"Failed remote observe round trips.", nil),
+		retries: reg.Counter("cs2p_client_retries_total",
+			"Extra attempts spent on idempotent calls.", nil),
+		rereg: reg.Counter("cs2p_client_reregistrations_total",
+			"Session re-registrations with observation replay after a desync.", nil),
+		localFallbacks: reg.Counter("cs2p_client_local_fallbacks_total",
+			"Predictions served by the local decentralized model (§5.3).", nil),
+		nanPreds: reg.Counter("cs2p_client_nan_predictions_total",
+			"Observations that left no usable prediction (remote down, no local model).", nil),
+		fastFails: reg.Counter("cs2p_client_breaker_fast_fails_total",
+			"Calls skipped because the circuit breaker was open.", nil),
+	}
+}
+
+// breakerTransition counts a circuit state change. Transitions are rare
+// (they bracket outages), so the registry lookup per event is fine.
+func (m *clientMetrics) breakerTransition(from, to BreakerState) {
+	if m.reg == nil {
+		return
+	}
+	m.reg.Counter("cs2p_client_breaker_transitions_total",
+		"Circuit breaker state transitions.",
+		obs.Labels{"from": from.String(), "to": to.String()}).Inc()
+}
+
+// knownRoutes is the served route set; anything else becomes "other" so a
+// URL-scanning client cannot mint unbounded label values.
+var knownRoutes = map[string]string{
+	"/v1/session/start": "/v1/session/start",
+	"/v1/predict":       "/v1/predict",
+	"/v1/log":           "/v1/log",
+	"/v1/model":         "/v1/model",
+	"/v1/healthz":       "/v1/healthz",
+	"/metrics":          "/metrics",
+}
+
+func normalizeRoute(path string) string {
+	if r, ok := knownRoutes[path]; ok {
+		return r
+	}
+	return "other"
+}
+
+// statusWriter captures the response status for the request metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.code = http.StatusOK
+		w.wrote = true
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// observeMiddleware is the outermost layer: it assigns/propagates the
+// request id, counts in-flight and completed requests with latency by
+// route, and — when request tracing is enabled — logs the structured
+// per-request stage summary through the server's logger. It wraps the
+// recovery middleware so panic-500s and timeout-503s are counted with the
+// status the client actually saw.
+func (s *Server) observeMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		route := normalizeRoute(r.URL.Path)
+		rid := r.Header.Get(obs.RequestIDHeader)
+		if rid == "" || len(rid) > 64 {
+			rid = obs.NewRequestID()
+		}
+		w.Header().Set(obs.RequestIDHeader, rid)
+		var tr *obs.Trace
+		if s.traceRequests {
+			tr = obs.NewTrace(rid)
+			r = r.WithContext(obs.WithTrace(r.Context(), tr))
+		}
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		s.sm.inFlight.Add(1)
+		defer func() {
+			s.sm.inFlight.Add(-1)
+			s.sm.request(route, sw.code, time.Since(start))
+			if tr != nil {
+				s.logf("httpapi: %s %s status=%d %s", r.Method, route, sw.code, tr.Summary())
+			}
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}

@@ -1,0 +1,234 @@
+package httpapi
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cs2p/internal/core"
+	"cs2p/internal/engine"
+	"cs2p/internal/obs"
+	"cs2p/internal/video"
+)
+
+// metricsServer builds a server + engine service sharing one registry, on
+// top of the harness's trained engine.
+func metricsServer(t testing.TB) (*httptest.Server, *obs.Registry) {
+	t.Helper()
+	ensureEnv()
+	reg := obs.NewRegistry()
+	svc := engine.NewService(envEngine, envCfg, video.Default())
+	svc.SetMetrics(reg)
+	srv := NewServer(svc, func() *core.ModelStore { return envEngine.Export(envTrain) })
+	srv.SetLogf(func(string, ...any) {})
+	srv.SetMetrics(reg)
+	return httptest.NewServer(srv.Handler()), reg
+}
+
+// TestMetricsEndpointScrape drives real traffic through the instrumented
+// stack, scrapes /metrics, and validates the exposition end to end: the
+// output must parse as strict Prometheus text and carry the request-layer,
+// engine, and prediction-quality series the dashboards are built on.
+func TestMetricsEndpointScrape(t *testing.T) {
+	ts, _ := metricsServer(t)
+	defer ts.Close()
+	c := NewClient(ts.URL)
+
+	// Traffic: two sessions, several epochs each (so both the initial and
+	// midstream APE phases fill), one ended, one 404, one bad request.
+	for i, s := range envTest.Sessions[:2] {
+		id := fmt.Sprintf("met-%d", i)
+		if _, err := c.StartSession(id, s.Features, s.StartUnix); err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range s.Throughput[:5] {
+			if _, err := c.ObserveAndPredict(id, w, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := c.Log(engine.SessionLog{SessionID: "met-0", QoE: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ObserveAndPredict("no-such-session", 1, 1); err == nil {
+		t.Fatal("expected 404")
+	}
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Scrape.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := obs.ParseText(strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("scrape does not parse as Prometheus text: %v\n%s", err, body)
+	}
+
+	get := func(key string) float64 {
+		t.Helper()
+		v, ok := obs.SampleValue(samples, key)
+		if !ok {
+			t.Fatalf("missing sample %s\nscrape:\n%s", key, body)
+		}
+		return v
+	}
+	// Request layer: counts and latency by route and status.
+	if got := get(`cs2p_http_requests_total{code="200",route="/v1/predict"}`); got < 10 {
+		t.Errorf("predict 200s = %v, want >= 10", got)
+	}
+	if get(`cs2p_http_requests_total{code="404",route="/v1/predict"}`) != 1 {
+		t.Error("missing the 404 request count")
+	}
+	if get(`cs2p_http_requests_total{code="400",route="/v1/predict"}`) != 1 {
+		t.Error("missing the 400 request count")
+	}
+	if get(`cs2p_http_requests_total{code="200",route="/v1/session/start"}`) != 2 {
+		t.Error("missing start request count")
+	}
+	if got := get(`cs2p_http_request_seconds_count{route="/v1/predict"}`); got < 12 {
+		t.Errorf("predict latency count = %v, want >= 12", got)
+	}
+	if get(`cs2p_http_request_seconds_bucket{le="+Inf",route="/v1/predict"}`) !=
+		get(`cs2p_http_request_seconds_count{route="/v1/predict"}`) {
+		t.Error("+Inf bucket does not equal histogram count")
+	}
+	// The scrape itself is the only request in flight while rendering.
+	if get(`cs2p_http_in_flight`) != 1 {
+		t.Error("in-flight gauge != 1 during the scrape")
+	}
+	// Engine layer.
+	if get(`cs2p_engine_sessions_started_total`) != 2 {
+		t.Error("sessions started != 2")
+	}
+	if get(`cs2p_engine_sessions_active`) != 1 {
+		t.Error("active sessions gauge != 1 after one EndSession")
+	}
+	// Prediction-quality pipeline: per-epoch APE split by phase, cluster
+	// hit/fallback, posterior entropy.
+	if get(`cs2p_prediction_epochs_total`) != 10 {
+		t.Error("epochs != 10")
+	}
+	if get(`cs2p_prediction_ape_count{phase="initial"}`) != 2 {
+		t.Error("initial-phase APE count != 2 (one per session)")
+	}
+	if get(`cs2p_prediction_ape_count{phase="midstream"}`) != 8 {
+		t.Error("midstream-phase APE count != 8")
+	}
+	hit, _ := obs.SampleValue(samples, `cs2p_prediction_cluster_total{source="cluster"}`)
+	fb, _ := obs.SampleValue(samples, `cs2p_prediction_cluster_total{source="global"}`)
+	if hit+fb != 2 {
+		t.Errorf("cluster hit (%v) + global fallback (%v) != sessions started", hit, fb)
+	}
+	if get(`cs2p_prediction_posterior_entropy_bits_count`) != 10 {
+		t.Error("entropy observations != epochs")
+	}
+}
+
+// TestRequestIDPropagation checks the trace header contract: a client-sent
+// id is echoed back; absent one, the server mints an id.
+func TestRequestIDPropagation(t *testing.T) {
+	ts, _ := metricsServer(t)
+	defer ts.Close()
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/healthz", nil)
+	req.Header.Set(obs.RequestIDHeader, "my-trace-id")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(obs.RequestIDHeader); got != "my-trace-id" {
+		t.Errorf("request id echoed as %q", got)
+	}
+	resp, err = http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(obs.RequestIDHeader); len(got) != 16 {
+		t.Errorf("minted request id %q, want 16 hex chars", got)
+	}
+}
+
+// TestTraceRequestLogging turns on request tracing and checks the per-stage
+// summary line reaches the server's logger with the request id.
+func TestTraceRequestLogging(t *testing.T) {
+	ensureEnv()
+	svc := engine.NewService(envEngine, envCfg, video.Default())
+	srv := NewServer(svc, nil)
+	var lines []string
+	srv.SetLogf(func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	})
+	srv.SetTraceRequests(true)
+	ts2 := httptest.NewServer(srv.Handler())
+	defer ts2.Close()
+	c := NewClient(ts2.URL)
+	s := envTest.Sessions[0]
+	if _, err := c.StartSession("tr-1", s.Features, s.StartUnix); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ObserveAndPredict("tr-1", 2.0, 1); err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, l := range lines {
+		if strings.Contains(l, "/v1/predict") && strings.Contains(l, "rid=") &&
+			strings.Contains(l, "decode=") && strings.Contains(l, "predict=") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no trace summary line for /v1/predict; logs: %q", lines)
+	}
+}
+
+// BenchmarkPredictRoundTrip measures the full client->server observe+predict
+// round trip with the metrics middleware off and on; the acceptance bar is
+// <5% overhead for the instrumented path.
+func BenchmarkPredictRoundTrip(b *testing.B) {
+	ensureEnv()
+	run := func(b *testing.B, withMetrics bool) {
+		svc := engine.NewService(envEngine, envCfg, video.Default())
+		srv := NewServer(svc, nil)
+		srv.SetLogf(func(string, ...any) {})
+		if withMetrics {
+			reg := obs.NewRegistry()
+			svc.SetMetrics(reg)
+			srv.SetMetrics(reg)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		c := NewClient(ts.URL)
+		s := envTest.Sessions[0]
+		if _, err := c.StartSession("bench", s.Features, s.StartUnix); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.ObserveAndPredict("bench", 2.5, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("metrics=off", func(b *testing.B) { run(b, false) })
+	b.Run("metrics=on", func(b *testing.B) { run(b, true) })
+}

@@ -18,6 +18,7 @@ func (s *Server) recoverMiddleware(next http.Handler) http.Handler {
 					panic(v)
 				}
 				s.panics.Add(1)
+				s.sm.panics.Inc()
 				s.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
 				// Best effort: if the handler already wrote a header this
 				// is a no-op on the status line.

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"cs2p/internal/obs"
 	"cs2p/internal/trace"
 )
 
@@ -33,6 +34,10 @@ type ResilienceConfig struct {
 	// Sleep is the backoff sleeper (default time.Sleep; tests inject a
 	// no-op).
 	Sleep func(time.Duration)
+	// Metrics, when set, mirrors the ResilienceStats counters and circuit
+	// breaker transitions onto the registry (cs2p_client_* series) so a
+	// player fleet can be scraped live.
+	Metrics *obs.Registry
 }
 
 // DefaultResilienceConfig returns player-shaped defaults.
@@ -97,6 +102,7 @@ type ResilientSessionPredictor struct {
 	// re-registering and replaying the recent window.
 	desync bool
 	stats  ResilienceStats
+	cm     clientMetrics
 }
 
 // NewResilientSessionPredictor opens the session (with retries) and fetches
@@ -122,6 +128,10 @@ func (c *Client) NewResilientSessionPredictor(id string, f trace.Features, start
 		breaker:   NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		lastPred:  math.NaN(),
+		cm:        newClientMetrics(cfg.Metrics),
+	}
+	if cfg.Metrics != nil {
+		p.breaker.SetOnChange(p.cm.breakerTransition)
 	}
 	var resp struct {
 		initial float64
@@ -133,7 +143,7 @@ func (c *Client) NewResilientSessionPredictor(id string, f trace.Features, start
 		}
 		return err
 	})
-	p.stats.Retries += retries
+	p.addRetries(retries)
 	if err != nil {
 		return nil, err
 	}
@@ -146,12 +156,19 @@ func (c *Client) NewResilientSessionPredictor(id string, f trace.Features, start
 			}
 			return err
 		})
-		p.stats.Retries += retries
+		p.addRetries(retries)
 		// err != nil: degraded but functional; stats show local == nil
 		// via LocalFallbacks staying 0 and NaNPredictions rising.
 		_ = err
 	}
 	return p, nil
+}
+
+// addRetries bumps the retry counter in both the stats snapshot and the
+// scraped mirror.
+func (p *ResilientSessionPredictor) addRetries(n int) {
+	p.stats.Retries += n
+	p.cm.retries.Add(n)
 }
 
 // Breaker exposes the circuit breaker (tests, metrics).
@@ -178,7 +195,7 @@ func (p *ResilientSessionPredictor) PredictAhead(k int) float64 {
 		// are stale until the next resync. The local mirror has the full
 		// observation stream, so it is the better source.
 		if p.local != nil {
-			p.stats.LocalFallbacks++
+			p.localFallback()
 			return p.local.PredictAhead(k)
 		}
 		return p.lastPred
@@ -192,7 +209,7 @@ func (p *ResilientSessionPredictor) PredictAhead(k int) float64 {
 			}
 			return err
 		})
-		p.stats.Retries += retries
+		p.addRetries(retries)
 		if err == nil {
 			p.breaker.Success()
 			return pred
@@ -200,12 +217,19 @@ func (p *ResilientSessionPredictor) PredictAhead(k int) float64 {
 		p.breaker.Failure()
 	} else {
 		p.stats.BreakerFastFails++
+		p.cm.fastFails.Inc()
 	}
 	if p.local != nil {
-		p.stats.LocalFallbacks++
+		p.localFallback()
 		return p.local.PredictAhead(k)
 	}
 	return p.lastPred
+}
+
+// localFallback counts one prediction served by the local §5.3 model.
+func (p *ResilientSessionPredictor) localFallback() {
+	p.stats.LocalFallbacks++
+	p.cm.localFallbacks.Inc()
 }
 
 // Observe implements predict.Midstream: report the measured throughput and
@@ -213,6 +237,7 @@ func (p *ResilientSessionPredictor) PredictAhead(k int) float64 {
 // the remote call fails.
 func (p *ResilientSessionPredictor) Observe(w float64) {
 	p.stats.Observations++
+	p.cm.observations.Inc()
 	p.started = true
 	p.recent = append(p.recent, w)
 	if len(p.recent) > p.cfg.ReplayWindow {
@@ -225,6 +250,7 @@ func (p *ResilientSessionPredictor) Observe(w float64) {
 	}
 	if !p.breaker.Allow() {
 		p.stats.BreakerFastFails++
+		p.cm.fastFails.Inc()
 		p.fallback()
 		return
 	}
@@ -233,10 +259,12 @@ func (p *ResilientSessionPredictor) Observe(w float64) {
 		if err == nil {
 			p.breaker.Success()
 			p.stats.RemoteOK++
+			p.cm.remoteOK.Inc()
 			p.lastPred = pred
 			return
 		}
 		p.stats.RemoteFailures++
+		p.cm.remoteFailures.Inc()
 		// A 404 means the server lost the session (restart, GC). Any other
 		// failure leaves the server's filter in an unknown state: a dropped
 		// request never delivered the observation, a truncated response
@@ -252,6 +280,7 @@ func (p *ResilientSessionPredictor) Observe(w float64) {
 		p.desync = false
 		p.breaker.Success()
 		p.stats.RemoteOK++
+		p.cm.remoteOK.Inc()
 		p.lastPred = pred
 		return
 	}
@@ -264,19 +293,20 @@ func (p *ResilientSessionPredictor) Observe(w float64) {
 // prediction on success.
 func (p *ResilientSessionPredictor) reregister() (float64, bool) {
 	p.stats.Reregistrations++
+	p.cm.rereg.Inc()
 	retries, err := withRetry(p.cfg.Retry, p.rng, p.cfg.Sleep, func() error {
 		_, err := p.c.StartSession(p.id, p.features, p.startUnix)
 		return err
 	})
-	p.stats.Retries += retries
+	p.addRetries(retries)
 	if err != nil {
 		return 0, false
 	}
 	pred := math.NaN()
-	for _, obs := range p.recent {
+	for _, o := range p.recent {
 		// Replay is not blind-retried either: each call feeds the new
 		// session's filter exactly once or the whole recovery aborts.
-		v, err := p.c.ObserveAndPredict(p.id, obs, 1)
+		v, err := p.c.ObserveAndPredict(p.id, o, 1)
 		if err != nil {
 			return 0, false
 		}
@@ -289,12 +319,13 @@ func (p *ResilientSessionPredictor) reregister() (float64, bool) {
 // none is available (the bottom of the ladder: the player's heuristic).
 func (p *ResilientSessionPredictor) fallback() {
 	if p.local != nil {
-		p.stats.LocalFallbacks++
+		p.localFallback()
 		p.lastPred = p.local.Predict()
 	} else {
 		p.lastPred = math.NaN()
 	}
 	if math.IsNaN(p.lastPred) {
 		p.stats.NaNPredictions++
+		p.cm.nanPreds.Inc()
 	}
 }

@@ -149,6 +149,7 @@ type Breaker struct {
 	state     BreakerState
 	fails     int
 	openedAt  time.Time
+	onChange  func(from, to BreakerState)
 }
 
 // NewBreaker builds a breaker that opens after `threshold` consecutive
@@ -171,22 +172,49 @@ func (b *Breaker) SetClock(now func() time.Time) {
 	b.mu.Unlock()
 }
 
+// SetOnChange installs a state-transition hook (metrics, logging). The hook
+// runs outside the breaker's lock, after the transition takes effect, and
+// must not call back into the breaker from the same goroutine chain.
+func (b *Breaker) SetOnChange(fn func(from, to BreakerState)) {
+	b.mu.Lock()
+	b.onChange = fn
+	b.mu.Unlock()
+}
+
+// transition updates the state under b.mu and returns the hook invocation
+// for the caller to run after unlocking (nil when the state didn't change).
+func (b *Breaker) transition(to BreakerState) func() {
+	from := b.state
+	b.state = to
+	if from == to || b.onChange == nil {
+		return nil
+	}
+	fn := b.onChange
+	return func() { fn(from, to) }
+}
+
 // Allow reports whether a call may proceed. In the open state it returns
 // false until the cooldown elapses, then admits exactly one half-open
 // trial; the caller must report the outcome via Success or Failure.
 func (b *Breaker) Allow() bool {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	switch b.state {
 	case BreakerClosed:
+		b.mu.Unlock()
 		return true
 	case BreakerOpen:
 		if b.now().Sub(b.openedAt) >= b.cooldown {
-			b.state = BreakerHalfOpen
+			fire := b.transition(BreakerHalfOpen)
+			b.mu.Unlock()
+			if fire != nil {
+				fire()
+			}
 			return true
 		}
+		b.mu.Unlock()
 		return false
 	default: // half-open: a trial is already in flight
+		b.mu.Unlock()
 		return false
 	}
 }
@@ -195,20 +223,27 @@ func (b *Breaker) Allow() bool {
 func (b *Breaker) Success() {
 	b.mu.Lock()
 	b.fails = 0
-	b.state = BreakerClosed
+	fire := b.transition(BreakerClosed)
 	b.mu.Unlock()
+	if fire != nil {
+		fire()
+	}
 }
 
 // Failure records a failed call; enough consecutive failures (or any
 // failed half-open trial) opens the breaker.
 func (b *Breaker) Failure() {
 	b.mu.Lock()
+	var fire func()
 	b.fails++
 	if b.state == BreakerHalfOpen || b.fails >= b.threshold {
-		b.state = BreakerOpen
+		fire = b.transition(BreakerOpen)
 		b.openedAt = b.now()
 	}
 	b.mu.Unlock()
+	if fire != nil {
+		fire()
+	}
 }
 
 // State returns the current position.

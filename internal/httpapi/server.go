@@ -33,6 +33,7 @@ import (
 
 	"cs2p/internal/core"
 	"cs2p/internal/engine"
+	"cs2p/internal/obs"
 	"cs2p/internal/trace"
 )
 
@@ -80,6 +81,11 @@ type ServerConfig struct {
 	// MaxObservedMbps rejects physically implausible throughput reports
 	// that would otherwise distort the session's HMM posterior.
 	MaxObservedMbps float64
+	// MaxFeatureLen bounds each session feature string. Features key the
+	// cluster lookup and are stored for the session's lifetime; fuzzing
+	// found that start requests accepted megabyte feature values up to the
+	// body cap.
+	MaxFeatureLen int
 }
 
 // DefaultServerConfig returns production-shaped limits.
@@ -90,6 +96,7 @@ func DefaultServerConfig() ServerConfig {
 		MaxHorizon:      512,
 		MaxSessionIDLen: 256,
 		MaxObservedMbps: 1e5, // 100 Gbps
+		MaxFeatureLen:   256,
 	}
 }
 
@@ -107,6 +114,12 @@ type Server struct {
 	exporter func() *core.ModelStore
 	logf     func(format string, args ...any)
 	panics   atomic.Int64
+	// metrics is the attached registry (nil = observability off); sm caches
+	// its HTTP instruments and is never nil. traceRequests turns on the
+	// per-request stage-timing log line.
+	metrics       *obs.Registry
+	sm            *serverMetrics
+	traceRequests bool
 }
 
 // NewServer builds the HTTP facade. exporter, if non-nil, supplies the
@@ -114,11 +127,27 @@ type Server struct {
 // request and rebuilt after each retrain); it must export from the
 // service's *current* engine.
 func NewServer(svc *engine.Service, exporter func() *core.ModelStore) *Server {
-	return &Server{svc: svc, cfg: DefaultServerConfig(), exporter: exporter, logf: log.Printf}
+	return &Server{svc: svc, cfg: DefaultServerConfig(), exporter: exporter, logf: log.Printf, sm: newServerMetrics(nil)}
 }
 
 // SetLogf overrides the server's logger (tests silence it).
 func (s *Server) SetLogf(f func(string, ...any)) { s.logf = f }
+
+// SetMetrics attaches a metrics registry: requests are counted and timed by
+// route and status, in-flight requests gauged, panics counted, and the
+// registry itself served at GET /metrics. Call before Handler. The same
+// registry is typically shared with engine.Service.SetMetrics so one scrape
+// shows the whole serving stack.
+func (s *Server) SetMetrics(reg *obs.Registry) {
+	s.metrics = reg
+	s.sm = newServerMetrics(reg)
+}
+
+// SetTraceRequests toggles the structured per-request trace: each request
+// gets a request id (minted, or adopted from the client's
+// X-Cs2p-Request-Id), handlers record stage timings, and a summary line
+// goes through the server's logger on completion.
+func (s *Server) SetTraceRequests(on bool) { s.traceRequests = on }
 
 // SetConfig replaces the hardening limits (call before Handler).
 func (s *Server) SetConfig(cfg ServerConfig) {
@@ -133,6 +162,9 @@ func (s *Server) SetConfig(cfg ServerConfig) {
 	}
 	if cfg.MaxObservedMbps <= 0 {
 		cfg.MaxObservedMbps = DefaultServerConfig().MaxObservedMbps
+	}
+	if cfg.MaxFeatureLen <= 0 {
+		cfg.MaxFeatureLen = DefaultServerConfig().MaxFeatureLen
 	}
 	s.cfg = cfg
 }
@@ -153,18 +185,28 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	if s.metrics != nil {
+		mux.Handle("GET /metrics", s.metrics.Handler())
+	}
 	h := http.Handler(mux)
 	h = s.limitBodyMiddleware(h)
 	if s.cfg.RequestTimeout > 0 {
 		h = http.TimeoutHandler(h, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
 	}
-	return s.recoverMiddleware(h)
+	return s.observeMiddleware(s.recoverMiddleware(h))
 }
 
 // decodeJSON reads a JSON request body, mapping oversized bodies to 413 and
-// malformed payloads to 400. It reports whether decoding succeeded.
+// malformed payloads to 400. It reports whether decoding succeeded. The body
+// must be exactly one JSON document: fuzzing found that json.Decoder stops
+// after the first value, silently accepting `{"session_id":"a"}garbage`.
 func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
-	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+	dec := json.NewDecoder(r.Body)
+	err := dec.Decode(v)
+	if err == nil && dec.More() {
+		err = errors.New("trailing data after JSON document")
+	}
+	if err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
 			writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{Error: "request body too large"})
@@ -189,23 +231,44 @@ func (s *Server) validSessionID(w http.ResponseWriter, id string) bool {
 	return true
 }
 
+// validFeatures bounds each feature string: they key the cluster lookup and
+// live as long as the session, so an attacker-sized value is held memory.
+func (s *Server) validFeatures(w http.ResponseWriter, f trace.Features) bool {
+	for _, v := range []string{f.ClientIP, f.ISP, f.AS, f.Province, f.City, f.Server} {
+		if len(v) > s.cfg.MaxFeatureLen {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("feature value exceeds %d bytes", s.cfg.MaxFeatureLen)})
+			return false
+		}
+	}
+	return true
+}
+
 func (s *Server) handleStart(w http.ResponseWriter, r *http.Request) {
+	tr := obs.TraceFrom(r.Context())
 	var req StartRequest
 	if !decodeJSON(w, r, &req) {
 		return
 	}
+	tr.Mark("decode")
 	if !s.validSessionID(w, req.SessionID) {
 		return
 	}
+	if !s.validFeatures(w, req.Features) {
+		return
+	}
+	tr.Mark("validate")
 	resp := s.svc.StartSession(req.SessionID, req.Features, req.StartUnix)
+	tr.Mark("start")
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	tr := obs.TraceFrom(r.Context())
 	var req PredictRequest
 	if !decodeJSON(w, r, &req) {
 		return
 	}
+	tr.Mark("decode")
 	if !s.validSessionID(w, req.SessionID) {
 		return
 	}
@@ -223,6 +286,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("horizon must be in [0, %d]", s.cfg.MaxHorizon)})
 		return
 	}
+	tr.Mark("validate")
 	h := req.Horizon
 	if h <= 0 {
 		h = 1
@@ -234,6 +298,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	} else {
 		pred, err = s.svc.Predict(req.SessionID, h)
 	}
+	tr.Mark("predict")
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, engine.ErrUnknownSession) {

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// RequestIDHeader carries the request id between client and server. The
+// client stamps each call; the server adopts an incoming id (so one logical
+// player operation correlates across both logs) or mints one, and always
+// echoes it on the response so either side can quote it.
+const RequestIDHeader = "X-Cs2p-Request-Id"
+
+// NewRequestID returns a fresh 16-hex-char request id.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; degrade to a
+		// constant rather than panicking in a logging path.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ctxKey is the private context key type for trace state.
+type ctxKey int
+
+const traceKey ctxKey = iota
+
+// Trace accumulates per-request stage timings under a request id. Handlers
+// call Mark at stage boundaries; the middleware that created the trace logs
+// the summary through the injectable logger when the request completes.
+// All methods are nil-safe so un-traced requests cost nothing.
+type Trace struct {
+	id    string
+	start time.Time
+
+	mu     sync.Mutex
+	last   time.Time
+	stages []stage
+}
+
+type stage struct {
+	name string
+	dur  time.Duration
+}
+
+// NewTrace starts a trace for one request id.
+func NewTrace(id string) *Trace {
+	now := time.Now()
+	return &Trace{id: id, start: now, last: now}
+}
+
+// ID returns the request id ("" on a nil trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Mark closes the current stage, attributing to it the time since the
+// previous Mark (or the trace start).
+func (t *Trace) Mark(name string) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.mu.Lock()
+	t.stages = append(t.stages, stage{name: name, dur: now.Sub(t.last)})
+	t.last = now
+	t.mu.Unlock()
+}
+
+// Summary renders `rid=<id> total=<d> stage1=<d> stage2=<d>` for the
+// structured per-request log line.
+func (t *Trace) Summary() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "rid=%s total=%s", t.id, time.Since(t.start).Round(time.Microsecond))
+	for _, s := range t.stages {
+		fmt.Fprintf(&b, " %s=%s", s.name, s.dur.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// WithTrace attaches a trace to the context.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey, t)
+}
+
+// TraceFrom returns the request's trace, or nil when the request is not
+// being traced (every Trace method tolerates nil).
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey).(*Trace)
+	return t
+}
