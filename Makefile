@@ -3,13 +3,13 @@
 # and its consumers, plus the serving stack and the fault-injection suite).
 
 GO ?= go
-RACE_PKGS := ./internal/parallel ./internal/core ./internal/hmm ./internal/cluster ./internal/engine ./internal/httpapi ./internal/faultinject ./internal/obs
+RACE_PKGS := ./internal/parallel ./internal/core ./internal/hmm ./internal/cluster ./internal/engine ./internal/httpapi ./internal/faultinject ./internal/obs ./internal/sessionstore
 
 # COVER_FLOOR is the minimum total statement coverage `make cover` accepts.
 # The seed measured 85.3%; the floor leaves one point of slack for noise.
 COVER_FLOOR := 84.0
 
-.PHONY: check vet build test race chaos bench cover fuzz
+.PHONY: check vet build test race chaos bench bench-serve cover fuzz
 
 check: vet build test race
 
@@ -34,6 +34,13 @@ chaos:
 # Microbenchmarks of the training hot paths (allocation-counted).
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkHMMTrain$$|BenchmarkEngineTrain|BenchmarkClusterSelect' -benchmem .
+
+# Serving-path contention benchmark: mixed start/observe/predict traffic
+# through the sharded session store at shards=1/4/16, allocation-counted,
+# rendered as test2json events for trend tooling. See DESIGN.md §10.
+bench-serve:
+	$(GO) test -run '^$$' -bench BenchmarkServiceConcurrent -benchmem -json ./internal/engine > BENCH_serve.json
+	@awk -F'"Output":"' 'NF>1 { s=$$2; sub(/"}$$/,"",s); if (s ~ /^Benchmark.*\\t$$/) { gsub(/\\t/,"",s); printf "%s", s } else if (s ~ /ns\/op/) { gsub(/\\t/,"  ",s); gsub(/\\n/,"",s); print s } }' BENCH_serve.json
 
 # Total statement coverage across every package, gated on COVER_FLOOR.
 # Writes cover.out for `go tool cover -html=cover.out`.

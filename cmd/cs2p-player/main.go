@@ -72,7 +72,9 @@ func main() {
 			break
 		}
 		id := fmt.Sprintf("player-%d-%s", i, s.ID)
-		pred, err := client.NewResilientSessionPredictor(id, s.Features, s.StartUnix, rcfg)
+		// The predictor rides the PredictionAPI interface; the HTTP client is
+		// just one implementation of it.
+		pred, err := httpapi.NewResilientPredictor(client, id, s.Features, s.StartUnix, rcfg)
 		if err != nil {
 			fatalf("starting session: %v", err)
 		}

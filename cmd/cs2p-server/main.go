@@ -45,6 +45,7 @@ func main() {
 		reqTimeout   = flag.Duration("request-timeout", 15*time.Second, "per-request handling timeout")
 		maxBody      = flag.Int64("max-body", 1<<20, "request body size cap in bytes")
 		maxLogs      = flag.Int("max-logs", engine.DefaultMaxLogs, "session QoE logs retained (ring buffer)")
+		shards       = flag.Int("shards", 0, "session-store shards, rounded up to a power of two (0 = scale with GOMAXPROCS)")
 		debugAddr    = flag.String("debug-addr", "", "serve /debug/pprof, /metrics and /healthz on this private address (empty disables)")
 		traceReqs    = flag.Bool("trace-requests", false, "log a per-request stage-timing line with the request id")
 	)
@@ -85,10 +86,11 @@ func main() {
 	}
 	logf("trained %d cluster models in %v", eng.Clusters(), time.Since(start).Round(time.Millisecond))
 
-	svc := engine.NewService(eng, cfg, video.Default())
+	svc := engine.NewServiceWithOptions(eng, cfg, video.Default(),
+		engine.ServiceOptions{Shards: *shards, MaxLogs: *maxLogs})
 	svc.SetLogf(logf)
-	svc.SetMaxLogs(*maxLogs)
 	svc.SetMetrics(reg)
+	logf("session store sharded %d ways", svc.Shards())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -128,9 +130,9 @@ func main() {
 		}()
 	}
 
-	// Export from the service's *current* engine: capturing the startup
-	// engine here would serve stale models after every retrain.
-	srv := httpapi.NewServer(svc, func() *core.ModelStore { return svc.Engine().Export(d) })
+	// The exporter receives the engine of the snapshot being served, so a
+	// hot retrain can never pair a stale export with a new generation.
+	srv := httpapi.NewServer(svc, func(e *core.Engine) *core.ModelStore { return e.Export(d) })
 	srv.SetLogf(logf)
 	srv.SetMetrics(reg)
 	srv.SetTraceRequests(*traceReqs)

@@ -7,6 +7,8 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
+	"sort"
 	"strings"
 	"testing"
 
@@ -20,10 +22,14 @@ import (
 var updateGolden = flag.Bool("update", false, "rewrite golden files instead of comparing")
 
 // goldenReplay runs the seeded tracegen -> train -> serve -> player pipeline
-// end to end and renders every prediction the players saw. The rendering is
-// the regression contract: any drift in clustering, EM, the filter, or the
-// HTTP round trip changes a line.
-func goldenReplay(t *testing.T) string {
+// end to end, with the session store split into the given number of shards,
+// and renders every prediction the players saw. The rendering is the
+// regression contract: any drift in clustering, EM, the filter, or the HTTP
+// round trip changes a line — and because prediction math lives in the
+// per-session state, not the store, the string must be identical at every
+// shard count. The ended sessions' QoE logs come back too, so shard
+// invariance can also be asserted on the log plane.
+func goldenReplay(t *testing.T, shards int) (string, []engine.SessionLog) {
 	t.Helper()
 	cfg := tracegen.SmallConfig()
 	cfg.Sessions = 300
@@ -38,8 +44,8 @@ func goldenReplay(t *testing.T) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc := engine.NewService(eng, ecfg, video.Default())
-	srv := httpapi.NewServer(svc, func() *core.ModelStore { return eng.Export(train) })
+	svc := engine.NewServiceWithOptions(eng, ecfg, video.Default(), engine.ServiceOptions{Shards: shards})
+	srv := httpapi.NewServer(svc, func(e *core.Engine) *core.ModelStore { return e.Export(train) })
 	srv.SetLogf(func(string, ...any) {})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -60,8 +66,9 @@ func goldenReplay(t *testing.T) string {
 		if n > 12 {
 			n = 12
 		}
+		var pred float64
 		for j, w := range s.Throughput[:n] {
-			pred, err := client.ObserveAndPredict(id, w, 1)
+			pred, err = client.ObserveAndPredict(id, w, 1)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -75,8 +82,13 @@ func goldenReplay(t *testing.T) string {
 			t.Fatal(err)
 		}
 		fmt.Fprintf(&b, "session %d horizon3=%.10g\n", i, p3)
+		// End the session after its last prediction (so the rendering above
+		// is untouched); the QoE log lands in that session's shard ring.
+		if err := client.Log(engine.SessionLog{SessionID: id, QoE: pred}); err != nil {
+			t.Fatal(err)
+		}
 	}
-	return b.String()
+	return b.String(), svc.Logs()
 }
 
 // TestGoldenReplay replays the full pipeline twice: the two live runs must
@@ -88,8 +100,8 @@ func TestGoldenReplay(t *testing.T) {
 	if testing.Short() {
 		t.Skip("golden replay trains a model; slow for -short")
 	}
-	got := goldenReplay(t)
-	again := goldenReplay(t)
+	got, _ := goldenReplay(t, 1)
+	again, _ := goldenReplay(t, 1)
 	if got != again {
 		t.Fatalf("pipeline is nondeterministic: two replays differ\nfirst:\n%s\nsecond:\n%s", got, again)
 	}
@@ -111,5 +123,36 @@ func TestGoldenReplay(t *testing.T) {
 	if got != string(want) {
 		t.Errorf("replay diverged from %s (regenerate with -update if the change is intended)\ngot:\n%s\nwant:\n%s",
 			path, got, string(want))
+	}
+}
+
+// TestShardInvariance pins the tentpole's correctness contract: the shard
+// count is a concurrency knob, never a behavior knob. The same replay at
+// shards=1, 4, and 16 must produce bit-identical predictions (the exact
+// string the golden file pins) and the same set of QoE logs. Log ordering
+// is normalized by session id before comparing — per-shard rings only
+// guarantee global order via sequence merge, and the contract here is
+// content, not interleaving.
+func TestShardInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shard invariance trains a model per shard count; slow for -short")
+	}
+	base, baseLogs := goldenReplay(t, 1)
+	normalize := func(logs []engine.SessionLog) []engine.SessionLog {
+		out := append([]engine.SessionLog(nil), logs...)
+		sort.Slice(out, func(i, j int) bool { return out[i].SessionID < out[j].SessionID })
+		return out
+	}
+	want := normalize(baseLogs)
+	for _, shards := range []int{4, 16} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			got, logs := goldenReplay(t, shards)
+			if got != base {
+				t.Errorf("replay at %d shards diverged from single-shard replay\ngot:\n%s\nwant:\n%s", shards, got, base)
+			}
+			if norm := normalize(logs); !reflect.DeepEqual(norm, want) {
+				t.Errorf("logs at %d shards = %+v, want %+v", shards, norm, want)
+			}
+		})
 	}
 }

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"strconv"
+
 	"cs2p/internal/obs"
 )
 
@@ -16,6 +18,11 @@ type serviceMetrics struct {
 	sessionsEnded   *obs.Counter
 	gcEvictions     *obs.Counter
 	logEvictions    *obs.Counter
+
+	// Sharded-store balance: per-shard occupancy (index-aligned with the
+	// store's shard ids) and the max/mean skew summary.
+	shardSessions []*obs.Gauge
+	shardSkew     *obs.Gauge
 
 	retrains        *obs.Counter
 	retrainFailures *obs.Counter
@@ -35,14 +42,25 @@ type serviceMetrics struct {
 	entropy         *obs.Histogram
 }
 
-// newServiceMetrics registers (or re-binds) the engine's instruments on reg.
-// A nil reg yields the inert zero value.
-func newServiceMetrics(reg *obs.Registry) serviceMetrics {
+// newServiceMetrics registers (or re-binds) the engine's instruments on reg
+// for a service with the given session-store shard count. A nil reg yields
+// the inert zero value.
+func newServiceMetrics(reg *obs.Registry, shards int) serviceMetrics {
 	if reg == nil {
 		return serviceMetrics{}
 	}
+	shardSessions := make([]*obs.Gauge, shards)
+	for i := range shardSessions {
+		shardSessions[i] = reg.Gauge("cs2p_engine_shard_sessions",
+			"Playback sessions registered per session-store shard.",
+			obs.Labels{"shard": strconv.Itoa(i)})
+	}
 	return serviceMetrics{
 		reg: reg,
+
+		shardSessions: shardSessions,
+		shardSkew: reg.Gauge("cs2p_engine_shard_skew_ratio",
+			"Session-store balance: max shard occupancy over mean (1.0 = perfectly balanced, 0 = empty).", nil),
 
 		sessionsActive: reg.Gauge("cs2p_engine_sessions_active",
 			"Playback sessions currently registered.", nil),

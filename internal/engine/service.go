@@ -1,8 +1,15 @@
 // Package engine is the Prediction Engine service layer of §6: it owns a
-// trained CS2P core engine behind a lock (training is refreshed per day in
-// the paper's deployment), tracks active playback sessions, serves
-// throughput predictions, estimates session outcomes (the §7.5
-// rebuffer-time forecast), and records completed-session QoE logs.
+// trained CS2P core engine behind an atomically swapped immutable snapshot
+// (training is refreshed per day in the paper's deployment), tracks active
+// playback sessions in a sharded store, serves throughput predictions,
+// estimates session outcomes (the §7.5 rebuffer-time forecast), and records
+// completed-session QoE logs.
+//
+// Concurrency model: the model plane is lock-free for readers — every
+// request pins the ModelSnapshot it starts with, and Retrain installs a new
+// snapshot without ever blocking an in-flight prediction. The session plane
+// is sharded (sessionstore.Sharded): requests for different sessions contend
+// only when they hash to the same shard, and GC sweeps one shard at a time.
 package engine
 
 import (
@@ -11,6 +18,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cs2p/internal/abr"
@@ -18,6 +26,7 @@ import (
 	"cs2p/internal/mathx"
 	"cs2p/internal/obs"
 	"cs2p/internal/qoe"
+	"cs2p/internal/sessionstore"
 	"cs2p/internal/sim"
 	"cs2p/internal/trace"
 	"cs2p/internal/video"
@@ -34,21 +43,49 @@ type SessionLog struct {
 	Strategy        string  `json:"strategy"`
 }
 
-// DefaultMaxLogs bounds the session-log ring buffer: a long-lived server
-// under heavy traffic must not grow its log slice without bound.
+// DefaultMaxLogs bounds the session-log rings: a long-lived server under
+// heavy traffic must not grow its log storage without bound.
 const DefaultMaxLogs = 4096
+
+// ModelSnapshot is an immutable view of one trained model generation: the
+// core engine plus the generation counter that keys derived-artifact caches
+// (the HTTP layer's /v1/model export). Snapshots are never mutated after
+// install — a request that loads one can use it for its whole lifetime, no
+// matter how many retrains land meanwhile.
+type ModelSnapshot struct {
+	engine *core.Engine
+	gen    uint64
+}
+
+// Engine returns the snapshot's trained core engine.
+func (s *ModelSnapshot) Engine() *core.Engine { return s.engine }
+
+// Generation counts completed retrains at the time this snapshot was
+// installed. Caches compare generations to know when their copy went stale.
+func (s *ModelSnapshot) Generation() uint64 { return s.gen }
+
+// ServiceOptions tunes the serving core's concurrency shape.
+type ServiceOptions struct {
+	// Shards is the session-store shard count. 0 scales to GOMAXPROCS;
+	// other values round up to the next power of two.
+	Shards int
+	// MaxLogs bounds the completed-session log rings (total across shards).
+	// 0 means DefaultMaxLogs.
+	MaxLogs int
+}
 
 // Service is the concurrent-safe Prediction Engine front end.
 type Service struct {
-	mu       sync.RWMutex
-	engine   *core.Engine
-	gen      uint64 // bumped on every Retrain; keys derived-artifact caches
-	cfg      core.Config
-	spec     video.Spec
-	sessions map[string]*sessionState
-	logs     logRing
-	logf     func(format string, args ...any)
-	m        serviceMetrics
+	// snap is the model plane: readers Load it (no lock), Retrain swaps it.
+	snap atomic.Pointer[ModelSnapshot]
+	// retrainMu serializes snapshot installs (generation arithmetic);
+	// request paths never take it.
+	retrainMu sync.Mutex
+	cfg       core.Config
+	spec      video.Spec
+	store     sessionstore.Store[sessionState, SessionLog]
+	logf      atomic.Pointer[func(format string, args ...any)]
+	m         serviceMetrics
 }
 
 // sessionState carries one session's predictor. Its own mutex serializes
@@ -56,9 +93,8 @@ type Service struct {
 // sequentially, but a misbehaving or retrying client can issue concurrent
 // /v1/predict calls for the same ID, and the HMM filter must not race.
 type sessionState struct {
-	mu       sync.Mutex
-	pred     *core.SessionPredictor
-	lastSeen time.Time
+	mu   sync.Mutex
+	pred *core.SessionPredictor
 	// Telemetry state for the prediction-quality pipeline: the last
 	// 1-step-ahead prediction (scored against the next observation) and
 	// the number of observations absorbed so far. Guarded by mu.
@@ -66,61 +102,73 @@ type sessionState struct {
 	epoch       int
 }
 
-// NewService wraps a trained engine.
+// NewService wraps a trained engine with default options (GOMAXPROCS-scaled
+// shards, DefaultMaxLogs).
 func NewService(e *core.Engine, cfg core.Config, spec video.Spec) *Service {
-	return &Service{
-		engine:   e,
-		cfg:      cfg,
-		spec:     spec,
-		sessions: make(map[string]*sessionState),
-		logs:     logRing{max: DefaultMaxLogs},
-	}
+	return NewServiceWithOptions(e, cfg, spec, ServiceOptions{})
 }
+
+// NewServiceWithOptions wraps a trained engine with an explicit concurrency
+// shape (the -shards flag on cs2p-server; tests pin Shards to make global
+// log-eviction order exact).
+func NewServiceWithOptions(e *core.Engine, cfg core.Config, spec video.Spec, opts ServiceOptions) *Service {
+	maxLogs := opts.MaxLogs
+	if maxLogs <= 0 {
+		maxLogs = DefaultMaxLogs
+	}
+	s := &Service{
+		cfg:   cfg,
+		spec:  spec,
+		store: sessionstore.New[sessionState, SessionLog](opts.Shards, maxLogs),
+	}
+	s.snap.Store(&ModelSnapshot{engine: e})
+	return s
+}
+
+// Shards returns the session-store shard count.
+func (s *Service) Shards() int { return s.store.Shards() }
 
 // SetMetrics attaches a metrics registry; every event after the call is
 // counted. nil detaches (instruments become inert). Call before serving
 // traffic — the handles swap is not synchronized against in-flight requests.
 func (s *Service) SetMetrics(reg *obs.Registry) {
-	s.m = newServiceMetrics(reg)
-	s.mu.RLock()
-	s.m.modelGeneration.Set(float64(s.gen))
-	s.m.sessionsActive.Set(float64(len(s.sessions)))
-	s.mu.RUnlock()
+	s.m = newServiceMetrics(reg, s.store.Shards())
+	s.m.modelGeneration.Set(float64(s.ModelGeneration()))
+	s.m.sessionsActive.Set(float64(s.store.Len()))
+	s.refreshShardGauges()
 }
 
 // SetLogf installs the service's event logger (retrain, GC). nil silences it.
 func (s *Service) SetLogf(f func(string, ...any)) {
-	s.mu.Lock()
-	s.logf = f
-	s.mu.Unlock()
+	if f == nil {
+		s.logf.Store(nil)
+		return
+	}
+	s.logf.Store(&f)
 }
 
 func (s *Service) logfSafe(format string, args ...any) {
-	s.mu.RLock()
-	f := s.logf
-	s.mu.RUnlock()
-	if f != nil {
-		f(format, args...)
+	if f := s.logf.Load(); f != nil {
+		(*f)(format, args...)
 	}
 }
 
-// SetMaxLogs resizes the completed-session log ring (keeping the most recent
-// entries). n <= 0 resets to DefaultMaxLogs.
+// SetMaxLogs resizes the completed-session log rings (keeping the most
+// recent entries). n <= 0 resets to DefaultMaxLogs.
 func (s *Service) SetMaxLogs(n int) {
 	if n <= 0 {
 		n = DefaultMaxLogs
 	}
-	s.mu.Lock()
-	evicted := s.logs.resize(n)
-	s.mu.Unlock()
-	s.m.logEvictions.Add(evicted)
+	s.m.logEvictions.Add(s.store.SetMaxLogs(n))
 }
 
 // Retrain replaces the model set with one trained on fresh data — the
-// paper's per-day training cadence. The swap is atomic: in-flight sessions
-// keep their old models (their filters reference the prior engine's HMMs,
-// which stay valid), new sessions and the /v1/model exporter see the new
-// engine, and ModelGeneration advances so derived caches invalidate.
+// paper's per-day training cadence. Training runs without any service lock;
+// the install is an atomic pointer swap, so in-flight requests are never
+// blocked: sessions keep the snapshot they pinned (their filters reference
+// the prior engine's HMMs, which stay valid forever), new sessions and the
+// /v1/model exporter see the new snapshot, and the generation advances so
+// derived caches invalidate.
 func (s *Service) Retrain(train *trace.Dataset) error {
 	start := time.Now()
 	e, err := core.Train(train, s.cfg)
@@ -128,11 +176,7 @@ func (s *Service) Retrain(train *trace.Dataset) error {
 		s.m.retrainFailures.Inc()
 		return fmt.Errorf("engine: retraining: %w", err)
 	}
-	s.mu.Lock()
-	s.engine = e
-	s.gen++
-	gen := s.gen
-	s.mu.Unlock()
+	gen := s.InstallEngine(e)
 	s.m.retrains.Inc()
 	s.m.retrainSeconds.Observe(time.Since(start).Seconds())
 	s.m.modelGeneration.Set(float64(gen))
@@ -140,21 +184,29 @@ func (s *Service) Retrain(train *trace.Dataset) error {
 	return nil
 }
 
-// Engine returns the current core engine.
-func (s *Service) Engine() *core.Engine {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.engine
+// InstallEngine atomically publishes a new trained engine as the next model
+// generation and returns that generation. Retrain uses it after training;
+// tests use it to swap models without paying for a training run.
+func (s *Service) InstallEngine(e *core.Engine) uint64 {
+	s.retrainMu.Lock()
+	defer s.retrainMu.Unlock()
+	gen := s.snap.Load().gen + 1
+	s.snap.Store(&ModelSnapshot{engine: e, gen: gen})
+	return gen
 }
 
+// Snapshot returns the current model snapshot — engine and generation read
+// together, so a caller caching artifacts derived from the engine can key
+// them by a generation that actually matches it.
+func (s *Service) Snapshot() *ModelSnapshot { return s.snap.Load() }
+
+// Engine returns the current core engine.
+func (s *Service) Engine() *core.Engine { return s.snap.Load().engine }
+
 // ModelGeneration counts completed retrains. Anything caching artifacts
-// derived from the engine (the HTTP layer's /v1/model export) compares
-// generations to know when its copy went stale.
-func (s *Service) ModelGeneration() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.gen
-}
+// derived from the engine compares generations to know when its copy went
+// stale; use Snapshot when the engine itself is needed too.
+func (s *Service) ModelGeneration() uint64 { return s.snap.Load().gen }
 
 // StartResponse is what a player receives when opening a session.
 type StartResponse struct {
@@ -168,18 +220,17 @@ type StartResponse struct {
 // StartSession registers a playback session and returns the initial
 // prediction, the paper's initial-bitrate suggestion, and the §7.5
 // start-of-session rebuffer estimate. A duplicate ID resets the session.
+// The whole request is served from one pinned snapshot: a retrain landing
+// mid-call cannot hand it a filter from one generation and a rebuffer model
+// from another.
 func (s *Service) StartSession(id string, f trace.Features, startUnix int64) StartResponse {
 	sess := &trace.Session{ID: id, StartUnix: startUnix, Features: f, Throughput: []float64{1}}
-	s.mu.RLock()
-	e := s.engine
-	s.mu.RUnlock()
+	e := s.snap.Load().engine
 	p := e.NewSessionPredictor(sess)
-	s.mu.Lock()
-	s.sessions[id] = &sessionState{pred: p, lastSeen: time.Now(), lastOneStep: p.InitialPrediction()}
-	active := len(s.sessions)
-	s.mu.Unlock()
+	s.store.Put(id, &sessionState{pred: p, lastOneStep: p.InitialPrediction()}, time.Now())
 	s.m.sessionsStarted.Inc()
-	s.m.sessionsActive.Set(float64(active))
+	s.m.sessionsActive.Set(float64(s.store.Len()))
+	s.refreshShardGauges()
 	if p.ClusterID() == core.GlobalClusterID {
 		s.m.clusterFallback.Inc()
 	} else {
@@ -205,12 +256,7 @@ var ErrUnknownSession = fmt.Errorf("engine: unknown session")
 
 // session fetches a registered session's state, refreshing its idle clock.
 func (s *Service) session(id string) (*sessionState, error) {
-	s.mu.Lock()
-	st, ok := s.sessions[id]
-	if ok {
-		st.lastSeen = time.Now()
-	}
-	s.mu.Unlock()
+	st, ok := s.store.Get(id, time.Now())
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownSession, id)
 	}
@@ -287,56 +333,66 @@ func (s *Service) Predict(id string, horizon int) (float64, error) {
 
 // EndSession records the player's final QoE log and forgets the session.
 func (s *Service) EndSession(log SessionLog) {
-	s.mu.Lock()
-	_, existed := s.sessions[log.SessionID]
-	delete(s.sessions, log.SessionID)
-	active := len(s.sessions)
-	evicted := s.logs.push(log)
-	s.mu.Unlock()
+	existed := s.store.Delete(log.SessionID)
+	evicted := s.store.PushLog(log.SessionID, log)
 	if existed {
 		s.m.sessionsEnded.Inc()
 	}
-	s.m.sessionsActive.Set(float64(active))
+	s.m.sessionsActive.Set(float64(s.store.Len()))
+	s.refreshShardGauges()
 	if evicted {
 		s.m.logEvictions.Inc()
 	}
 }
 
-// Logs returns a copy of the retained session logs, oldest first. Only the
-// most recent SetMaxLogs entries are kept.
-func (s *Service) Logs() []SessionLog {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.logs.snapshot()
-}
+// Logs returns a copy of the retained session logs, oldest first (merged
+// across shards by push order). Only the most recent SetMaxLogs entries are
+// kept.
+func (s *Service) Logs() []SessionLog { return s.store.Logs() }
 
 // ActiveSessions returns the number of registered sessions.
-func (s *Service) ActiveSessions() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.sessions)
-}
+func (s *Service) ActiveSessions() int { return s.store.Len() }
+
+// ShardSizes returns the per-shard session counts (exported on the
+// cs2p_engine_shard_sessions gauge vector).
+func (s *Service) ShardSizes() []int { return s.store.ShardSizes() }
 
 // GC drops sessions idle longer than maxIdle and returns how many were
-// removed.
+// removed. The sweep locks one shard at a time, so requests to the other
+// shards never wait on it.
 func (s *Service) GC(maxIdle time.Duration) int {
-	cut := time.Now().Add(-maxIdle)
-	s.mu.Lock()
-	n := 0
-	for id, st := range s.sessions {
-		if st.lastSeen.Before(cut) {
-			delete(s.sessions, id)
-			n++
-		}
-	}
-	active := len(s.sessions)
-	s.mu.Unlock()
+	n := s.store.GC(time.Now().Add(-maxIdle))
 	if n > 0 {
 		s.m.gcEvictions.Add(n)
-		s.m.sessionsActive.Set(float64(active))
+		s.m.sessionsActive.Set(float64(s.store.Len()))
+		s.refreshShardGauges()
 		s.logfSafe("engine: gc dropped %d idle sessions", n)
 	}
 	return n
+}
+
+// refreshShardGauges re-exports the per-shard session counts and the skew
+// summary (max/mean occupancy; 1.0 = perfectly balanced, 0 = empty store).
+// Runs on session churn, not per chunk, so the O(shards) walk stays off the
+// predict hot path.
+func (s *Service) refreshShardGauges() {
+	if !s.m.enabled() {
+		return
+	}
+	sizes := s.store.ShardSizes()
+	total, max := 0, 0
+	for i, n := range sizes {
+		s.m.shardSessions[i].Set(float64(n))
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	skew := 0.0
+	if total > 0 {
+		skew = float64(max) * float64(len(sizes)) / float64(total)
+	}
+	s.m.shardSkew.Set(skew)
 }
 
 // EstimateRebuffer forecasts the total rebuffering a session will see

@@ -29,7 +29,7 @@ func PilotDeployment(c *Context) Result {
 	train, _ := c.Split()
 	eng := c.Engine()
 	svc := engine.NewService(eng, c.EngineConfig(), c.Spec)
-	srv := httpapi.NewServer(svc, func() *core.ModelStore { return eng.Export(train) })
+	srv := httpapi.NewServer(svc, func(e *core.Engine) *core.ModelStore { return e.Export(train) })
 	srv.SetLogf(func(string, ...any) {})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()

@@ -20,9 +20,11 @@ func metricsServer(t testing.TB) (*httptest.Server, *obs.Registry) {
 	t.Helper()
 	ensureEnv()
 	reg := obs.NewRegistry()
-	svc := engine.NewService(envEngine, envCfg, video.Default())
+	// Shards pinned to 4 so the per-shard series show up even where
+	// GOMAXPROCS would default the store to a single shard.
+	svc := engine.NewServiceWithOptions(envEngine, envCfg, video.Default(), engine.ServiceOptions{Shards: 4})
 	svc.SetMetrics(reg)
-	srv := NewServer(svc, func() *core.ModelStore { return envEngine.Export(envTrain) })
+	srv := NewServer(svc, func(e *core.Engine) *core.ModelStore { return e.Export(envTrain) })
 	srv.SetLogf(func(string, ...any) {})
 	srv.SetMetrics(reg)
 	return httptest.NewServer(srv.Handler()), reg
@@ -121,6 +123,26 @@ func TestMetricsEndpointScrape(t *testing.T) {
 	}
 	if get(`cs2p_engine_sessions_active`) != 1 {
 		t.Error("active sessions gauge != 1 after one EndSession")
+	}
+	// Sharded-store balance: one gauge per shard, summing to the active
+	// total, plus the skew summary. With 1 session across 4 shards, skew
+	// (max over mean occupancy) is exactly 4.
+	var shardSum float64
+	shardSamples := 0
+	for _, s := range samples {
+		if s.Name == "cs2p_engine_shard_sessions" {
+			shardSum += s.Value
+			shardSamples++
+		}
+	}
+	if shardSamples != 4 {
+		t.Errorf("found %d cs2p_engine_shard_sessions series, want 4 (one per shard)", shardSamples)
+	}
+	if shardSum != get(`cs2p_engine_sessions_active`) {
+		t.Errorf("shard gauges sum to %v, want the active total %v", shardSum, get(`cs2p_engine_sessions_active`))
+	}
+	if got := get(`cs2p_engine_shard_skew_ratio`); got != 4 {
+		t.Errorf("shard skew = %v, want 4 (one session on one of four shards)", got)
 	}
 	// Prediction-quality pipeline: per-epoch APE split by phase, cluster
 	// hit/fallback, posterior entropy.

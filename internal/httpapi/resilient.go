@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"cs2p/internal/engine"
 	"cs2p/internal/obs"
 	"cs2p/internal/trace"
 )
@@ -76,8 +77,21 @@ type ResilienceStats struct {
 	BreakerFastFails int
 }
 
-// ResilientSessionPredictor implements predict.Midstream over the remote
-// prediction service with the full degradation ladder of DESIGN.md §8:
+// PredictionAPI is the remote surface the resilient predictor rides: the
+// four calls of the degradation ladder. *Client implements it over HTTP;
+// tests and embedded deployments can supply an in-process implementation,
+// so the ladder's logic is exercised without a network stack.
+type PredictionAPI interface {
+	StartSession(id string, f trace.Features, startUnix int64) (engine.StartResponse, error)
+	ObserveAndPredict(id string, observedMbps float64, horizon int) (float64, error)
+	PredictAt(id string, horizon int) (float64, error)
+	FetchLocalPredictor(f trace.Features) (*LocalPredictor, error)
+}
+
+var _ PredictionAPI = (*Client)(nil)
+
+// ResilientSessionPredictor implements predict.Midstream over a
+// PredictionAPI with the full degradation ladder of DESIGN.md §8:
 // remote call → (idempotent-only) retry → 404 re-registration with
 // observation replay → circuit breaker → local cluster-model fallback.
 // Playback keeps getting real predictions through server restarts and
@@ -85,7 +99,7 @@ type ResilienceStats struct {
 // player's own heuristic). Not safe for concurrent use, like every other
 // predict.Midstream.
 type ResilientSessionPredictor struct {
-	c         *Client
+	c         PredictionAPI
 	id        string
 	features  trace.Features
 	startUnix int64
@@ -105,11 +119,17 @@ type ResilientSessionPredictor struct {
 	cm     clientMetrics
 }
 
-// NewResilientSessionPredictor opens the session (with retries) and fetches
-// the decentralized cluster model for failover. A failed model fetch is
-// tolerated: the predictor still works, it just cannot serve local
-// predictions when the remote service is down.
+// NewResilientSessionPredictor opens the session over this HTTP client.
+// See NewResilientPredictor.
 func (c *Client) NewResilientSessionPredictor(id string, f trace.Features, startUnix int64, cfg ResilienceConfig) (*ResilientSessionPredictor, error) {
+	return NewResilientPredictor(c, id, f, startUnix, cfg)
+}
+
+// NewResilientPredictor opens the session (with retries) over any
+// PredictionAPI and fetches the decentralized cluster model for failover.
+// A failed model fetch is tolerated: the predictor still works, it just
+// cannot serve local predictions when the remote service is down.
+func NewResilientPredictor(api PredictionAPI, id string, f trace.Features, startUnix int64, cfg ResilienceConfig) (*ResilientSessionPredictor, error) {
 	if cfg.BreakerThreshold <= 0 {
 		cfg.BreakerThreshold = 3
 	}
@@ -120,7 +140,7 @@ func (c *Client) NewResilientSessionPredictor(id string, f trace.Features, start
 		cfg.ReplayWindow = 8
 	}
 	p := &ResilientSessionPredictor{
-		c:         c,
+		c:         api,
 		id:        id,
 		features:  f,
 		startUnix: startUnix,
@@ -137,7 +157,7 @@ func (c *Client) NewResilientSessionPredictor(id string, f trace.Features, start
 		initial float64
 	}
 	retries, err := withRetry(cfg.Retry, p.rng, cfg.Sleep, func() error {
-		r, err := c.StartSession(id, f, startUnix)
+		r, err := api.StartSession(id, f, startUnix)
 		if err == nil {
 			resp.initial = r.InitialPredictionMbps
 		}
@@ -150,7 +170,7 @@ func (c *Client) NewResilientSessionPredictor(id string, f trace.Features, start
 	p.lastPred = resp.initial
 	if !cfg.DisableLocalFallback {
 		retries, err := withRetry(cfg.Retry, p.rng, cfg.Sleep, func() error {
-			lp, err := c.FetchLocalPredictor(f)
+			lp, err := api.FetchLocalPredictor(f)
 			if err == nil {
 				p.local = lp
 			}

@@ -100,18 +100,42 @@ func DefaultServerConfig() ServerConfig {
 	}
 }
 
-// Server exposes an engine.Service over HTTP.
+// SessionService is the engine-side surface the HTTP handlers drive: the
+// session lifecycle plus the per-chunk prediction round trip. The concrete
+// *engine.Service implements it; the handlers deliberately program against
+// this interface so an alternate backend (a remote shard router, a
+// replaying fake) drops in without touching the transport.
+type SessionService interface {
+	StartSession(id string, f trace.Features, startUnix int64) engine.StartResponse
+	ObserveAndPredict(id string, observedMbps float64, horizon int) (float64, error)
+	Predict(id string, horizon int) (float64, error)
+	EndSession(lg engine.SessionLog)
+}
+
+// ModelProvider exposes the model plane: an immutable snapshot whose
+// generation keys the /v1/model export cache, so a hot retrain invalidates
+// exactly the artifacts derived from the engine it replaced.
+type ModelProvider interface {
+	Snapshot() *engine.ModelSnapshot
+}
+
+// Server exposes a SessionService over HTTP.
 type Server struct {
-	svc *engine.Service
-	cfg ServerConfig
+	svc SessionService
+	// models supplies pinned (engine, generation) snapshots for the model
+	// export path; nil when the backend has no model plane.
+	models ModelProvider
+	cfg    ServerConfig
 	// exportMu guards the lazily built model store for GET /v1/model. The
-	// cache is keyed by the service's model generation so a hot retrain
+	// cache is keyed by the snapshot generation so a hot retrain
 	// invalidates it (stale-model bug: the store used to be built once and
-	// served forever).
+	// served forever). Reading engine and generation from one pinned
+	// snapshot means the cache can never label a new engine's export with
+	// an old generation.
 	exportMu sync.Mutex
 	store    *core.ModelStore
 	storeGen uint64
-	exporter func() *core.ModelStore
+	exporter func(*core.Engine) *core.ModelStore
 	logf     func(format string, args ...any)
 	panics   atomic.Int64
 	// metrics is the attached registry (nil = observability off); sm caches
@@ -124,11 +148,22 @@ type Server struct {
 
 // NewServer builds the HTTP facade. exporter, if non-nil, supplies the
 // deployable model store served by GET /v1/model (built lazily on first
-// request and rebuilt after each retrain); it must export from the
-// service's *current* engine.
-func NewServer(svc *engine.Service, exporter func() *core.ModelStore) *Server {
-	return &Server{svc: svc, cfg: DefaultServerConfig(), exporter: exporter, logf: log.Printf, sm: newServerMetrics(nil)}
+// request and rebuilt after each retrain) from the engine of the snapshot
+// being served. When svc also implements ModelProvider (as *engine.Service
+// does), it feeds those snapshots; otherwise install one with
+// SetModelProvider or the export endpoint stays disabled.
+func NewServer(svc SessionService, exporter func(*core.Engine) *core.ModelStore) *Server {
+	s := &Server{svc: svc, cfg: DefaultServerConfig(), exporter: exporter, logf: log.Printf, sm: newServerMetrics(nil)}
+	if mp, ok := svc.(ModelProvider); ok {
+		s.models = mp
+	}
+	return s
 }
+
+// SetModelProvider overrides the model-plane source for GET /v1/model (call
+// before Handler). Backends whose SessionService does not itself expose
+// snapshots use this.
+func (s *Server) SetModelProvider(mp ModelProvider) { s.models = mp }
 
 // SetLogf overrides the server's logger (tests silence it).
 func (s *Server) SetLogf(f func(string, ...any)) { s.logf = f }
@@ -323,15 +358,18 @@ func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
 }
 
 // exportStore returns the cached model store, rebuilding it when the
-// service's model generation has advanced past the cached copy (hot
-// retrain invalidation).
+// model generation has advanced past the cached copy (hot retrain
+// invalidation). Generation and engine come from one pinned snapshot, so
+// even if a retrain lands mid-call the cache holds an internally
+// consistent (generation, export) pair — the next request observes the
+// new generation and rebuilds.
 func (s *Server) exportStore() *core.ModelStore {
+	snap := s.models.Snapshot()
 	s.exportMu.Lock()
 	defer s.exportMu.Unlock()
-	gen := s.svc.ModelGeneration()
-	if s.store == nil || s.storeGen != gen {
-		s.store = s.exporter()
-		s.storeGen = gen
+	if s.store == nil || s.storeGen != snap.Generation() {
+		s.store = s.exporter(snap.Engine())
+		s.storeGen = snap.Generation()
 	}
 	return s.store
 }
@@ -339,7 +377,7 @@ func (s *Server) exportStore() *core.ModelStore {
 // handleModel serves the per-cluster model for the requesting client's
 // features — the decentralized deployment path (§5.3).
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
-	if s.exporter == nil {
+	if s.exporter == nil || s.models == nil {
 		writeJSON(w, http.StatusNotImplemented, errorBody{Error: "model export not enabled"})
 		return
 	}

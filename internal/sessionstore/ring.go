@@ -1,0 +1,88 @@
+package sessionstore
+
+import "sort"
+
+// seqEntry carries one retained log with the global push sequence number
+// that lets the per-shard rings merge back into push order.
+type seqEntry[L any] struct {
+	seq uint64
+	val L
+}
+
+// ring is a fixed-capacity ring buffer of completed-session logs for one
+// shard. Retaining every QoE report in a long-lived process is an unbounded
+// leak, so only the most recent max entries survive; eviction is strictly
+// oldest-first. Callers hold the owning shard's mutex.
+type ring[L any] struct {
+	buf  []seqEntry[L]
+	next int // index the next push writes
+	full bool
+	max  int
+}
+
+// push appends a log, evicting the oldest entry once full. A zero-capacity
+// ring (a shard's share of a tiny total budget) drops the entry immediately
+// and reports it evicted. It reports whether an entry was evicted, so the
+// service can count evictions.
+func (r *ring[L]) push(seq uint64, lg L) (evicted bool) {
+	if r.max <= 0 {
+		return true
+	}
+	if r.buf == nil {
+		// Grow lazily: most test services never approach the cap.
+		r.buf = make([]seqEntry[L], 0, min(r.max, 64))
+	}
+	e := seqEntry[L]{seq: seq, val: lg}
+	if len(r.buf) < r.max {
+		r.buf = append(r.buf, e)
+		r.next = len(r.buf) % r.max
+		r.full = len(r.buf) == r.max
+		return false
+	}
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % r.max
+	r.full = true
+	return true
+}
+
+// snapshot returns the retained logs oldest-first.
+func (r *ring[L]) snapshot() []seqEntry[L] {
+	if !r.full {
+		return append([]seqEntry[L](nil), r.buf...)
+	}
+	out := make([]seqEntry[L], 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// resize changes the capacity, keeping the newest entries. It returns how
+// many entries a shrink evicted.
+func (r *ring[L]) resize(max int) (evicted int) {
+	if max < 0 {
+		max = 0
+	}
+	if max == r.max {
+		return 0
+	}
+	cur := r.snapshot()
+	if len(cur) > max {
+		evicted = len(cur) - max
+		cur = cur[len(cur)-max:]
+	}
+	r.max = max
+	if max == 0 {
+		r.buf, r.next, r.full = nil, 0, false
+		return evicted
+	}
+	r.buf = cur
+	r.next = len(cur) % max
+	r.full = len(cur) == max
+	return evicted
+}
+
+// sortBySeq orders merged shard snapshots by push sequence (stable push
+// order across shards).
+func sortBySeq[L any](s []seqEntry[L]) {
+	sort.Slice(s, func(i, j int) bool { return s[i].seq < s[j].seq })
+}

@@ -1,0 +1,268 @@
+// Package sessionstore holds the serving core's per-session state behind a
+// sharded, independently locked table. CS2P's online stage is per-session
+// state machines (one cluster lookup plus one HMM filter each, §5), so the
+// session table is embarrassingly shardable: requests for different sessions
+// never need to contend, and an idle-session GC sweep never needs to stop
+// the world. The store also owns the bounded completed-session log rings,
+// one per shard, so end-of-playback QoE reports ride the same locks.
+package sessionstore
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Store is the session-table abstraction the prediction engine programs
+// against: a string-keyed table of per-session values S with idle tracking,
+// plus a bounded ring of completed-session logs L. Implementations must be
+// safe for concurrent use.
+type Store[S, L any] interface {
+	// Put inserts or replaces the session and stamps its last-seen time,
+	// reporting whether an existing entry was replaced.
+	Put(id string, v *S, now time.Time) (replaced bool)
+	// Get fetches a session and refreshes its idle clock.
+	Get(id string, now time.Time) (*S, bool)
+	// Delete forgets a session, reporting whether it existed.
+	Delete(id string) bool
+	// Len returns the number of live sessions.
+	Len() int
+	// Shards returns the shard count (1 for an unsharded implementation).
+	Shards() int
+	// ShardSizes returns the per-shard session counts, index-aligned with
+	// shard ids (the observability layer exports them as a gauge vector).
+	ShardSizes() []int
+	// PushLog appends a completed-session log to the ring of the shard that
+	// owned the session, reporting whether an older entry was evicted.
+	PushLog(id string, lg L) (evicted bool)
+	// Logs returns the retained logs globally oldest-first (merged across
+	// shards by push sequence number).
+	Logs() []L
+	// SetMaxLogs re-bounds the total log capacity across all shards,
+	// keeping the newest entries, and returns how many a shrink evicted.
+	SetMaxLogs(max int) (evicted int)
+	// GC drops sessions idle since before cut, sweeping one shard at a time
+	// so requests to other shards never wait, and returns how many were
+	// removed.
+	GC(cut time.Time) int
+}
+
+// NumShards resolves a shard-count request: n <= 0 scales to GOMAXPROCS,
+// anything else rounds up to the next power of two (so the shard index is a
+// mask of the hash, not a modulo).
+func NumShards(n int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return nextPow2(n)
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// entry wraps one session with its idle clock. lastSeen is guarded by the
+// owning shard's mutex, not by the session's own lock: touching it must not
+// serialize against a long-running filter update.
+type entry[S any] struct {
+	val      *S
+	lastSeen time.Time
+}
+
+// shard is one lock domain: a slice of the session table plus the log ring
+// for sessions that hash here.
+type shard[S, L any] struct {
+	mu   sync.Mutex
+	m    map[string]*entry[S]
+	logs ring[L]
+}
+
+// Sharded is the power-of-two-sharded Store implementation. Session ids are
+// placed by FNV-1a; per-shard mutexes mean two sessions on different shards
+// never contend, and Len is an atomic counter so the active-sessions gauge
+// costs no lock at all.
+type Sharded[S, L any] struct {
+	shards []shard[S, L]
+	mask   uint32
+	count  atomic.Int64
+	logSeq atomic.Uint64
+}
+
+// New builds a store with NumShards(shards) shards and a total log capacity
+// of maxLogs entries, distributed across the per-shard rings.
+func New[S, L any](shards, maxLogs int) *Sharded[S, L] {
+	n := NumShards(shards)
+	s := &Sharded[S, L]{
+		shards: make([]shard[S, L], n),
+		mask:   uint32(n - 1),
+	}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]*entry[S])
+	}
+	s.setMaxLogsLocked(maxLogs)
+	return s
+}
+
+// fnv32a is FNV-1a over the session id — cheap, allocation-free, and well
+// mixed for the short human-ish ids players send.
+func fnv32a(s string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime32
+	}
+	return h
+}
+
+// ShardFor returns the shard index a session id hashes to.
+func (s *Sharded[S, L]) ShardFor(id string) int {
+	return int(fnv32a(id) & s.mask)
+}
+
+// Shards implements Store.
+func (s *Sharded[S, L]) Shards() int { return len(s.shards) }
+
+// Put implements Store.
+func (s *Sharded[S, L]) Put(id string, v *S, now time.Time) (replaced bool) {
+	sh := &s.shards[s.ShardFor(id)]
+	sh.mu.Lock()
+	_, replaced = sh.m[id]
+	sh.m[id] = &entry[S]{val: v, lastSeen: now}
+	sh.mu.Unlock()
+	if !replaced {
+		s.count.Add(1)
+	}
+	return replaced
+}
+
+// Get implements Store.
+func (s *Sharded[S, L]) Get(id string, now time.Time) (*S, bool) {
+	sh := &s.shards[s.ShardFor(id)]
+	sh.mu.Lock()
+	e, ok := sh.m[id]
+	if ok {
+		e.lastSeen = now
+	}
+	sh.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return e.val, true
+}
+
+// Delete implements Store.
+func (s *Sharded[S, L]) Delete(id string) bool {
+	sh := &s.shards[s.ShardFor(id)]
+	sh.mu.Lock()
+	_, ok := sh.m[id]
+	delete(sh.m, id)
+	sh.mu.Unlock()
+	if ok {
+		s.count.Add(-1)
+	}
+	return ok
+}
+
+// Len implements Store.
+func (s *Sharded[S, L]) Len() int { return int(s.count.Load()) }
+
+// ShardSizes implements Store.
+func (s *Sharded[S, L]) ShardSizes() []int {
+	sizes := make([]int, len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sizes[i] = len(sh.m)
+		sh.mu.Unlock()
+	}
+	return sizes
+}
+
+// PushLog implements Store. The log lands on the ring of the shard the
+// session id hashes to, stamped with a global sequence number so Logs can
+// merge the rings back into push order.
+func (s *Sharded[S, L]) PushLog(id string, lg L) (evicted bool) {
+	seq := s.logSeq.Add(1)
+	sh := &s.shards[s.ShardFor(id)]
+	sh.mu.Lock()
+	evicted = sh.logs.push(seq, lg)
+	sh.mu.Unlock()
+	return evicted
+}
+
+// Logs implements Store: the per-shard rings are snapshotted one lock at a
+// time and merged by sequence number, so the result is globally oldest-first
+// exactly as a single ring would report it.
+func (s *Sharded[S, L]) Logs() []L {
+	var all []seqEntry[L]
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		all = append(all, sh.logs.snapshot()...)
+		sh.mu.Unlock()
+	}
+	sortBySeq(all)
+	out := make([]L, len(all))
+	for i, e := range all {
+		out[i] = e.val
+	}
+	return out
+}
+
+// SetMaxLogs implements Store. The total capacity is split across shards
+// (floor plus one for the first max%n shards, so the sum is exactly max).
+func (s *Sharded[S, L]) SetMaxLogs(max int) (evicted int) {
+	return s.setMaxLogsLocked(max)
+}
+
+func (s *Sharded[S, L]) setMaxLogsLocked(max int) (evicted int) {
+	if max < 0 {
+		max = 0
+	}
+	n := len(s.shards)
+	base, extra := max/n, max%n
+	for i := range s.shards {
+		cap := base
+		if i < extra {
+			cap++
+		}
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		evicted += sh.logs.resize(cap)
+		sh.mu.Unlock()
+	}
+	return evicted
+}
+
+// GC implements Store: one shard is locked, swept, and released at a time,
+// so a sweep never blocks the whole table the way the old global-mutex
+// service did.
+func (s *Sharded[S, L]) GC(cut time.Time) int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for id, e := range sh.m {
+			if e.lastSeen.Before(cut) {
+				delete(sh.m, id)
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if n > 0 {
+		s.count.Add(int64(-n))
+	}
+	return n
+}
+
+var _ Store[struct{}, struct{}] = (*Sharded[struct{}, struct{}])(nil)

@@ -1,0 +1,288 @@
+package sessionstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+type sess struct{ n int }
+
+type lg struct {
+	id  string
+	seq int
+}
+
+func at(sec int) time.Time { return time.Unix(int64(sec), 0) }
+
+func TestNumShards(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {16, 16}, {17, 32},
+	}
+	for _, c := range cases {
+		if got := NumShards(c.in); got != c.want {
+			t.Errorf("NumShards(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	// 0 scales to GOMAXPROCS; whatever that is, it must be a power of two.
+	n := NumShards(0)
+	if n < 1 || n&(n-1) != 0 {
+		t.Errorf("NumShards(0) = %d, want a power of two", n)
+	}
+}
+
+func TestShardForDeterministicAndMasked(t *testing.T) {
+	s := New[sess, lg](16, 64)
+	for i := 0; i < 200; i++ {
+		id := fmt.Sprintf("session-%d", i)
+		sh := s.ShardFor(id)
+		if sh < 0 || sh >= s.Shards() {
+			t.Fatalf("shard %d out of range [0,%d)", sh, s.Shards())
+		}
+		if sh != s.ShardFor(id) {
+			t.Fatalf("ShardFor(%q) not deterministic", id)
+		}
+	}
+	// FNV-1a must actually spread short ids: with 200 ids over 16 shards no
+	// shard should be empty (each expects ~12).
+	seen := make(map[int]bool)
+	for i := 0; i < 200; i++ {
+		seen[s.ShardFor(fmt.Sprintf("session-%d", i))] = true
+	}
+	if len(seen) != 16 {
+		t.Errorf("200 ids landed on only %d/16 shards", len(seen))
+	}
+}
+
+func TestPutGetDeleteLen(t *testing.T) {
+	s := New[sess, lg](4, 16)
+	if replaced := s.Put("a", &sess{1}, at(1)); replaced {
+		t.Error("first Put reported replaced")
+	}
+	if replaced := s.Put("a", &sess{2}, at(2)); !replaced {
+		t.Error("second Put did not report replaced")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1 after replace", s.Len())
+	}
+	v, ok := s.Get("a", at(3))
+	if !ok || v.n != 2 {
+		t.Errorf("Get = %+v, %v", v, ok)
+	}
+	if _, ok := s.Get("missing", at(3)); ok {
+		t.Error("Get on a missing id reported ok")
+	}
+	if !s.Delete("a") || s.Delete("a") {
+		t.Error("Delete should report true then false")
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d after delete", s.Len())
+	}
+}
+
+func TestShardSizesSumToLen(t *testing.T) {
+	s := New[sess, lg](8, 16)
+	for i := 0; i < 50; i++ {
+		s.Put(fmt.Sprintf("id-%d", i), &sess{i}, at(i))
+	}
+	sizes := s.ShardSizes()
+	if len(sizes) != 8 {
+		t.Fatalf("ShardSizes len = %d", len(sizes))
+	}
+	sum := 0
+	for _, n := range sizes {
+		sum += n
+	}
+	if sum != s.Len() || sum != 50 {
+		t.Errorf("shard sizes sum %d, Len %d, want 50", sum, s.Len())
+	}
+}
+
+// TestGCSweepsIdleOnly pins the per-shard GC contract: only entries whose
+// last-seen time predates the cut are dropped, and a Get refreshes the
+// clock.
+func TestGCSweepsIdleOnly(t *testing.T) {
+	s := New[sess, lg](4, 16)
+	s.Put("old", &sess{}, at(10))
+	s.Put("fresh", &sess{}, at(10))
+	s.Get("fresh", at(100)) // touch
+	if n := s.GC(at(50)); n != 1 {
+		t.Fatalf("GC dropped %d, want 1", n)
+	}
+	if _, ok := s.Get("old", at(101)); ok {
+		t.Error("idle entry survived GC")
+	}
+	if _, ok := s.Get("fresh", at(101)); !ok {
+		t.Error("touched entry evicted")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+}
+
+// TestLogsMergeInPushOrder pins the sequence merge: regardless of which
+// shard each ring lives on, Logs returns push order — exactly what a single
+// global ring reported before sharding.
+func TestLogsMergeInPushOrder(t *testing.T) {
+	for _, shards := range []int{1, 4, 16} {
+		s := New[sess, lg](shards, 64)
+		for i := 0; i < 40; i++ {
+			s.PushLog(fmt.Sprintf("id-%d", i), lg{id: fmt.Sprintf("id-%d", i), seq: i})
+		}
+		logs := s.Logs()
+		if len(logs) != 40 {
+			t.Fatalf("shards=%d: retained %d logs, want 40", shards, len(logs))
+		}
+		for i, l := range logs {
+			if l.seq != i {
+				t.Fatalf("shards=%d: logs[%d].seq = %d, want %d (push order violated)", shards, i, l.seq, i)
+			}
+		}
+	}
+}
+
+// TestLogCapacitySplit pins the capacity arithmetic: the per-shard caps sum
+// to exactly the requested total, with the remainder on the low shards.
+func TestLogCapacitySplit(t *testing.T) {
+	s := New[sess, lg](4, 10) // caps 3,3,2,2
+	caps := 0
+	for i := range s.shards {
+		caps += s.shards[i].logs.max
+	}
+	if caps != 10 {
+		t.Errorf("per-shard caps sum to %d, want 10", caps)
+	}
+	if s.shards[0].logs.max != 3 || s.shards[3].logs.max != 2 {
+		t.Errorf("remainder split wrong: %d, %d", s.shards[0].logs.max, s.shards[3].logs.max)
+	}
+}
+
+// TestSingleShardEvictionMatchesLegacyRing: at one shard the store must
+// reproduce the old global logRing exactly — oldest-first eviction, newest
+// retained, resize keeps the tail.
+func TestSingleShardEvictionMatchesLegacyRing(t *testing.T) {
+	s := New[sess, lg](1, 3)
+	evictions := 0
+	for i := 0; i < 5; i++ {
+		if s.PushLog(fmt.Sprint(i), lg{seq: i}) {
+			evictions++
+		}
+	}
+	if evictions != 2 {
+		t.Errorf("evictions = %d, want 2", evictions)
+	}
+	logs := s.Logs()
+	if len(logs) != 3 || logs[0].seq != 2 || logs[2].seq != 4 {
+		t.Errorf("retained %v, want seqs 2..4", logs)
+	}
+	// Shrink keeps the newest, grow preserves order.
+	if ev := s.SetMaxLogs(2); ev != 1 {
+		t.Errorf("shrink evicted %d, want 1", ev)
+	}
+	if logs = s.Logs(); len(logs) != 2 || logs[0].seq != 3 {
+		t.Errorf("after shrink: %v", logs)
+	}
+	if ev := s.SetMaxLogs(4); ev != 0 {
+		t.Errorf("grow evicted %d", ev)
+	}
+	s.PushLog("5", lg{seq: 5})
+	if logs = s.Logs(); len(logs) != 3 || logs[2].seq != 5 {
+		t.Errorf("after grow: %v", logs)
+	}
+}
+
+// TestZeroCapacityShardDropsLogs: when the total budget is smaller than the
+// shard count, the starved shards drop (and count) every push instead of
+// growing.
+func TestZeroCapacityShardDropsLogs(t *testing.T) {
+	s := New[sess, lg](4, 2) // caps 1,1,0,0
+	dropped := 0
+	for i := 0; i < 20; i++ {
+		if s.PushLog(fmt.Sprintf("id-%d", i), lg{seq: i}) {
+			dropped++
+		}
+	}
+	if got := len(s.Logs()); got > 2 {
+		t.Errorf("retained %d logs with a total budget of 2", got)
+	}
+	if dropped+len(s.Logs()) != 20 {
+		t.Errorf("dropped %d + retained %d != 20 pushed", dropped, len(s.Logs()))
+	}
+}
+
+// TestConcurrentShardedEvictionOrder is the store half of the GC-vs-request
+// interleaving check: 8 writers start/end sessions and push logs while a GC
+// goroutine sweeps shard by shard (run under -race). Afterwards every shard's
+// ring must hold its logs in strictly increasing sequence order (oldest-first
+// eviction never reorders), and the eviction count must equal pushes minus
+// retained.
+func TestConcurrentShardedEvictionOrder(t *testing.T) {
+	const workers, perWorker, budget = 8, 200, 64
+	s := New[sess, lg](8, budget)
+	var wg sync.WaitGroup
+	var evictions, deletes int64
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ev, del := 0, 0
+			for i := 0; i < perWorker; i++ {
+				id := fmt.Sprintf("w%d-%d", w, i)
+				s.Put(id, &sess{i}, time.Now())
+				if _, ok := s.Get(id, time.Now()); !ok {
+					// GC uses a 1h horizon below, so nothing live is swept.
+					t.Error("live session vanished")
+					return
+				}
+				if s.Delete(id) {
+					del++
+				}
+				if s.PushLog(id, lg{id: id}) {
+					ev++
+				}
+			}
+			mu.Lock()
+			evictions += int64(ev)
+			deletes += int64(del)
+			mu.Unlock()
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				s.GC(time.Now().Add(-time.Hour))
+				s.ShardSizes()
+				_ = s.Logs()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+
+	if deletes != workers*perWorker {
+		t.Errorf("deletes = %d, want %d (GC stole a live session)", deletes, workers*perWorker)
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d after deleting everything", s.Len())
+	}
+	retained := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		snap := sh.logs.snapshot()
+		retained += len(snap)
+		for j := 1; j < len(snap); j++ {
+			if snap[j].seq <= snap[j-1].seq {
+				t.Fatalf("shard %d ring out of order at %d: seq %d then %d", i, j, snap[j-1].seq, snap[j].seq)
+			}
+		}
+	}
+	if int(evictions)+retained != workers*perWorker {
+		t.Errorf("evictions %d + retained %d != %d pushed", evictions, retained, workers*perWorker)
+	}
+}
