@@ -3,13 +3,13 @@
 # and its consumers, plus the serving stack and the fault-injection suite).
 
 GO ?= go
-RACE_PKGS := ./internal/parallel ./internal/core ./internal/hmm ./internal/cluster ./internal/engine ./internal/httpapi ./internal/faultinject ./internal/obs ./internal/sessionstore
+RACE_PKGS := ./internal/parallel ./internal/core ./internal/hmm ./internal/cluster ./internal/engine ./internal/httpapi ./internal/faultinject ./internal/obs ./internal/sessionstore ./internal/registry
 
 # COVER_FLOOR is the minimum total statement coverage `make cover` accepts.
 # The seed measured 85.3%; the floor leaves one point of slack for noise.
 COVER_FLOOR := 84.0
 
-.PHONY: check vet build test race chaos bench bench-serve cover fuzz
+.PHONY: check vet build test race chaos bench bench-serve cover fuzz publish-demo
 
 check: vet build test race
 
@@ -51,8 +51,23 @@ cover:
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 >= f+0) ? 0 : 1 }' || \
 	{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
 
-# Short fuzz pass over the HTTP JSON decoders (CI runs this; longer local
-# runs: go test -fuzz FuzzStartSession -fuzztime 5m ./internal/httpapi).
+# Short fuzz pass over the HTTP JSON decoders and the model-artifact loaders
+# (CI runs this; longer local runs: go test -fuzz FuzzLoadArtifact
+# -fuzztime 5m ./internal/registry).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzStartSession -fuzztime=10s ./internal/httpapi
 	$(GO) test -run '^$$' -fuzz FuzzObserve -fuzztime=10s ./internal/httpapi
+	$(GO) test -run '^$$' -fuzz FuzzLoadModelStore -fuzztime=10s ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzLoadArtifact -fuzztime=10s ./internal/registry
+
+# End-to-end registry demo: generate a synthetic trace, train twice, and
+# publish v1 and v2 into a temporary registry — the directory a
+# `cs2p-server -model-dir` boots from and watches. Prints the registry path.
+publish-demo:
+	$(eval DEMO_DIR := $(shell mktemp -d))
+	$(GO) run ./cmd/tracegen -sessions 400 -o $(DEMO_DIR)/trace.csv
+	$(GO) run ./cmd/cs2p-train -trace $(DEMO_DIR)/trace.csv -registry-dir $(DEMO_DIR)/registry -holdout-frac 0.2 -keep 5
+	$(GO) run ./cmd/cs2p-train -trace $(DEMO_DIR)/trace.csv -registry-dir $(DEMO_DIR)/registry -holdout-frac 0.2 -keep 5
+	@echo "registry published at $(DEMO_DIR)/registry:"
+	@ls $(DEMO_DIR)/registry
+	@echo "serve it with: go run ./cmd/cs2p-server -model-dir $(DEMO_DIR)/registry"

@@ -1,15 +1,23 @@
 // Command cs2p-server runs the CS2P Prediction Engine as an HTTP service
-// (the server-side deployment of §6): it trains on a trace at startup and
-// then serves initial predictions, per-chunk midstream predictions, QoE log
-// collection, and per-cluster model downloads. SIGINT/SIGTERM trigger a
-// graceful shutdown that drains in-flight predict calls.
+// (the server-side deployment of §6). It boots in one of two modes:
+//
+//   - artifact mode (-model-dir): load the latest published artifact from a
+//     registry directory written by cs2p-train, serve it with NO raw trace on
+//     the box, and watch the registry for new versions — each candidate must
+//     pass the promotion gate before the atomic swap.
+//   - trace mode (-trace): train in-process at startup (the original
+//     single-binary deployment), optionally hot-retraining on a cadence.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight calls.
 //
 // Usage:
 //
+//	cs2p-server -model-dir ./models -addr :8642
 //	cs2p-server -trace trace.csv -addr :8642
 //
 // Endpoints: POST /v1/session/start, POST /v1/predict, POST /v1/log,
-// GET /v1/model, GET /v1/healthz.
+// GET /v1/model, GET /v1/admin/models, POST /v1/admin/rollback,
+// GET /v1/healthz.
 package main
 
 import (
@@ -28,20 +36,24 @@ import (
 	"cs2p/internal/engine"
 	"cs2p/internal/httpapi"
 	"cs2p/internal/obs"
+	"cs2p/internal/registry"
 	"cs2p/internal/trace"
 	"cs2p/internal/video"
 )
 
 func main() {
 	var (
-		tracePath    = flag.String("trace", "", "training trace (CSV; required)")
+		tracePath    = flag.String("trace", "", "training trace (CSV); trains in-process at startup")
+		modelDir     = flag.String("model-dir", "", "boot from the latest artifact in this registry directory and watch it for new versions")
+		modelPoll    = flag.Duration("model-poll", 10*time.Second, "registry poll interval in artifact mode")
+		tolerance    = flag.Float64("promote-tolerance", 0.1, "promotion gate: reject a candidate whose holdout median APE exceeds the incumbent's by more than this fraction")
 		addr         = flag.String("addr", ":8642", "listen address")
 		states       = flag.Int("states", 6, "HMM state count")
 		minGroup     = flag.Int("min-group", 30, "minimum sessions per aggregation")
 		gcEvery      = flag.Duration("session-gc", 10*time.Minute, "drop sessions idle longer than this")
 		par          = flag.Int("parallelism", 0, "training workers (0 = one per CPU, 1 = sequential)")
 		grace        = flag.Duration("shutdown-grace", 10*time.Second, "in-flight request drain budget on SIGINT/SIGTERM")
-		retrainEvery = flag.Duration("retrain-every", 0, "hot-retrain cadence (0 disables; the paper retrains daily)")
+		retrainEvery = flag.Duration("retrain-every", 0, "hot-retrain cadence in trace mode (0 disables; the paper retrains daily)")
 		reqTimeout   = flag.Duration("request-timeout", 15*time.Second, "per-request handling timeout")
 		maxBody      = flag.Int64("max-body", 1<<20, "request body size cap in bytes")
 		maxLogs      = flag.Int("max-logs", engine.DefaultMaxLogs, "session QoE logs retained (ring buffer)")
@@ -50,20 +62,14 @@ func main() {
 		traceReqs    = flag.Bool("trace-requests", false, "log a per-request stage-timing line with the request id")
 	)
 	flag.Parse()
-	if *tracePath == "" {
-		fatalf("-trace is required")
+	if *tracePath == "" && *modelDir == "" {
+		fatalf("one of -trace or -model-dir is required")
 	}
-	f, err := os.Open(*tracePath)
-	if err != nil {
-		fatalf("opening trace: %v", err)
-	}
-	d, err := trace.ReadCSV(f)
-	f.Close()
-	if err != nil {
-		fatalf("reading trace: %v", err)
+	if *tracePath != "" && *modelDir != "" {
+		fatalf("-trace and -model-dir are mutually exclusive")
 	}
 
-	// One logger feeds training diagnostics, GC/retrain events, and the
+	// One logger feeds training diagnostics, GC/reload events, and the
 	// HTTP layer, so operational output is a single ordered stream.
 	logger := log.New(os.Stderr, "cs2p-server: ", log.LstdFlags)
 	logf := logger.Printf
@@ -78,18 +84,54 @@ func main() {
 	cfg.Parallelism = *par
 	cfg.Logf = logf
 	cfg.Metrics = reg
-	logf("training on %d sessions...", d.Len())
-	start := time.Now()
-	eng, err := core.Train(d, cfg)
-	if err != nil {
-		fatalf("training: %v", err)
-	}
-	logf("trained %d cluster models in %v", eng.Clusters(), time.Since(start).Round(time.Millisecond))
 
-	svc := engine.NewServiceWithOptions(eng, cfg, video.Default(),
-		engine.ServiceOptions{Shards: *shards, MaxLogs: *maxLogs})
+	var (
+		svc      *engine.Service
+		modelReg *registry.Registry
+		d        *trace.Dataset // nil in artifact mode: no raw trace on the box
+	)
+	if *modelDir != "" {
+		var err error
+		modelReg, err = registry.Open(*modelDir)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		art, err := modelReg.Latest()
+		if err != nil {
+			fatalf("loading latest artifact from %s: %v", *modelDir, err)
+		}
+		svc, err = engine.NewServiceFromArtifact(art, cfg, video.Default(),
+			engine.ServiceOptions{Shards: *shards, MaxLogs: *maxLogs})
+		if err != nil {
+			fatalf("booting from artifact v%d: %v", art.Manifest.Version, err)
+		}
+		logf("serving artifact v%d (trained %s, %d clusters)",
+			art.Manifest.Version,
+			time.Unix(art.Manifest.TrainedAtUnix, 0).UTC().Format(time.RFC3339),
+			art.Manifest.Clusters)
+	} else {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fatalf("opening trace: %v", err)
+		}
+		d, err = trace.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			fatalf("reading trace: %v", err)
+		}
+		logf("training on %d sessions...", d.Len())
+		start := time.Now()
+		eng, err := core.Train(d, cfg)
+		if err != nil {
+			fatalf("training: %v", err)
+		}
+		logf("trained %d cluster models in %v", eng.Clusters(), time.Since(start).Round(time.Millisecond))
+		svc = engine.NewServiceWithOptions(eng, cfg, video.Default(),
+			engine.ServiceOptions{Shards: *shards, MaxLogs: *maxLogs})
+	}
 	svc.SetLogf(logf)
 	svc.SetMetrics(reg)
+	svc.SetPromotionPolicy(&engine.PromotionPolicy{Tolerance: *tolerance})
 	logf("session store sharded %d ways", svc.Shards())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -110,10 +152,33 @@ func main() {
 		}
 	}()
 
-	// Hot retrain: swaps the engine atomically; the /v1/model export cache
-	// invalidates via the service's model generation. Production would
-	// load fresh traces here; the startup dataset stands in.
-	if *retrainEvery > 0 {
+	// Artifact mode: watch the registry and promote new versions through the
+	// gate. A rejected or unreadable candidate leaves the incumbent serving —
+	// the operator sees it in the log and the promotion counters.
+	if modelReg != nil {
+		after := svc.Snapshot().Version()
+		events := modelReg.Watch(ctx, *modelPoll, after)
+		go func() {
+			for ev := range events {
+				if ev.Err != nil {
+					logf("model watch: %v", ev.Err)
+					continue
+				}
+				v := ev.Artifact.Manifest.Version
+				if _, err := svc.InstallArtifact(ev.Artifact); err != nil {
+					logf("artifact v%d not promoted: %v", v, err)
+					continue
+				}
+				logf("promoted artifact v%d", v)
+			}
+		}()
+	}
+
+	// Trace mode hot retrain: swaps the engine atomically after the same
+	// promotion gate; the /v1/model export cache invalidates via the
+	// service's model generation. Production would load fresh traces here;
+	// the startup dataset stands in.
+	if d != nil && *retrainEvery > 0 {
 		go func() {
 			t := time.NewTicker(*retrainEvery)
 			defer t.Stop()
@@ -131,11 +196,16 @@ func main() {
 	}
 
 	// The exporter receives the engine of the snapshot being served, so a
-	// hot retrain can never pair a stale export with a new generation.
+	// model swap can never pair a stale export with a new generation. In
+	// artifact mode there is no dataset: Export(nil) replays the artifact's
+	// own initial-dispatch index.
 	srv := httpapi.NewServer(svc, func(e *core.Engine) *core.ModelStore { return e.Export(d) })
 	srv.SetLogf(logf)
 	srv.SetMetrics(reg)
 	srv.SetTraceRequests(*traceReqs)
+	if modelReg != nil {
+		srv.SetAdmin(&engine.RegistryAdmin{Svc: svc, Reg: modelReg})
+	}
 	scfg := httpapi.DefaultServerConfig()
 	scfg.RequestTimeout = *reqTimeout
 	scfg.MaxBodyBytes = *maxBody

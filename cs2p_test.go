@@ -79,8 +79,12 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if math.IsNaN(sp.Predict()) {
 		t.Error("store predictor should predict")
 	}
-	if back.MaxModelSize() > 5*1024 {
-		t.Errorf("model artifact exceeds the paper's 5KB budget: %d", back.MaxModelSize())
+	max, err := back.MaxModelSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max > 5*1024 {
+		t.Errorf("model artifact exceeds the paper's 5KB budget: %d", max)
 	}
 }
 

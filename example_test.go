@@ -47,7 +47,11 @@ func Example() {
 
 	fmt.Println("initial prediction positive:", initial > 0)
 	fmt.Println("midstream prediction positive:", midstream > 0)
-	fmt.Println("store fits 5KB budget:", store.MaxModelSize() <= 5*1024)
+	maxSize, err := store.MaxModelSize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("store fits 5KB budget:", maxSize <= 5*1024)
 	// Output:
 	// initial prediction positive: true
 	// midstream prediction positive: true

@@ -55,6 +55,10 @@ func main() {
 	// 4. Ship the models: the store is what the Prediction Engine sends
 	// to video servers or players (<5 KB per cluster).
 	store := engine.Export(train)
+	maxSize, err := store.MaxModelSize()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nmodel store: %d clusters, largest artifact %d bytes\n",
-		engine.Clusters(), store.MaxModelSize())
+		engine.Clusters(), maxSize)
 }

@@ -15,6 +15,8 @@ import (
 	"cs2p/internal/core"
 	"cs2p/internal/engine"
 	"cs2p/internal/httpapi"
+	"cs2p/internal/registry"
+	"cs2p/internal/trace"
 	"cs2p/internal/tracegen"
 	"cs2p/internal/video"
 )
@@ -49,11 +51,20 @@ func goldenReplay(t *testing.T, shards int) (string, []engine.SessionLog) {
 	srv.SetLogf(func(string, ...any) {})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
-	client := httpapi.NewClient(ts.URL)
-
-	var b strings.Builder
-	fmt.Fprintf(&b, "trace sessions=%d train=%d test=%d clusters=%d\n",
+	header := fmt.Sprintf("trace sessions=%d train=%d test=%d clusters=%d\n",
 		d.Len(), train.Len(), test.Len(), eng.Clusters())
+	return driveReplay(t, ts, header, test), svc.Logs()
+}
+
+// driveReplay runs the golden player protocol against a running server and
+// renders every prediction. Both the train-at-startup and the artifact-boot
+// servers are driven through this exact function, so the two renderings are
+// comparable byte for byte.
+func driveReplay(t *testing.T, ts *httptest.Server, header string, test *trace.Dataset) string {
+	t.Helper()
+	client := httpapi.NewClient(ts.URL)
+	var b strings.Builder
+	b.WriteString(header)
 	for i, s := range test.Sessions[:4] {
 		id := fmt.Sprintf("golden-%d", i)
 		start, err := client.StartSession(id, s.Features, s.StartUnix)
@@ -88,7 +99,7 @@ func goldenReplay(t *testing.T, shards int) (string, []engine.SessionLog) {
 			t.Fatal(err)
 		}
 	}
-	return b.String(), svc.Logs()
+	return b.String()
 }
 
 // TestGoldenReplay replays the full pipeline twice: the two live runs must
@@ -123,6 +134,68 @@ func TestGoldenReplay(t *testing.T) {
 	if got != string(want) {
 		t.Errorf("replay diverged from %s (regenerate with -update if the change is intended)\ngot:\n%s\nwant:\n%s",
 			path, got, string(want))
+	}
+}
+
+// TestGoldenReplayArtifactBoot pins the train/serve separation contract: a
+// server booted from a published registry artifact — no trace, no trainer in
+// the process image — must replay the golden protocol bit-identically to the
+// train-at-startup server that produced testdata/golden_replay.txt. Any gap
+// between the live clusterer and the artifact's routing/initial index shows
+// up here as a one-character diff.
+func TestGoldenReplayArtifactBoot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("artifact-boot replay trains a model; slow for -short")
+	}
+	cfg := tracegen.SmallConfig()
+	cfg.Sessions = 300
+	d, _ := tracegen.Generate(cfg)
+	cut := d.Sessions[d.Len()*2/3].Start()
+	train, test := d.SplitByTime(cut)
+	ecfg := core.DefaultConfig()
+	ecfg.Cluster.MinGroupSize = 10
+	ecfg.HMM.NStates = 3
+	ecfg.HMM.MaxIters = 12
+	eng, err := core.Train(train, ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trainer side: publish the artifact and walk away.
+	reg, err := registry.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Publish(eng.Export(train), core.TrainingMeta{
+		TrainedAtUnix: 1700000000,
+		TraceSessions: train.Len(),
+		Clusters:      eng.Clusters(),
+		Holdout:       core.EvaluateHoldout(eng, test),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Server side: boot from the registry alone.
+	art, err := reg.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := engine.NewServiceFromArtifact(art, ecfg, video.Default(), engine.ServiceOptions{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httpapi.NewServer(svc, func(e *core.Engine) *core.ModelStore { return e.Export(nil) })
+	srv.SetLogf(func(string, ...any) {})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	header := fmt.Sprintf("trace sessions=%d train=%d test=%d clusters=%d\n",
+		d.Len(), train.Len(), test.Len(), art.Manifest.Clusters)
+	got := driveReplay(t, ts, header, test)
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_replay.txt"))
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("artifact-booted replay diverged from the train-at-startup golden file\ngot:\n%s\nwant:\n%s",
+			got, string(want))
 	}
 }
 

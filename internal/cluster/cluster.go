@@ -299,6 +299,17 @@ func ClusterID(rule FeatureSet, s *trace.Session) string {
 // GlobalRule returns the fallback rule.
 func (c *Clusterer) GlobalRule() FeatureSet { return c.global }
 
+// Chosen returns a copy of the per-cell rule table built by Select: full-cell
+// value key -> winning rule. Exported so the model-store artifact can carry
+// the routing decisions to engines booted without the training data.
+func (c *Clusterer) Chosen() map[string]FeatureSet {
+	out := make(map[string]FeatureSet, len(c.chosen))
+	for k, v := range c.chosen {
+		out[k] = v
+	}
+	return out
+}
+
 // GlobalFraction reports the share of cells that fell back to the global
 // rule; the paper reports ~4% of sessions use the global model.
 func (c *Clusterer) GlobalFraction() float64 {

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+)
+
+// exportedModelJSON serializes the shared test engine's store once.
+func exportedModelJSON(t *testing.T) []byte {
+	t.Helper()
+	train, _, eng := env(t)
+	var buf bytes.Buffer
+	if err := eng.Export(train).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	modelJSON := exportedModelJSON(t)
+	meta := TrainingMeta{
+		TrainedAtUnix: 1700000000,
+		TraceSessions: 600,
+		TraceEpochs:   12000,
+		Clusters:      7,
+		Holdout:       HoldoutMetrics{Sessions: 100, Epochs: 2000, MedianAPE: 0.11, P90APE: 0.42},
+	}
+	m := NewManifest(3, modelJSON, meta)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mb, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := LoadArtifact(mb, modelJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Manifest != m {
+		t.Errorf("manifest did not round-trip: got %+v want %+v", art.Manifest, m)
+	}
+	if art.Store == nil || art.Store.Global.Model == nil {
+		t.Fatal("artifact store missing models")
+	}
+	if !art.Manifest.Holdout.Valid() {
+		t.Error("round-tripped holdout metrics should be valid")
+	}
+}
+
+func TestLoadArtifactTypedErrors(t *testing.T) {
+	modelJSON := exportedModelJSON(t)
+	good := NewManifest(1, modelJSON, TrainingMeta{TrainedAtUnix: 1})
+	marshal := func(m Manifest) []byte {
+		b, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	t.Run("checksum mismatch", func(t *testing.T) {
+		tampered := append([]byte(nil), modelJSON...)
+		// Flip a byte inside the payload; the manifest checksum no longer binds.
+		tampered[len(tampered)/2] ^= 0x20
+		_, err := LoadArtifact(marshal(good), tampered)
+		if !errors.Is(err, ErrChecksumMismatch) {
+			t.Errorf("want ErrChecksumMismatch, got %v", err)
+		}
+	})
+	t.Run("unknown schema", func(t *testing.T) {
+		m := good
+		m.SchemaVersion = ArtifactSchemaVersion + 1
+		_, err := LoadArtifact(marshal(m), modelJSON)
+		if !errors.Is(err, ErrUnknownSchema) {
+			t.Errorf("want ErrUnknownSchema, got %v", err)
+		}
+	})
+	t.Run("zero version", func(t *testing.T) {
+		m := good
+		m.Version = 0
+		_, err := LoadArtifact(marshal(m), modelJSON)
+		if !errors.Is(err, ErrInvalidManifest) {
+			t.Errorf("want ErrInvalidManifest, got %v", err)
+		}
+	})
+	t.Run("malformed checksum", func(t *testing.T) {
+		m := good
+		m.SHA256 = "zz"
+		_, err := LoadArtifact(marshal(m), modelJSON)
+		if !errors.Is(err, ErrInvalidManifest) {
+			t.Errorf("want ErrInvalidManifest, got %v", err)
+		}
+	})
+	t.Run("manifest trailing data", func(t *testing.T) {
+		_, err := LoadArtifact(append(marshal(good), "{}"...), modelJSON)
+		if !errors.Is(err, ErrInvalidManifest) {
+			t.Errorf("want ErrInvalidManifest, got %v", err)
+		}
+	})
+	t.Run("manifest not json", func(t *testing.T) {
+		_, err := LoadArtifact([]byte("not json"), modelJSON)
+		if !errors.Is(err, ErrInvalidManifest) {
+			t.Errorf("want ErrInvalidManifest, got %v", err)
+		}
+	})
+	t.Run("negative holdout metric", func(t *testing.T) {
+		m := good
+		m.Holdout.MedianAPE = -1
+		_, err := LoadArtifact(marshal(m), modelJSON)
+		if !errors.Is(err, ErrInvalidManifest) {
+			t.Errorf("want ErrInvalidManifest, got %v", err)
+		}
+	})
+}
+
+// TestArtifactBootParity is the PR's core guarantee: an engine booted from a
+// saved artifact predicts bit-identically to the live engine that exported
+// it — routing, initial prediction (the windowed Eq. 6 aggregation), and the
+// full midstream replay.
+func TestArtifactBootParity(t *testing.T) {
+	_, test, live := env(t)
+	ms, err := LoadModelStore(bytes.NewReader(exportedModelJSON(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	booted, err := NewEngineFromStore(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if booted.Clusterer() != nil {
+		t.Error("artifact-booted engine should have no live clusterer")
+	}
+	for _, s := range test.Sessions {
+		_, liveID := live.ModelFor(s)
+		_, bootID := booted.ModelFor(s)
+		if liveID != bootID {
+			t.Fatalf("session %s: routed to %q live vs %q booted", s.ID, liveID, bootID)
+		}
+		li, bi := live.PredictInitial(s), booted.PredictInitial(s)
+		if li != bi && !(math.IsNaN(li) && math.IsNaN(bi)) {
+			t.Fatalf("session %s: initial prediction %v live vs %v booted", s.ID, li, bi)
+		}
+		lp, bp := live.NewSessionPredictor(s), booted.NewSessionPredictor(s)
+		for i, w := range s.Throughput {
+			l, b := lp.Predict(), bp.Predict()
+			if l != b && !(math.IsNaN(l) && math.IsNaN(b)) {
+				t.Fatalf("session %s epoch %d: prediction %v live vs %v booted", s.ID, i, l, b)
+			}
+			lp.Observe(w)
+			bp.Observe(w)
+		}
+	}
+}
+
+// TestExportStoreBackedEngine: re-exporting an artifact-booted engine returns
+// its backing store, so a chain of export/boot cycles is a fixed point.
+func TestExportStoreBackedEngine(t *testing.T) {
+	ms, err := LoadModelStore(bytes.NewReader(exportedModelJSON(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	booted, err := NewEngineFromStore(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := booted.Export(nil); got != ms {
+		t.Error("store-backed engine should export its backing store")
+	}
+}
+
+// TestLegacyStoreWithoutInitialIndex: stores exported with a nil dataset (or
+// by older builds) carry no InitialIndex; the booted engine serves static
+// medians and routes via the Routes table, and still never panics.
+func TestLegacyStoreWithoutInitialIndex(t *testing.T) {
+	_, test, eng := env(t)
+	legacy := eng.Export(nil)
+	if legacy.Initial != nil {
+		t.Fatal("Export(nil) should omit the initial index")
+	}
+	booted, err := NewEngineFromStore(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range test.Sessions[:10] {
+		if p := booted.PredictInitial(s); math.IsNaN(p) {
+			t.Errorf("session %s: legacy store should predict via static medians", s.ID)
+		}
+		sm, _ := legacy.Lookup(s.Features)
+		if got := booted.PredictInitial(s); got != sm.InitialMedian && !math.IsNaN(sm.InitialMedian) {
+			t.Errorf("session %s: legacy initial %v, want static median %v", s.ID, got, sm.InitialMedian)
+		}
+	}
+}
+
+func TestLoadModelStoreRejectsTrailingGarbage(t *testing.T) {
+	modelJSON := exportedModelJSON(t)
+	if _, err := LoadModelStore(bytes.NewReader(append(modelJSON, "garbage"...))); err == nil {
+		t.Error("trailing garbage after the JSON document should fail")
+	}
+	if _, err := LoadModelStore(bytes.NewReader(append(modelJSON, '{'))); err == nil {
+		t.Error("trailing JSON after the document should fail")
+	}
+}
+
+func TestEvaluateHoldout(t *testing.T) {
+	_, test, eng := env(t)
+	m := EvaluateHoldout(eng, test)
+	if m.Sessions == 0 || m.Epochs == 0 {
+		t.Fatalf("holdout replay saw no data: %+v", m)
+	}
+	if !m.Valid() {
+		t.Fatalf("holdout metrics should be valid: %+v", m)
+	}
+	if m.P90APE < m.MedianAPE {
+		t.Errorf("P90 APE %v below median APE %v", m.P90APE, m.MedianAPE)
+	}
+	if z := EvaluateHoldout(nil, test); z.Valid() {
+		t.Error("nil engine should yield invalid metrics")
+	}
+	if z := EvaluateHoldout(eng, nil); z.Valid() {
+		t.Error("nil holdout should yield invalid metrics")
+	}
+}

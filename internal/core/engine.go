@@ -105,6 +105,10 @@ type Engine struct {
 	global    *hmm.Model
 	globalMed float64
 	warnings  []string
+	// src is non-nil on engines booted from a deployed artifact
+	// (NewEngineFromStore): routing and initial prediction replay the
+	// store's InitialIndex instead of a live clusterer.
+	src *storeRouter
 }
 
 // Train builds the engine: runs the clustering search, trains one HMM per
@@ -293,6 +297,9 @@ func (e *Engine) GlobalModel() *hmm.Model { return e.global }
 // ModelFor returns the HMM and cluster ID a session maps to (the global
 // model when the session's cluster has none), for diagnostics and Figure 8.
 func (e *Engine) ModelFor(s *trace.Session) (*hmm.Model, string) {
+	if e.src != nil {
+		return e.src.modelFor(e, s)
+	}
 	rule, id := e.clusterer.ClusterFor(s)
 	if !rule.IsGlobal() {
 		if m, ok := e.models[id]; ok {
@@ -302,13 +309,17 @@ func (e *Engine) ModelFor(s *trace.Session) (*hmm.Model, string) {
 	return e.global, GlobalClusterID
 }
 
-// Clusterer exposes the trained clustering stage.
+// Clusterer exposes the trained clustering stage (nil on engines booted from
+// a deployed artifact, which carry the routing table instead).
 func (e *Engine) Clusterer() *cluster.Clusterer { return e.clusterer }
 
 // PredictInitial implements predict.Initial: the median initial throughput
 // of Agg(M*, s) (Eq. 6), with fallbacks to the cluster's static median and
 // finally the global median when the windowed aggregation is too small.
 func (e *Engine) PredictInitial(s *trace.Session) float64 {
+	if e.src != nil {
+		return e.src.predictInitial(e, s)
+	}
 	rule, id := e.clusterer.ClusterFor(s)
 	agg := e.clusterer.Aggregate(rule, s)
 	if len(agg) >= e.cfg.MinClusterSessions {

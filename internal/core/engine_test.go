@@ -186,7 +186,11 @@ func TestExportLookupRoundTrip(t *testing.T) {
 func TestModelSizeBudget(t *testing.T) {
 	train, _, eng := env(t)
 	ms := eng.Export(train)
-	if max := ms.MaxModelSize(); max > 5*1024 {
+	max, err := ms.MaxModelSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max > 5*1024 {
 		t.Errorf("largest model artifact = %d bytes, paper budget is 5KB", max)
 	}
 }

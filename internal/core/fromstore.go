@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cs2p/internal/cluster"
+	"cs2p/internal/hmm"
+	"cs2p/internal/mathx"
+	"cs2p/internal/trace"
+)
+
+// storeRouter replays the exporting engine's routing and initial-prediction
+// behavior from the store's InitialIndex: the same chosen-rule table, the
+// same sorted-by-start aggregation with the same binary-search cut and window
+// filter. It is read-only after construction, so a store-backed engine is as
+// shareable as a trained one.
+type storeRouter struct {
+	ms          *ModelStore
+	full        []string
+	global      cluster.FeatureSet
+	minSessions int
+	rules       map[string]cluster.FeatureSet
+	groups      map[string]map[string][]InitialSample
+}
+
+// NewEngineFromStore builds a serving engine from a deployed artifact — the
+// §5.3 path where a video server boots from shipped models with no training
+// data. The store must pass Validate (LoadModelStore already guarantees it).
+// With an InitialIndex present, the engine's ModelFor/PredictInitial are
+// bit-identical to the engine that exported the store; legacy stores without
+// one route via the Routes table and serve static medians.
+func NewEngineFromStore(ms *ModelStore) (*Engine, error) {
+	if ms == nil {
+		return nil, fmt.Errorf("core: nil model store")
+	}
+	if err := ms.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		models:    make(map[string]*hmm.Model, len(ms.Models)),
+		medians:   make(map[string]float64, len(ms.Models)),
+		global:    ms.Global.Model,
+		globalMed: ms.Global.InitialMedian,
+	}
+	for id, sm := range ms.Models {
+		e.models[id] = sm.Model
+		e.medians[id] = sm.InitialMedian
+	}
+	r := &storeRouter{
+		ms:     ms,
+		full:   ms.FullFeatures,
+		global: cluster.NewFeatureSet(nil, cluster.TimeWindow{Kind: cluster.WindowAll}),
+	}
+	if ms.Initial != nil {
+		r.minSessions = ms.Initial.MinSessions
+		r.rules = ms.Initial.Rules
+		r.groups = ms.Initial.Groups
+	}
+	e.src = r
+	return e, nil
+}
+
+// clusterFor mirrors Clusterer.ClusterFor: chosen rule for the session's
+// full-feature cell, global rule for unseen cells.
+func (r *storeRouter) clusterFor(s *trace.Session) (cluster.FeatureSet, string) {
+	cellKey := s.Features.Key(r.full)
+	rule, ok := r.rules[cellKey]
+	if !ok {
+		rule = r.global
+	}
+	return rule, cluster.ClusterID(rule, s)
+}
+
+// aggregate mirrors Clusterer.Aggregate over the stored samples: sessions
+// matching the rule's features, strictly before s, filtered by the window.
+func (r *storeRouter) aggregate(rule cluster.FeatureSet, s *trace.Session) []InitialSample {
+	groups, ok := r.groups[rule.Key()]
+	if !ok {
+		return nil
+	}
+	g := groups[s.Features.Key(rule.Features)]
+	if len(g) == 0 {
+		return nil
+	}
+	hi := sort.Search(len(g), func(i int) bool { return g[i].StartUnix >= s.StartUnix })
+	if rule.Window.Kind == cluster.WindowAll {
+		return g[:hi]
+	}
+	var out []InitialSample
+	for _, cand := range g[:hi] {
+		if rule.Window.Match(cand.StartUnix, s.StartUnix) {
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// modelFor mirrors Engine.ModelFor over the store's models.
+func (r *storeRouter) modelFor(e *Engine, s *trace.Session) (*hmm.Model, string) {
+	if r.rules == nil {
+		// Legacy store: route by the exported full-feature table.
+		sm, id := r.ms.Lookup(s.Features)
+		if id == GlobalClusterID {
+			return e.global, GlobalClusterID
+		}
+		return sm.Model, id
+	}
+	rule, id := r.clusterFor(s)
+	if !rule.IsGlobal() {
+		if m, ok := e.models[id]; ok {
+			return m, id
+		}
+	}
+	return e.global, GlobalClusterID
+}
+
+// predictInitial mirrors Engine.PredictInitial: windowed aggregation median
+// when large enough, then the cluster's static median, then the global one.
+func (r *storeRouter) predictInitial(e *Engine, s *trace.Session) float64 {
+	if r.rules == nil {
+		sm, _ := r.ms.Lookup(s.Features)
+		if !math.IsNaN(sm.InitialMedian) {
+			return sm.InitialMedian
+		}
+		return e.globalMed
+	}
+	rule, id := r.clusterFor(s)
+	agg := r.aggregate(rule, s)
+	if len(agg) >= r.minSessions {
+		vals := make([]float64, 0, len(agg))
+		for _, sm := range agg {
+			vals = append(vals, sm.InitialMbps)
+		}
+		if med := mathx.Median(vals); !math.IsNaN(med) {
+			return med
+		}
+	}
+	if med, ok := e.medians[id]; ok && !math.IsNaN(med) {
+		return med
+	}
+	return e.globalMed
+}

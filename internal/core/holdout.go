@@ -1,0 +1,55 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"cs2p/internal/mathx"
+	"cs2p/internal/trace"
+)
+
+// EvaluateHoldout replays every holdout session through the engine exactly as
+// a serving request would (Algorithm 1: initial prediction from the cluster
+// median, then observe-and-predict per epoch) and summarizes the per-epoch
+// absolute percentage errors. Both the trainer (recording metrics into the
+// manifest) and the promotion gate (scoring candidate vs incumbent on the
+// same slice) use it, so the two always measure the same quantity.
+func EvaluateHoldout(e *Engine, holdout *trace.Dataset) HoldoutMetrics {
+	var m HoldoutMetrics
+	if e == nil || holdout == nil {
+		return m
+	}
+	var apes []float64
+	for _, s := range holdout.Sessions {
+		if len(s.Throughput) == 0 {
+			continue
+		}
+		m.Sessions++
+		p := e.NewSessionPredictor(s)
+		for _, w := range s.Throughput {
+			pred := p.Predict()
+			if w > 0 && !math.IsNaN(pred) && !math.IsInf(pred, 0) {
+				apes = append(apes, math.Abs(pred-w)/w)
+			}
+			p.Observe(w)
+		}
+		m.Epochs += len(s.Throughput)
+	}
+	if len(apes) == 0 {
+		return m
+	}
+	sort.Float64s(apes)
+	m.MedianAPE = quantileOrZero(apes, 0.5)
+	m.P90APE = quantileOrZero(apes, 0.9)
+	return m
+}
+
+// quantileOrZero is mathx.QuantileSorted with NaN/Inf clamped to 0 so the
+// metrics stay JSON- and manifest-safe.
+func quantileOrZero(sorted []float64, q float64) float64 {
+	v := mathx.QuantileSorted(sorted, q)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 
+	"cs2p/internal/cluster"
 	"cs2p/internal/hmm"
 	"cs2p/internal/trace"
 )
@@ -18,13 +20,42 @@ type StoredModel struct {
 	InitialMedian float64    `json:"initial_median"`
 }
 
-// SizeBytes returns the JSON size of the stored model.
-func (sm StoredModel) SizeBytes() int {
+// SizeBytes returns the JSON size of the stored model. A marshal failure is
+// reported, not swallowed: the §5.3 size budget is a deployment contract,
+// and a silent 0 would read as "fits easily" exactly when the artifact is
+// broken.
+func (sm StoredModel) SizeBytes() (int, error) {
 	b, err := json.Marshal(sm)
 	if err != nil {
-		return 0
+		return 0, fmt.Errorf("core: sizing stored model: %w", err)
 	}
-	return len(b)
+	return len(b), nil
+}
+
+// InitialSample is one training session's contribution to the
+// initial-throughput aggregation: its start time and first-epoch throughput.
+// Two numbers per session keep the index compact while letting a server
+// booted from the artifact replay Eq. 6 exactly.
+type InitialSample struct {
+	StartUnix   int64   `json:"t"`
+	InitialMbps float64 `json:"w"`
+}
+
+// InitialIndex captures the trained clusterer's observable behavior so an
+// artifact-booted engine routes sessions and predicts initial throughput
+// bit-identically to the engine that exported it: the winning rule per
+// full-feature cell, and — for every rule feature combination in use — the
+// training sessions' (start, initial-throughput) samples grouped by feature
+// value, sorted by start time (the windowed Agg(M*, s) of §5.1 needs both).
+type InitialIndex struct {
+	// MinSessions is the training config's MinClusterSessions threshold:
+	// aggregations below it fall back to the static cluster median.
+	MinSessions int `json:"min_sessions"`
+	// Rules maps a full-feature cell key to the cell's winning rule.
+	Rules map[string]cluster.FeatureSet `json:"rules"`
+	// Groups maps a rule's feature-combination key to feature-value-keyed
+	// sample groups over the whole training set.
+	Groups map[string]map[string][]InitialSample `json:"groups"`
 }
 
 // ModelStore is the serializable output of engine training, sufficient to
@@ -39,18 +70,32 @@ type ModelStore struct {
 	Models map[string]StoredModel `json:"models"`
 	// Global is the fallback artifact.
 	Global StoredModel `json:"global"`
+	// Initial, when present, carries the initial-prediction index that lets
+	// NewEngineFromStore reproduce the exporting engine's windowed Eq. 6
+	// aggregation. Absent on legacy stores; static medians stand in.
+	Initial *InitialIndex `json:"initial,omitempty"`
 }
 
-// Export builds the deployable store from a trained engine. Initial medians
-// are the static per-cluster medians (the live engine refines them with
-// time-windowed aggregation, which needs the training data).
+// Export builds the deployable store from a trained engine, including the
+// initial-prediction index (the live engine's windowed aggregation state),
+// so a server booted from the store predicts bit-identically. Store-backed
+// engines return their backing store unchanged.
 func (e *Engine) Export(train *trace.Dataset) *ModelStore {
+	if e.src != nil {
+		return e.src.ms
+	}
 	full := NewFullFeatureList(e.cfg.Cluster.CandidateFeatures)
 	ms := &ModelStore{
 		FullFeatures: full,
 		Routes:       make(map[string]string),
 		Models:       make(map[string]StoredModel),
 		Global:       StoredModel{Model: e.global, InitialMedian: e.globalMed},
+	}
+	for id, m := range e.models {
+		ms.Models[id] = StoredModel{Model: m, InitialMedian: e.medians[id]}
+	}
+	if train == nil {
+		return ms
 	}
 	for _, s := range train.Sessions {
 		cellKey := s.Features.Key(full)
@@ -62,10 +107,35 @@ func (e *Engine) Export(train *trace.Dataset) *ModelStore {
 			ms.Routes[cellKey] = id
 		}
 	}
-	for id, m := range e.models {
-		ms.Models[id] = StoredModel{Model: m, InitialMedian: e.medians[id]}
-	}
+	ms.Initial = e.buildInitialIndex(train)
 	return ms
+}
+
+// buildInitialIndex snapshots the clusterer's per-cell rule choices and the
+// training sessions' (start, initial) samples for every rule combination in
+// use — the global rule always included, since unseen cells fall back to it.
+func (e *Engine) buildInitialIndex(train *trace.Dataset) *InitialIndex {
+	idx := &InitialIndex{
+		MinSessions: e.cfg.MinClusterSessions,
+		Rules:       e.clusterer.Chosen(),
+		Groups:      make(map[string]map[string][]InitialSample),
+	}
+	combos := map[string][]string{"": nil} // global rule: empty combination
+	for _, rule := range idx.Rules {
+		combos[rule.Key()] = rule.Features
+	}
+	for comboKey, feats := range combos {
+		groups := make(map[string][]InitialSample)
+		for _, s := range train.Sessions {
+			vk := s.Features.Key(feats)
+			groups[vk] = append(groups[vk], InitialSample{StartUnix: s.StartUnix, InitialMbps: s.InitialThroughput()})
+		}
+		for _, g := range groups {
+			sort.SliceStable(g, func(i, j int) bool { return g[i].StartUnix < g[j].StartUnix })
+		}
+		idx.Groups[comboKey] = groups
+	}
+	return idx
 }
 
 // NewFullFeatureList canonicalizes (sorts, dedups) a candidate feature list,
@@ -96,27 +166,88 @@ func (ms *ModelStore) Save(w io.Writer) error {
 	return json.NewEncoder(w).Encode(ms)
 }
 
-// LoadModelStore reads a store written by Save and validates every model.
+// LoadModelStore reads a store written by Save and validates it fully before
+// returning: every model structurally sound with finite parameters, the
+// initial index (when present) well-formed, and nothing after the JSON
+// document (fuzzing found json.Decoder silently accepts trailing garbage).
+// On any error the store is discarded whole — a caller never observes a
+// half-valid store.
 func LoadModelStore(r io.Reader) (*ModelStore, error) {
+	dec := json.NewDecoder(r)
 	var ms ModelStore
-	if err := json.NewDecoder(r).Decode(&ms); err != nil {
+	if err := dec.Decode(&ms); err != nil {
 		return nil, fmt.Errorf("core: decoding model store: %w", err)
 	}
+	if dec.More() {
+		return nil, fmt.Errorf("core: decoding model store: trailing data after JSON document")
+	}
+	if err := ms.Validate(); err != nil {
+		return nil, err
+	}
+	return &ms, nil
+}
+
+// Validate checks the store's structural invariants (used by LoadModelStore
+// and the artifact loader; strict so a corrupt artifact can never install).
+func (ms *ModelStore) Validate() error {
 	if ms.Global.Model == nil {
-		return nil, fmt.Errorf("core: model store missing global model")
+		return fmt.Errorf("core: model store missing global model")
 	}
 	if err := ms.Global.Model.Validate(); err != nil {
-		return nil, fmt.Errorf("core: global model: %w", err)
+		return fmt.Errorf("core: global model: %w", err)
 	}
 	for id, sm := range ms.Models {
 		if sm.Model == nil {
-			return nil, fmt.Errorf("core: cluster %q missing model", id)
+			return fmt.Errorf("core: cluster %q missing model", id)
 		}
 		if err := sm.Model.Validate(); err != nil {
-			return nil, fmt.Errorf("core: cluster %q: %w", id, err)
+			return fmt.Errorf("core: cluster %q: %w", id, err)
 		}
 	}
-	return &ms, nil
+	if ms.Initial != nil {
+		if err := ms.Initial.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validate checks the initial-prediction index: known window kinds,
+// non-negative spans, finite samples, and every rule's combination present
+// in Groups (so routing can never dereference a missing group map).
+func (idx *InitialIndex) validate() error {
+	if idx.MinSessions < 0 {
+		return fmt.Errorf("core: initial index: negative min_sessions %d", idx.MinSessions)
+	}
+	for cell, rule := range idx.Rules {
+		switch rule.Window.Kind {
+		case cluster.WindowAll, cluster.WindowHistory, cluster.WindowSameHour:
+		default:
+			return fmt.Errorf("core: initial index: cell %q has unknown window kind %d", cell, rule.Window.Kind)
+		}
+		if rule.Window.Span < 0 || rule.Window.Days < 0 {
+			return fmt.Errorf("core: initial index: cell %q has negative window bounds", cell)
+		}
+		if _, ok := idx.Groups[rule.Key()]; !ok {
+			return fmt.Errorf("core: initial index: cell %q references missing group %q", cell, rule.Key())
+		}
+	}
+	if _, ok := idx.Groups[""]; !ok {
+		return fmt.Errorf("core: initial index: missing global aggregation group")
+	}
+	for combo, groups := range idx.Groups {
+		for vk, g := range groups {
+			for i, s := range g {
+				if math.IsNaN(s.InitialMbps) || math.IsInf(s.InitialMbps, 0) {
+					return fmt.Errorf("core: initial index: group %q/%q sample %d has non-finite throughput", combo, vk, i)
+				}
+				if i > 0 && g[i-1].StartUnix > s.StartUnix {
+					return fmt.Errorf("core: initial index: group %q/%q not sorted by start time", combo, vk)
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // Lookup returns the stored model and cluster ID for a session's features,
@@ -147,13 +278,21 @@ func (ms *ModelStore) NewSessionPredictor(f trace.Features) *SessionPredictor {
 }
 
 // MaxModelSize returns the largest per-cluster artifact in bytes (the
-// quantity the paper bounds at 5 KB).
-func (ms *ModelStore) MaxModelSize() int {
-	max := ms.Global.SizeBytes()
-	for _, sm := range ms.Models {
-		if s := sm.SizeBytes(); s > max {
+// quantity the paper bounds at 5 KB), or an error if any model fails to
+// serialize.
+func (ms *ModelStore) MaxModelSize() (int, error) {
+	max, err := ms.Global.SizeBytes()
+	if err != nil {
+		return 0, err
+	}
+	for id, sm := range ms.Models {
+		s, err := sm.SizeBytes()
+		if err != nil {
+			return 0, fmt.Errorf("core: cluster %q: %w", id, err)
+		}
+		if s > max {
 			max = s
 		}
 	}
-	return max
+	return max, nil
 }

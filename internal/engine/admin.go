@@ -1,0 +1,60 @@
+package engine
+
+import (
+	"cs2p/internal/registry"
+)
+
+// ModelVersionInfo is one registry version as the admin API reports it.
+type ModelVersionInfo struct {
+	Version          uint64  `json:"version"`
+	TrainedAtUnix    int64   `json:"trained_at_unix"`
+	Clusters         int     `json:"clusters"`
+	TraceSessions    int     `json:"trace_sessions"`
+	HoldoutMedianAPE float64 `json:"holdout_median_ape"`
+	HoldoutP90APE    float64 `json:"holdout_p90_ape"`
+	Active           bool    `json:"active"`
+}
+
+// RegistryAdmin joins a serving Service to its backing Registry for the
+// read-mostly admin surface: list what is published (marking what is
+// serving) and roll the service back. It implements httpapi.ModelAdmin.
+type RegistryAdmin struct {
+	Svc *Service
+	Reg *registry.Registry
+}
+
+// ListModelVersions returns every published version ascending, with Active
+// set on the one the service is currently serving.
+func (a RegistryAdmin) ListModelVersions() ([]ModelVersionInfo, error) {
+	entries, err := a.Reg.List()
+	if err != nil {
+		return nil, err
+	}
+	active := a.Svc.Snapshot().Version()
+	out := make([]ModelVersionInfo, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, ModelVersionInfo{
+			Version:          e.Version,
+			TrainedAtUnix:    e.Manifest.TrainedAtUnix,
+			Clusters:         e.Manifest.Clusters,
+			TraceSessions:    e.Manifest.TraceSessions,
+			HoldoutMedianAPE: e.Manifest.Holdout.MedianAPE,
+			HoldoutP90APE:    e.Manifest.Holdout.P90APE,
+			Active:           e.Version == active && active != 0,
+		})
+	}
+	return out, nil
+}
+
+// ActiveVersion reports the artifact version the service is serving (0 when
+// the model was trained in-process).
+func (a RegistryAdmin) ActiveVersion() uint64 { return a.Svc.Snapshot().Version() }
+
+// Rollback restores the previously served snapshot and returns the version
+// now serving.
+func (a RegistryAdmin) Rollback() (uint64, error) {
+	if _, err := a.Svc.Rollback(); err != nil {
+		return 0, err
+	}
+	return a.Svc.Snapshot().Version(), nil
+}

@@ -29,6 +29,14 @@ type serviceMetrics struct {
 	retrainSeconds  *obs.Histogram
 	modelGeneration *obs.Gauge
 
+	// Model-lifecycle plane: artifact version being served, gate outcomes,
+	// and operator rollbacks (cs2p_model_age_seconds is a scrape-time
+	// GaugeFunc registered by SetMetrics, since age drifts with the clock).
+	modelVersion       *obs.Gauge
+	promotionsAccepted *obs.Counter
+	promotionsRejected *obs.Counter
+	rollbacks          *obs.Counter
+
 	lockWait *obs.Histogram
 
 	// Prediction-quality pipeline (the live analogue of Figures 9-11):
@@ -81,6 +89,15 @@ func newServiceMetrics(reg *obs.Registry, shards int) serviceMetrics {
 			"Wall time of each hot retrain.", obs.LatencyBuckets, nil),
 		modelGeneration: reg.Gauge("cs2p_engine_model_generation",
 			"Current model generation (bumped per completed retrain).", nil),
+
+		modelVersion: reg.Gauge("cs2p_model_version",
+			"Registry artifact version being served (0 = trained in-process).", nil),
+		promotionsAccepted: reg.Counter("cs2p_engine_promotions_total",
+			"Model promotion-gate decisions, by result.", obs.Labels{"result": "accepted"}),
+		promotionsRejected: reg.Counter("cs2p_engine_promotions_total",
+			"Model promotion-gate decisions, by result.", obs.Labels{"result": "rejected"}),
+		rollbacks: reg.Counter("cs2p_engine_rollbacks_total",
+			"Rollbacks to the previously served model snapshot.", nil),
 
 		lockWait: reg.Histogram("cs2p_engine_session_lock_wait_seconds",
 			"Time spent waiting on a per-session filter lock (contention signal).",

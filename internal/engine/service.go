@@ -55,14 +55,32 @@ const DefaultMaxLogs = 4096
 type ModelSnapshot struct {
 	engine *core.Engine
 	gen    uint64
+	// version is the registry artifact version the snapshot came from
+	// (0 = trained in-process, no artifact identity).
+	version       uint64
+	trainedAtUnix int64
+	holdout       core.HoldoutMetrics
+	hasHoldout    bool
 }
 
 // Engine returns the snapshot's trained core engine.
 func (s *ModelSnapshot) Engine() *core.Engine { return s.engine }
 
-// Generation counts completed retrains at the time this snapshot was
-// installed. Caches compare generations to know when their copy went stale.
+// Generation counts completed snapshot installs (retrains, artifact loads,
+// rollbacks). Caches compare generations to know when their copy went stale.
 func (s *ModelSnapshot) Generation() uint64 { return s.gen }
+
+// Version is the registry artifact version this snapshot serves, or 0 when
+// the model was trained in-process (no artifact identity).
+func (s *ModelSnapshot) Version() uint64 { return s.version }
+
+// TrainedAtUnix is when the snapshot's model was trained (0 when unknown).
+func (s *ModelSnapshot) TrainedAtUnix() int64 { return s.trainedAtUnix }
+
+// Holdout returns the snapshot's recorded holdout metrics, and whether any
+// were recorded (live-evaluated at install or carried by the artifact
+// manifest).
+func (s *ModelSnapshot) Holdout() (core.HoldoutMetrics, bool) { return s.holdout, s.hasHoldout }
 
 // ServiceOptions tunes the serving core's concurrency shape.
 type ServiceOptions struct {
@@ -78,14 +96,19 @@ type ServiceOptions struct {
 type Service struct {
 	// snap is the model plane: readers Load it (no lock), Retrain swaps it.
 	snap atomic.Pointer[ModelSnapshot]
-	// retrainMu serializes snapshot installs (generation arithmetic);
-	// request paths never take it.
+	// retrainMu serializes snapshot installs (generation arithmetic) and
+	// guards prev and policy; request paths never take it.
 	retrainMu sync.Mutex
-	cfg       core.Config
-	spec      video.Spec
-	store     sessionstore.Store[sessionState, SessionLog]
-	logf      atomic.Pointer[func(format string, args ...any)]
-	m         serviceMetrics
+	// prev is the snapshot displaced by the last install — what Rollback
+	// restores. One level deep: rolling back twice alternates.
+	prev *ModelSnapshot
+	// policy, when non-nil, gates every Retrain/InstallArtifact promotion.
+	policy *PromotionPolicy
+	cfg    core.Config
+	spec   video.Spec
+	store  sessionstore.Store[sessionState, SessionLog]
+	logf   atomic.Pointer[func(format string, args ...any)]
+	m      serviceMetrics
 }
 
 // sessionState carries one session's predictor. Its own mutex serializes
@@ -133,7 +156,20 @@ func (s *Service) Shards() int { return s.store.Shards() }
 // traffic — the handles swap is not synchronized against in-flight requests.
 func (s *Service) SetMetrics(reg *obs.Registry) {
 	s.m = newServiceMetrics(reg, s.store.Shards())
-	s.m.modelGeneration.Set(float64(s.ModelGeneration()))
+	// Model age is computed at scrape time (a pushed gauge would freeze
+	// between installs); the callback only loads the atomic snapshot.
+	reg.GaugeFunc("cs2p_model_age_seconds",
+		"Seconds since the serving model was trained (0 when unknown).", nil,
+		func() float64 {
+			t := s.snap.Load().trainedAtUnix
+			if t == 0 {
+				return 0
+			}
+			return time.Since(time.Unix(t, 0)).Seconds()
+		})
+	snap := s.Snapshot()
+	s.m.modelGeneration.Set(float64(snap.Generation()))
+	s.m.modelVersion.Set(float64(snap.Version()))
 	s.m.sessionsActive.Set(float64(s.store.Len()))
 	s.refreshShardGauges()
 }
@@ -169,6 +205,8 @@ func (s *Service) SetMaxLogs(n int) {
 // the prior engine's HMMs, which stay valid forever), new sessions and the
 // /v1/model exporter see the new snapshot, and the generation advances so
 // derived caches invalidate.
+// A failed training run or a gate rejection leaves the pinned snapshot
+// serving untouched.
 func (s *Service) Retrain(train *trace.Dataset) error {
 	start := time.Now()
 	e, err := core.Train(train, s.cfg)
@@ -176,23 +214,41 @@ func (s *Service) Retrain(train *trace.Dataset) error {
 		s.m.retrainFailures.Inc()
 		return fmt.Errorf("engine: retraining: %w", err)
 	}
-	gen := s.InstallEngine(e)
+	cand := &ModelSnapshot{engine: e, trainedAtUnix: time.Now().Unix()}
+	s.retrainMu.Lock()
+	if err := s.gateLocked(cand); err != nil {
+		s.retrainMu.Unlock()
+		s.logfSafe("engine: retrain candidate not promoted: %v", err)
+		return fmt.Errorf("engine: retraining: %w", err)
+	}
+	gen := s.installLocked(cand)
+	s.retrainMu.Unlock()
 	s.m.retrains.Inc()
+	s.m.promotionsAccepted.Inc()
 	s.m.retrainSeconds.Observe(time.Since(start).Seconds())
-	s.m.modelGeneration.Set(float64(gen))
 	s.logfSafe("engine: retrained on %d sessions (%d clusters, generation %d)", train.Len(), e.Clusters(), gen)
 	return nil
 }
 
 // InstallEngine atomically publishes a new trained engine as the next model
-// generation and returns that generation. Retrain uses it after training;
-// tests use it to swap models without paying for a training run.
+// generation, bypassing the promotion gate (tests and callers that already
+// vetted the engine), and returns that generation.
 func (s *Service) InstallEngine(e *core.Engine) uint64 {
 	s.retrainMu.Lock()
 	defer s.retrainMu.Unlock()
-	gen := s.snap.Load().gen + 1
-	s.snap.Store(&ModelSnapshot{engine: e, gen: gen})
-	return gen
+	return s.installLocked(&ModelSnapshot{engine: e})
+}
+
+// installLocked publishes cand as the next generation and remembers the
+// displaced snapshot for Rollback. Caller holds retrainMu.
+func (s *Service) installLocked(cand *ModelSnapshot) uint64 {
+	old := s.snap.Load()
+	cand.gen = old.gen + 1
+	s.snap.Store(cand)
+	s.prev = old
+	s.m.modelGeneration.Set(float64(cand.gen))
+	s.m.modelVersion.Set(float64(cand.version))
+	return cand.gen
 }
 
 // Snapshot returns the current model snapshot — engine and generation read

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"cs2p/internal/engine"
@@ -44,6 +46,32 @@ func HTTPStatus(err error) int {
 type Client struct {
 	base string
 	hc   *http.Client
+	// Model-download cache: per-feature-query ETag + payload, so re-fetches
+	// of an unchanged model revalidate to a 304 instead of re-downloading
+	// (the server's /v1/model ETag contract).
+	modelMu    sync.Mutex
+	modelCache map[string]cachedModel
+	downloads  atomic.Uint64
+	notMod     atomic.Uint64
+}
+
+// cachedModel is one validated /v1/model payload with the ETag it arrived
+// under.
+type cachedModel struct {
+	etag string
+	resp modelResponse
+}
+
+// ModelFetchStats counts FetchLocalPredictor outcomes: full downloads vs
+// 304 revalidations served from the client cache.
+type ModelFetchStats struct {
+	Downloads   uint64
+	NotModified uint64
+}
+
+// ModelFetchStats returns the cumulative model-download counters.
+func (c *Client) ModelFetchStats() ModelFetchStats {
+	return ModelFetchStats{Downloads: c.downloads.Load(), NotModified: c.notMod.Load()}
 }
 
 // NewClient targets a server base URL like "http://127.0.0.1:8642".

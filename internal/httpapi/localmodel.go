@@ -29,7 +29,10 @@ type LocalPredictor struct {
 
 // FetchLocalPredictor downloads the cluster model for the given features
 // and builds the local predictor. The returned artifact is the <5 KB model
-// the paper ships to clients.
+// the paper ships to clients. Repeat fetches revalidate with If-None-Match:
+// when the server still serves the same model version it answers 304 and the
+// predictor is rebuilt (fresh filter state) from the cached payload, so a
+// player re-opening sessions between model publishes downloads nothing.
 func (c *Client) FetchLocalPredictor(f trace.Features) (*LocalPredictor, error) {
 	q := url.Values{}
 	q.Set("ip", f.ClientIP)
@@ -38,11 +41,26 @@ func (c *Client) FetchLocalPredictor(f trace.Features) (*LocalPredictor, error) 
 	q.Set("province", f.Province)
 	q.Set("city", f.City)
 	q.Set("server", f.Server)
-	resp, err := c.hc.Get(c.base + "/v1/model?" + q.Encode())
+	key := q.Encode()
+	c.modelMu.Lock()
+	cached, haveCached := c.modelCache[key]
+	c.modelMu.Unlock()
+	req, err := http.NewRequest(http.MethodGet, c.base+"/v1/model?"+key, nil)
+	if err != nil {
+		return nil, fmt.Errorf("httpapi client: building model request: %w", err)
+	}
+	if haveCached {
+		req.Header.Set("If-None-Match", cached.etag)
+	}
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("httpapi client: fetching model: %w", err)
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotModified && haveCached {
+		c.notMod.Add(1)
+		return localPredictorFrom(cached.resp), nil
+	}
 	if resp.StatusCode != http.StatusOK {
 		var eb errorBody
 		_ = json.NewDecoder(resp.Body).Decode(&eb)
@@ -58,11 +76,26 @@ func (c *Client) FetchLocalPredictor(f trace.Features) (*LocalPredictor, error) 
 	if err := mr.Model.Validate(); err != nil {
 		return nil, fmt.Errorf("httpapi client: invalid model from server: %w", err)
 	}
+	c.downloads.Add(1)
+	if etag := resp.Header.Get("ETag"); etag != "" {
+		c.modelMu.Lock()
+		if c.modelCache == nil {
+			c.modelCache = make(map[string]cachedModel)
+		}
+		c.modelCache[key] = cachedModel{etag: etag, resp: mr}
+		c.modelMu.Unlock()
+	}
+	return localPredictorFrom(mr), nil
+}
+
+// localPredictorFrom builds a fresh predictor (new filter state) from a
+// validated model payload.
+func localPredictorFrom(mr modelResponse) *LocalPredictor {
 	return &LocalPredictor{
 		clusterID: mr.ClusterID,
 		filter:    hmm.NewFilter(mr.Model),
 		initial:   mr.InitialMedian,
-	}, nil
+	}
 }
 
 // ClusterID identifies the downloaded model.

@@ -126,12 +126,14 @@ func (m *clientMetrics) breakerTransition(from, to BreakerState) {
 // knownRoutes is the served route set; anything else becomes "other" so a
 // URL-scanning client cannot mint unbounded label values.
 var knownRoutes = map[string]string{
-	"/v1/session/start": "/v1/session/start",
-	"/v1/predict":       "/v1/predict",
-	"/v1/log":           "/v1/log",
-	"/v1/model":         "/v1/model",
-	"/v1/healthz":       "/v1/healthz",
-	"/metrics":          "/metrics",
+	"/v1/session/start":  "/v1/session/start",
+	"/v1/predict":        "/v1/predict",
+	"/v1/log":            "/v1/log",
+	"/v1/model":          "/v1/model",
+	"/v1/admin/models":   "/v1/admin/models",
+	"/v1/admin/rollback": "/v1/admin/rollback",
+	"/v1/healthz":        "/v1/healthz",
+	"/metrics":           "/metrics",
 }
 
 func normalizeRoute(path string) string {

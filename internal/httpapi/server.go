@@ -27,6 +27,7 @@ import (
 	"log"
 	"math"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -119,6 +120,15 @@ type ModelProvider interface {
 	Snapshot() *engine.ModelSnapshot
 }
 
+// ModelAdmin is the read-mostly model-lifecycle surface served under
+// /v1/admin: list published versions (with the active one marked) and roll
+// back to the previously served snapshot. engine.RegistryAdmin implements it.
+type ModelAdmin interface {
+	ListModelVersions() ([]engine.ModelVersionInfo, error)
+	ActiveVersion() uint64
+	Rollback() (uint64, error)
+}
+
 // Server exposes a SessionService over HTTP.
 type Server struct {
 	svc SessionService
@@ -136,8 +146,10 @@ type Server struct {
 	store    *core.ModelStore
 	storeGen uint64
 	exporter func(*core.Engine) *core.ModelStore
-	logf     func(format string, args ...any)
-	panics   atomic.Int64
+	// admin, when set, enables the /v1/admin endpoints (501 otherwise).
+	admin  ModelAdmin
+	logf   func(format string, args ...any)
+	panics atomic.Int64
 	// metrics is the attached registry (nil = observability off); sm caches
 	// its HTTP instruments and is never nil. traceRequests turns on the
 	// per-request stage-timing log line.
@@ -164,6 +176,10 @@ func NewServer(svc SessionService, exporter func(*core.Engine) *core.ModelStore)
 // before Handler). Backends whose SessionService does not itself expose
 // snapshots use this.
 func (s *Server) SetModelProvider(mp ModelProvider) { s.models = mp }
+
+// SetAdmin enables the /v1/admin model-lifecycle endpoints (call before
+// Handler). Without it they answer 501.
+func (s *Server) SetAdmin(a ModelAdmin) { s.admin = a }
 
 // SetLogf overrides the server's logger (tests silence it).
 func (s *Server) SetLogf(f func(string, ...any)) { s.logf = f }
@@ -217,6 +233,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	mux.HandleFunc("POST /v1/log", s.handleLog)
 	mux.HandleFunc("GET /v1/model", s.handleModel)
+	mux.HandleFunc("GET /v1/admin/models", s.handleAdminModels)
+	mux.HandleFunc("POST /v1/admin/rollback", s.handleAdminRollback)
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -357,14 +375,13 @@ func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// exportStore returns the cached model store, rebuilding it when the
-// model generation has advanced past the cached copy (hot retrain
-// invalidation). Generation and engine come from one pinned snapshot, so
-// even if a retrain lands mid-call the cache holds an internally
-// consistent (generation, export) pair — the next request observes the
-// new generation and rebuilds.
-func (s *Server) exportStore() *core.ModelStore {
-	snap := s.models.Snapshot()
+// exportStore returns the cached model store for the pinned snapshot,
+// rebuilding it when the model generation has advanced past the cached copy
+// (hot retrain invalidation). Generation and engine come from one pinned
+// snapshot, so even if a retrain lands mid-call the cache holds an
+// internally consistent (generation, export) pair — the next request
+// observes the new generation and rebuilds.
+func (s *Server) exportStore(snap *engine.ModelSnapshot) *core.ModelStore {
 	s.exportMu.Lock()
 	defer s.exportMu.Unlock()
 	if s.store == nil || s.storeGen != snap.Generation() {
@@ -374,14 +391,48 @@ func (s *Server) exportStore() *core.ModelStore {
 	return s.store
 }
 
+// modelETag derives the strong ETag for /v1/model from the snapshot: keyed
+// by artifact version when the model came from the registry (stable across
+// server restarts serving the same artifact — and after a rollback the old
+// version's ETag returns, so a client that cached it revalidates straight to
+// 304), falling back to the in-process generation counter.
+func modelETag(snap *engine.ModelSnapshot) string {
+	if v := snap.Version(); v != 0 {
+		return fmt.Sprintf(`"cs2p-model-v%d"`, v)
+	}
+	return fmt.Sprintf(`"cs2p-model-g%d"`, snap.Generation())
+}
+
+// etagMatches implements the If-None-Match comparison (strong ETags, comma
+// list, `*` wildcard).
+func etagMatches(header, etag string) bool {
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		if part == "*" || part == etag {
+			return true
+		}
+	}
+	return false
+}
+
 // handleModel serves the per-cluster model for the requesting client's
-// features — the decentralized deployment path (§5.3).
+// features — the decentralized deployment path (§5.3). The response carries
+// a version-derived ETag; a client presenting it back via If-None-Match gets
+// 304 without the export being built or serialized, so model polling between
+// publishes costs a header exchange.
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	if s.exporter == nil || s.models == nil {
 		writeJSON(w, http.StatusNotImplemented, errorBody{Error: "model export not enabled"})
 		return
 	}
-	store := s.exportStore()
+	snap := s.models.Snapshot()
+	etag := modelETag(snap)
+	w.Header().Set("ETag", etag)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	store := s.exportStore(snap)
 	q := r.URL.Query()
 	f := trace.Features{
 		ClientIP: q.Get("ip"),
@@ -397,6 +448,47 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		"model":          sm.Model,
 		"initial_median": sm.InitialMedian,
 	})
+}
+
+// handleAdminModels lists the registry's published versions with the active
+// one marked — the operator's first stop when prediction quality shifts.
+func (s *Server) handleAdminModels(w http.ResponseWriter, _ *http.Request) {
+	if s.admin == nil {
+		writeJSON(w, http.StatusNotImplemented, errorBody{Error: "model admin not enabled"})
+		return
+	}
+	versions, err := s.admin.ListModelVersions()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	if versions == nil {
+		versions = []engine.ModelVersionInfo{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"active_version": s.admin.ActiveVersion(),
+		"versions":       versions,
+	})
+}
+
+// handleAdminRollback swaps back to the previously served snapshot. 409 when
+// there is nothing to roll back to.
+func (s *Server) handleAdminRollback(w http.ResponseWriter, _ *http.Request) {
+	if s.admin == nil {
+		writeJSON(w, http.StatusNotImplemented, errorBody{Error: "model admin not enabled"})
+		return
+	}
+	v, err := s.admin.Rollback()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, engine.ErrNoPreviousModel) {
+			status = http.StatusConflict
+		}
+		writeJSON(w, status, errorBody{Error: err.Error()})
+		return
+	}
+	s.logf("httpapi: rolled back to model version %d", v)
+	writeJSON(w, http.StatusOK, map[string]any{"active_version": v})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -276,6 +276,66 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels Labels
 	return r.lookup(name, help, kindHistogram, buckets, labels).(*Histogram)
 }
 
+// GaugeFunc is a gauge whose value is computed at scrape time instead of
+// being pushed — the shape for quantities that drift with the clock (a model
+// artifact's age) where a pushed gauge would go stale between events. The
+// callback must be fast, concurrency-safe, and must not touch the registry
+// (it runs under the registry mutex during a scrape).
+type GaugeFunc struct {
+	fn atomic.Pointer[func() float64]
+}
+
+// Value evaluates the callback (0 when nil or unbound).
+func (g *GaugeFunc) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	if f := g.fn.Load(); f != nil {
+		return (*f)()
+	}
+	return 0
+}
+
+// GaugeFunc returns the named scrape-time gauge series, binding (or
+// re-binding) fn as its value source. It shares the gauge namespace: a name
+// registered as a pushed Gauge cannot be re-registered as a GaugeFunc.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) *GaugeFunc {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{
+			name:   name,
+			help:   help,
+			kind:   kindGauge,
+			series: make(map[string]any),
+			labels: make(map[string]Labels),
+		}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	} else if f.kind != kindGauge {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and gauge", name, f.kind))
+	}
+	key := renderLabels(labels)
+	if m, ok := f.series[key]; ok {
+		gf, isFunc := m.(*GaugeFunc)
+		if !isFunc {
+			panic(fmt.Sprintf("obs: metric %q series %q registered as both pushed and scrape-time gauge", name, key))
+		}
+		gf.fn.Store(&fn)
+		return gf
+	}
+	gf := &GaugeFunc{}
+	gf.fn.Store(&fn)
+	f.series[key] = gf
+	f.order = append(f.order, key)
+	f.labels[key] = cloneLabels(labels)
+	return gf
+}
+
 // renderLabels builds the canonical `{k="v",...}` suffix (sorted keys,
 // escaped values). Empty labels render as "".
 func renderLabels(labels Labels) string {

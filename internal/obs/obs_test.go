@@ -233,3 +233,44 @@ func TestTraceSummary(t *testing.T) {
 		t.Errorf("request id %q not 16 hex chars", id)
 	}
 }
+
+func TestGaugeFunc(t *testing.T) {
+	var r *Registry
+	if g := r.GaugeFunc("age", "", nil, func() float64 { return 7 }); g.Value() != 0 {
+		t.Error("nil-registry GaugeFunc not inert")
+	}
+
+	r = NewRegistry()
+	val := 3.5
+	g := r.GaugeFunc("model_age_seconds", "seconds since training", nil, func() float64 { return val })
+	if got := g.Value(); got != 3.5 {
+		t.Errorf("gauge func = %v, want 3.5", got)
+	}
+	val = 9 // scrape-time semantics: the rendered value tracks the callback
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "model_age_seconds 9") {
+		t.Errorf("scrape should evaluate the callback:\n%s", buf.String())
+	}
+
+	// Re-binding replaces the value source on the same series.
+	if again := r.GaugeFunc("model_age_seconds", "", nil, func() float64 { return 1 }); again != g {
+		t.Error("same name+labels should return the same instrument")
+	}
+	if got := g.Value(); got != 1 {
+		t.Errorf("re-bound gauge func = %v, want 1", got)
+	}
+}
+
+func TestGaugeFuncPushedMixPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("m", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("registering a pushed gauge series as a GaugeFunc should panic")
+		}
+	}()
+	r.GaugeFunc("m", "", nil, func() float64 { return 0 })
+}

@@ -34,6 +34,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				fmt.Fprintf(bw, "%s%s %d\n", f.name, key, m.Value())
 			case *Gauge:
 				fmt.Fprintf(bw, "%s%s %s\n", f.name, key, formatFloat(m.Value()))
+			case *GaugeFunc:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, key, formatFloat(m.Value()))
 			case *Histogram:
 				labels := f.labels[key]
 				var cum uint64

@@ -1,0 +1,52 @@
+package registry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"cs2p/internal/core"
+)
+
+// FuzzLoadArtifact mutates the (manifest, model) pair a registry Get reads
+// off disk. The contract: any corruption — truncated files, bit flips,
+// trailing garbage, mismatched checksums — yields an error, never a panic
+// and never a half-installed artifact.
+func FuzzLoadArtifact(f *testing.F) {
+	var modelBuf bytes.Buffer
+	if err := testStore(2.5).Save(&modelBuf); err != nil {
+		f.Fatal(err)
+	}
+	modelJSON := modelBuf.Bytes()
+	m := core.NewManifest(1, modelJSON, testMeta(42))
+	manifestJSON, err := json.Marshal(m)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(manifestJSON, modelJSON)
+	f.Add(manifestJSON[:len(manifestJSON)/2], modelJSON)                // truncated manifest
+	f.Add(manifestJSON, modelJSON[:len(modelJSON)/2])                   // truncated payload
+	f.Add(append([]byte(nil), append(manifestJSON, '!')...), modelJSON) // trailing garbage
+	flipped := append([]byte(nil), modelJSON...)
+	flipped[len(flipped)/3] ^= 0x08
+	f.Add(manifestJSON, flipped) // bit-flipped payload
+	f.Add([]byte("{}"), []byte("{}"))
+	f.Fuzz(func(t *testing.T, manifest, model []byte) {
+		a, err := core.LoadArtifact(manifest, model)
+		if err != nil {
+			if a != nil {
+				t.Fatal("error return must not hand back an artifact")
+			}
+			return
+		}
+		if a.Store == nil {
+			t.Fatal("accepted artifact must carry a store")
+		}
+		if verr := a.Store.Validate(); verr != nil {
+			t.Fatalf("accepted artifact fails store validation: %v", verr)
+		}
+		if verr := a.Manifest.Validate(); verr != nil {
+			t.Fatalf("accepted artifact fails manifest validation: %v", verr)
+		}
+	})
+}

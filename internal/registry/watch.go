@@ -1,0 +1,66 @@
+package registry
+
+import (
+	"context"
+	"time"
+
+	"cs2p/internal/core"
+)
+
+// WatchEvent is one Watch notification: either a newly published artifact or
+// a load error (a version appeared but failed verification — the watcher
+// reports it and keeps polling; a later good version still comes through).
+type WatchEvent struct {
+	Artifact *core.Artifact
+	Err      error
+}
+
+// Watch polls the registry every interval and delivers each version newer
+// than after, in order, fully verified. The channel closes when ctx is done.
+// Polling (rather than inotify) keeps the registry portable across
+// filesystems — including network mounts, the realistic transport between a
+// training host and video servers — and the interval bounds staleness the
+// same way the paper's daily model push does, just faster.
+func (r *Registry) Watch(ctx context.Context, interval time.Duration, after uint64) <-chan WatchEvent {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	ch := make(chan WatchEvent)
+	go func() {
+		defer close(ch)
+		last := after
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+			}
+			vs, err := r.Versions()
+			if err != nil {
+				continue // transient read error: keep polling
+			}
+			// Deliver every new version in order, not just the newest: a
+			// gate or audit log downstream wants the full sequence. Pruned
+			// gaps simply don't appear in vs.
+			for _, v := range vs {
+				if v <= last {
+					continue
+				}
+				a, err := r.Get(v)
+				ev := WatchEvent{Artifact: a, Err: err}
+				if err != nil {
+					ev.Artifact = nil
+				}
+				select {
+				case <-ctx.Done():
+					return
+				case ch <- ev:
+				}
+				last = v
+			}
+		}
+	}()
+	return ch
+}
