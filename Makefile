@@ -3,7 +3,7 @@
 # and its consumers, plus the serving stack and the fault-injection suite).
 
 GO ?= go
-RACE_PKGS := ./internal/parallel ./internal/core ./internal/hmm ./internal/cluster ./internal/engine ./internal/httpapi ./internal/faultinject ./internal/obs ./internal/sessionstore ./internal/registry
+RACE_PKGS := ./internal/parallel ./internal/core ./internal/hmm ./internal/cluster ./internal/engine ./internal/httpapi ./internal/faultinject ./internal/obs ./internal/sessionstore ./internal/registry ./internal/wire
 
 # COVER_FLOOR is the minimum total statement coverage `make cover` accepts.
 # The seed measured 85.3%; the floor leaves one point of slack for noise.
@@ -35,11 +35,13 @@ chaos:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkHMMTrain$$|BenchmarkEngineTrain|BenchmarkClusterSelect' -benchmem .
 
-# Serving-path contention benchmark: mixed start/observe/predict traffic
-# through the sharded session store at shards=1/4/16, allocation-counted,
-# rendered as test2json events for trend tooling. See DESIGN.md §10.
+# Serving-path benchmarks: mixed start/observe/predict traffic through the
+# sharded session store at shards=1/4/16 (engine), plus the JSON-vs-binary
+# wire comparison through the full handler stack at batch sizes 1/16/64
+# (httpapi). Allocation-counted, rendered as test2json events for trend
+# tooling. See DESIGN.md §10 and §12.
 bench-serve:
-	$(GO) test -run '^$$' -bench BenchmarkServiceConcurrent -benchmem -json ./internal/engine > BENCH_serve.json
+	$(GO) test -run '^$$' -bench 'BenchmarkServiceConcurrent|BenchmarkWireServe' -benchmem -json ./internal/engine ./internal/httpapi > BENCH_serve.json
 	@awk -F'"Output":"' 'NF>1 { s=$$2; sub(/"}$$/,"",s); if (s ~ /^Benchmark.*\\t$$/) { gsub(/\\t/,"",s); printf "%s", s } else if (s ~ /ns\/op/) { gsub(/\\t/,"  ",s); gsub(/\\n/,"",s); print s } }' BENCH_serve.json
 
 # Total statement coverage across every package, gated on COVER_FLOOR.
@@ -51,12 +53,14 @@ cover:
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 >= f+0) ? 0 : 1 }' || \
 	{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
 
-# Short fuzz pass over the HTTP JSON decoders and the model-artifact loaders
-# (CI runs this; longer local runs: go test -fuzz FuzzLoadArtifact
-# -fuzztime 5m ./internal/registry).
+# Short fuzz pass over the HTTP JSON decoders, the binary wire decoders, and
+# the model-artifact loaders (CI runs this; longer local runs: go test -fuzz
+# FuzzLoadArtifact -fuzztime 5m ./internal/registry).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzStartSession -fuzztime=10s ./internal/httpapi
 	$(GO) test -run '^$$' -fuzz FuzzObserve -fuzztime=10s ./internal/httpapi
+	$(GO) test -run '^$$' -fuzz FuzzBatchRequest -fuzztime=10s ./internal/httpapi
+	$(GO) test -run '^$$' -fuzz FuzzWireDecode -fuzztime=10s ./internal/wire
 	$(GO) test -run '^$$' -fuzz FuzzLoadModelStore -fuzztime=10s ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzLoadArtifact -fuzztime=10s ./internal/registry
 

@@ -36,6 +36,7 @@ func main() {
 		breakerFails    = flag.Int("breaker-threshold", 3, "consecutive failures before the circuit opens")
 		breakerCooldown = flag.Duration("breaker-cooldown", 2*time.Second, "open-circuit probe interval")
 		localFallback   = flag.Bool("local-fallback", true, "fetch the cluster model at start and serve it when the service is unreachable")
+		wireBinary      = flag.Bool("wire-binary", false, "use the binary /v2 wire protocol for the per-chunk observe/predict round trip")
 	)
 	flag.Parse()
 	if *tracePath == "" {
@@ -51,6 +52,7 @@ func main() {
 		fatalf("reading trace: %v", err)
 	}
 	client := httpapi.NewClient(*server)
+	client.SetWireBinary(*wireBinary)
 	if err := client.Healthz(); err != nil {
 		fatalf("server not reachable: %v", err)
 	}

@@ -17,7 +17,8 @@
 //
 // Endpoints: POST /v1/session/start, POST /v1/predict, POST /v1/log,
 // GET /v1/model, GET /v1/admin/models, POST /v1/admin/rollback,
-// GET /v1/healthz.
+// GET /v1/healthz; with -wire (the default) also the binary protocol at
+// POST /v2/observe, /v2/predict, /v2/batch (DESIGN.md §12).
 package main
 
 import (
@@ -60,6 +61,8 @@ func main() {
 		shards       = flag.Int("shards", 0, "session-store shards, rounded up to a power of two (0 = scale with GOMAXPROCS)")
 		debugAddr    = flag.String("debug-addr", "", "serve /debug/pprof, /metrics and /healthz on this private address (empty disables)")
 		traceReqs    = flag.Bool("trace-requests", false, "log a per-request stage-timing line with the request id")
+		wireOn       = flag.Bool("wire", true, "serve the binary /v2 wire protocol (observe/predict/batch) alongside JSON v1")
+		maxBatch     = flag.Int("max-batch-ops", 1024, "maximum ops accepted in one /v2/batch frame")
 	)
 	flag.Parse()
 	if *tracePath == "" && *modelDir == "" {
@@ -203,12 +206,14 @@ func main() {
 	srv.SetLogf(logf)
 	srv.SetMetrics(reg)
 	srv.SetTraceRequests(*traceReqs)
+	srv.SetWireEnabled(*wireOn)
 	if modelReg != nil {
 		srv.SetAdmin(&engine.RegistryAdmin{Svc: svc, Reg: modelReg})
 	}
 	scfg := httpapi.DefaultServerConfig()
 	scfg.RequestTimeout = *reqTimeout
 	scfg.MaxBodyBytes = *maxBody
+	scfg.MaxBatchOps = *maxBatch
 	srv.SetConfig(scfg)
 
 	// The debug listener carries pprof and is meant for a private interface;

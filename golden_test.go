@@ -19,6 +19,7 @@ import (
 	"cs2p/internal/trace"
 	"cs2p/internal/tracegen"
 	"cs2p/internal/video"
+	"cs2p/internal/wire"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files instead of comparing")
@@ -62,7 +63,13 @@ func goldenReplay(t *testing.T, shards int) (string, []engine.SessionLog) {
 // comparable byte for byte.
 func driveReplay(t *testing.T, ts *httptest.Server, header string, test *trace.Dataset) string {
 	t.Helper()
-	client := httpapi.NewClient(ts.URL)
+	return driveReplayWith(t, httpapi.NewClient(ts.URL), header, test)
+}
+
+// driveReplayWith is driveReplay with a caller-configured client, so the
+// same protocol can be driven over JSON v1 or the binary v2 encoding.
+func driveReplayWith(t *testing.T, client *httpapi.Client, header string, test *trace.Dataset) string {
+	t.Helper()
 	var b strings.Builder
 	b.WriteString(header)
 	for i, s := range test.Sessions[:4] {
@@ -100,6 +107,149 @@ func driveReplay(t *testing.T, ts *httptest.Server, header string, test *trace.D
 		}
 	}
 	return b.String()
+}
+
+// driveReplayBatched replays the golden protocol over /v2/batch: the four
+// sessions advance in lockstep, each epoch's observations for every
+// still-live session travelling in one binary batch, and the horizon-3
+// queries in one final batch. Per-session prediction state is independent of
+// other sessions, so the lockstep interleaving must render bit-identically
+// to the sequential single-op drives.
+func driveReplayBatched(t *testing.T, ts *httptest.Server, header string, test *trace.Dataset) string {
+	t.Helper()
+	client := httpapi.NewClient(ts.URL)
+	sessions := test.Sessions[:4]
+	type replayState struct {
+		id    string
+		start engine.StartResponse
+		n     int
+		preds []float64
+	}
+	states := make([]*replayState, len(sessions))
+	for i, s := range sessions {
+		id := fmt.Sprintf("golden-%d", i)
+		start, err := client.StartSession(id, s.Features, s.StartUnix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := len(s.Throughput)
+		if n > 12 {
+			n = 12
+		}
+		states[i] = &replayState{id: id, start: start, n: n}
+	}
+	for j := 0; ; j++ {
+		var ops []wire.Op
+		var idx []int
+		for i, st := range states {
+			if j < st.n {
+				ops = append(ops, wire.Op{
+					SessionID:    []byte(st.id),
+					ObservedMbps: sessions[i].Throughput[j],
+					Horizon:      1,
+					HasObserve:   true,
+				})
+				idx = append(idx, i)
+			}
+		}
+		if len(ops) == 0 {
+			break
+		}
+		res, _, err := client.Batch(ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, r := range res {
+			if r.Code != wire.OpOK {
+				t.Fatalf("epoch %d op %d (session %s): code %d", j, k, states[idx[k]].id, r.Code)
+			}
+			if math.IsNaN(r.PredictionMbps) {
+				t.Fatalf("epoch %d op %d: NaN prediction", j, k)
+			}
+			states[idx[k]].preds = append(states[idx[k]].preds, r.PredictionMbps)
+		}
+	}
+	h3 := make([]wire.Op, len(states))
+	for i, st := range states {
+		h3[i] = wire.Op{SessionID: []byte(st.id), Horizon: 3}
+	}
+	h3res, _, err := client.Batch(h3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Assemble the exact sequential rendering, then end each session the same
+	// way driveReplayWith does.
+	var b strings.Builder
+	b.WriteString(header)
+	for i, st := range states {
+		fmt.Fprintf(&b, "session %d cluster=%s init=%.10g level=%d\n",
+			i, st.start.ClusterID, st.start.InitialPredictionMbps, st.start.SuggestedInitialLevel)
+		var pred float64
+		for j, w := range sessions[i].Throughput[:st.n] {
+			pred = st.preds[j]
+			fmt.Fprintf(&b, "  s%d c%d obs=%.10g pred=%.10g\n", i, j, w, pred)
+		}
+		if h3res[i].Code != wire.OpOK {
+			t.Fatalf("session %d horizon3 code %d", i, h3res[i].Code)
+		}
+		fmt.Fprintf(&b, "session %d horizon3=%.10g\n", i, h3res[i].PredictionMbps)
+		if err := client.Log(engine.SessionLog{SessionID: st.id, QoE: pred}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.String()
+}
+
+// TestGoldenReplayWireParity pins the encoding-neutrality contract of the
+// /v2 binary protocol: the same trained server, driven through JSON v1,
+// single-op binary v2, and batched v2, must produce bit-identical renderings
+// — and all three must match the unchanged golden file. Wire framing is
+// allowed to change how bytes travel, never what the model answers.
+func TestGoldenReplayWireParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wire parity replay trains a model; slow for -short")
+	}
+	cfg := tracegen.SmallConfig()
+	cfg.Sessions = 300
+	d, _ := tracegen.Generate(cfg)
+	cut := d.Sessions[d.Len()*2/3].Start()
+	train, test := d.SplitByTime(cut)
+	ecfg := core.DefaultConfig()
+	ecfg.Cluster.MinGroupSize = 10
+	ecfg.HMM.NStates = 3
+	ecfg.HMM.MaxIters = 12
+	eng, err := core.Train(train, ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := engine.NewServiceWithOptions(eng, ecfg, video.Default(), engine.ServiceOptions{Shards: 1})
+	srv := httpapi.NewServer(svc, func(e *core.Engine) *core.ModelStore { return e.Export(train) })
+	srv.SetLogf(func(string, ...any) {})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	header := fmt.Sprintf("trace sessions=%d train=%d test=%d clusters=%d\n",
+		d.Len(), train.Len(), test.Len(), eng.Clusters())
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_replay.txt"))
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	// Each drive re-registers the golden-N sessions (a duplicate start resets
+	// the per-session filter), so the three runs are independent replays
+	// against one trained model.
+	jsonGot := driveReplay(t, ts, header, test)
+	if jsonGot != string(want) {
+		t.Errorf("JSON v1 replay diverged from golden file\ngot:\n%s\nwant:\n%s", jsonGot, string(want))
+	}
+	bc := httpapi.NewClient(ts.URL)
+	bc.SetWireBinary(true)
+	binGot := driveReplayWith(t, bc, header, test)
+	if binGot != string(want) {
+		t.Errorf("binary v2 replay diverged from golden file\ngot:\n%s\nwant:\n%s", binGot, string(want))
+	}
+	batGot := driveReplayBatched(t, ts, header, test)
+	if batGot != string(want) {
+		t.Errorf("batched v2 replay diverged from golden file\ngot:\n%s\nwant:\n%s", batGot, string(want))
+	}
 }
 
 // TestGoldenReplay replays the full pipeline twice: the two live runs must

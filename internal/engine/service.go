@@ -330,13 +330,19 @@ func (s *Service) ObserveAndPredict(id string, observedMbps float64, horizon int
 	}
 	s.lockSession(st)
 	defer st.mu.Unlock()
+	return s.observeLocked(st, observedMbps, horizon), nil
+}
+
+// observeLocked runs one observe+predict epoch on a session whose lock the
+// caller holds — the shared core of the JSON, binary, and batched paths.
+func (s *Service) observeLocked(st *sessionState, observedMbps float64, horizon int) float64 {
 	st.pred.Observe(observedMbps)
 	pred := st.pred.PredictAhead(horizon)
 	if s.m.enabled() {
 		s.recordEpoch(st, observedMbps, horizon, pred)
 	}
 	st.epoch++
-	return pred, nil
+	return pred
 }
 
 // recordEpoch feeds the prediction-quality pipeline after one observation:

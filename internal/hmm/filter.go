@@ -29,6 +29,11 @@ type Filter struct {
 	post    []float64 // pi_{t|t}: posterior after the last observation
 	started bool      // false until the first Observe
 	scratch []float64
+	// dist/next are the k-step push buffers PredictAhead works in. They are
+	// preallocated once per filter (i.e. once per session) so the serving
+	// hot path — one PredictAhead per chunk — allocates nothing. Both are
+	// scratch: no state survives in them between calls.
+	dist, next []float64
 }
 
 // NewFilter creates a filter with the posterior initialized to the model's
@@ -39,6 +44,8 @@ func NewFilter(m *Model) *Filter {
 		rule:    PredictMLE,
 		post:    append([]float64(nil), m.Pi...),
 		scratch: make([]float64, m.N()),
+		dist:    make([]float64, m.N()),
+		next:    make([]float64, m.N()),
 	}
 }
 
@@ -73,15 +80,18 @@ func (f *Filter) PosteriorEntropyBits() float64 {
 
 // Predict estimates the next epoch's throughput. Before any observation the
 // state distribution is pi_0 itself; afterwards it is the one-step push
-// pi_{t|t-1} = pi_{t-1|t-1} P (Algorithm 1 lines 7-8). Predict does not
-// mutate filter state.
+// pi_{t|t-1} = pi_{t-1|t-1} P (Algorithm 1 lines 7-8). Predict never changes
+// the posterior (only private scratch), but like every Filter method it is
+// not safe for concurrent use.
 func (f *Filter) Predict() float64 {
 	return f.PredictAhead(1)
 }
 
 // PredictAhead estimates the throughput k epochs ahead (k >= 1). Figure 9c
 // evaluates horizons up to 10. The state distribution advances k-1 extra
-// transition steps beyond the one-step prediction.
+// transition steps beyond the one-step prediction. The pushes run entirely
+// in the filter's preallocated scratch, so the per-chunk serving path
+// allocates nothing here.
 func (f *Filter) PredictAhead(k int) float64 {
 	if k < 1 {
 		k = 1
@@ -92,8 +102,8 @@ func (f *Filter) PredictAhead(k int) float64 {
 		// pi_0 advanced k-1 steps.
 		steps = k - 1
 	}
-	dist := append([]float64(nil), f.post...)
-	next := make([]float64, len(dist))
+	dist, next := f.dist, f.next
+	copy(dist, f.post)
 	for s := 0; s < steps; s++ {
 		f.model.Trans.VecMat(dist, next)
 		dist, next = next, dist

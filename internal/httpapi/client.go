@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"sync"
@@ -14,6 +15,7 @@ import (
 	"cs2p/internal/engine"
 	"cs2p/internal/obs"
 	"cs2p/internal/trace"
+	"cs2p/internal/wire"
 )
 
 // StatusError is a non-2xx reply from the prediction service. Callers use
@@ -53,6 +55,9 @@ type Client struct {
 	modelCache map[string]cachedModel
 	downloads  atomic.Uint64
 	notMod     atomic.Uint64
+	// wireBinary routes the per-chunk predict round trip over the /v2
+	// binary protocol instead of JSON v1.
+	wireBinary bool
 }
 
 // cachedModel is one validated /v1/model payload with the ETag it arrived
@@ -133,6 +138,89 @@ func (c *Client) post(path string, req, resp any) error {
 	return nil
 }
 
+// SetWireBinary switches the per-chunk observe/predict round trip onto the
+// /v2 binary protocol. Session start and the end-of-session log stay on
+// JSON v1 regardless — they run once per playback, not once per chunk, and
+// v2 deliberately has no message types for them. Predictions are
+// bit-identical across the two encodings (both carry IEEE-754 doubles
+// unquantized); only the framing changes.
+func (c *Client) SetWireBinary(on bool) { c.wireBinary = on }
+
+// WireBinary reports whether the binary /v2 round trip is enabled.
+func (c *Client) WireBinary() bool { return c.wireBinary }
+
+// postWire posts one binary frame and decodes the response frame. A
+// MsgError response (or an undecodable body) becomes a *StatusError, so
+// callers and the resilient ladder see the same error taxonomy as JSON v1.
+func (c *Client) postWire(path string, frame []byte) (wire.Frame, error) {
+	hreq, err := http.NewRequest(http.MethodPost, c.base+path, bytes.NewReader(frame))
+	if err != nil {
+		return wire.Frame{}, fmt.Errorf("httpapi client: building request: %w", err)
+	}
+	hreq.Header.Set("Content-Type", wire.ContentType)
+	r, err := c.hc.Do(hreq)
+	if err != nil {
+		return wire.Frame{}, fmt.Errorf("httpapi client: POST %s: %w", path, err)
+	}
+	defer r.Body.Close()
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return wire.Frame{}, fmt.Errorf("httpapi client: reading response: %w", err)
+	}
+	f, derr := wire.DecodeFrame(body, wire.Limits{MaxFrameBytes: len(body) + wire.HeaderLen})
+	if derr != nil {
+		return wire.Frame{}, &StatusError{Status: r.StatusCode, Path: "POST " + path, Msg: "undecodable wire response: " + derr.Error()}
+	}
+	if f.Type == wire.MsgError {
+		status, msg, _ := wire.DecodeError(f.Payload)
+		if status == 0 {
+			status = r.StatusCode
+		}
+		return wire.Frame{}, &StatusError{Status: status, Path: "POST " + path, Msg: string(msg)}
+	}
+	return f, nil
+}
+
+// wireOp runs one single-op binary round trip.
+func (c *Client) wireOp(path string, op wire.Op) (float64, error) {
+	f, err := c.postWire(path, wire.AppendOp(nil, op))
+	if err != nil {
+		return 0, err
+	}
+	if f.Type != wire.MsgPrediction {
+		return 0, fmt.Errorf("httpapi client: POST %s: unexpected frame type 0x%02x", path, byte(f.Type))
+	}
+	return wire.DecodePrediction(f.Payload)
+}
+
+// clampHorizon narrows an int horizon to the wire field width; the server
+// rejects anything beyond its MaxHorizon long before this bound matters.
+func clampHorizon(h int) uint16 {
+	if h < 0 {
+		return 0
+	}
+	if h > math.MaxUint16 {
+		return math.MaxUint16
+	}
+	return uint16(h)
+}
+
+// Batch posts interleaved observe/predict ops to /v2/batch (always binary)
+// and returns the index-aligned per-op results plus the model generation the
+// whole batch was served under. Per-op failures are codes in the results,
+// not an error: partial failure is the normal case when multiplexing many
+// sessions.
+func (c *Client) Batch(ops []wire.Op) ([]wire.OpResult, uint64, error) {
+	f, err := c.postWire("/v2/batch", wire.AppendBatch(nil, ops))
+	if err != nil {
+		return nil, 0, err
+	}
+	if f.Type != wire.MsgBatchResult {
+		return nil, 0, fmt.Errorf("httpapi client: POST /v2/batch: unexpected frame type 0x%02x", byte(f.Type))
+	}
+	return wire.DecodeBatchResult(f.Payload, wire.Limits{}, nil)
+}
+
 // StartSession opens a session and returns the server's initial guidance.
 func (c *Client) StartSession(id string, f trace.Features, startUnix int64) (engine.StartResponse, error) {
 	var resp engine.StartResponse
@@ -145,6 +233,14 @@ func (c *Client) StartSession(id string, f trace.Features, startUnix int64) (eng
 // observation into the session filter twice, so the resilient layer never
 // blind-retries it.
 func (c *Client) ObserveAndPredict(id string, observedMbps float64, horizon int) (float64, error) {
+	if c.wireBinary {
+		return c.wireOp("/v2/observe", wire.Op{
+			SessionID:    []byte(id),
+			ObservedMbps: observedMbps,
+			Horizon:      clampHorizon(horizon),
+			HasObserve:   true,
+		})
+	}
 	var resp PredictResponse
 	err := c.post("/v1/predict", PredictRequest{SessionID: id, ObservedMbps: &observedMbps, Horizon: horizon}, &resp)
 	return resp.PredictionMbps, err
@@ -153,6 +249,9 @@ func (c *Client) ObserveAndPredict(id string, observedMbps float64, horizon int)
 // PredictAt queries the current prediction at a horizon without reporting a
 // new observation. Idempotent (no session state changes).
 func (c *Client) PredictAt(id string, horizon int) (float64, error) {
+	if c.wireBinary {
+		return c.wireOp("/v2/predict", wire.Op{SessionID: []byte(id), Horizon: clampHorizon(horizon)})
+	}
 	var resp PredictResponse
 	err := c.post("/v1/predict", PredictRequest{SessionID: id, Horizon: horizon}, &resp)
 	return resp.PredictionMbps, err

@@ -13,6 +13,7 @@ import (
 	"cs2p/internal/engine"
 	"cs2p/internal/tracegen"
 	"cs2p/internal/video"
+	"cs2p/internal/wire"
 )
 
 var (
@@ -71,6 +72,101 @@ func fuzzPost(t *testing.T, path string, body []byte) *httptest.ResponseRecorder
 		t.Fatalf("non-JSON response %q for %q", rec.Body.Bytes(), body)
 	}
 	return rec
+}
+
+// fuzzPostWire drives one raw binary request at a /v2 route and applies the
+// wire oracle: no panic, a status from the protocol's taxonomy, and a
+// response body that decodes as exactly one well-formed frame of a response
+// type (MsgPrediction, MsgBatchResult, or MsgError).
+func fuzzPostWire(t *testing.T, path string, body []byte) (*httptest.ResponseRecorder, wire.Frame) {
+	t.Helper()
+	srv, h := fuzzHandler()
+	before := srv.PanicCount()
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	req.Header.Set("Content-Type", wire.ContentType)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := srv.PanicCount(); got != before {
+		t.Fatalf("handler panicked on %x", body)
+	}
+	switch rec.Code {
+	case http.StatusOK, http.StatusBadRequest, http.StatusNotFound,
+		http.StatusRequestEntityTooLarge:
+	default:
+		t.Fatalf("unexpected status %d for %x", rec.Code, body)
+	}
+	f, err := wire.DecodeFrame(rec.Body.Bytes(), wire.DefaultLimits())
+	if err != nil {
+		t.Fatalf("response not a wire frame (%v) for %x", err, body)
+	}
+	switch f.Type {
+	case wire.MsgPrediction, wire.MsgBatchResult, wire.MsgError:
+	default:
+		t.Fatalf("response frame type 0x%02x is not a response type", byte(f.Type))
+	}
+	if rec.Code != http.StatusOK && f.Type != wire.MsgError {
+		t.Fatalf("status %d carried a non-error frame", rec.Code)
+	}
+	return rec, f
+}
+
+// FuzzBatchRequest fuzzes raw binary frames against POST /v2/batch: hostile
+// counts, truncated ops, oversize declarations, reserved flag bits, and
+// arbitrary mutations of valid batches must all land on a typed MsgError —
+// never a panic, an over-read, or a malformed response frame — and accepted
+// batches must answer every op.
+func FuzzBatchRequest(f *testing.F) {
+	mkOps := func(ops ...wire.Op) []byte { return wire.AppendBatch(nil, ops) }
+	f.Add(mkOps(wire.Op{SessionID: []byte("fz-bat"), ObservedMbps: 2.5, Horizon: 1, HasObserve: true}))
+	f.Add(mkOps(
+		wire.Op{SessionID: []byte("fz-bat"), ObservedMbps: 1.0, Horizon: 1, HasObserve: true},
+		wire.Op{SessionID: []byte("fz-bat"), Horizon: 3},
+		wire.Op{SessionID: []byte("nope"), Horizon: 1},
+	))
+	f.Add(mkOps(wire.Op{SessionID: []byte("fz-bat"), ObservedMbps: math.Inf(1), Horizon: 1, HasObserve: true}))
+	f.Add(mkOps(wire.Op{SessionID: []byte("fz-bat"), Horizon: 65535}))
+	f.Add(wire.AppendOp(nil, wire.Op{SessionID: []byte("fz-bat"), Horizon: 1})) // wrong type for the route
+	f.Add([]byte{0xC5, 0x2B, 1, byte(wire.MsgBatch), 0xFF, 0xFF, 0xFF, 0x7F})   // huge declared length
+	f.Add([]byte{0xC5, 0x2B, 1, byte(wire.MsgBatch), 2, 0, 0, 0, 0xFF, 0xFF})   // 65535 ops, no bodies
+	f.Add([]byte{0xC5, 0x2B, 1, byte(wire.MsgBatch), 2, 0, 0, 0, 0, 0})         // zero ops
+	f.Add([]byte{0xC5, 0x2B, 2, byte(wire.MsgBatch), 0, 0, 0, 0})               // future version
+	f.Add([]byte(`{"session_id":"fz-bat"}`))                                    // JSON at a binary route
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		fuzzPost(t, "/v1/session/start", []byte(`{"session_id":"fz-bat","start_unix":1}`))
+		rec, fr := fuzzPostWire(t, "/v2/batch", body)
+		if rec.Code != http.StatusOK {
+			return
+		}
+		if fr.Type != wire.MsgBatchResult {
+			t.Fatalf("200 response carried frame type 0x%02x", byte(fr.Type))
+		}
+		// The request had to be a decodable batch to get a 200; the response
+		// must answer exactly its ops, and every successful op must carry a
+		// usable prediction.
+		sent, err := wire.DecodeBatch(body[wire.HeaderLen:], srvFuzzLimits(), nil)
+		if err != nil {
+			t.Fatalf("200 for a batch the decoder rejects: %v", err)
+		}
+		res, _, err := wire.DecodeBatchResult(fr.Payload, wire.Limits{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != len(sent) {
+			t.Fatalf("%d results for %d ops", len(res), len(sent))
+		}
+		for i, r := range res {
+			if r.Code == wire.OpOK && (math.IsNaN(r.PredictionMbps) || math.IsInf(r.PredictionMbps, 0) || r.PredictionMbps <= 0) {
+				t.Fatalf("op %d: OK result with prediction %v", i, r.PredictionMbps)
+			}
+		}
+	})
+}
+
+// srvFuzzLimits mirrors the fuzz server's decoder bounds.
+func srvFuzzLimits() wire.Limits {
+	srv, _ := fuzzHandler()
+	return srv.wireLimits()
 }
 
 // FuzzStartSession fuzzes the POST /v1/session/start decoder and validators.

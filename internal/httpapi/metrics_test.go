@@ -12,6 +12,7 @@ import (
 	"cs2p/internal/engine"
 	"cs2p/internal/obs"
 	"cs2p/internal/video"
+	"cs2p/internal/wire"
 )
 
 // metricsServer builds a server + engine service sharing one registry, on
@@ -63,6 +64,25 @@ func TestMetricsEndpointScrape(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
+
+	// Binary wire traffic: two single ops plus one 3-op batch, so the
+	// format-split counters, the batch-size histogram, and the byte
+	// counters all have data.
+	cw := NewClient(ts.URL)
+	cw.SetWireBinary(true)
+	if _, err := cw.ObserveAndPredict("met-1", 2.0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cw.PredictAt("met-1", 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cw.Batch([]wire.Op{
+		{SessionID: []byte("met-0"), ObservedMbps: 1.5, Horizon: 1, HasObserve: true},
+		{SessionID: []byte("met-1"), Horizon: 2},
+		{SessionID: []byte("gone"), Horizon: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
 
 	// Scrape.
 	resp, err = http.Get(ts.URL + "/metrics")
@@ -117,6 +137,34 @@ func TestMetricsEndpointScrape(t *testing.T) {
 	if get(`cs2p_http_in_flight`) != 1 {
 		t.Error("in-flight gauge != 1 during the scrape")
 	}
+	// Wire-format split: the JSON predict traffic and the binary ops are
+	// counted under the same metric with a format label.
+	if got := get(`cs2p_http_wire_requests_total{format="json",route="/v1/predict"}`); got < 12 {
+		t.Errorf("json predict wire count = %v, want >= 12", got)
+	}
+	if get(`cs2p_http_wire_requests_total{format="binary",route="/v2/observe"}`) != 1 {
+		t.Error("binary observe wire count != 1")
+	}
+	if get(`cs2p_http_wire_requests_total{format="binary",route="/v2/predict"}`) != 1 {
+		t.Error("binary predict wire count != 1")
+	}
+	if get(`cs2p_http_wire_requests_total{format="binary",route="/v2/batch"}`) != 1 {
+		t.Error("binary batch wire count != 1")
+	}
+	// Batch-size histogram saw exactly one 3-op batch.
+	if get(`cs2p_http_batch_ops_count`) != 1 {
+		t.Error("batch ops histogram count != 1")
+	}
+	if get(`cs2p_http_batch_ops_sum`) != 3 {
+		t.Error("batch ops histogram sum != 3")
+	}
+	// Payload byte counters moved in both directions.
+	if get(`cs2p_http_bytes_in_total`) <= 0 {
+		t.Error("bytes-in counter did not move")
+	}
+	if get(`cs2p_http_bytes_out_total`) <= 0 {
+		t.Error("bytes-out counter did not move")
+	}
 	// Engine layer.
 	if get(`cs2p_engine_sessions_started_total`) != 2 {
 		t.Error("sessions started != 2")
@@ -145,28 +193,32 @@ func TestMetricsEndpointScrape(t *testing.T) {
 		t.Errorf("shard skew = %v, want 4 (one session on one of four shards)", got)
 	}
 	// Prediction-quality pipeline: per-epoch APE split by phase, cluster
-	// hit/fallback, posterior entropy.
-	if get(`cs2p_prediction_epochs_total`) != 10 {
-		t.Error("epochs != 10")
+	// hit/fallback, posterior entropy. 10 JSON epochs plus the one binary
+	// observe (the batch's observe hit an ended session, so no epoch).
+	if get(`cs2p_prediction_epochs_total`) != 11 {
+		t.Error("epochs != 11")
 	}
 	if get(`cs2p_prediction_ape_count{phase="initial"}`) != 2 {
 		t.Error("initial-phase APE count != 2 (one per session)")
 	}
-	if get(`cs2p_prediction_ape_count{phase="midstream"}`) != 8 {
-		t.Error("midstream-phase APE count != 8")
+	if get(`cs2p_prediction_ape_count{phase="midstream"}`) != 9 {
+		t.Error("midstream-phase APE count != 9")
 	}
 	hit, _ := obs.SampleValue(samples, `cs2p_prediction_cluster_total{source="cluster"}`)
 	fb, _ := obs.SampleValue(samples, `cs2p_prediction_cluster_total{source="global"}`)
 	if hit+fb != 2 {
 		t.Errorf("cluster hit (%v) + global fallback (%v) != sessions started", hit, fb)
 	}
-	if get(`cs2p_prediction_posterior_entropy_bits_count`) != 10 {
+	if get(`cs2p_prediction_posterior_entropy_bits_count`) != 11 {
 		t.Error("entropy observations != epochs")
 	}
 }
 
 // TestRequestIDPropagation checks the trace header contract: a client-sent
-// id is echoed back; absent one, the server mints an id.
+// id is always echoed back, but the server only MINTS ids when request
+// tracing is on — with tracing off a minted id joins nothing and its
+// allocation is pure hot-path overhead (the metrics-overhead benchmark
+// floor depends on this).
 func TestRequestIDPropagation(t *testing.T) {
 	ts, _ := metricsServer(t)
 	defer ts.Close()
@@ -185,8 +237,25 @@ func TestRequestIDPropagation(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
+	if got := resp.Header.Get(obs.RequestIDHeader); got != "" {
+		t.Errorf("tracing off: request id %q minted, want none", got)
+	}
+
+	// With tracing on, absent ids are minted (16 hex chars).
+	ensureEnv()
+	svc := engine.NewService(envEngine, envCfg, video.Default())
+	srv := NewServer(svc, nil)
+	srv.SetLogf(func(string, ...any) {})
+	srv.SetTraceRequests(true)
+	ts2 := httptest.NewServer(srv.Handler())
+	defer ts2.Close()
+	resp, err = http.Get(ts2.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
 	if got := resp.Header.Get(obs.RequestIDHeader); len(got) != 16 {
-		t.Errorf("minted request id %q, want 16 hex chars", got)
+		t.Errorf("tracing on: minted request id %q, want 16 hex chars", got)
 	}
 }
 

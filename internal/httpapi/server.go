@@ -87,6 +87,8 @@ type ServerConfig struct {
 	// found that start requests accepted megabyte feature values up to the
 	// body cap.
 	MaxFeatureLen int
+	// MaxBatchOps caps the op count in one /v2/batch frame.
+	MaxBatchOps int
 }
 
 // DefaultServerConfig returns production-shaped limits.
@@ -98,6 +100,7 @@ func DefaultServerConfig() ServerConfig {
 		MaxSessionIDLen: 256,
 		MaxObservedMbps: 1e5, // 100 Gbps
 		MaxFeatureLen:   256,
+		MaxBatchOps:     1024,
 	}
 }
 
@@ -156,6 +159,11 @@ type Server struct {
 	metrics       *obs.Registry
 	sm            *serverMetrics
 	traceRequests bool
+	// wireEnabled serves the binary /v2 routes (on by default); batch is the
+	// backend's batch entrypoint when it has one (type-asserted in NewServer,
+	// per-op fallback otherwise).
+	wireEnabled bool
+	batch       BatchService
 }
 
 // NewServer builds the HTTP facade. exporter, if non-nil, supplies the
@@ -165,12 +173,20 @@ type Server struct {
 // does), it feeds those snapshots; otherwise install one with
 // SetModelProvider or the export endpoint stays disabled.
 func NewServer(svc SessionService, exporter func(*core.Engine) *core.ModelStore) *Server {
-	s := &Server{svc: svc, cfg: DefaultServerConfig(), exporter: exporter, logf: log.Printf, sm: newServerMetrics(nil)}
+	s := &Server{svc: svc, cfg: DefaultServerConfig(), exporter: exporter, logf: log.Printf, sm: newServerMetrics(nil), wireEnabled: true}
 	if mp, ok := svc.(ModelProvider); ok {
 		s.models = mp
 	}
+	if bs, ok := svc.(BatchService); ok {
+		s.batch = bs
+	}
 	return s
 }
+
+// SetWireEnabled toggles the binary /v2 routes (call before Handler). They
+// are on by default; disabling them turns the server into a pure JSON v1
+// endpoint (v2 requests 404 through the JSON stack).
+func (s *Server) SetWireEnabled(on bool) { s.wireEnabled = on }
 
 // SetModelProvider overrides the model-plane source for GET /v1/model (call
 // before Handler). Backends whose SessionService does not itself expose
@@ -217,6 +233,9 @@ func (s *Server) SetConfig(cfg ServerConfig) {
 	if cfg.MaxFeatureLen <= 0 {
 		cfg.MaxFeatureLen = DefaultServerConfig().MaxFeatureLen
 	}
+	if cfg.MaxBatchOps <= 0 {
+		cfg.MaxBatchOps = DefaultServerConfig().MaxBatchOps
+	}
 	s.cfg = cfg
 }
 
@@ -245,6 +264,22 @@ func (s *Server) Handler() http.Handler {
 	h = s.limitBodyMiddleware(h)
 	if s.cfg.RequestTimeout > 0 {
 		h = http.TimeoutHandler(h, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
+	}
+	if s.wireEnabled {
+		// The /v2 binary routes dispatch ahead of TimeoutHandler and the
+		// body-limit wrapper: the frame header's declared length is a
+		// tighter body bound than MaxBytesReader, and TimeoutHandler's
+		// per-request goroutine plus buffered response writer are most of
+		// the JSON path's per-request allocation bill. Recovery and the
+		// metrics middleware still wrap both stacks.
+		jsonStack := h
+		h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if strings.HasPrefix(r.URL.Path, "/v2/") {
+				s.handleWire(w, r)
+				return
+			}
+			jsonStack.ServeHTTP(w, r)
+		})
 	}
 	return s.observeMiddleware(s.recoverMiddleware(h))
 }

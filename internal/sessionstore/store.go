@@ -24,6 +24,11 @@ type Store[S, L any] interface {
 	Put(id string, v *S, now time.Time) (replaced bool)
 	// Get fetches a session and refreshes its idle clock.
 	Get(id string, now time.Time) (*S, bool)
+	// GetBytes is Get keyed by raw bytes — the binary wire path's lookup.
+	// Implementations must not retain id and must not allocate for the
+	// lookup (the compiler elides the string conversion inside a direct
+	// map index), so a decoded frame's id can alias a pooled buffer.
+	GetBytes(id []byte, now time.Time) (*S, bool)
 	// Delete forgets a session, reporting whether it existed.
 	Delete(id string) bool
 	// Len returns the number of live sessions.
@@ -123,6 +128,21 @@ func fnv32a(s string) uint32 {
 	return h
 }
 
+// fnv32aBytes is fnv32a over a byte slice. Kept separate (rather than
+// converting) so the wire path hashes without a string allocation.
+func fnv32aBytes(b []byte) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(b); i++ {
+		h ^= uint32(b[i])
+		h *= prime32
+	}
+	return h
+}
+
 // ShardFor returns the shard index a session id hashes to.
 func (s *Sharded[S, L]) ShardFor(id string) int {
 	return int(fnv32a(id) & s.mask)
@@ -149,6 +169,23 @@ func (s *Sharded[S, L]) Get(id string, now time.Time) (*S, bool) {
 	sh := &s.shards[s.ShardFor(id)]
 	sh.mu.Lock()
 	e, ok := sh.m[id]
+	if ok {
+		e.lastSeen = now
+	}
+	sh.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return e.val, true
+}
+
+// GetBytes implements Store: the same lookup as Get but keyed by raw bytes,
+// allocation-free. The string conversions sit directly in the map index
+// expressions, which the compiler compiles without materializing a string.
+func (s *Sharded[S, L]) GetBytes(id []byte, now time.Time) (*S, bool) {
+	sh := &s.shards[fnv32aBytes(id)&s.mask]
+	sh.mu.Lock()
+	e, ok := sh.m[string(id)]
 	if ok {
 		e.lastSeen = now
 	}

@@ -1,0 +1,395 @@
+// Package wire is the compact binary protocol carried on the /v2 routes —
+// the serve path's answer to JSON encode/decode dominating the predict round
+// trip (DESIGN.md §12). Every frame is self-describing and bounds-checked:
+//
+//	offset  size  field
+//	0       2     magic 0xC5 0x2B
+//	2       1     schema version (currently 1)
+//	3       1     message type
+//	4       4     payload length, uint32 little-endian
+//	8       n     payload
+//
+// All numerics are fixed-width little-endian; every variable-length field
+// (session ids, error messages, batch op lists) carries an explicit length
+// that decoders check against both the configured Limits and the remaining
+// payload, so a truncated or hostile frame fails with a typed error instead
+// of a panic or an over-read. Encoders are append-style (they grow a
+// caller-owned buffer and never allocate when the buffer has capacity) and
+// decoders are zero-copy (session ids alias the input buffer), which is what
+// lets the HTTP layer serve the steady-state path from pooled scratch.
+//
+// Evolution rules: the version byte is bumped only for incompatible layout
+// changes (decoders reject unknown versions with ErrVersion); new message
+// types extend the protocol compatibly (decoders reject unknown types with
+// ErrUnknownType, so an old server answers a new client with a clean error
+// rather than misparsing); within a version, payload layouts are frozen.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// Version is the schema version this package encodes and accepts.
+const Version = 1
+
+// HeaderLen is the fixed frame header size.
+const HeaderLen = 8
+
+// The frame magic: two bytes no JSON document can start with, so a client
+// that POSTs JSON at a /v2 route is rejected immediately and typed-ly.
+const (
+	magic0 = 0xC5
+	magic1 = 0x2B
+)
+
+// ContentType is the HTTP media type the /v2 routes speak.
+const ContentType = "application/x-cs2p-wire"
+
+// MsgType identifies a frame's payload layout.
+type MsgType uint8
+
+// Message types of schema version 1.
+const (
+	// MsgOp is a single observe/predict operation (request).
+	MsgOp MsgType = 0x01
+	// MsgPrediction is a single prediction (response).
+	MsgPrediction MsgType = 0x02
+	// MsgBatch is a sequence of interleaved observe/predict ops (request).
+	MsgBatch MsgType = 0x03
+	// MsgBatchResult is the per-op result sequence (response).
+	MsgBatchResult MsgType = 0x04
+	// MsgError is a typed failure (response): an HTTP-aligned status code
+	// plus a short message.
+	MsgError MsgType = 0x05
+)
+
+// Typed decode errors. Handlers map them to 400s; fuzzing asserts every
+// malformed input lands on exactly one of these (never a panic).
+var (
+	ErrBadMagic     = errors.New("wire: bad magic")
+	ErrVersion      = errors.New("wire: unsupported schema version")
+	ErrUnknownType  = errors.New("wire: unknown message type")
+	ErrTruncated    = errors.New("wire: truncated frame")
+	ErrOversize     = errors.New("wire: length exceeds limit")
+	ErrTrailingData = errors.New("wire: trailing bytes after payload")
+	ErrBadValue     = errors.New("wire: invalid field value")
+)
+
+// Limits bounds every variable-length field a decoder will accept. The
+// zero value is unusable; start from DefaultLimits.
+type Limits struct {
+	// MaxFrameBytes caps the total frame size (header + payload).
+	MaxFrameBytes int
+	// MaxSessionIDLen caps one session id.
+	MaxSessionIDLen int
+	// MaxBatchOps caps the op count in one batch frame.
+	MaxBatchOps int
+}
+
+// DefaultLimits mirrors the HTTP layer's hardening defaults.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxFrameBytes:   1 << 20,
+		MaxSessionIDLen: 256,
+		MaxBatchOps:     1024,
+	}
+}
+
+// Op is one observe/predict operation. HasObserve distinguishes the
+// stateful observe+predict round trip (the per-chunk call) from the
+// stateless multi-horizon query. SessionID aliases the decoded frame's
+// buffer — it is valid only until the buffer is reused.
+type Op struct {
+	SessionID    []byte
+	ObservedMbps float64
+	Horizon      uint16
+	HasObserve   bool
+}
+
+// opFixedLen is the fixed-width prefix of one encoded op:
+// flags(1) + horizon(2) + observed(8) + idlen(2).
+const opFixedLen = 1 + 2 + 8 + 2
+
+const flagHasObserve = 0x01
+
+// Result codes for batch ops. 0 is success; nonzero codes name the
+// per-op failure without carrying an allocation-heavy error string.
+const (
+	OpOK             uint8 = 0
+	OpUnknownSession uint8 = 1
+	OpInvalid        uint8 = 2
+)
+
+// OpResult is one batch op's outcome.
+type OpResult struct {
+	PredictionMbps float64
+	Code           uint8
+}
+
+// opResultLen is one encoded result: code(1) + prediction(8).
+const opResultLen = 1 + 8
+
+// Frame is a decoded header plus its payload slice (aliasing the input).
+type Frame struct {
+	Type    MsgType
+	Payload []byte
+}
+
+// appendHeader writes the 8-byte header with a zero length; the caller
+// patches the length once the payload is appended.
+func appendHeader(dst []byte, t MsgType) []byte {
+	return append(dst, magic0, magic1, Version, byte(t), 0, 0, 0, 0)
+}
+
+// patchLen stamps the payload length into the header that starts at off.
+func patchLen(b []byte, off int) []byte {
+	binary.LittleEndian.PutUint32(b[off+4:off+8], uint32(len(b)-off-HeaderLen))
+	return b
+}
+
+// PeekHeader validates the fixed header fields of a frame whose payload has
+// not been read yet and returns the declared payload length. Streaming
+// readers (the HTTP handlers) use it to reject bad magic, wrong versions,
+// unknown types, and oversize declarations before buffering a single payload
+// byte; DecodeFrame performs the same checks plus the exact-length check once
+// the payload is in hand.
+func PeekHeader(hdr []byte, lim Limits) (MsgType, int, error) {
+	if len(hdr) < HeaderLen {
+		return 0, 0, ErrTruncated
+	}
+	if hdr[0] != magic0 || hdr[1] != magic1 {
+		return 0, 0, ErrBadMagic
+	}
+	if hdr[2] != Version {
+		return 0, 0, ErrVersion
+	}
+	t := MsgType(hdr[3])
+	switch t {
+	case MsgOp, MsgPrediction, MsgBatch, MsgBatchResult, MsgError:
+	default:
+		return 0, 0, ErrUnknownType
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[4:8]))
+	if lim.MaxFrameBytes > 0 && HeaderLen+n > lim.MaxFrameBytes {
+		return 0, 0, ErrOversize
+	}
+	return t, n, nil
+}
+
+// DecodeFrame validates the header and bounds and returns the typed payload
+// view. The frame must be exactly one message: trailing bytes are an error
+// (the HTTP body is the outer length delimiter, so any excess is garbage).
+func DecodeFrame(b []byte, lim Limits) (Frame, error) {
+	t, n, err := PeekHeader(b, lim)
+	if err != nil {
+		return Frame{}, err
+	}
+	if lim.MaxFrameBytes > 0 && len(b) > lim.MaxFrameBytes {
+		return Frame{}, ErrOversize
+	}
+	if len(b) < HeaderLen+n {
+		return Frame{}, ErrTruncated
+	}
+	if len(b) > HeaderLen+n {
+		return Frame{}, ErrTrailingData
+	}
+	return Frame{Type: t, Payload: b[HeaderLen:]}, nil
+}
+
+// AppendOp encodes a single-op request frame (MsgOp).
+func AppendOp(dst []byte, op Op) []byte {
+	off := len(dst)
+	dst = appendHeader(dst, MsgOp)
+	dst = appendOpBody(dst, op)
+	return patchLen(dst, off)
+}
+
+func appendOpBody(dst []byte, op Op) []byte {
+	var flags byte
+	if op.HasObserve {
+		flags |= flagHasObserve
+	}
+	dst = append(dst, flags)
+	dst = binary.LittleEndian.AppendUint16(dst, op.Horizon)
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(op.ObservedMbps))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(op.SessionID)))
+	return append(dst, op.SessionID...)
+}
+
+// decodeOpBody reads one op starting at b[i], returning the next offset.
+func decodeOpBody(b []byte, i int, lim Limits) (Op, int, error) {
+	if len(b)-i < opFixedLen {
+		return Op{}, 0, ErrTruncated
+	}
+	// Reserved flag bits must be zero: a future version can claim them
+	// without old decoders silently misreading new frames.
+	if b[i]&^flagHasObserve != 0 {
+		return Op{}, 0, ErrBadValue
+	}
+	var op Op
+	op.HasObserve = b[i]&flagHasObserve != 0
+	op.Horizon = binary.LittleEndian.Uint16(b[i+1 : i+3])
+	op.ObservedMbps = math.Float64frombits(binary.LittleEndian.Uint64(b[i+3 : i+11]))
+	idLen := int(binary.LittleEndian.Uint16(b[i+11 : i+13]))
+	if idLen == 0 {
+		return Op{}, 0, ErrBadValue
+	}
+	if lim.MaxSessionIDLen > 0 && idLen > lim.MaxSessionIDLen {
+		return Op{}, 0, ErrOversize
+	}
+	i += opFixedLen
+	if len(b)-i < idLen {
+		return Op{}, 0, ErrTruncated
+	}
+	op.SessionID = b[i : i+idLen]
+	return op, i + idLen, nil
+}
+
+// DecodeOp decodes a MsgOp payload.
+func DecodeOp(payload []byte, lim Limits) (Op, error) {
+	op, n, err := decodeOpBody(payload, 0, lim)
+	if err != nil {
+		return Op{}, err
+	}
+	if n != len(payload) {
+		return Op{}, ErrTrailingData
+	}
+	return op, nil
+}
+
+// AppendPrediction encodes a single-prediction response frame.
+func AppendPrediction(dst []byte, mbps float64) []byte {
+	off := len(dst)
+	dst = appendHeader(dst, MsgPrediction)
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(mbps))
+	return patchLen(dst, off)
+}
+
+// DecodePrediction decodes a MsgPrediction payload.
+func DecodePrediction(payload []byte) (float64, error) {
+	if len(payload) != 8 {
+		if len(payload) < 8 {
+			return 0, ErrTruncated
+		}
+		return 0, ErrTrailingData
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(payload)), nil
+}
+
+// AppendBatch encodes a batch request frame: count(2) then the ops,
+// applied by the server in order (per-session sub-order is what matters
+// to the HMM filters; ops for different sessions are independent).
+func AppendBatch(dst []byte, ops []Op) []byte {
+	off := len(dst)
+	dst = appendHeader(dst, MsgBatch)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(ops)))
+	for _, op := range ops {
+		dst = appendOpBody(dst, op)
+	}
+	return patchLen(dst, off)
+}
+
+// DecodeBatch decodes a MsgBatch payload, appending the ops to dst (reuse a
+// pooled slice to keep the steady state allocation-free). Session ids alias
+// payload.
+func DecodeBatch(payload []byte, lim Limits, dst []Op) ([]Op, error) {
+	if len(payload) < 2 {
+		return dst, ErrTruncated
+	}
+	count := int(binary.LittleEndian.Uint16(payload[:2]))
+	if count == 0 {
+		return dst, ErrBadValue
+	}
+	if lim.MaxBatchOps > 0 && count > lim.MaxBatchOps {
+		return dst, ErrOversize
+	}
+	i := 2
+	for k := 0; k < count; k++ {
+		op, next, err := decodeOpBody(payload, i, lim)
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, op)
+		i = next
+	}
+	if i != len(payload) {
+		return dst, ErrTrailingData
+	}
+	return dst, nil
+}
+
+// AppendBatchResult encodes the batch response: the model generation the
+// batch was served under (read once from one pinned snapshot — a batch can
+// never straddle two generations' metadata), count(2), then one fixed-width
+// result per op, index-aligned with the request.
+func AppendBatchResult(dst []byte, generation uint64, res []OpResult) []byte {
+	off := len(dst)
+	dst = appendHeader(dst, MsgBatchResult)
+	dst = binary.LittleEndian.AppendUint64(dst, generation)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(res)))
+	for _, r := range res {
+		dst = append(dst, r.Code)
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.PredictionMbps))
+	}
+	return patchLen(dst, off)
+}
+
+// DecodeBatchResult decodes a MsgBatchResult payload, appending to dst.
+func DecodeBatchResult(payload []byte, lim Limits, dst []OpResult) ([]OpResult, uint64, error) {
+	if len(payload) < 10 {
+		return dst, 0, ErrTruncated
+	}
+	gen := binary.LittleEndian.Uint64(payload[:8])
+	count := int(binary.LittleEndian.Uint16(payload[8:10]))
+	if lim.MaxBatchOps > 0 && count > lim.MaxBatchOps {
+		return dst, 0, ErrOversize
+	}
+	if len(payload) != 10+count*opResultLen {
+		if len(payload) < 10+count*opResultLen {
+			return dst, 0, ErrTruncated
+		}
+		return dst, 0, ErrTrailingData
+	}
+	i := 10
+	for k := 0; k < count; k++ {
+		dst = append(dst, OpResult{
+			Code:           payload[i],
+			PredictionMbps: math.Float64frombits(binary.LittleEndian.Uint64(payload[i+1 : i+9])),
+		})
+		i += opResultLen
+	}
+	return dst, gen, nil
+}
+
+// AppendError encodes an error response frame: status(2) + msglen(2) + msg.
+// The status mirrors the HTTP status the frame rides on, so a client that
+// only reads the body still learns the failure class.
+func AppendError(dst []byte, status int, msg string) []byte {
+	off := len(dst)
+	dst = appendHeader(dst, MsgError)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(status))
+	if len(msg) > math.MaxUint16 {
+		msg = msg[:math.MaxUint16]
+	}
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(msg)))
+	dst = append(dst, msg...)
+	return patchLen(dst, off)
+}
+
+// DecodeError decodes a MsgError payload. The message aliases payload.
+func DecodeError(payload []byte) (status int, msg []byte, err error) {
+	if len(payload) < 4 {
+		return 0, nil, ErrTruncated
+	}
+	status = int(binary.LittleEndian.Uint16(payload[:2]))
+	n := int(binary.LittleEndian.Uint16(payload[2:4]))
+	if len(payload)-4 < n {
+		return 0, nil, ErrTruncated
+	}
+	if len(payload)-4 > n {
+		return 0, nil, ErrTrailingData
+	}
+	return status, payload[4 : 4+n], nil
+}

@@ -1,0 +1,249 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestOpRoundTrip(t *testing.T) {
+	for _, op := range []Op{
+		{SessionID: []byte("s1"), ObservedMbps: 3.25, Horizon: 1, HasObserve: true},
+		{SessionID: []byte("a-long-session-identifier-0123456789"), Horizon: 7},
+		{SessionID: []byte("x"), ObservedMbps: 0, Horizon: 0, HasObserve: true},
+	} {
+		frame := AppendOp(nil, op)
+		f, err := DecodeFrame(frame, DefaultLimits())
+		if err != nil {
+			t.Fatalf("DecodeFrame: %v", err)
+		}
+		if f.Type != MsgOp {
+			t.Fatalf("type = %v, want MsgOp", f.Type)
+		}
+		got, err := DecodeOp(f.Payload, DefaultLimits())
+		if err != nil {
+			t.Fatalf("DecodeOp: %v", err)
+		}
+		if !bytes.Equal(got.SessionID, op.SessionID) || got.ObservedMbps != op.ObservedMbps ||
+			got.Horizon != op.Horizon || got.HasObserve != op.HasObserve {
+			t.Errorf("round trip mismatch: got %+v want %+v", got, op)
+		}
+	}
+}
+
+func TestPredictionRoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 2.5, math.Pi, 1e5} {
+		frame := AppendPrediction(nil, v)
+		f, err := DecodeFrame(frame, DefaultLimits())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodePrediction(f.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != v {
+			t.Errorf("prediction round trip: got %v want %v", got, v)
+		}
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	ops := []Op{
+		{SessionID: []byte("s-a"), ObservedMbps: 1.5, Horizon: 1, HasObserve: true},
+		{SessionID: []byte("s-b"), Horizon: 3},
+		{SessionID: []byte("s-a"), ObservedMbps: 2.5, Horizon: 1, HasObserve: true},
+	}
+	frame := AppendBatch(nil, ops)
+	f, err := DecodeFrame(frame, DefaultLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != MsgBatch {
+		t.Fatalf("type = %v, want MsgBatch", f.Type)
+	}
+	got, err := DecodeBatch(f.Payload, DefaultLimits(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("decoded %d ops, want %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if !bytes.Equal(got[i].SessionID, ops[i].SessionID) || got[i].ObservedMbps != ops[i].ObservedMbps ||
+			got[i].Horizon != ops[i].Horizon || got[i].HasObserve != ops[i].HasObserve {
+			t.Errorf("op %d mismatch: got %+v want %+v", i, got[i], ops[i])
+		}
+	}
+
+	res := []OpResult{{PredictionMbps: 2.25}, {Code: OpUnknownSession}, {PredictionMbps: 4.5}}
+	rframe := AppendBatchResult(nil, 42, res)
+	rf, err := DecodeFrame(rframe, DefaultLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRes, gen, err := DecodeBatchResult(rf.Payload, DefaultLimits(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 42 {
+		t.Errorf("generation = %d, want 42", gen)
+	}
+	if len(gotRes) != len(res) {
+		t.Fatalf("decoded %d results, want %d", len(gotRes), len(res))
+	}
+	for i := range res {
+		if gotRes[i] != res[i] {
+			t.Errorf("result %d mismatch: got %+v want %+v", i, gotRes[i], res[i])
+		}
+	}
+}
+
+func TestErrorRoundTrip(t *testing.T) {
+	frame := AppendError(nil, 404, "unknown session")
+	f, err := DecodeFrame(frame, DefaultLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, msg, err := DecodeError(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != 404 || string(msg) != "unknown session" {
+		t.Errorf("got (%d, %q)", status, msg)
+	}
+}
+
+// TestDecodeErrors walks the typed-error taxonomy: every hostile shape must
+// land on its named sentinel, never a panic or a silent accept.
+func TestDecodeErrors(t *testing.T) {
+	lim := DefaultLimits()
+	valid := AppendOp(nil, Op{SessionID: []byte("s"), Horizon: 1, HasObserve: true, ObservedMbps: 1})
+	cases := []struct {
+		name string
+		b    []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short header", valid[:5], ErrTruncated},
+		{"bad magic", append([]byte{0x00, 0x00}, valid[2:]...), ErrBadMagic},
+		{"json body", []byte(`{"session_id":"x"} padded out to header length`), ErrBadMagic},
+		{"future version", func() []byte {
+			b := append([]byte(nil), valid...)
+			b[2] = 99
+			return b
+		}(), ErrVersion},
+		{"unknown type", func() []byte {
+			b := append([]byte(nil), valid...)
+			b[3] = 0x7F
+			return b
+		}(), ErrUnknownType},
+		{"truncated payload", valid[:len(valid)-1], ErrTruncated},
+		{"trailing bytes", append(append([]byte(nil), valid...), 0xFF), ErrTrailingData},
+		{"oversize declared", func() []byte {
+			b := append([]byte(nil), valid...)
+			b[4], b[5], b[6], b[7] = 0xFF, 0xFF, 0xFF, 0x7F
+			return b
+		}(), ErrOversize},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeFrame(tc.b, lim); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestDecodeOpBounds(t *testing.T) {
+	lim := DefaultLimits()
+	lim.MaxSessionIDLen = 4
+
+	// Oversize session id is rejected by the limit, not the buffer length.
+	frame := AppendOp(nil, Op{SessionID: []byte("too-long-for-limit"), Horizon: 1})
+	f, err := DecodeFrame(frame, lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeOp(f.Payload, lim); !errors.Is(err, ErrOversize) {
+		t.Errorf("oversize id: err = %v, want ErrOversize", err)
+	}
+
+	// Empty session id is never valid.
+	frame = AppendOp(nil, Op{SessionID: nil, Horizon: 1})
+	f, _ = DecodeFrame(frame, lim)
+	if _, err := DecodeOp(f.Payload, lim); !errors.Is(err, ErrBadValue) {
+		t.Errorf("empty id: err = %v, want ErrBadValue", err)
+	}
+
+	// An id length that over-reads the payload is truncation.
+	frame = AppendOp(nil, Op{SessionID: []byte("abcd"), Horizon: 1})
+	frame = frame[:len(frame)-2]                 // drop id bytes
+	frame = patchLen(frame, 0)                   // re-stamp a consistent header
+	f, err = DecodeFrame(frame, DefaultLimits()) // header is fine; body lies
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeOp(f.Payload, DefaultLimits()); !errors.Is(err, ErrTruncated) {
+		t.Errorf("over-reading id: err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestDecodeBatchBounds(t *testing.T) {
+	lim := DefaultLimits()
+	lim.MaxBatchOps = 2
+	ops := []Op{
+		{SessionID: []byte("a"), Horizon: 1},
+		{SessionID: []byte("b"), Horizon: 1},
+		{SessionID: []byte("c"), Horizon: 1},
+	}
+	frame := AppendBatch(nil, ops)
+	f, err := DecodeFrame(frame, lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeBatch(f.Payload, lim, nil); !errors.Is(err, ErrOversize) {
+		t.Errorf("op count over limit: err = %v, want ErrOversize", err)
+	}
+
+	// A count that promises more ops than the payload holds is truncation.
+	frame = AppendBatch(nil, ops[:1])
+	frame[HeaderLen] = 5 // count low byte
+	f, _ = DecodeFrame(frame, DefaultLimits())
+	if _, err := DecodeBatch(f.Payload, DefaultLimits(), nil); !errors.Is(err, ErrTruncated) {
+		t.Errorf("lying count: err = %v, want ErrTruncated", err)
+	}
+
+	// Zero ops is meaningless.
+	frame = AppendBatch(nil, nil)
+	f, _ = DecodeFrame(frame, DefaultLimits())
+	if _, err := DecodeBatch(f.Payload, DefaultLimits(), nil); !errors.Is(err, ErrBadValue) {
+		t.Errorf("zero ops: err = %v, want ErrBadValue", err)
+	}
+}
+
+// TestEncodeReuseNoAlloc pins the pooled-buffer contract: re-encoding into a
+// buffer with capacity performs zero allocations, and decode is zero-copy.
+func TestEncodeReuseNoAlloc(t *testing.T) {
+	ops := []Op{
+		{SessionID: []byte("sess-1"), ObservedMbps: 2.5, Horizon: 1, HasObserve: true},
+		{SessionID: []byte("sess-2"), Horizon: 3},
+	}
+	buf := AppendBatch(nil, ops)
+	opsBuf := make([]Op, 0, 8)
+	lim := DefaultLimits()
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = AppendBatch(buf[:0], ops)
+		f, err := DecodeFrame(buf, lim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opsBuf = opsBuf[:0]
+		opsBuf, err = DecodeBatch(f.Payload, lim, opsBuf)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("encode/decode cycle allocates %v times per op, want 0", allocs)
+	}
+}
