@@ -3,13 +3,13 @@
 # and its consumers, plus the serving stack and the fault-injection suite).
 
 GO ?= go
-RACE_PKGS := ./internal/parallel ./internal/core ./internal/hmm ./internal/cluster ./internal/engine ./internal/httpapi ./internal/faultinject ./internal/obs ./internal/sessionstore ./internal/registry ./internal/wire
+RACE_PKGS := ./internal/parallel ./internal/core ./internal/hmm ./internal/cluster ./internal/engine ./internal/httpapi ./internal/faultinject ./internal/obs ./internal/sessionstore ./internal/registry ./internal/wire ./internal/router
 
 # COVER_FLOOR is the minimum total statement coverage `make cover` accepts.
 # The seed measured 85.3%; the floor leaves one point of slack for noise.
 COVER_FLOOR := 84.0
 
-.PHONY: check vet build test race chaos bench bench-serve cover fuzz publish-demo
+.PHONY: check vet build test race chaos cluster-chaos bench bench-serve cover fuzz publish-demo
 
 check: vet build test race
 
@@ -30,6 +30,14 @@ race:
 # under the race detector. See DESIGN.md §8.
 chaos:
 	CS2P_CHAOS=1 $(GO) test -race -run 'TestChaos' -v ./internal/httpapi
+
+# Cluster chaos: a trained 3-replica cluster behind the consistent-hash
+# router, with replicas killed and revived mid-playback, the probe path
+# partitioned, and a slow replica — plus the golden replay driven through
+# the router for bit-identical parity with one process. See DESIGN.md §13.
+cluster-chaos:
+	$(GO) test -race -run 'TestClusterChaos|TestClusterModel|TestRouterConcurrentFailover' -v ./internal/router
+	$(GO) test -run 'TestGoldenReplayClusterParity' -v .
 
 # Microbenchmarks of the training hot paths (allocation-counted).
 bench:

@@ -1,0 +1,114 @@
+// Command cs2p-router fronts a cluster of cs2p-server replicas (the
+// fault-tolerant serving tier of DESIGN.md §13). It consistent-hash-routes
+// sessions across the replicas — sticky, because HMM filter state is
+// per-session — probes each replica's /v1/healthz to drive a
+// healthy/suspect/down/recovering state machine, and when a session's home
+// replica dies it migrates the session to the ring's next replica by
+// re-registering it and replaying a bounded window of recent observations.
+//
+// The router serves the exact same HTTP surface as a single replica (JSON
+// v1 and binary v2), so players point at it unchanged:
+//
+//	cs2p-router -replicas http://10.0.0.1:8642,http://10.0.0.2:8642,http://10.0.0.3:8642 -addr :8640
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"cs2p/internal/obs"
+	"cs2p/internal/router"
+)
+
+func main() {
+	var (
+		replicas      = flag.String("replicas", "", "comma-separated cs2p-server base URLs (required)")
+		addr          = flag.String("addr", ":8640", "listen address")
+		vnodes        = flag.Int("vnodes", router.DefaultVNodes, "virtual nodes per replica on the hash ring")
+		replayWindow  = flag.Int("replay-window", router.DefaultReplayWindow, "observations kept per session for failover replay")
+		probeInterval = flag.Duration("probe-interval", 2*time.Second, "health probe cadence")
+		probeTimeout  = flag.Duration("probe-timeout", time.Second, "per-probe deadline")
+		suspectAfter  = flag.Int("suspect-after", 0, "consecutive failures before a replica stops getting new sessions (0 = default)")
+		downAfter     = flag.Int("down-after", 0, "consecutive failures before a replica is marked down (0 = default)")
+		recoverAfter  = flag.Int("recover-after", 0, "consecutive successes before a recovering replica is healthy again (0 = default)")
+		allowSkew     = flag.Bool("allow-version-skew", false, "permit session failover across divergent model versions")
+		grace         = flag.Duration("shutdown-grace", 10*time.Second, "in-flight request drain budget on SIGINT/SIGTERM")
+		debugAddr     = flag.String("debug-addr", "", "serve /debug/pprof, /metrics and /healthz on this private address (empty disables)")
+	)
+	flag.Parse()
+	if *replicas == "" {
+		fatalf("-replicas is required")
+	}
+	var names []string
+	for _, r := range strings.Split(*replicas, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			names = append(names, r)
+		}
+	}
+
+	logger := log.New(os.Stderr, "cs2p-router: ", log.LstdFlags)
+	reg := obs.NewRegistry()
+
+	rt, err := router.New(router.Config{
+		Replicas:      names,
+		VNodes:        *vnodes,
+		ReplayWindow:  *replayWindow,
+		ProbeInterval: *probeInterval,
+		ProbeTimeout:  *probeTimeout,
+		Thresholds: router.Thresholds{
+			SuspectAfter: *suspectAfter,
+			DownAfter:    *downAfter,
+			RecoverAfter: *recoverAfter,
+		},
+		AllowVersionSkew: *allowSkew,
+		Metrics:          reg,
+		Logf:             logger.Printf,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	logger.Printf("routing %d replicas: %s", len(rt.Replicas()), strings.Join(rt.Replicas(), ", "))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Prime the health/version view before taking traffic, then keep
+	// probing in the background.
+	rt.ProbeAll(ctx)
+	go rt.RunHealthChecker(ctx)
+
+	if *debugAddr != "" {
+		dsrv := &http.Server{Addr: *debugAddr, Handler: obs.DebugMux(reg)}
+		go func() {
+			logger.Printf("debug server (pprof, metrics) listening on %s", *debugAddr)
+			if err := dsrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("debug server: %v", err)
+			}
+		}()
+		go func() {
+			<-ctx.Done()
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = dsrv.Shutdown(sctx)
+		}()
+	}
+
+	if err := rt.Run(ctx, *addr, *grace); err != nil {
+		fatalf("%v", err)
+	}
+	logger.Printf("shutdown complete")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cs2p-router: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,109 @@
+package cs2p_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cs2p/internal/core"
+	"cs2p/internal/engine"
+	"cs2p/internal/httpapi"
+	"cs2p/internal/registry"
+	"cs2p/internal/router"
+	"cs2p/internal/tracegen"
+	"cs2p/internal/video"
+)
+
+// TestGoldenReplayClusterParity pins the serving-tier transparency
+// contract: three cs2p-server replicas booted from one registry artifact,
+// fronted by the consistent-hash router, must replay the golden protocol
+// bit-identically to a single train-at-startup process — over JSON v1,
+// single-op binary v2, and batched v2 alike. The fault-tolerant tier is
+// allowed to change where a session's filter lives, never what it answers.
+func TestGoldenReplayClusterParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster parity trains a model and boots three replicas; slow for -short")
+	}
+	cfg := tracegen.SmallConfig()
+	cfg.Sessions = 300
+	d, _ := tracegen.Generate(cfg)
+	cut := d.Sessions[d.Len()*2/3].Start()
+	train, test := d.SplitByTime(cut)
+	ecfg := core.DefaultConfig()
+	ecfg.Cluster.MinGroupSize = 10
+	ecfg.HMM.NStates = 3
+	ecfg.HMM.MaxIters = 12
+	eng, err := core.Train(train, ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Trainer side: one published artifact.
+	reg, err := registry.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Publish(eng.Export(train), core.TrainingMeta{
+		TrainedAtUnix: 1700000000,
+		TraceSessions: train.Len(),
+		Clusters:      eng.Clusters(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Serving side: three replicas, each booted from the registry alone.
+	var replicas []string
+	for i := 0; i < 3; i++ {
+		art, err := reg.Latest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc, err := engine.NewServiceFromArtifact(art, ecfg, video.Default(), engine.ServiceOptions{Shards: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httpapi.NewServer(svc, func(e *core.Engine) *core.ModelStore { return e.Export(nil) })
+		srv.SetLogf(func(string, ...any) {})
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		replicas = append(replicas, ts.URL)
+	}
+	rt, err := router.New(router.Config{Replicas: replicas, Logf: func(string, ...any) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.ProbeAll(context.Background())
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	header := fmt.Sprintf("trace sessions=%d train=%d test=%d clusters=%d\n",
+		d.Len(), train.Len(), test.Len(), eng.Clusters())
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_replay.txt"))
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+
+	jsonGot := driveReplay(t, front, header, test)
+	if jsonGot != string(want) {
+		t.Errorf("cluster JSON v1 replay diverged from the single-process golden file\ngot:\n%s\nwant:\n%s",
+			jsonGot, string(want))
+	}
+	bc := httpapi.NewClient(front.URL)
+	bc.SetWireBinary(true)
+	binGot := driveReplayWith(t, bc, header, test)
+	if binGot != string(want) {
+		t.Errorf("cluster binary v2 replay diverged from the golden file\ngot:\n%s\nwant:\n%s",
+			binGot, string(want))
+	}
+	batGot := driveReplayBatched(t, front, header, test)
+	if batGot != string(want) {
+		t.Errorf("cluster batched v2 replay diverged from the golden file\ngot:\n%s\nwant:\n%s",
+			batGot, string(want))
+	}
+	if n := rt.PanicCount(); n != 0 {
+		t.Errorf("%d router handler panics during golden replay", n)
+	}
+}

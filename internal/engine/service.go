@@ -151,6 +151,32 @@ func NewServiceWithOptions(e *core.Engine, cfg core.Config, spec video.Spec, opt
 // Shards returns the session-store shard count.
 func (s *Service) Shards() int { return s.store.Shards() }
 
+// HealthStatus is the readiness summary behind GET /v1/healthz: whether a
+// model is installed (the liveness/readiness split — a process can be up but
+// unable to predict), which artifact version and generation it serves, and
+// the live session count. The router's health checker drives its per-replica
+// state machine and model-skew detection off this payload.
+type HealthStatus struct {
+	Ready        bool
+	ModelVersion uint64
+	Generation   uint64
+	Sessions     int
+}
+
+// Health reports the service's readiness. Ready is false until an engine is
+// installed — a service constructed before its first model (or booted against
+// an empty registry) must not receive traffic, and the HTTP layer turns that
+// into a 503.
+func (s *Service) Health() HealthStatus {
+	snap := s.snap.Load()
+	return HealthStatus{
+		Ready:        snap.engine != nil,
+		ModelVersion: snap.version,
+		Generation:   snap.gen,
+		Sessions:     s.store.Len(),
+	}
+}
+
 // SetMetrics attaches a metrics registry; every event after the call is
 // counted. nil detaches (instruments become inert). Call before serving
 // traffic — the handles swap is not synchronized against in-flight requests.

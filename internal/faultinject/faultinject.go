@@ -241,6 +241,65 @@ func (r *truncatedReader) Read(p []byte) (int, error) {
 	return n, nil
 }
 
+// HostGate is the cluster chaos harness's per-replica switchboard: one
+// RoundTripper shared by every client in a test, with an independent
+// down/latency switch per destination host. Killing one replica of a
+// cluster is SetHostDown(host, true); a probe-path partition is the same
+// switch on the probe client's transport only; a slow replica is
+// SetHostLatency. Unlike Transport there is no probabilistic schedule —
+// faults here are scripted by the test, which is what keeps cluster chaos
+// runs deterministic.
+type HostGate struct {
+	next http.RoundTripper
+	mu   sync.Mutex
+	down map[string]bool
+	slow map[string]time.Duration
+}
+
+// NewHostGate wraps next (nil means http.DefaultTransport).
+func NewHostGate(next http.RoundTripper) *HostGate {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &HostGate{
+		next: next,
+		down: make(map[string]bool),
+		slow: make(map[string]time.Duration),
+	}
+}
+
+// SetHostDown toggles a full outage for one host ("127.0.0.1:41234"): every
+// request to it fails with ErrServerDown, what a client sees when the
+// replica's process is gone.
+func (g *HostGate) SetHostDown(host string, down bool) {
+	g.mu.Lock()
+	g.down[host] = down
+	g.mu.Unlock()
+}
+
+// SetHostLatency delays every request to one host by d (0 clears it).
+func (g *HostGate) SetHostLatency(host string, d time.Duration) {
+	g.mu.Lock()
+	g.slow[host] = d
+	g.mu.Unlock()
+}
+
+// RoundTrip implements http.RoundTripper.
+func (g *HostGate) RoundTrip(req *http.Request) (*http.Response, error) {
+	g.mu.Lock()
+	down := g.down[req.URL.Host]
+	delay := g.slow[req.URL.Host]
+	g.mu.Unlock()
+	if down {
+		drainBody(req)
+		return nil, fmt.Errorf("%w: %s", ErrServerDown, req.URL.Host)
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return g.next.RoundTrip(req)
+}
+
 // Listener wraps a net.Listener so a test can take the server "down"
 // without tearing the listener out from under net/http: while down,
 // accepted connections are closed immediately, which clients observe as a

@@ -2,6 +2,7 @@ package httpapi
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -262,17 +263,51 @@ func (c *Client) Log(lg engine.SessionLog) error {
 	return c.post("/v1/log", lg, nil)
 }
 
-// Healthz checks server liveness.
+// BaseURL returns the server base URL the client targets.
+func (c *Client) BaseURL() string { return c.base }
+
+// HTTPClient returns the underlying http.Client (the router's model-export
+// proxy reuses it so fault injection and timeouts apply to proxied calls).
+func (c *Client) HTTPClient() *http.Client { return c.hc }
+
+// healthzTimeout bounds one readiness probe. The old Healthz issued a raw
+// Get with no deadline, so a hung replica (accepting connections, never
+// answering) blocked the caller indefinitely — exactly the failure a health
+// check exists to detect.
+const healthzTimeout = 3 * time.Second
+
+// Healthz checks server liveness and readiness, with a bounded deadline.
 func (c *Client) Healthz() error {
-	r, err := c.hc.Get(c.base + "/v1/healthz")
+	_, err := c.Readiness(context.Background())
+	return err
+}
+
+// Readiness probes GET /v1/healthz and returns the parsed payload. The
+// request deadline is the earlier of ctx and healthzTimeout. A 503 (alive
+// but no model installed) returns the payload alongside a *StatusError, so
+// callers can distinguish "not ready" from "not answering". Legacy servers
+// answering a bare 200 parse to a zero-valued payload with Status "ok".
+func (c *Client) Readiness(ctx context.Context) (HealthzResponse, error) {
+	ctx, cancel := context.WithTimeout(ctx, healthzTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/healthz", nil)
 	if err != nil {
-		return err
+		return HealthzResponse{}, fmt.Errorf("httpapi client: building request: %w", err)
+	}
+	r, err := c.hc.Do(req)
+	if err != nil {
+		return HealthzResponse{}, fmt.Errorf("httpapi client: GET /v1/healthz: %w", err)
 	}
 	defer r.Body.Close()
+	var hr HealthzResponse
+	_ = json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&hr)
 	if r.StatusCode != http.StatusOK {
-		return fmt.Errorf("httpapi client: healthz status %d", r.StatusCode)
+		return hr, &StatusError{Status: r.StatusCode, Path: "GET /v1/healthz", Msg: hr.Status}
 	}
-	return nil
+	if hr.Status == "" {
+		hr.Status = HealthzOK
+	}
+	return hr, nil
 }
 
 // SessionPredictor adapts one remote session to predict.Midstream: Predict

@@ -1,0 +1,109 @@
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"cs2p/internal/core"
+	"cs2p/internal/engine"
+	"cs2p/internal/video"
+)
+
+// TestHealthzReadiness: GET /v1/healthz is a readiness probe, not a
+// liveness ping — a server with no installed model answers 503 so a router
+// or load balancer holds traffic, and flips to 200 with the model identity
+// the moment an engine is installed.
+func TestHealthzReadiness(t *testing.T) {
+	ensureEnv()
+	svc := engine.NewServiceWithOptions(nil, core.DefaultConfig(), video.Default(), engine.ServiceOptions{})
+	srv := NewServer(svc, nil)
+	srv.SetLogf(func(string, ...any) {})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hr HealthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatalf("readiness payload failed to decode: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("no-model healthz status %d, want 503", resp.StatusCode)
+	}
+	if hr.Status != HealthzNoModel {
+		t.Fatalf("no-model payload status %q, want %q", hr.Status, HealthzNoModel)
+	}
+
+	svc.InstallEngine(envEngine)
+	resp, err = http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr = HealthzResponse{}
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-install healthz status %d, want 200", resp.StatusCode)
+	}
+	if hr.Status != HealthzOK {
+		t.Fatalf("status %q, want %q", hr.Status, HealthzOK)
+	}
+	if hr.Generation == 0 {
+		t.Error("generation missing from readiness payload after install")
+	}
+	if hr.UptimeS < 0 {
+		t.Errorf("uptime_s = %g", hr.UptimeS)
+	}
+}
+
+// TestClientReadiness: the typed client call parses the payload, reports
+// session counts, and surfaces 503 as a StatusError with the payload still
+// readable — what the router's probe loop consumes.
+func TestClientReadiness(t *testing.T) {
+	ts, test := testServer(t)
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	hr, err := c.Readiness(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr.Status != HealthzOK {
+		t.Fatalf("status %q, want %q", hr.Status, HealthzOK)
+	}
+	before := hr.Sessions
+	if _, err := c.StartSession("ready-1", test.Sessions[0].Features, test.Sessions[0].StartUnix); err != nil {
+		t.Fatal(err)
+	}
+	if hr, err = c.Readiness(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Sessions != before+1 {
+		t.Errorf("sessions = %d, want %d after one registration", hr.Sessions, before+1)
+	}
+
+	// Legacy Healthz rides the same endpoint with a bounded deadline.
+	if err := c.Healthz(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A not-ready server: typed error plus parsed payload.
+	empty := NewServer(engine.NewServiceWithOptions(nil, core.DefaultConfig(), video.Default(), engine.ServiceOptions{}), nil)
+	empty.SetLogf(func(string, ...any) {})
+	ets := httptest.NewServer(empty.Handler())
+	defer ets.Close()
+	hr, err = NewClient(ets.URL).Readiness(context.Background())
+	if HTTPStatus(err) != http.StatusServiceUnavailable {
+		t.Fatalf("not-ready readiness err = %v, want 503 StatusError", err)
+	}
+	if hr.Status != HealthzNoModel {
+		t.Fatalf("not-ready payload status %q, want %q", hr.Status, HealthzNoModel)
+	}
+}

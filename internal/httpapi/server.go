@@ -65,6 +65,33 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// HealthzResponse is the readiness payload of GET /v1/healthz. Status is
+// HealthzOK (200) once a model is installed and HealthzNoModel (503) before —
+// the liveness/readiness split: the process answers, but must not receive
+// prediction traffic yet. ModelVersion and Generation let a router detect
+// model skew across replicas without fetching the model itself. The bare
+// liveness probe stays at /healthz on the debug mux.
+type HealthzResponse struct {
+	Status       string  `json:"status"`
+	ModelVersion uint64  `json:"model_version"`
+	Generation   uint64  `json:"generation"`
+	Sessions     int     `json:"sessions"`
+	UptimeS      float64 `json:"uptime_s"`
+}
+
+// Healthz status strings.
+const (
+	HealthzOK      = "ok"
+	HealthzNoModel = "no_model"
+)
+
+// HealthReporter is the optional backend surface behind the readiness
+// endpoint. *engine.Service implements it; backends that don't are treated
+// as always ready (their healthz reports liveness only).
+type HealthReporter interface {
+	Health() engine.HealthStatus
+}
+
 // ServerConfig tunes the hardening middleware and input validation.
 type ServerConfig struct {
 	// MaxBodyBytes caps request bodies (413 beyond it).
@@ -116,6 +143,15 @@ type SessionService interface {
 	EndSession(lg engine.SessionLog)
 }
 
+// StartService is the optional fallible variant of StartSession. A local
+// engine cannot fail to start a session, but a routing tier can (every
+// replica down), and silently answering a zero StartResponse would hand the
+// player a zero initial prediction. Backends implementing this get their
+// start errors mapped onto HTTP statuses.
+type StartService interface {
+	Start(id string, f trace.Features, startUnix int64) (engine.StartResponse, error)
+}
+
 // ModelProvider exposes the model plane: an immutable snapshot whose
 // generation keys the /v1/model export cache, so a hot retrain invalidates
 // exactly the artifacts derived from the engine it replaced.
@@ -164,6 +200,15 @@ type Server struct {
 	// per-op fallback otherwise).
 	wireEnabled bool
 	batch       BatchService
+	// health feeds the readiness endpoint (nil = liveness only); start
+	// anchors the uptime it reports.
+	health HealthReporter
+	start  time.Time
+	// starter, when the backend implements StartService, lets session
+	// start report failure; modelHandler, when set, replaces the local
+	// model-export path (the router proxies /v1/model to a replica).
+	starter      StartService
+	modelHandler http.Handler
 }
 
 // NewServer builds the HTTP facade. exporter, if non-nil, supplies the
@@ -173,15 +218,26 @@ type Server struct {
 // does), it feeds those snapshots; otherwise install one with
 // SetModelProvider or the export endpoint stays disabled.
 func NewServer(svc SessionService, exporter func(*core.Engine) *core.ModelStore) *Server {
-	s := &Server{svc: svc, cfg: DefaultServerConfig(), exporter: exporter, logf: log.Printf, sm: newServerMetrics(nil), wireEnabled: true}
+	s := &Server{svc: svc, cfg: DefaultServerConfig(), exporter: exporter, logf: log.Printf, sm: newServerMetrics(nil), wireEnabled: true, start: time.Now()}
 	if mp, ok := svc.(ModelProvider); ok {
 		s.models = mp
 	}
 	if bs, ok := svc.(BatchService); ok {
 		s.batch = bs
 	}
+	if hr, ok := svc.(HealthReporter); ok {
+		s.health = hr
+	}
+	if st, ok := svc.(StartService); ok {
+		s.starter = st
+	}
 	return s
 }
+
+// SetModelHandler replaces GET /v1/model with a custom handler (call before
+// Handler). The router uses this to proxy model exports to a live replica
+// instead of serving a local engine's.
+func (s *Server) SetModelHandler(h http.Handler) { s.modelHandler = h }
 
 // SetWireEnabled toggles the binary /v2 routes (call before Handler). They
 // are on by default; disabling them turns the server into a pure JSON v1
@@ -251,12 +307,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/session/start", s.handleStart)
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	mux.HandleFunc("POST /v1/log", s.handleLog)
-	mux.HandleFunc("GET /v1/model", s.handleModel)
+	if s.modelHandler != nil {
+		mux.Handle("GET /v1/model", s.modelHandler)
+	} else {
+		mux.HandleFunc("GET /v1/model", s.handleModel)
+	}
 	mux.HandleFunc("GET /v1/admin/models", s.handleAdminModels)
 	mux.HandleFunc("POST /v1/admin/rollback", s.handleAdminRollback)
-	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	if s.metrics != nil {
 		mux.Handle("GET /metrics", s.metrics.Handler())
 	}
@@ -345,9 +403,36 @@ func (s *Server) handleStart(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tr.Mark("validate")
-	resp := s.svc.StartSession(req.SessionID, req.Features, req.StartUnix)
+	var resp engine.StartResponse
+	if s.starter != nil {
+		var err error
+		resp, err = s.starter.Start(req.SessionID, req.Features, req.StartUnix)
+		if err != nil {
+			writeJSON(w, backendStatus(err, http.StatusBadGateway), errorBody{Error: err.Error()})
+			return
+		}
+	} else {
+		resp = s.svc.StartSession(req.SessionID, req.Features, req.StartUnix)
+	}
 	tr.Mark("start")
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// backendStatus maps a backend error onto an HTTP status: lost sessions are
+// 404, a remote backend's own 4xx rejection passes through, any other
+// remote failure is a 502 (this tier is fine, the one behind it is not),
+// and everything else gets the caller's fallback.
+func backendStatus(err error, fallback int) int {
+	if errors.Is(err, engine.ErrUnknownSession) {
+		return http.StatusNotFound
+	}
+	if st := HTTPStatus(err); st != 0 {
+		if st/100 == 4 {
+			return st
+		}
+		return http.StatusBadGateway
+	}
+	return fallback
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -388,14 +473,31 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	tr.Mark("predict")
 	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, engine.ErrUnknownSession) {
-			status = http.StatusNotFound
-		}
-		writeJSON(w, status, errorBody{Error: err.Error()})
+		writeJSON(w, backendStatus(err, http.StatusInternalServerError), errorBody{Error: err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusOK, PredictResponse{PredictionMbps: pred})
+}
+
+// handleHealthz serves the readiness probe. Liveness (the process answers)
+// is the 200/503 split's floor; readiness additionally requires an installed
+// model, because a replica booted against an empty registry or awaiting its
+// first artifact would answer every prediction with an error. Routers use
+// the 503 to keep such a replica out of rotation without marking it dead.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	resp := HealthzResponse{Status: HealthzOK, UptimeS: time.Since(s.start).Seconds()}
+	if s.health != nil {
+		h := s.health.Health()
+		resp.ModelVersion = h.ModelVersion
+		resp.Generation = h.Generation
+		resp.Sessions = h.Sessions
+		if !h.Ready {
+			resp.Status = HealthzNoModel
+			writeJSON(w, http.StatusServiceUnavailable, resp)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,172 @@
+package router
+
+import (
+	"errors"
+	"math"
+	"net/http"
+
+	"cs2p/internal/engine"
+	"cs2p/internal/httpapi"
+	"cs2p/internal/wire"
+)
+
+// ServeBatch implements httpapi.BatchService: a /v2/batch frame arriving at
+// the router is split by home replica, each group forwarded upstream as its
+// own binary batch, and the results merged back index-aligned. Ops whose
+// group call fails — or that come back OpUnknownSession because the replica
+// restarted without the session — are recovered one at a time through the
+// ordinary migrate-and-replay path, so a batch spanning a dying replica
+// degrades per-op instead of failing whole. The returned generation is the
+// one value every group agreed on, or 0 when they diverged (a frontend
+// caching on generation must not treat a mixed batch as one snapshot).
+func (rt *Router) ServeBatch(ops []engine.BatchOp, res []engine.BatchResult) uint64 {
+	type group struct {
+		rep  *replica
+		idx  []int
+		wops []wire.Op
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for i := range ops {
+		op := &ops[i]
+		if op.HasObserve && (math.IsNaN(op.ObservedMbps) || math.IsInf(op.ObservedMbps, 0) || op.ObservedMbps < 0) {
+			res[i] = engine.BatchResult{Code: engine.BatchInvalid}
+			continue
+		}
+		sess := rt.lookup(string(op.SessionID))
+		if sess == nil {
+			res[i] = engine.BatchResult{Code: engine.BatchUnknownSession}
+			continue
+		}
+		sess.mu.Lock()
+		home, desync := sess.home, sess.desync
+		sess.mu.Unlock()
+		if desync {
+			// The home's filter state is already untrusted; don't batch
+			// through it — recover via the single-op path right away.
+			res[i] = rt.serveOpSingle(op)
+			continue
+		}
+		g := groups[home]
+		if g == nil {
+			g = &group{rep: rt.usable(home)}
+			groups[home] = g
+			order = append(order, home)
+		}
+		g.idx = append(g.idx, i)
+		g.wops = append(g.wops, wire.Op{
+			SessionID:    op.SessionID,
+			ObservedMbps: op.ObservedMbps,
+			Horizon:      clampHorizon(op.Horizon),
+			HasObserve:   op.HasObserve,
+		})
+	}
+	var gen uint64
+	genOK := true
+	for _, home := range order {
+		g := groups[home]
+		var (
+			rres []wire.OpResult
+			ggen uint64
+			err  error
+		)
+		if g.rep != nil {
+			rres, ggen, err = g.rep.client.Batch(g.wops)
+		} else {
+			err = ErrNoReplica
+		}
+		if err != nil || len(rres) != len(g.idx) {
+			if g.rep != nil {
+				rt.m.request(g.rep.name, false)
+				rt.reportOutcome(g.rep, false)
+			}
+			for _, i := range g.idx {
+				res[i] = rt.serveOpSingle(&ops[i])
+			}
+			genOK = false
+			continue
+		}
+		rt.m.request(g.rep.name, true)
+		rt.reportOutcome(g.rep, true)
+		if gen == 0 {
+			gen = ggen
+		} else if gen != ggen {
+			genOK = false
+		}
+		for k, i := range g.idx {
+			r := rres[k]
+			if r.Code == wire.OpUnknownSession {
+				// The router knows this session, the replica doesn't:
+				// it restarted. Recover in place.
+				res[i] = rt.serveOpSingle(&ops[i])
+				continue
+			}
+			if r.Code == wire.OpOK && ops[i].HasObserve {
+				rt.recordObservation(string(ops[i].SessionID), ops[i].ObservedMbps)
+			}
+			res[i] = engine.BatchResult{PredictionMbps: r.PredictionMbps, Code: r.Code}
+		}
+	}
+	if !genOK {
+		return 0
+	}
+	return gen
+}
+
+// serveOpSingle routes one batch op through the full single-op path —
+// replay window, failover, migration — and folds the outcome back into a
+// batch result code.
+func (rt *Router) serveOpSingle(op *engine.BatchOp) engine.BatchResult {
+	id := string(op.SessionID)
+	h := op.Horizon
+	if h <= 0 {
+		h = 1
+	}
+	var (
+		pred float64
+		err  error
+	)
+	if op.HasObserve {
+		pred, err = rt.ObserveAndPredict(id, op.ObservedMbps, h)
+	} else {
+		pred, err = rt.Predict(id, h)
+	}
+	if err != nil {
+		st := httpapi.HTTPStatus(err)
+		switch {
+		case errors.Is(err, engine.ErrUnknownSession) || st == http.StatusNotFound:
+			return engine.BatchResult{Code: engine.BatchUnknownSession}
+		case st != 0 && st/100 == 4:
+			return engine.BatchResult{Code: engine.BatchInvalid}
+		default:
+			// Total outage: no distinct wire code exists, and the client
+			// treats UnknownSession as "re-register and retry" — the right
+			// recovery here too.
+			return engine.BatchResult{Code: engine.BatchUnknownSession}
+		}
+	}
+	return engine.BatchResult{PredictionMbps: pred, Code: engine.BatchOK}
+}
+
+// recordObservation appends an observation the batch fast path already
+// delivered upstream into the session's replay window.
+func (rt *Router) recordObservation(id string, w float64) {
+	sess := rt.lookup(id)
+	if sess == nil {
+		return
+	}
+	sess.mu.Lock()
+	sess.push(w, rt.window)
+	sess.mu.Unlock()
+}
+
+// clampHorizon narrows an int horizon to the wire field width.
+func clampHorizon(h int) uint16 {
+	if h < 0 {
+		return 0
+	}
+	if h > math.MaxUint16 {
+		return math.MaxUint16
+	}
+	return uint16(h)
+}

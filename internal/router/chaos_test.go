@@ -1,0 +1,433 @@
+package router
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cs2p/internal/abr"
+	"cs2p/internal/core"
+	"cs2p/internal/engine"
+	"cs2p/internal/faultinject"
+	"cs2p/internal/httpapi"
+	"cs2p/internal/mathx"
+	"cs2p/internal/obs"
+	"cs2p/internal/predict"
+	"cs2p/internal/qoe"
+	"cs2p/internal/registry"
+	"cs2p/internal/sim"
+	"cs2p/internal/trace"
+	"cs2p/internal/tracegen"
+	"cs2p/internal/video"
+)
+
+// The cluster chaos environment: one trained model published to a registry
+// once per test process; every scenario boots its replicas from that same
+// artifact, exactly like the production topology (N servers, one registry).
+var (
+	chaosOnce   sync.Once
+	chaosErr    error
+	chaosCfg    core.Config
+	chaosTest   *trace.Dataset
+	chaosRegDir string
+)
+
+func ensureChaosEnv(t *testing.T) {
+	t.Helper()
+	chaosOnce.Do(func() {
+		cfg := tracegen.SmallConfig()
+		cfg.Sessions = 400
+		d, _ := tracegen.Generate(cfg)
+		cut := d.Sessions[d.Len()*2/3].Start()
+		train, test := d.SplitByTime(cut)
+		ecfg := core.DefaultConfig()
+		ecfg.Cluster.MinGroupSize = 10
+		ecfg.HMM.NStates = 3
+		ecfg.HMM.MaxIters = 12
+		eng, err := core.Train(train, ecfg)
+		if err != nil {
+			chaosErr = err
+			return
+		}
+		dir, err := os.MkdirTemp("", "cs2p-cluster-reg-")
+		if err != nil {
+			chaosErr = err
+			return
+		}
+		reg, err := registry.Open(dir)
+		if err != nil {
+			chaosErr = err
+			return
+		}
+		if _, err := reg.Publish(eng.Export(train), core.TrainingMeta{
+			TrainedAtUnix: 1700000000,
+			TraceSessions: train.Len(),
+			Clusters:      eng.Clusters(),
+		}); err != nil {
+			chaosErr = err
+			return
+		}
+		chaosCfg = ecfg
+		chaosTest = test
+		chaosRegDir = dir
+	})
+	if chaosErr != nil {
+		t.Fatal(chaosErr)
+	}
+}
+
+// realCluster is 3 artifact-booted cs2p-server replicas behind one router,
+// with a HostGate on the router->replica path for fault injection.
+type realCluster struct {
+	t     *testing.T
+	gate  *faultinject.HostGate
+	rt    *Router
+	reg   *obs.Registry
+	names []string
+	srvs  map[string]*httpapi.Server
+	front *httptest.Server
+}
+
+func newRealCluster(t *testing.T, size int, mut func(*Config)) *realCluster {
+	t.Helper()
+	ensureChaosEnv(t)
+	c := &realCluster{t: t, gate: faultinject.NewHostGate(nil), reg: obs.NewRegistry(), srvs: map[string]*httpapi.Server{}}
+	regy, err := registry.Open(chaosRegDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < size; i++ {
+		art, err := regy.Latest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc, err := engine.NewServiceFromArtifact(art, chaosCfg, video.Default(), engine.ServiceOptions{Shards: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httpapi.NewServer(svc, func(e *core.Engine) *core.ModelStore { return e.Export(nil) })
+		srv.SetLogf(func(string, ...any) {})
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		c.srvs[ts.URL] = srv
+		c.names = append(c.names, ts.URL)
+	}
+	cfg := Config{
+		Replicas: c.names,
+		NewClient: func(base string) *httpapi.Client {
+			return httpapi.NewClientWith(base, &http.Client{Transport: c.gate, Timeout: 5 * time.Second})
+		},
+		Metrics: c.reg,
+		Logf:    func(string, ...any) {},
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.rt = rt
+	rt.ProbeAll(context.Background())
+	c.front = httptest.NewServer(rt.Handler())
+	t.Cleanup(c.front.Close)
+	return c
+}
+
+func (c *realCluster) panics() int64 {
+	n := c.rt.PanicCount()
+	for _, srv := range c.srvs {
+		n += srv.PanicCount()
+	}
+	return n
+}
+
+func (c *realCluster) failovers() uint64 {
+	return c.reg.Counter("cs2p_router_failovers_total", "", nil).Value()
+}
+
+// chaosPick selects the playback sessions: long enough that a mid-playback
+// replica death is genuinely mid-playback.
+func chaosPick(t *testing.T) []*trace.Session {
+	t.Helper()
+	var out []*trace.Session
+	for _, s := range chaosTest.Sessions {
+		if len(s.Throughput) >= 20 {
+			out = append(out, s)
+		}
+		if len(out) == 6 {
+			return out
+		}
+	}
+	t.Fatalf("only %d sessions with >= 20 epochs", len(out))
+	return nil
+}
+
+// obsHook fires scheduled callbacks at fixed observation indices — the
+// deterministic "replica dies at chunk 10" trigger.
+type obsHook struct {
+	inner predict.Midstream
+	n     int
+	hooks map[int]func()
+}
+
+func (r *obsHook) Predict() float64           { return r.inner.Predict() }
+func (r *obsHook) PredictAhead(k int) float64 { return r.inner.PredictAhead(k) }
+func (r *obsHook) Observe(w float64) {
+	if fn, ok := r.hooks[r.n]; ok {
+		fn()
+	}
+	r.n++
+	r.inner.Observe(w)
+}
+
+// clusterResult is one full playback sweep through the cluster.
+type clusterResult struct {
+	qoes   []float64
+	chunks []int
+	render string // every prediction, printed — the determinism contract
+}
+
+// playAll drives the chaos sessions through the router front end with the
+// real player simulator. hooks (may be nil) maps session index ->
+// observation index -> callback.
+func playAll(t *testing.T, c *realCluster, hooks map[int]map[int]func()) clusterResult {
+	t.Helper()
+	spec := video.Default()
+	weights := qoe.DefaultWeights()
+	cl := httpapi.NewClient(c.front.URL)
+	var res clusterResult
+	var b strings.Builder
+	sessions := chaosPick(t)
+	for i, s := range sessions {
+		id := fmt.Sprintf("cchaos-%d", i)
+		p, err := cl.NewSessionPredictor(id, s.Features, s.StartUnix)
+		if err != nil {
+			t.Fatalf("session %d start: %v", i, err)
+		}
+		var pred predict.Midstream = p
+		if h := hooks[i]; h != nil {
+			pred = &obsHook{inner: p, hooks: h}
+		}
+		rec := &renderHook{inner: pred, b: &b, i: i}
+		play := sim.Play(spec, abr.MPC{}, rec, s.Throughput, weights)
+		res.qoes = append(res.qoes, play.QoE)
+		res.chunks = append(res.chunks, play.Chunks)
+		if err := cl.Log(engine.SessionLog{SessionID: id, QoE: play.QoE}); err != nil {
+			t.Fatalf("session %d log: %v", i, err)
+		}
+	}
+	res.render = b.String()
+	return res
+}
+
+// renderHook prints every prediction the player actually used, so two runs
+// can be compared bit for bit.
+type renderHook struct {
+	inner predict.Midstream
+	b     *strings.Builder
+	i     int
+	n     int
+}
+
+func (r *renderHook) Predict() float64           { return r.inner.Predict() }
+func (r *renderHook) PredictAhead(k int) float64 { return r.inner.PredictAhead(k) }
+func (r *renderHook) Observe(w float64) {
+	r.inner.Observe(w)
+	fmt.Fprintf(r.b, "s%d c%d obs=%.10g pred=%.10g\n", r.i, r.n, w, r.inner.Predict())
+	r.n++
+}
+
+// assertClusterBand: complete playback, zero panics, median QoE within tol
+// of the fault-free baseline.
+func assertClusterBand(t *testing.T, name string, base, run clusterResult, c *realCluster, tol float64) {
+	t.Helper()
+	spec := video.Default()
+	for i, s := range chaosPick(t) {
+		want := spec.NumChunks()
+		if len(s.Throughput) < want {
+			want = len(s.Throughput)
+		}
+		if run.chunks[i] != want {
+			t.Errorf("%s: session %d played %d/%d chunks", name, i, run.chunks[i], want)
+		}
+	}
+	if n := c.panics(); n != 0 {
+		t.Errorf("%s: %d handler panics", name, n)
+	}
+	medBase := mathx.Median(append([]float64(nil), base.qoes...))
+	medRun := mathx.Median(append([]float64(nil), run.qoes...))
+	if math.Abs(medRun-medBase) > tol*math.Abs(medBase) {
+		t.Errorf("%s: median QoE %.2f vs fault-free %.2f (> %.0f%% off)", name, medRun, medBase, 100*tol)
+	}
+}
+
+// TestClusterChaosKillReplica is the acceptance scenario: 6 full playbacks
+// through a 3-replica cluster; while session 2 is mid-playback its home
+// replica is killed. Every video must finish, nothing panics, median QoE
+// stays within 20% of fault-free, at least one failover is recorded — and
+// the whole faulted run is deterministic: a second identical run renders
+// every prediction bit-identically.
+func TestClusterChaosKillReplica(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster chaos boots a trained 3-replica cluster; slow for -short")
+	}
+	base := playAll(t, newRealCluster(t, 3, nil), nil)
+	for i, q := range base.qoes {
+		if math.IsNaN(q) {
+			t.Fatalf("fault-free baseline: session %d QoE is NaN", i)
+		}
+	}
+
+	run := func() (clusterResult, uint64) {
+		c := newRealCluster(t, 3, nil)
+		hooks := map[int]map[int]func(){
+			2: {10: func() {
+				home, ok := c.rt.SessionHome("cchaos-2")
+				if !ok {
+					t.Fatal("session cchaos-2 has no home at kill time")
+				}
+				c.gate.SetHostDown(strings.TrimPrefix(home, "http://"), true)
+			}},
+		}
+		res := playAll(t, c, hooks)
+		if n := c.panics(); n != 0 {
+			t.Fatalf("%d panics during faulted run", n)
+		}
+		return res, c.failovers()
+	}
+
+	first, failovers := run()
+	if failovers == 0 {
+		t.Error("killed a home replica mid-playback but no failover was recorded")
+	}
+	assertClusterBand(t, "kill-replica", base, first, newRealCluster(t, 3, nil), 0.20)
+
+	second, _ := run()
+	if first.render != second.render {
+		t.Errorf("faulted run is nondeterministic across identical runs\nfirst:\n%s\nsecond:\n%s",
+			first.render, second.render)
+	}
+	if !floatsEqual(first.qoes, second.qoes) {
+		t.Errorf("faulted QoEs differ across identical runs: %v vs %v", first.qoes, second.qoes)
+	}
+}
+
+func floatsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestClusterChaosKillAndRevive: the killed replica comes back two epochs
+// later. The migrated session must NOT flap back (stickiness after
+// failover), and playback still completes in band.
+func TestClusterChaosKillAndRevive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster chaos boots a trained 3-replica cluster; slow for -short")
+	}
+	base := playAll(t, newRealCluster(t, 3, nil), nil)
+	c := newRealCluster(t, 3, nil)
+	var killed string
+	hooks := map[int]map[int]func(){
+		2: {
+			10: func() {
+				killed, _ = c.rt.SessionHome("cchaos-2")
+				c.gate.SetHostDown(strings.TrimPrefix(killed, "http://"), true)
+			},
+			12: func() {
+				c.gate.SetHostDown(strings.TrimPrefix(killed, "http://"), false)
+			},
+		},
+	}
+	run := playAll(t, c, hooks)
+	assertClusterBand(t, "kill-revive", base, run, c, 0.20)
+	if home, _ := c.rt.SessionHome("cchaos-2"); home == killed {
+		t.Errorf("session flapped back to revived replica %s mid-playback", killed)
+	}
+	if c.failovers() == 0 {
+		t.Error("no failover recorded")
+	}
+}
+
+// TestClusterChaosProbePartition: the probe path is partitioned (monitoring
+// sees every replica dead) while the data path is fine — the classic
+// observer/reality split. The Down-last-resort tier keeps sessions playing;
+// a partitioned prober must never turn into a full outage.
+func TestClusterChaosProbePartition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster chaos boots a trained 3-replica cluster; slow for -short")
+	}
+	base := playAll(t, newRealCluster(t, 3, nil), nil)
+	probeGate := faultinject.NewHostGate(nil)
+	c := newRealCluster(t, 3, func(cfg *Config) {
+		cfg.NewProbeClient = func(base string) *httpapi.Client {
+			return httpapi.NewClientWith(base, &http.Client{Transport: probeGate, Timeout: 5 * time.Second})
+		}
+	})
+	// Partition the probe path and drive every replica to Down in the
+	// router's (wrong) view of the world.
+	for _, n := range c.names {
+		probeGate.SetHostDown(strings.TrimPrefix(n, "http://"), true)
+	}
+	for i := 0; i < 3; i++ {
+		c.rt.ProbeAll(context.Background())
+	}
+	for n, st := range c.rt.ReplicaStates() {
+		if st != StateDown {
+			t.Fatalf("replica %s state %s; partition should have driven it down", n, st)
+		}
+	}
+	run := playAll(t, c, nil)
+	assertClusterBand(t, "probe-partition", base, run, c, 0.20)
+}
+
+// TestClusterChaosSlowReplica: added latency on one replica slows requests
+// but corrupts nothing — the rendered predictions are bit-identical to
+// fault-free.
+func TestClusterChaosSlowReplica(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster chaos boots a trained 3-replica cluster; slow for -short")
+	}
+	base := playAll(t, newRealCluster(t, 3, nil), nil)
+	c := newRealCluster(t, 3, nil)
+	c.gate.SetHostLatency(strings.TrimPrefix(c.names[0], "http://"), 2*time.Millisecond)
+	run := playAll(t, c, nil)
+	if run.render != base.render {
+		t.Errorf("slow replica changed predictions\ngot:\n%s\nwant:\n%s", run.render, base.render)
+	}
+	assertClusterBand(t, "slow-replica", base, run, c, 0.20)
+}
+
+// TestClusterModelFetchThroughRouter: a decentralized client pulls its
+// cluster-local model via the router's /v1/model proxy and gets working
+// local predictions.
+func TestClusterModelFetchThroughRouter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a trained 3-replica cluster; slow for -short")
+	}
+	c := newRealCluster(t, 3, nil)
+	cl := httpapi.NewClient(c.front.URL)
+	s := chaosPick(t)[0]
+	lp, err := cl.FetchLocalPredictor(s.Features)
+	if err != nil {
+		t.Fatalf("local model fetch through router: %v", err)
+	}
+	lp.Observe(s.Throughput[0])
+	if p := lp.Predict(); math.IsNaN(p) || p <= 0 {
+		t.Fatalf("local predictor from proxied model predicts %g", p)
+	}
+}

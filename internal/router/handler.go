@@ -1,0 +1,127 @@
+package router
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"time"
+
+	"cs2p/internal/engine"
+	"cs2p/internal/httpapi"
+)
+
+// The router's HTTP surface is the standard httpapi server stack — the
+// same validation, hardening middleware, JSON v1 routes, and binary v2
+// routes a single replica serves — backed by the Router as its
+// SessionService. A player cannot tell a router from a replica, which is
+// the whole point: the cluster presents the surface of one process.
+
+// srvOnce builds the embedded httpapi server on first use.
+func (rt *Router) srvOnce() *httpapi.Server {
+	rt.srvInit.Do(func() {
+		srv := httpapi.NewServer(rt, nil)
+		srv.SetLogf(rt.logf)
+		if rt.cfg.Metrics != nil {
+			srv.SetMetrics(rt.cfg.Metrics)
+		}
+		srv.SetModelHandler(http.HandlerFunc(rt.proxyModel))
+		rt.srv = srv
+	})
+	return rt.srv
+}
+
+// Handler returns the router's HTTP handler.
+func (rt *Router) Handler() http.Handler { return rt.srvOnce().Handler() }
+
+// Run serves the router until ctx is cancelled, then drains gracefully.
+func (rt *Router) Run(ctx context.Context, addr string, grace time.Duration) error {
+	return rt.srvOnce().Run(ctx, addr, grace)
+}
+
+// PanicCount reports handler panics absorbed by the recovery middleware —
+// the cluster chaos harness asserts it stays zero.
+func (rt *Router) PanicCount() int64 {
+	if rt.srv == nil {
+		return 0
+	}
+	return rt.srv.PanicCount()
+}
+
+// Health implements httpapi.HealthReporter for the router's own
+// /v1/healthz: the tier is ready while at least one replica is not Down.
+// ModelVersion is the single version the live replicas agree on, or 0 when
+// they diverge or were never probed — so a frontend stacked on routers can
+// apply the same skew rule one level up.
+func (rt *Router) Health() engine.HealthStatus {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	up := 0
+	var version uint64
+	converged := true
+	for _, rep := range rt.replicas {
+		if rep.health.state == StateDown {
+			continue
+		}
+		up++
+		if rep.version != 0 {
+			if version == 0 {
+				version = rep.version
+			} else if version != rep.version {
+				converged = false
+			}
+		}
+	}
+	if !converged {
+		version = 0
+	}
+	return engine.HealthStatus{
+		Ready:        up > 0,
+		ModelVersion: version,
+		Sessions:     len(rt.sessions),
+	}
+}
+
+// proxyModel forwards GET /v1/model to the first live replica, preserving
+// the query, the conditional-request header, and the version-derived ETag —
+// so decentralized clients fetch their cluster model through the router
+// with the replica's 304 revalidation intact.
+func (rt *Router) proxyModel(w http.ResponseWriter, r *http.Request) {
+	for _, name := range rt.order {
+		rep := rt.usable(name)
+		if rep == nil {
+			continue
+		}
+		url := rep.client.BaseURL() + "/v1/model"
+		if r.URL.RawQuery != "" {
+			url += "?" + r.URL.RawQuery
+		}
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, url, nil)
+		if err != nil {
+			continue
+		}
+		if inm := r.Header.Get("If-None-Match"); inm != "" {
+			req.Header.Set("If-None-Match", inm)
+		}
+		resp, err := rep.client.HTTPClient().Do(req)
+		if err != nil {
+			rt.m.request(rep.name, false)
+			rt.reportOutcome(rep, false)
+			continue
+		}
+		rt.m.request(rep.name, true)
+		rt.reportOutcome(rep, true)
+		if ct := resp.Header.Get("Content-Type"); ct != "" {
+			w.Header().Set("Content-Type", ct)
+		}
+		if etag := resp.Header.Get("ETag"); etag != "" {
+			w.Header().Set("ETag", etag)
+		}
+		w.WriteHeader(resp.StatusCode)
+		_, _ = io.Copy(w, resp.Body)
+		resp.Body.Close()
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusBadGateway)
+	_, _ = w.Write([]byte(`{"error":"router: no usable replica"}` + "\n"))
+}

@@ -1,0 +1,136 @@
+package router
+
+import "time"
+
+// State is a replica's position in the health state machine:
+//
+//	            fail×SuspectAfter            fail×DownAfter
+//	  Healthy ───────────────────▶ Suspect ───────────────▶ Down
+//	     ▲                            │                       │
+//	     │ ok                         │ ok                    │ ok
+//	     └────────────────────────────┘                       ▼
+//	     ▲                                               Recovering
+//	     │ ok×RecoverAfter                                    │
+//	     └────────────────────────────────────────────────────┘
+//	                         (any failure while Recovering → Down)
+//
+// Suspect is the draining state: the replica keeps serving its existing
+// sessions (one blip must not trigger a mass migration of warm filter
+// state) but receives no new ones. Down is the only state the data path
+// treats as unusable. Recovering exists so one lucky probe after an outage
+// does not immediately re-admit a flapping replica.
+type State int
+
+// Health states, in gauge-value order.
+const (
+	StateHealthy State = iota
+	StateSuspect
+	StateDown
+	StateRecovering
+)
+
+// String names the state for logs and the replica-state metric docs.
+func (s State) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateSuspect:
+		return "suspect"
+	case StateDown:
+		return "down"
+	case StateRecovering:
+		return "recovering"
+	}
+	return "unknown"
+}
+
+// Thresholds tunes the state machine's transition counts. All counts are
+// consecutive outcomes; any success resets the failure run and vice versa.
+type Thresholds struct {
+	// SuspectAfter consecutive failures demote Healthy to Suspect.
+	SuspectAfter int
+	// DownAfter consecutive failures (counted from the first, across the
+	// Suspect demotion) mark the replica Down.
+	DownAfter int
+	// RecoverAfter consecutive successes graduate Recovering to Healthy.
+	RecoverAfter int
+}
+
+// DefaultThresholds is deliberately trigger-happy on demotion (one failed
+// probe stops new-session placement) and cautious on promotion: wrongly
+// suspecting a replica costs little — existing sessions still drain to it —
+// while placing new sessions on a dying one costs a migration each.
+func DefaultThresholds() Thresholds {
+	return Thresholds{SuspectAfter: 1, DownAfter: 3, RecoverAfter: 2}
+}
+
+// withDefaults fills zero fields.
+func (t Thresholds) withDefaults() Thresholds {
+	d := DefaultThresholds()
+	if t.SuspectAfter <= 0 {
+		t.SuspectAfter = d.SuspectAfter
+	}
+	if t.DownAfter <= 0 {
+		t.DownAfter = d.DownAfter
+	}
+	if t.RecoverAfter <= 0 {
+		t.RecoverAfter = d.RecoverAfter
+	}
+	return t
+}
+
+// healthState is one replica's mutable health record. It is driven by both
+// probe results and data-path outcomes (a failed forward is evidence just
+// like a failed probe), guarded by the router's mutex.
+type healthState struct {
+	state     State
+	fails     int
+	successes int
+	// since is when the current state was entered (from the injected
+	// clock, so tests advance it without sleeping).
+	since time.Time
+}
+
+// observe advances the machine on one outcome and returns the transition
+// (from == to when nothing changed). It is a pure function of the current
+// record, the outcome, and the thresholds — no wall-clock reads — which is
+// what makes the table-driven tests exact.
+func (h *healthState) observe(ok bool, now time.Time, th Thresholds) (from, to State) {
+	from = h.state
+	if ok {
+		h.fails = 0
+		switch h.state {
+		case StateSuspect:
+			h.state = StateHealthy
+		case StateDown:
+			h.state = StateRecovering
+			h.successes = 1
+		case StateRecovering:
+			h.successes++
+			if h.successes >= th.RecoverAfter {
+				h.state = StateHealthy
+			}
+		}
+	} else {
+		h.successes = 0
+		switch h.state {
+		case StateHealthy, StateSuspect:
+			h.fails++
+			if h.fails >= th.DownAfter {
+				h.state = StateDown
+			} else if h.fails >= th.SuspectAfter {
+				h.state = StateSuspect
+			}
+		case StateRecovering:
+			// A failure mid-recovery sends the replica straight back: it
+			// already proved it can vanish, so it re-earns Healthy from
+			// scratch.
+			h.state = StateDown
+			h.fails = th.DownAfter
+		}
+	}
+	if h.state != from {
+		h.since = now
+	}
+	return from, h.state
+}

@@ -1,0 +1,106 @@
+package router
+
+import "cs2p/internal/obs"
+
+// routerMetrics caches the router's instruments. Replica and outcome label
+// sets are known at construction, so everything is built eagerly and the
+// request path touches only preallocated handles. The zero value (no
+// registry) is inert: obs instruments no-op on nil receivers and lookups on
+// nil maps return nil.
+type routerMetrics struct {
+	reg *obs.Registry
+	// failovers counts replay-based session recoveries: migrations to
+	// another replica and re-registrations on a restarted home alike.
+	failovers *obs.Counter
+	// replayed counts observations re-sent while rebuilding a session's
+	// filter state on its new home.
+	replayed *obs.Counter
+	// skewRefusals counts failover candidates rejected because their model
+	// version diverged from the session's.
+	skewRefusals *obs.Counter
+	// modelSkew gauges how many distinct model versions the live replicas
+	// currently serve, minus one — 0 is a converged cluster.
+	modelSkew *obs.Gauge
+	// sessions gauges the router's live routed-session count.
+	sessions *obs.Gauge
+	// panics counts handler panics absorbed by the recovery middleware.
+	panics *obs.Counter
+	// state is the per-replica health gauge (values are State:
+	// 0 healthy, 1 suspect, 2 down, 3 recovering).
+	state map[string]*obs.Gauge
+	// requests counts forwarded data-path calls by replica and outcome
+	// ("ok" / "error").
+	requests map[string]map[string]*obs.Counter
+	// probes counts health probes by replica and result ("ok" / "fail").
+	probes map[string]map[string]*obs.Counter
+}
+
+// newRouterMetrics binds the router instruments for the given replica set.
+func newRouterMetrics(reg *obs.Registry, replicas []string) *routerMetrics {
+	if reg == nil {
+		return &routerMetrics{}
+	}
+	m := &routerMetrics{
+		reg: reg,
+		failovers: reg.Counter("cs2p_router_failovers_total",
+			"Replay-based session recoveries (migration or re-registration).", nil),
+		replayed: reg.Counter("cs2p_router_replayed_observations_total",
+			"Observations replayed to rebuild session state on a new replica.", nil),
+		skewRefusals: reg.Counter("cs2p_router_version_skew_refusals_total",
+			"Failover candidates rejected for serving a divergent model version.", nil),
+		modelSkew: reg.Gauge("cs2p_router_model_skew",
+			"Distinct model versions across live replicas minus one (0 = converged).", nil),
+		sessions: reg.Gauge("cs2p_router_sessions",
+			"Sessions currently routed.", nil),
+		panics: reg.Counter("cs2p_router_panics_total",
+			"Router handler panics absorbed by the recovery middleware.", nil),
+		state:    make(map[string]*obs.Gauge, len(replicas)),
+		requests: make(map[string]map[string]*obs.Counter, len(replicas)),
+		probes:   make(map[string]map[string]*obs.Counter, len(replicas)),
+	}
+	for _, r := range replicas {
+		m.state[r] = reg.Gauge("cs2p_router_replica_state",
+			"Replica health state (0 healthy, 1 suspect, 2 down, 3 recovering).",
+			obs.Labels{"replica": r})
+		m.requests[r] = map[string]*obs.Counter{
+			"ok": reg.Counter("cs2p_router_requests_total",
+				"Data-path calls forwarded to replicas by outcome.",
+				obs.Labels{"replica": r, "outcome": "ok"}),
+			"error": reg.Counter("cs2p_router_requests_total",
+				"Data-path calls forwarded to replicas by outcome.",
+				obs.Labels{"replica": r, "outcome": "error"}),
+		}
+		m.probes[r] = map[string]*obs.Counter{
+			"ok": reg.Counter("cs2p_router_probes_total",
+				"Health probes by replica and result.",
+				obs.Labels{"replica": r, "result": "ok"}),
+			"fail": reg.Counter("cs2p_router_probes_total",
+				"Health probes by replica and result.",
+				obs.Labels{"replica": r, "result": "fail"}),
+		}
+	}
+	return m
+}
+
+// request records one forwarded call's outcome.
+func (m *routerMetrics) request(replica string, ok bool) {
+	outcome := "error"
+	if ok {
+		outcome = "ok"
+	}
+	m.requests[replica][outcome].Inc()
+}
+
+// probe records one health probe's result.
+func (m *routerMetrics) probe(replica string, ok bool) {
+	result := "fail"
+	if ok {
+		result = "ok"
+	}
+	m.probes[replica][result].Inc()
+}
+
+// setState mirrors a replica's health state onto its gauge.
+func (m *routerMetrics) setState(replica string, s State) {
+	m.state[replica].Set(float64(s))
+}

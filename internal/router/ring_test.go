@@ -1,0 +1,154 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+// keys returns n synthetic session ids.
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("session-%04d", i)
+	}
+	return out
+}
+
+// TestRingDeterministic: the ring is a pure function of the replica SET —
+// insertion order must not matter, because two routers (or one across
+// restarts) assembling the set differently must route identically.
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing(64)
+	a.SetReplicas([]string{"http://r1", "http://r2", "http://r3"})
+	b := NewRing(64)
+	b.SetReplicas([]string{"http://r3", "http://r1", "http://r2", "http://r1"}) // shuffled + duplicate
+	for _, k := range keys(2000) {
+		oa, _ := a.Owner(k)
+		ob, _ := b.Owner(k)
+		if oa != ob {
+			t.Fatalf("key %s: owner %s != %s across identically-populated rings", k, oa, ob)
+		}
+	}
+}
+
+// TestRingBalance: with virtual nodes, no replica owns a wildly
+// disproportionate share of the keyspace.
+func TestRingBalance(t *testing.T) {
+	r := NewRing(64)
+	names := []string{"http://r1", "http://r2", "http://r3"}
+	r.SetReplicas(names)
+	counts := map[string]int{}
+	ks := keys(3000)
+	for _, k := range ks {
+		o, ok := r.Owner(k)
+		if !ok {
+			t.Fatal("empty ring")
+		}
+		counts[o]++
+	}
+	for _, n := range names {
+		share := float64(counts[n]) / float64(len(ks))
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("replica %s owns %.0f%% of keys; want a roughly even split", n, share*100)
+		}
+	}
+}
+
+// TestRingStabilityOnRemove: removing one replica moves ONLY the sessions
+// it owned; everyone else keeps their home. This is the consistent-hashing
+// property the sticky-session design depends on — a replica death must not
+// reshuffle warm filter state cluster-wide.
+func TestRingStabilityOnRemove(t *testing.T) {
+	r := NewRing(64)
+	r.SetReplicas([]string{"http://r1", "http://r2", "http://r3"})
+	ks := keys(3000)
+	before := make(map[string]string, len(ks))
+	for _, k := range ks {
+		before[k], _ = r.Owner(k)
+	}
+	const removed = "http://r2"
+	r.SetReplicas([]string{"http://r1", "http://r3"})
+	moved := 0
+	for _, k := range ks {
+		after, _ := r.Owner(k)
+		if before[k] == removed {
+			moved++
+			if after == removed {
+				t.Fatalf("key %s still owned by removed replica", k)
+			}
+			continue
+		}
+		if after != before[k] {
+			t.Errorf("key %s moved %s -> %s though its owner survived", k, before[k], after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed replica owned no keys; balance test should have caught this")
+	}
+}
+
+// TestRingStabilityOnAdd: adding a replica moves only the ~K/N keys the
+// newcomer takes over.
+func TestRingStabilityOnAdd(t *testing.T) {
+	r := NewRing(64)
+	r.SetReplicas([]string{"http://r1", "http://r2", "http://r3"})
+	ks := keys(3000)
+	before := make(map[string]string, len(ks))
+	for _, k := range ks {
+		before[k], _ = r.Owner(k)
+	}
+	const added = "http://r4"
+	r.SetReplicas([]string{"http://r1", "http://r2", "http://r3", added})
+	moved := 0
+	for _, k := range ks {
+		after, _ := r.Owner(k)
+		if after == before[k] {
+			continue
+		}
+		if after != added {
+			t.Errorf("key %s moved %s -> %s, not to the added replica", k, before[k], after)
+		}
+		moved++
+	}
+	// Expect ~1/4 of keys to move; allow generous slack but require the
+	// move set to be a minority (a naive mod-N rehash moves ~3/4).
+	if frac := float64(moved) / float64(len(ks)); frac <= 0 || frac > 0.45 {
+		t.Errorf("adding a replica moved %.0f%% of keys; want roughly K/N", frac*100)
+	}
+}
+
+// TestRingSequence: the failover order visits every replica exactly once,
+// starting with the owner, and is itself deterministic.
+func TestRingSequence(t *testing.T) {
+	r := NewRing(64)
+	names := []string{"http://r1", "http://r2", "http://r3"}
+	r.SetReplicas(names)
+	for _, k := range keys(100) {
+		seq := r.Sequence(k)
+		if len(seq) != len(names) {
+			t.Fatalf("key %s: sequence %v does not cover the replica set", k, seq)
+		}
+		owner, _ := r.Owner(k)
+		if seq[0] != owner {
+			t.Fatalf("key %s: sequence starts at %s, owner is %s", k, seq[0], owner)
+		}
+		seen := map[string]bool{}
+		for _, n := range seq {
+			if seen[n] {
+				t.Fatalf("key %s: sequence %v repeats %s", k, seq, n)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+// TestRingEmpty: an empty ring routes nothing, without panicking.
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(0)
+	if _, ok := r.Owner("x"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	if seq := r.Sequence("x"); seq != nil {
+		t.Fatalf("empty ring returned sequence %v", seq)
+	}
+}

@@ -1,0 +1,588 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"cs2p/internal/engine"
+	"cs2p/internal/httpapi"
+	"cs2p/internal/obs"
+	"cs2p/internal/trace"
+)
+
+// ErrNoReplica means every eligible replica was tried (or refused for
+// model-version skew) and none could serve the call.
+var ErrNoReplica = errors.New("router: no usable replica")
+
+// DefaultReplayWindow bounds the per-session observation window. The HMM
+// posterior forgets its starting point within a handful of epochs, so 16
+// replayed observations reconstruct a session's filter state to within
+// floating-point noise of fault-free — and for sessions shorter than the
+// window, exactly.
+const DefaultReplayWindow = 16
+
+// Config shapes a Router.
+type Config struct {
+	// Replicas are the cs2p-server base URLs ("http://10.0.0.1:8642").
+	// At least one is required; the set is fixed for the router's lifetime.
+	Replicas []string
+	// VNodes is the virtual-node count per replica (0 = DefaultVNodes).
+	VNodes int
+	// ReplayWindow bounds the per-session observation window kept for
+	// failover replay (0 = DefaultReplayWindow).
+	ReplayWindow int
+	// Thresholds tunes the health state machine (zero fields default).
+	Thresholds Thresholds
+	// ProbeInterval paces RunHealthChecker (0 = 2s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one health probe (0 = 1s).
+	ProbeTimeout time.Duration
+	// AllowVersionSkew lets a session fail over onto a replica whose
+	// probed model version differs from the one the session started on.
+	// Off by default: divergent models give divergent predictions, and a
+	// mid-session model change is exactly the inconsistency the version
+	// probe exists to prevent. Replicas with unknown version (never
+	// probed) are always eligible.
+	AllowVersionSkew bool
+	// Metrics, when set, receives the router instruments and is served at
+	// GET /metrics.
+	Metrics *obs.Registry
+	// Logf is the router's logger (nil = log nothing).
+	Logf func(format string, args ...any)
+	// Now is the clock feeding health-state timestamps (nil = time.Now).
+	// Tests inject a fake to make state-machine timing exact.
+	Now func() time.Time
+	// NewClient builds the per-replica data-path client (nil = NewClient
+	// with default timeouts). The chaos harness injects fault transports
+	// here.
+	NewClient func(base string) *httpapi.Client
+	// NewProbeClient builds the health-probe client (nil = NewClient
+	// hook). Separate so tests can partition the probe path from the data
+	// path — the classic failure where monitoring disagrees with reality.
+	NewProbeClient func(base string) *httpapi.Client
+}
+
+// replica is one backend with its clients and health record. name doubles
+// as the metrics label. Health fields are guarded by Router.mu.
+type replica struct {
+	name    string
+	client  *httpapi.Client
+	probe   *httpapi.Client
+	health  healthState
+	version uint64 // last probed model version (0 = unknown)
+	gen     uint64 // last probed model generation
+}
+
+// routedSession is the router's per-session record: where the session
+// lives, what it takes to recreate it (features + replay window), and
+// whether its home replica's filter state is still trusted. Its mutex
+// serializes the session's operations — the same per-session discipline the
+// engine applies — so a migration never interleaves with a concurrent
+// observation for the same id.
+type routedSession struct {
+	mu        sync.Mutex
+	home      string
+	features  trace.Features
+	startUnix int64
+	// version pins the model version the session's predictions come from;
+	// failover refuses candidates serving a different one.
+	version uint64
+	// recent is the bounded replay window of observations, oldest first.
+	recent []float64
+	// desync marks the home replica's filter state untrusted (a failed
+	// observe may or may not have been applied); the next operation must
+	// re-register and replay rather than forward.
+	desync bool
+}
+
+// push appends an observation, sliding the window when full.
+func (s *routedSession) push(w float64, window int) {
+	if len(s.recent) >= window {
+		copy(s.recent, s.recent[1:])
+		s.recent[len(s.recent)-1] = w
+		return
+	}
+	s.recent = append(s.recent, w)
+}
+
+// dropLast removes the newest observation (an input the backend rejected
+// before it could touch filter state must not be replayed later).
+func (s *routedSession) dropLast() {
+	if len(s.recent) > 0 {
+		s.recent = s.recent[:len(s.recent)-1]
+	}
+}
+
+// homeName reads the session's home replica under its lock.
+func (s *routedSession) homeName() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.home
+}
+
+// Router consistent-hash-routes sessions across replicas and recovers them
+// by replay when a replica dies. It implements httpapi.SessionService: the
+// cluster presents the exact same surface as one process.
+type Router struct {
+	cfg   Config
+	th    Thresholds
+	ring  *Ring
+	order []string // sorted replica names: deterministic probe/scan order
+	// mu guards sessions and every replica's health/version fields.
+	mu       sync.Mutex
+	replicas map[string]*replica
+	sessions map[string]*routedSession
+	window   int
+	now      func() time.Time
+	logf     func(format string, args ...any)
+	m        *routerMetrics
+	start    time.Time
+	// srv is the embedded httpapi server presenting the router over HTTP,
+	// built once on first Handler/Run call.
+	srvInit sync.Once
+	srv     *httpapi.Server
+}
+
+// New builds a Router over a fixed replica set.
+func New(cfg Config) (*Router, error) {
+	ring := NewRing(cfg.VNodes)
+	ring.SetReplicas(cfg.Replicas)
+	names := ring.Replicas()
+	if len(names) == 0 {
+		return nil, errors.New("router: at least one replica required")
+	}
+	if cfg.ReplayWindow <= 0 {
+		cfg.ReplayWindow = DefaultReplayWindow
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 2 * time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = time.Second
+	}
+	newClient := cfg.NewClient
+	if newClient == nil {
+		newClient = httpapi.NewClient
+	}
+	newProbe := cfg.NewProbeClient
+	if newProbe == nil {
+		newProbe = newClient
+	}
+	rt := &Router{
+		cfg:      cfg,
+		th:       cfg.Thresholds.withDefaults(),
+		ring:     ring,
+		order:    names,
+		replicas: make(map[string]*replica, len(names)),
+		sessions: make(map[string]*routedSession),
+		window:   cfg.ReplayWindow,
+		now:      cfg.Now,
+		logf:     cfg.Logf,
+		m:        newRouterMetrics(cfg.Metrics, names),
+		start:    time.Now(),
+	}
+	if rt.now == nil {
+		rt.now = time.Now
+	}
+	if rt.logf == nil {
+		rt.logf = func(string, ...any) {}
+	}
+	for _, n := range names {
+		rt.replicas[n] = &replica{name: n, client: newClient(n), probe: newProbe(n)}
+		rt.m.setState(n, StateHealthy)
+	}
+	return rt, nil
+}
+
+// Replicas returns the replica names, sorted.
+func (rt *Router) Replicas() []string { return rt.ring.Replicas() }
+
+// SessionHome reports which replica currently serves a session.
+func (rt *Router) SessionHome(id string) (string, bool) {
+	rt.mu.Lock()
+	sess := rt.sessions[id]
+	rt.mu.Unlock()
+	if sess == nil {
+		return "", false
+	}
+	return sess.homeName(), true
+}
+
+// ReplicaStates snapshots every replica's health state.
+func (rt *Router) ReplicaStates() map[string]State {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make(map[string]State, len(rt.replicas))
+	for n, rep := range rt.replicas {
+		out[n] = rep.health.state
+	}
+	return out
+}
+
+// lookup fetches a session record.
+func (rt *Router) lookup(id string) *routedSession {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.sessions[id]
+}
+
+// usable returns the replica unless it is Down — the only state the data
+// path refuses to talk to. Suspect and Recovering replicas keep serving
+// the sessions they already hold (draining), they just stop getting new
+// ones.
+func (rt *Router) usable(name string) *replica {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rep := rt.replicas[name]
+	if rep == nil || rep.health.state == StateDown {
+		return nil
+	}
+	return rep
+}
+
+// versionOf reads a replica's last probed model version.
+func (rt *Router) versionOf(rep *replica) uint64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rep.version
+}
+
+// reportOutcome feeds a data-path result into the replica's health state:
+// a failed forward is evidence of trouble exactly like a failed probe, and
+// folding it in makes failover reactive — the router notices a dead
+// replica on the first request, not at the next probe tick. This is also
+// what keeps the chaos runs deterministic: state transitions follow
+// request order, not probe-timer phase.
+func (rt *Router) reportOutcome(rep *replica, ok bool) {
+	rt.mu.Lock()
+	from, to := rep.health.observe(ok, rt.now(), rt.th)
+	rt.mu.Unlock()
+	if from != to {
+		rt.m.setState(rep.name, to)
+		rt.logf("router: replica %s %s -> %s", rep.name, from, to)
+	}
+}
+
+// startCandidates orders the replicas for placing a NEW session: ring
+// sequence within tiers of Healthy/Recovering first, then Suspect, then
+// Down as a last resort (a probe-path partition must not make the whole
+// cluster unroutable when the replicas themselves are fine).
+func (rt *Router) startCandidates(id string) []*replica {
+	seq := rt.ring.Sequence(id)
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var healthy, drain, down []*replica
+	for _, name := range seq {
+		rep := rt.replicas[name]
+		switch rep.health.state {
+		case StateSuspect:
+			drain = append(drain, rep)
+		case StateDown:
+			down = append(down, rep)
+		default:
+			healthy = append(healthy, rep)
+		}
+	}
+	return append(append(healthy, drain...), down...)
+}
+
+// StartSession implements httpapi.SessionService: place the session on the
+// first usable replica in ring order and remember how to recreate it.
+func (rt *Router) StartSession(id string, f trace.Features, startUnix int64) engine.StartResponse {
+	resp, _ := rt.Start(id, f, startUnix)
+	return resp
+}
+
+// Start is StartSession with the error: the HTTP handler uses it to
+// propagate total-cluster-outage as 502 instead of a zero response.
+func (rt *Router) Start(id string, f trace.Features, startUnix int64) (engine.StartResponse, error) {
+	var lastErr error
+	for _, rep := range rt.startCandidates(id) {
+		resp, err := rep.client.StartSession(id, f, startUnix)
+		if err == nil {
+			rt.reportOutcome(rep, true)
+			rt.m.request(rep.name, true)
+			sess := &routedSession{home: rep.name, features: f, startUnix: startUnix, version: rt.versionOf(rep)}
+			rt.mu.Lock()
+			rt.sessions[id] = sess
+			n := len(rt.sessions)
+			rt.mu.Unlock()
+			rt.m.sessions.Set(float64(n))
+			return resp, nil
+		}
+		rt.m.request(rep.name, false)
+		if st := httpapi.HTTPStatus(err); st != 0 && st/100 == 4 {
+			// The replica understood and rejected the request (validation);
+			// every replica would say the same.
+			return engine.StartResponse{}, err
+		}
+		rt.reportOutcome(rep, false)
+		lastErr = err
+	}
+	return engine.StartResponse{}, fmt.Errorf("router: start %s: %w", id, errors.Join(ErrNoReplica, lastErr))
+}
+
+// ObserveAndPredict implements httpapi.SessionService. The observation goes
+// into the replay window FIRST: if the forward then fails in any way, the
+// window already holds everything needed to rebuild the session elsewhere,
+// including this sample.
+func (rt *Router) ObserveAndPredict(id string, observedMbps float64, horizon int) (float64, error) {
+	sess := rt.lookup(id)
+	if sess == nil {
+		return 0, fmt.Errorf("%w: %s", engine.ErrUnknownSession, id)
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	sess.push(observedMbps, rt.window)
+	if !sess.desync {
+		if rep := rt.usable(sess.home); rep != nil {
+			pred, err := rep.client.ObserveAndPredict(id, observedMbps, horizon)
+			if err == nil {
+				rt.reportOutcome(rep, true)
+				rt.m.request(rep.name, true)
+				return pred, nil
+			}
+			rt.m.request(rep.name, false)
+			st := httpapi.HTTPStatus(err)
+			if st != 0 && st != http.StatusNotFound && st/100 == 4 {
+				// Rejected at validation, before any filter state changed:
+				// the session is still in sync. Drop the sample so a later
+				// replay doesn't feed the backend an input it refused.
+				sess.dropLast()
+				return 0, err
+			}
+			if st != http.StatusNotFound {
+				rt.reportOutcome(rep, false)
+			}
+		}
+		// The home replica is down, restarted without the session (404), or
+		// failed mid-call: its filter state can no longer be trusted to
+		// match the observation stream.
+		sess.desync = true
+	}
+	return rt.migrateLocked(sess, id, horizon)
+}
+
+// Predict implements httpapi.SessionService (stateless horizon query).
+func (rt *Router) Predict(id string, horizon int) (float64, error) {
+	sess := rt.lookup(id)
+	if sess == nil {
+		return 0, fmt.Errorf("%w: %s", engine.ErrUnknownSession, id)
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if !sess.desync {
+		if rep := rt.usable(sess.home); rep != nil {
+			pred, err := rep.client.PredictAt(id, horizon)
+			if err == nil {
+				rt.reportOutcome(rep, true)
+				rt.m.request(rep.name, true)
+				return pred, nil
+			}
+			rt.m.request(rep.name, false)
+			st := httpapi.HTTPStatus(err)
+			if st != 0 && st != http.StatusNotFound && st/100 == 4 {
+				return 0, err
+			}
+			if st != http.StatusNotFound {
+				rt.reportOutcome(rep, false)
+			}
+		}
+		// PredictAt never mutates filter state, so strictly the home is
+		// not desynced — but serving this query from anywhere else still
+		// requires re-registration and replay, which is the same path.
+		sess.desync = true
+	}
+	return rt.migrateLocked(sess, id, horizon)
+}
+
+// EndSession implements httpapi.SessionService: forget the session and
+// deliver the QoE log to any live replica (the log plane is per-cluster,
+// not per-session — any replica can record it).
+func (rt *Router) EndSession(lg engine.SessionLog) {
+	rt.mu.Lock()
+	sess := rt.sessions[lg.SessionID]
+	delete(rt.sessions, lg.SessionID)
+	n := len(rt.sessions)
+	rt.mu.Unlock()
+	rt.m.sessions.Set(float64(n))
+	tried := make(map[string]bool, len(rt.order))
+	candidates := make([]*replica, 0, len(rt.order))
+	if sess != nil {
+		if rep := rt.usable(sess.homeName()); rep != nil {
+			candidates = append(candidates, rep)
+			tried[rep.name] = true
+		}
+	}
+	for _, name := range rt.order {
+		if !tried[name] {
+			if rep := rt.usable(name); rep != nil {
+				candidates = append(candidates, rep)
+			}
+		}
+	}
+	for _, rep := range candidates {
+		if err := rep.client.Log(lg); err == nil {
+			rt.reportOutcome(rep, true)
+			rt.m.request(rep.name, true)
+			return
+		}
+		rt.m.request(rep.name, false)
+		rt.reportOutcome(rep, false)
+	}
+	rt.logf("router: session %s QoE log dropped (no live replica)", lg.SessionID)
+}
+
+// failoverCandidates orders replicas for migrating an EXISTING session:
+// ring sequence from the session's hash point, not-Down before Down (Down
+// is still tried last — better a slow recovery than a lost session), with
+// version-skewed replicas refused outright unless AllowVersionSkew. A
+// session's version pin only binds when both sides are known (non-zero):
+// an unprobed cluster must not refuse everything.
+func (rt *Router) failoverCandidates(id string, sessVersion uint64) []*replica {
+	seq := rt.ring.Sequence(id)
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var up, down []*replica
+	for _, name := range seq {
+		rep := rt.replicas[name]
+		if sessVersion != 0 && rep.version != 0 && rep.version != sessVersion && !rt.cfg.AllowVersionSkew {
+			rt.m.skewRefusals.Inc()
+			rt.logf("router: refusing %s for session migration: model v%d != session v%d", name, rep.version, sessVersion)
+			continue
+		}
+		if rep.health.state == StateDown {
+			down = append(down, rep)
+		} else {
+			up = append(up, rep)
+		}
+	}
+	return append(up, down...)
+}
+
+// migrateLocked (sess.mu held) re-homes the session: re-register on the
+// best candidate, replay the observation window to rebuild filter state,
+// and answer the pending query from the replayed stream. Because the HMM
+// posterior is a function of the cluster prior and the observation
+// sequence, a full-window replay reproduces the fault-free filter state
+// exactly for young sessions and to within posterior-mixing noise for long
+// ones — which is why failover barely moves predictions.
+func (rt *Router) migrateLocked(sess *routedSession, id string, horizon int) (float64, error) {
+	var lastErr error
+	for _, rep := range rt.failoverCandidates(id, sess.version) {
+		pred, err := rt.adopt(rep, sess, id, horizon)
+		if err != nil {
+			lastErr = err
+			rt.m.request(rep.name, false)
+			rt.reportOutcome(rep, false)
+			continue
+		}
+		from := sess.home
+		sess.home = rep.name
+		sess.version = rt.versionOf(rep)
+		sess.desync = false
+		rt.reportOutcome(rep, true)
+		rt.m.request(rep.name, true)
+		rt.m.failovers.Inc()
+		if from != rep.name {
+			rt.logf("router: session %s migrated %s -> %s (replayed %d observations)", id, from, rep.name, len(sess.recent))
+		}
+		return pred, nil
+	}
+	return 0, fmt.Errorf("router: session %s: failover failed: %w", id, errors.Join(ErrNoReplica, lastErr))
+}
+
+// adopt registers sess on rep and replays its window. Intermediate replays
+// use horizon 1 (the values are discarded); the last observation carries
+// the pending query's horizon so its prediction answers it. An empty
+// window (failover on a pure predict before any observation) falls back to
+// a direct query against the fresh session.
+func (rt *Router) adopt(rep *replica, sess *routedSession, id string, horizon int) (float64, error) {
+	if _, err := rep.client.StartSession(id, sess.features, sess.startUnix); err != nil {
+		return 0, err
+	}
+	pred := math.NaN()
+	for i, o := range sess.recent {
+		h := 1
+		if i == len(sess.recent)-1 {
+			h = horizon
+		}
+		v, err := rep.client.ObserveAndPredict(id, o, h)
+		if err != nil {
+			return 0, err
+		}
+		rt.m.replayed.Inc()
+		pred = v
+	}
+	if math.IsNaN(pred) {
+		v, err := rep.client.PredictAt(id, horizon)
+		if err != nil {
+			return 0, err
+		}
+		pred = v
+	}
+	return pred, nil
+}
+
+// ProbeAll runs one synchronous health-probe round in deterministic
+// (sorted) replica order, recording each replica's readiness, model
+// version, and generation, then refreshes the model-skew gauge.
+func (rt *Router) ProbeAll(ctx context.Context) {
+	for _, name := range rt.order {
+		rep := rt.replicas[name]
+		pctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
+		hr, err := rep.probe.Readiness(pctx)
+		cancel()
+		ok := err == nil
+		rt.mu.Lock()
+		if ok {
+			rep.version = hr.ModelVersion
+			rep.gen = hr.Generation
+		}
+		from, to := rep.health.observe(ok, rt.now(), rt.th)
+		rt.mu.Unlock()
+		rt.m.probe(name, ok)
+		if from != to {
+			rt.m.setState(name, to)
+			rt.logf("router: replica %s %s -> %s (probe)", name, from, to)
+		}
+	}
+	rt.m.modelSkew.Set(float64(rt.modelSkew()))
+}
+
+// modelSkew counts distinct known model versions among non-Down replicas,
+// minus one (floor 0). A converged cluster scores 0.
+func (rt *Router) modelSkew() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	versions := make(map[uint64]bool)
+	for _, rep := range rt.replicas {
+		if rep.health.state != StateDown && rep.version != 0 {
+			versions[rep.version] = true
+		}
+	}
+	if len(versions) <= 1 {
+		return 0
+	}
+	return len(versions) - 1
+}
+
+// RunHealthChecker probes all replicas on the configured interval until
+// ctx is cancelled.
+func (rt *Router) RunHealthChecker(ctx context.Context) {
+	t := time.NewTicker(rt.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			rt.ProbeAll(ctx)
+		}
+	}
+}
