@@ -3,13 +3,13 @@
 # and its consumers, plus the serving stack and the fault-injection suite).
 
 GO ?= go
-RACE_PKGS := ./internal/parallel ./internal/core ./internal/hmm ./internal/cluster ./internal/engine ./internal/httpapi ./internal/faultinject ./internal/obs ./internal/sessionstore ./internal/registry ./internal/wire ./internal/router
+RACE_PKGS := ./internal/parallel ./internal/core ./internal/hmm ./internal/cluster ./internal/engine ./internal/httpapi ./internal/faultinject ./internal/obs ./internal/sessionstore ./internal/registry ./internal/wire ./internal/router ./internal/loadgen
 
 # COVER_FLOOR is the minimum total statement coverage `make cover` accepts.
 # The seed measured 85.3%; the floor leaves one point of slack for noise.
 COVER_FLOOR := 84.0
 
-.PHONY: check vet build test race chaos cluster-chaos bench bench-serve cover fuzz publish-demo
+.PHONY: check vet build test race chaos cluster-chaos bench bench-serve bench-load cover fuzz publish-demo
 
 check: vet build test race
 
@@ -51,6 +51,19 @@ bench:
 bench-serve:
 	$(GO) test -run '^$$' -bench 'BenchmarkServiceConcurrent|BenchmarkWireServe' -benchmem -json ./internal/engine ./internal/httpapi > BENCH_serve.json
 	@awk -F'"Output":"' 'NF>1 { s=$$2; sub(/"}$$/,"",s); if (s ~ /^Benchmark.*\\t$$/) { gsub(/\\t/,"",s); printf "%s", s } else if (s ~ /ns\/op/) { gsub(/\\t/,"  ",s); gsub(/\\n/,"",s); print s } }' BENCH_serve.json
+
+# Open-loop load run against in-process serving tiers: one direct-server
+# scenario and one 3-replica router-fronted scenario, each with a burst
+# arrival profile, a short soak, and a capacity search, written to
+# BENCH_load.json (schema-versioned; loadgen.ParseReport validates it).
+# Latency is intended-start-to-completion, so coordinated omission cannot
+# hide tail degradation. See DESIGN.md §14.
+bench-load:
+	$(GO) run ./cmd/cs2p-loadgen -self -mode burst -rps 10 -burst-rps 120 \
+		-burst-every 2s -burst-len 500ms -duration 10s -chunk-interval 50ms \
+		-max-chunks 6 -capacity -trial 3s -bisect 2 -soak 5s -soak-rps 20 \
+		-out BENCH_load.json
+	@echo "wrote BENCH_load.json"
 
 # Total statement coverage across every package, gated on COVER_FLOOR.
 # Writes cover.out for `go tool cover -html=cover.out`.

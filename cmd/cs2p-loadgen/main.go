@@ -1,0 +1,164 @@
+// Command cs2p-loadgen drives open-loop load against a cs2p serving tier —
+// one cs2p-server, or a replica set behind cs2p-router — and reports
+// coordinated-omission-proof latency (intended-start-to-completion p50/p99/
+// p999), error budget, and an optional binary-search max-sustainable-RPS
+// estimate. Results land in BENCH_load.json. See DESIGN.md §14.
+//
+// Usage:
+//
+//	cs2p-loadgen -target http://host:8080 -rps 50 -duration 30s
+//	cs2p-loadgen -self                    # in-process direct + router runs
+//	cs2p-loadgen -target URL -capacity -slo-p99 500ms
+//	cs2p-loadgen -target URL -soak 5m -metrics-url http://host:9090/metrics
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cs2p/internal/loadgen"
+)
+
+func main() {
+	var (
+		target    = flag.String("target", "", "base URL of the server or router to drive")
+		self      = flag.Bool("self", false, "boot in-process targets and run the direct + router scenarios")
+		replicas  = flag.Int("replicas", 3, "replica count for the self router tier")
+		mode      = flag.String("mode", "constant", "arrival profile: constant|step|sweep|burst")
+		rps       = flag.Float64("rps", 20, "arrival rate (constant mode; also step/sweep start)")
+		endRPS    = flag.Float64("end-rps", 0, "final rate for step/sweep modes")
+		stepRPS   = flag.Float64("step-rps", 0, "rate increment per slot (step mode)")
+		slotEvery = flag.Duration("slot", 10*time.Second, "slot length for step mode")
+		burstRPS  = flag.Float64("burst-rps", 0, "rate inside bursts (burst mode)")
+		burstEv   = flag.Duration("burst-every", 10*time.Second, "burst period (burst mode)")
+		burstLen  = flag.Duration("burst-len", time.Second, "burst width (burst mode)")
+		duration  = flag.Duration("duration", 30*time.Second, "arrival window of the main run")
+		chunkIv   = flag.Duration("chunk-interval", 200*time.Millisecond, "cadence between a session's chunk round trips")
+		maxChunks = flag.Int("max-chunks", 8, "chunk cap per session (0 = full workload session)")
+		wire      = flag.String("wire", "json", "client protocol: json (v1) or binary (v2)")
+		capacity  = flag.Bool("capacity", false, "run the max-sustainable-RPS binary search")
+		sloP99    = flag.Duration("slo-p99", time.Second, "intended-latency p99 SLO for capacity trials")
+		errBudget = flag.Float64("error-budget", 0.01, "error-rate budget for the SLO")
+		trialDur  = flag.Duration("trial", 5*time.Second, "arrival window of each capacity trial")
+		bisect    = flag.Int("bisect", 4, "bisection steps after the doubling phase")
+		soak      = flag.Duration("soak", 0, "run a flat-memory soak of this length after the main run")
+		soakRPS   = flag.Float64("soak-rps", 10, "soak arrival rate")
+		metrics   = flag.String("metrics-url", "", "/metrics endpoint to scrape around the soak")
+		out       = flag.String("out", "BENCH_load.json", "report path")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		sessions  = flag.Int("workload-sessions", 200, "synthetic workload population size")
+	)
+	flag.Parse()
+	if err := run(*target, *self, *replicas, *mode, *rps, *endRPS, *stepRPS, *slotEvery,
+		*burstRPS, *burstEv, *burstLen, *duration, *chunkIv, *maxChunks, *wire,
+		*capacity, *sloP99, *errBudget, *trialDur, *bisect,
+		*soak, *soakRPS, *metrics, *out, *seed, *sessions); err != nil {
+		fmt.Fprintf(os.Stderr, "cs2p-loadgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(target string, self bool, replicas int, mode string, rps, endRPS, stepRPS float64,
+	slotEvery time.Duration, burstRPS float64, burstEv, burstLen, duration, chunkIv time.Duration,
+	maxChunks int, wire string, capacity bool, sloP99 time.Duration, errBudget float64,
+	trialDur time.Duration, bisect int, soak time.Duration, soakRPS float64,
+	metrics, out string, seed int64, sessions int) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	profile := loadgen.Profile{
+		Mode:       loadgen.Mode(mode),
+		StartRPS:   rps,
+		EndRPS:     endRPS,
+		StepRPS:    stepRPS,
+		SlotEvery:  slotEvery,
+		BurstRPS:   burstRPS,
+		BurstEvery: burstEv,
+		BurstLen:   burstLen,
+	}
+	rc := loadgen.RunConfig{
+		Profile:       profile,
+		Duration:      duration,
+		Workload:      loadgen.SyntheticWorkload(seed, sessions),
+		ChunkInterval: chunkIv,
+		MaxChunks:     maxChunks,
+	}
+	slo := loadgen.SLO{MaxP99: sloP99, MaxErrorBudget: errBudget}
+	var capCfg *loadgen.CapacityConfig
+	if capacity {
+		capCfg = &loadgen.CapacityConfig{StartRPS: rps, TrialDuration: trialDur, Bisections: bisect}
+	}
+	base := loadgen.Scenario{
+		WireBinary:   wire == "binary",
+		Run:          rc,
+		SLO:          slo,
+		Capacity:     capCfg,
+		SoakRPS:      soakRPS,
+		SoakDuration: soak,
+		MetricsURL:   metrics,
+	}
+
+	var scenarios []loadgen.Scenario
+	switch {
+	case self:
+		direct, err := loadgen.StartSelf(loadgen.SelfOptions{Replicas: 1, Seed: seed})
+		if err != nil {
+			return err
+		}
+		defer direct.Close()
+		routed, err := loadgen.StartSelf(loadgen.SelfOptions{Replicas: replicas, Seed: seed})
+		if err != nil {
+			return err
+		}
+		defer routed.Close()
+		sd, sr := base, base
+		sd.Name, sd.TargetURL, sd.MetricsURL = "direct", direct.URL, direct.MetricsURL
+		sr.Name, sr.TargetURL, sr.MetricsURL = "router", routed.URL, routed.MetricsURL
+		scenarios = append(scenarios, sd, sr)
+	case target != "":
+		s := base
+		s.Name, s.TargetURL = "target", target
+		scenarios = append(scenarios, s)
+	default:
+		return fmt.Errorf("need -target URL or -self")
+	}
+
+	var runs []loadgen.RunReport
+	for _, sc := range scenarios {
+		fmt.Fprintf(os.Stderr, "cs2p-loadgen: scenario %s against %s (%s wire, %s mode, %v window)\n",
+			sc.Name, sc.TargetURL, wireName(sc.WireBinary), mode, duration)
+		rr, err := loadgen.RunScenario(ctx, sc)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "  sessions %d  ops %d  errors %d  intended p99 %.2fms  service p99 %.2fms\n",
+			rr.Sessions, rr.Ops, rr.Errors, rr.IntendedLatency.P99Ms, rr.ServiceLatency.P99Ms)
+		if rr.Capacity != nil {
+			fmt.Fprintf(os.Stderr, "  max sustainable: %.1f rps over %d trials\n",
+				rr.Capacity.MaxSustainableRPS, len(rr.Capacity.Trials))
+		}
+		if rr.Soak != nil {
+			fmt.Fprintf(os.Stderr, "  soak flat=%v sessions %v->%v evictions +%v\n",
+				rr.Soak.Flat, rr.Soak.SessionsBefore, rr.Soak.SessionsAfter, rr.Soak.LogEvictionsDelta)
+		}
+		runs = append(runs, rr)
+	}
+	rep := loadgen.NewReport(runs...)
+	if err := rep.WriteFile(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cs2p-loadgen: wrote %s (%d runs)\n", out, len(runs))
+	return nil
+}
+
+func wireName(binary bool) string {
+	if binary {
+		return "binary"
+	}
+	return "json"
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cs2p/internal/loadgen"
+)
+
+// TestRunSelfEndToEnd drives the CLI's orchestration through the -self path
+// at a tiny scale: a direct tier and a 2-replica router tier, a short soak
+// on each, and a report both scenarios land in.
+func TestRunSelfEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots two serving tiers")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_load.json")
+	err := run("", true, 2, "constant", 30, 0, 0, time.Second, 0, time.Second, 100*time.Millisecond,
+		300*time.Millisecond, 2*time.Millisecond, 2, "json",
+		false, time.Second, 0.01, time.Second, 1,
+		150*time.Millisecond, 20, "", out, 2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := loadgen.ParseReport(b)
+	if err != nil {
+		t.Fatalf("CLI emitted an invalid report: %v\n%s", err, b)
+	}
+	if len(rep.Runs) != 2 || rep.Runs[0].Name != "direct" || rep.Runs[1].Name != "router" {
+		t.Fatalf("want direct + router runs, got %+v", rep.Runs)
+	}
+	for _, rr := range rep.Runs {
+		if rr.Sessions == 0 || rr.Soak == nil || !rr.Soak.Flat {
+			t.Fatalf("run %s incomplete: %+v", rr.Name, rr)
+		}
+	}
+}
+
+func TestRunRequiresATarget(t *testing.T) {
+	if err := run("", false, 1, "constant", 1, 0, 0, time.Second, 0, time.Second, time.Second,
+		time.Second, time.Millisecond, 1, "json",
+		false, time.Second, 0.01, time.Second, 1,
+		0, 0, "", filepath.Join(t.TempDir(), "out.json"), 1, 1); err == nil {
+		t.Fatal("no target and no -self accepted")
+	}
+}
+
+func TestWireName(t *testing.T) {
+	if wireName(true) != "binary" || wireName(false) != "json" {
+		t.Fatal("wire naming drifted")
+	}
+}

@@ -57,6 +57,7 @@ func main() {
 
 	logger := log.New(os.Stderr, "cs2p-router: ", log.LstdFlags)
 	reg := obs.NewRegistry()
+	obs.RegisterRuntimeMetrics(reg)
 
 	rt, err := router.New(router.Config{
 		Replicas:      names,

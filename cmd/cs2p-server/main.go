@@ -77,9 +77,12 @@ func main() {
 	logger := log.New(os.Stderr, "cs2p-server: ", log.LstdFlags)
 	logf := logger.Printf
 
-	// One registry spans training, the engine, and the HTTP layer, so a
-	// single /metrics scrape shows the whole serving stack.
+	// One registry spans training, the engine, the HTTP layer, and the Go
+	// runtime, so a single /metrics scrape shows the whole serving stack —
+	// including the heap/goroutine gauges the load harness's soak mode
+	// brackets its leak checks with.
 	reg := obs.NewRegistry()
+	obs.RegisterRuntimeMetrics(reg)
 
 	cfg := core.DefaultConfig()
 	cfg.HMM.NStates = *states

@@ -59,6 +59,39 @@ type Client struct {
 	// wireBinary routes the per-chunk predict round trip over the /v2
 	// binary protocol instead of JSON v1.
 	wireBinary bool
+	// observe, when set, is called after every HTTP round trip (JSON and
+	// binary alike) — the load harness's stamping hook.
+	observe func(CallObservation)
+}
+
+// CallObservation is one completed HTTP round trip as seen by the client:
+// which route, when it was issued, how long the wire took, and the error it
+// resolved to (nil on success, *StatusError on a non-2xx reply). The load
+// harness stamps each observation against its open-loop intended schedule;
+// Duration alone is the closed-loop ("service time") view that coordinated
+// omission produces, which is exactly why the harness records both.
+type CallObservation struct {
+	Path     string
+	Start    time.Time
+	Duration time.Duration
+	Err      error
+}
+
+// SetCallObserver installs fn as the per-round-trip hook (nil removes it).
+// Not synchronized against in-flight calls: set it before the client serves
+// traffic. fn runs on the calling goroutine and must be cheap and
+// concurrency-safe — one client is typically shared by many sessions.
+func (c *Client) SetCallObserver(fn func(CallObservation)) { c.observe = fn }
+
+// observed wraps one round trip with the observer hook.
+func (c *Client) observed(path string, call func() error) error {
+	if c.observe == nil {
+		return call()
+	}
+	start := time.Now()
+	err := call()
+	c.observe(CallObservation{Path: path, Start: start, Duration: time.Since(start), Err: err})
+	return err
 }
 
 // cachedModel is one validated /v1/model payload with the ETag it arrived
@@ -104,6 +137,10 @@ func (c *Client) SetTransport(rt http.RoundTripper) {
 }
 
 func (c *Client) post(path string, req, resp any) error {
+	return c.observed(path, func() error { return c.postOnce(path, req, resp) })
+}
+
+func (c *Client) postOnce(path string, req, resp any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return fmt.Errorf("httpapi client: encoding request: %w", err)
@@ -154,6 +191,16 @@ func (c *Client) WireBinary() bool { return c.wireBinary }
 // MsgError response (or an undecodable body) becomes a *StatusError, so
 // callers and the resilient ladder see the same error taxonomy as JSON v1.
 func (c *Client) postWire(path string, frame []byte) (wire.Frame, error) {
+	var f wire.Frame
+	err := c.observed(path, func() error {
+		var werr error
+		f, werr = c.postWireOnce(path, frame)
+		return werr
+	})
+	return f, err
+}
+
+func (c *Client) postWireOnce(path string, frame []byte) (wire.Frame, error) {
 	hreq, err := http.NewRequest(http.MethodPost, c.base+path, bytes.NewReader(frame))
 	if err != nil {
 		return wire.Frame{}, fmt.Errorf("httpapi client: building request: %w", err)

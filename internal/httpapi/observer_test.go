@@ -1,0 +1,92 @@
+package httpapi
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCallObserverSeesEveryRoundTrip pins the load-harness stamping hook:
+// every client call — JSON v1 and binary v2 alike — surfaces exactly one
+// observation with the route, a start stamp, a non-negative duration, and
+// the call's error.
+func TestCallObserverSeesEveryRoundTrip(t *testing.T) {
+	ts, test := testServer(t)
+	defer ts.Close()
+	cl := NewClient(ts.URL)
+
+	var mu sync.Mutex
+	var seen []CallObservation
+	cl.SetCallObserver(func(o CallObservation) {
+		mu.Lock()
+		seen = append(seen, o)
+		mu.Unlock()
+	})
+
+	s := test.Sessions[0]
+	if _, err := cl.StartSession("obs-1", s.Features, s.StartUnix); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.ObserveAndPredict("obs-1", 2.5, 1); err != nil {
+		t.Fatal(err)
+	}
+	cl.SetWireBinary(true)
+	if _, err := cl.ObserveAndPredict("obs-1", 2.5, 1); err != nil {
+		t.Fatal(err)
+	}
+	cl.SetWireBinary(false)
+	// A failing call still reports, with its error attached.
+	_, predictErr := cl.ObserveAndPredict("no-such-session", 2.5, 1)
+	if predictErr == nil {
+		t.Fatal("predict on unknown session succeeded")
+	}
+
+	wantPaths := []string{"/v1/session/start", "/v1/predict", "/v2/observe", "/v1/predict"}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != len(wantPaths) {
+		t.Fatalf("observer saw %d calls, want %d: %+v", len(seen), len(wantPaths), seen)
+	}
+	for i, o := range seen {
+		if o.Path != wantPaths[i] {
+			t.Fatalf("observation %d path %q, want %q", i, o.Path, wantPaths[i])
+		}
+		if o.Start.IsZero() || o.Duration < 0 {
+			t.Fatalf("observation %d not stamped: %+v", i, o)
+		}
+	}
+	if seen[3].Err == nil {
+		t.Fatal("failing call's observation lost its error")
+	}
+	for _, o := range seen[:3] {
+		if o.Err != nil {
+			t.Fatalf("successful call reported error: %v", o.Err)
+		}
+	}
+
+	// Removing the hook stops the stream.
+	cl.SetCallObserver(nil)
+	if _, err := cl.ObserveAndPredict("obs-1", 2.5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 4 {
+		t.Fatalf("observer ran after removal: %d observations", len(seen))
+	}
+}
+
+// TestCallObserverOffByDefault guards the zero-cost default: a client with
+// no observer takes the direct path (no stamping, no time.Now calls beyond
+// the transport's own).
+func TestCallObserverOffByDefault(t *testing.T) {
+	ts, test := testServer(t)
+	defer ts.Close()
+	cl := NewClient(ts.URL)
+	s := test.Sessions[0]
+	start := time.Now()
+	if _, err := cl.StartSession("obs-2", s.Features, s.StartUnix); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("unobserved call path unreasonably slow")
+	}
+}

@@ -1,0 +1,135 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// SLO is the sustainability criterion a capacity trial is judged against:
+// intended-time p99 at or under MaxP99 and error rate within the budget.
+// Judging on *intended* latency is the point — a target that "serves every
+// request in 1ms" while its queue grows without bound is not sustaining the
+// rate, and only intended-time accounting shows that.
+type SLO struct {
+	MaxP99         time.Duration
+	MaxErrorBudget float64
+}
+
+// DefaultSLO is the capacity search's default criterion: p99 within one
+// second of intent, at most 1% errors.
+func DefaultSLO() SLO {
+	return SLO{MaxP99: time.Second, MaxErrorBudget: 0.01}
+}
+
+// Trial is one constant-rate probe of the capacity search.
+type Trial struct {
+	RPS         float64
+	Sustainable bool
+	Stats       *Stats
+}
+
+// CapacityConfig shapes a FindCapacity search.
+type CapacityConfig struct {
+	SLO SLO
+	// StartRPS seeds the doubling phase (must be > 0).
+	StartRPS float64
+	// MaxRPS caps the search; 0 means 1<<16 (a runaway guard, not a
+	// realistic single-box rate for this protocol).
+	MaxRPS float64
+	// TrialDuration is the arrival window of each constant-rate probe.
+	TrialDuration time.Duration
+	// Bisections bounds the refinement phase after the doubling phase
+	// brackets the capacity (default 4 → final answer within ~6% of the
+	// bracket width).
+	Bisections int
+	// Run carries the workload, cadence, and clock shared by every trial;
+	// its Profile/Duration are overwritten per trial.
+	Run RunConfig
+}
+
+// CapacityResult is the search outcome: the highest probed rate that met the
+// SLO, with every trial retained for the report.
+type CapacityResult struct {
+	MaxSustainableRPS float64
+	Trials            []Trial
+}
+
+// FindCapacity estimates the maximum arrival rate the target sustains under
+// the SLO: double from StartRPS until a trial fails (or MaxRPS), then binary
+// search the bracket. Each trial is a fresh constant-rate open-loop run with
+// trial-scoped session ids, so trials never collide and completed sessions
+// drain server-side between probes.
+func FindCapacity(ctx context.Context, d Driver, cfg CapacityConfig) (CapacityResult, error) {
+	if cfg.StartRPS <= 0 {
+		return CapacityResult{}, fmt.Errorf("loadgen: capacity search needs StartRPS > 0")
+	}
+	if cfg.TrialDuration <= 0 {
+		return CapacityResult{}, fmt.Errorf("loadgen: capacity search needs TrialDuration > 0")
+	}
+	if cfg.MaxRPS <= 0 {
+		cfg.MaxRPS = 1 << 16
+	}
+	if cfg.Bisections <= 0 {
+		cfg.Bisections = 4
+	}
+	if cfg.SLO.MaxP99 <= 0 {
+		cfg.SLO = DefaultSLO()
+	}
+	var res CapacityResult
+	trial := func(rps float64) (bool, error) {
+		rc := cfg.Run
+		rc.Profile = Profile{Mode: ModeConstant, StartRPS: rps}
+		rc.Duration = cfg.TrialDuration
+		rc.IDPrefix = fmt.Sprintf("%s-cap%d-r%d", cfg.Run.IDPrefix, len(res.Trials), int(rps))
+		stats, err := Run(ctx, d, rc)
+		if err != nil {
+			return false, err
+		}
+		ok := stats.IntendedP99 <= cfg.SLO.MaxP99 && stats.ErrorRate <= cfg.SLO.MaxErrorBudget
+		res.Trials = append(res.Trials, Trial{RPS: rps, Sustainable: ok, Stats: stats})
+		return ok, nil
+	}
+
+	// Doubling phase: find the first unsustainable rate.
+	lo, hi := 0.0, 0.0
+	for rps := cfg.StartRPS; ; rps *= 2 {
+		if rps > cfg.MaxRPS {
+			rps = cfg.MaxRPS
+		}
+		ok, err := trial(rps)
+		if err != nil {
+			return res, err
+		}
+		if ok {
+			lo = rps
+			if rps >= cfg.MaxRPS {
+				// Sustained the cap; the cap is the answer.
+				res.MaxSustainableRPS = lo
+				return res, nil
+			}
+			continue
+		}
+		hi = rps
+		break
+	}
+	// Bisection phase: shrink [lo, hi) around the capacity knee. lo == 0
+	// (even StartRPS failed) bisects down toward zero.
+	for i := 0; i < cfg.Bisections; i++ {
+		mid := (lo + hi) / 2
+		if mid <= 0 || mid == lo || mid == hi {
+			break
+		}
+		ok, err := trial(mid)
+		if err != nil {
+			return res, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	res.MaxSustainableRPS = lo
+	return res, nil
+}

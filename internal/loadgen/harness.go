@@ -1,0 +1,124 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"cs2p/internal/httpapi"
+)
+
+// Scenario is one named measurement against one target: a main open-loop run,
+// an optional capacity search, and an optional soak — everything that becomes
+// one RunReport row in BENCH_load.json.
+type Scenario struct {
+	// Name labels the report row ("direct", "router", ...).
+	Name string
+	// TargetURL is the front door to drive (a cs2p-server or cs2p-router).
+	TargetURL string
+	// WireBinary selects the binary v2 protocol instead of JSON v1.
+	WireBinary bool
+	// Run is the main run's shape (Profile, Duration, Workload, cadence).
+	Run RunConfig
+	// SLO grades the error budget and, when Capacity is set, the trials.
+	SLO SLO
+	// Capacity, when non-nil, runs a max-sustainable-RPS search after the
+	// main run (its Run/SLO fields are filled from the scenario).
+	Capacity *CapacityConfig
+	// SoakRPS/SoakDuration, when both > 0, run a flat-memory soak after the
+	// main run, scraping MetricsURL before and after.
+	SoakRPS      float64
+	SoakDuration time.Duration
+	MetricsURL   string
+}
+
+// pathCounter folds httpapi call observations into per-route op counts.
+type pathCounter struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+func (p *pathCounter) observe(o httpapi.CallObservation) {
+	p.mu.Lock()
+	p.m[o.Path]++
+	p.mu.Unlock()
+}
+
+func (p *pathCounter) snapshot() map[string]int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.m) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(p.m))
+	for k, v := range p.m {
+		out[k] = v
+	}
+	return out
+}
+
+// RunScenario executes one scenario end to end through the real client stack
+// and folds the results into a report row. The client is built here — wire
+// selection and the per-route counter hook are scenario concerns, not
+// caller boilerplate.
+func RunScenario(ctx context.Context, sc Scenario) (RunReport, error) {
+	if sc.Name == "" {
+		return RunReport{}, fmt.Errorf("loadgen: scenario needs a name")
+	}
+	if sc.TargetURL == "" {
+		return RunReport{}, fmt.Errorf("loadgen: scenario %q needs a target URL", sc.Name)
+	}
+	if sc.SLO.MaxP99 <= 0 {
+		sc.SLO = DefaultSLO()
+	}
+	cl := httpapi.NewClient(sc.TargetURL)
+	cl.SetWireBinary(sc.WireBinary)
+	pc := &pathCounter{m: make(map[string]int64)}
+	cl.SetCallObserver(pc.observe)
+	wire := "json"
+	if sc.WireBinary {
+		wire = "binary"
+	}
+
+	rc := sc.Run
+	if rc.IDPrefix == "" || rc.IDPrefix == "load" {
+		rc.IDPrefix = sc.Name
+	}
+	stats, err := Run(ctx, cl, rc)
+	if err != nil {
+		return RunReport{}, fmt.Errorf("loadgen: scenario %q: %w", sc.Name, err)
+	}
+	rr := BuildRunReport(sc.Name, rc, wire, sc.SLO, stats)
+	rr.RequestsByPath = pc.snapshot()
+
+	if sc.Capacity != nil {
+		cc := *sc.Capacity
+		cc.SLO = sc.SLO
+		cc.Run = rc
+		res, err := FindCapacity(ctx, cl, cc)
+		if err != nil {
+			return rr, fmt.Errorf("loadgen: scenario %q capacity search: %w", sc.Name, err)
+		}
+		rr.Capacity = BuildCapacityReport(res, sc.SLO)
+	}
+
+	if sc.SoakRPS > 0 && sc.SoakDuration > 0 {
+		if sc.MetricsURL == "" {
+			return rr, fmt.Errorf("loadgen: scenario %q: soak needs a metrics URL", sc.Name)
+		}
+		soakRun := rc
+		soakRun.IDPrefix = sc.Name + "-soak"
+		soak, _, err := RunSoak(ctx, cl, SoakConfig{
+			RPS:        sc.SoakRPS,
+			Duration:   sc.SoakDuration,
+			Run:        soakRun,
+			MetricsURL: sc.MetricsURL,
+		})
+		if err != nil {
+			return rr, fmt.Errorf("loadgen: scenario %q soak: %w", sc.Name, err)
+		}
+		rr.Soak = soak
+	}
+	return rr, nil
+}

@@ -1,0 +1,332 @@
+// Package loadgen is the open-loop load harness for the CS2P serving tier:
+// it schedules synthetic session arrivals from a configurable rate function
+// (constant / step / sweep / burst), drives each session through the real
+// client stack (JSON v1 or binary v2, direct to a cs2p-server or through the
+// cs2p-router), and measures intended-start-to-completion latency so
+// coordinated omission cannot hide tail degradation.
+//
+// Open-loop means the arrival schedule is fixed before the run: session i
+// starts at the intended time the rate function dictates, whether or not the
+// target has finished serving sessions 0..i-1. A closed-loop driver (issue
+// the next request when the previous one completes) silently stretches its
+// own schedule when the target stalls, so its latency histogram reports the
+// service time of the requests it *chose* to send — the coordinated-omission
+// blind spot BENCH_serve.json's microbenchmarks share. Here every operation
+// is scored against its intended time: a stalled target shows up as the
+// queueing delay real users would see.
+//
+// The package splits into
+//
+//   - Profile/Schedule: pure arrival math — deterministic intended
+//     timestamps, testable with no clock at all;
+//   - Dispatch: walks a schedule against an injectable Clock (tests drive a
+//     fake; the CLI uses the wall clock);
+//   - Run: arrivals become synthetic playback sessions replaying tracegen
+//     throughput with realistic chunk cadence through a Driver;
+//   - FindCapacity: binary-search max-sustainable-RPS against an SLO;
+//   - RunSoak: sustained churn with /metrics scrapes before and after,
+//     asserting the flat-memory / flat-session invariants;
+//   - Report: the schema-versioned BENCH_load.json emitted every run.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Clock abstracts time for the harness. The real implementation sleeps; the
+// scheduler tests substitute a fake that advances instantly, so arrival
+// timing is asserted with zero real sleeps.
+type Clock interface {
+	Now() time.Time
+	// Sleep blocks for d or until ctx is done, returning ctx.Err() when
+	// cancelled early. d <= 0 returns immediately.
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// RealClock is the wall-clock implementation.
+type RealClock struct{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (RealClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Mode names a rate-function shape.
+type Mode string
+
+// The four profile shapes (the invitro trace synthesizer's normal / sweep /
+// burst generation, plus an explicit constant for capacity trials).
+const (
+	ModeConstant Mode = "constant"
+	ModeStep     Mode = "step"
+	ModeSweep    Mode = "sweep"
+	ModeBurst    Mode = "burst"
+)
+
+// Profile is a sessions-per-second rate function r(t), t from run start.
+//
+//   - constant: r = StartRPS.
+//   - step: r starts at StartRPS and increases by StepRPS every SlotEvery,
+//     clamped at EndRPS when EndRPS > 0 (the synthesizer's staircase).
+//   - sweep: r ramps linearly from StartRPS to EndRPS over the run.
+//   - burst: r = BurstRPS inside windows of BurstLen opening every
+//     BurstEvery (the first at t=0), StartRPS between them.
+type Profile struct {
+	Mode       Mode
+	StartRPS   float64
+	EndRPS     float64
+	StepRPS    float64
+	SlotEvery  time.Duration
+	BurstRPS   float64
+	BurstEvery time.Duration
+	BurstLen   time.Duration
+}
+
+// segment is one piece of the compiled rate function: rate linear from r0 at
+// t0 to r1 at t1 (seconds from run start).
+type segment struct {
+	t0, t1 float64
+	r0, r1 float64
+}
+
+// area is the number of arrivals the segment generates up to t (t clamped
+// into [t0, t1]).
+func (s segment) area(t float64) float64 {
+	if t <= s.t0 {
+		return 0
+	}
+	if t > s.t1 {
+		t = s.t1
+	}
+	x := t - s.t0
+	if s.t1 == s.t0 {
+		return 0
+	}
+	a := (s.r1 - s.r0) / (s.t1 - s.t0)
+	return s.r0*x + 0.5*a*x*x
+}
+
+// compile turns a profile into piecewise-linear segments covering [0, dur).
+func (p Profile) compile(dur time.Duration) ([]segment, error) {
+	if dur <= 0 {
+		return nil, fmt.Errorf("loadgen: duration must be positive, got %v", dur)
+	}
+	if p.StartRPS < 0 || p.EndRPS < 0 || p.BurstRPS < 0 {
+		return nil, fmt.Errorf("loadgen: rates must be non-negative")
+	}
+	d := dur.Seconds()
+	switch p.Mode {
+	case ModeConstant, "":
+		if p.StartRPS <= 0 {
+			return nil, fmt.Errorf("loadgen: constant profile needs StartRPS > 0")
+		}
+		return []segment{{0, d, p.StartRPS, p.StartRPS}}, nil
+	case ModeStep:
+		if p.SlotEvery <= 0 || p.StepRPS == 0 {
+			return nil, fmt.Errorf("loadgen: step profile needs SlotEvery > 0 and StepRPS != 0")
+		}
+		var segs []segment
+		slot := p.SlotEvery.Seconds()
+		for t0, k := 0.0, 0; t0 < d; t0, k = t0+slot, k+1 {
+			r := p.StartRPS + float64(k)*p.StepRPS
+			if p.EndRPS > 0 {
+				if p.StepRPS > 0 && r > p.EndRPS {
+					r = p.EndRPS
+				}
+				if p.StepRPS < 0 && r < p.EndRPS {
+					r = p.EndRPS
+				}
+			}
+			if r < 0 {
+				r = 0
+			}
+			t1 := math.Min(t0+slot, d)
+			segs = append(segs, segment{t0, t1, r, r})
+		}
+		return segs, nil
+	case ModeSweep:
+		return []segment{{0, d, p.StartRPS, p.EndRPS}}, nil
+	case ModeBurst:
+		if p.BurstEvery <= 0 || p.BurstLen <= 0 || p.BurstLen > p.BurstEvery {
+			return nil, fmt.Errorf("loadgen: burst profile needs 0 < BurstLen <= BurstEvery")
+		}
+		if p.BurstRPS <= 0 {
+			return nil, fmt.Errorf("loadgen: burst profile needs BurstRPS > 0")
+		}
+		var segs []segment
+		every, blen := p.BurstEvery.Seconds(), p.BurstLen.Seconds()
+		for t0 := 0.0; t0 < d; t0 += every {
+			bEnd := math.Min(t0+blen, d)
+			segs = append(segs, segment{t0, bEnd, p.BurstRPS, p.BurstRPS})
+			if bEnd < math.Min(t0+every, d) {
+				segs = append(segs, segment{bEnd, math.Min(t0+every, d), p.StartRPS, p.StartRPS})
+			}
+		}
+		return segs, nil
+	default:
+		return nil, fmt.Errorf("loadgen: unknown mode %q", p.Mode)
+	}
+}
+
+// Schedule generates the intended arrival offsets of a profile one at a
+// time. Arrival n fires when the integral of the rate function reaches n, so
+// the first arrival is at t=0 and a constant r puts them exactly 1/r apart.
+// The schedule is a pure function of (profile, duration): no clock, no
+// randomness, no allocation proportional to the arrival count.
+type Schedule struct {
+	segs    []segment
+	dur     time.Duration
+	seg     int
+	base    float64 // cumulative area at the start of segs[seg]
+	emitted int
+}
+
+// NewSchedule validates the profile and compiles its arrival schedule.
+func NewSchedule(p Profile, dur time.Duration) (*Schedule, error) {
+	segs, err := p.compile(dur)
+	if err != nil {
+		return nil, err
+	}
+	return &Schedule{segs: segs, dur: dur}, nil
+}
+
+// Next returns the next intended arrival offset, or false when the schedule
+// is exhausted (arrivals land strictly before the run duration).
+func (s *Schedule) Next() (time.Duration, bool) {
+	target := float64(s.emitted)
+	for s.seg < len(s.segs) {
+		sg := s.segs[s.seg]
+		segArea := sg.area(sg.t1)
+		need := target - s.base
+		if need > segArea+1e-9 {
+			s.base += segArea
+			s.seg++
+			continue
+		}
+		t, ok := sg.solve(need)
+		if !ok {
+			// Zero-rate stretch that cannot accumulate the remaining
+			// fraction: move on.
+			s.base += segArea
+			s.seg++
+			continue
+		}
+		d := time.Duration(math.Round(t * 1e9))
+		if d >= s.dur {
+			return 0, false
+		}
+		s.emitted++
+		return d, true
+	}
+	return 0, false
+}
+
+// Emitted returns how many arrivals the schedule has produced so far.
+func (s *Schedule) Emitted() int { return s.emitted }
+
+// solve finds the time within the segment at which its own cumulative area
+// reaches need. Returns false when the segment cannot accumulate it (zero
+// rate).
+func (s segment) solve(need float64) (float64, bool) {
+	if need <= 1e-12 {
+		if s.r0 <= 0 && s.r1 <= 0 {
+			return 0, false
+		}
+		return s.t0, true
+	}
+	if s.t1 == s.t0 {
+		return 0, false
+	}
+	a := (s.r1 - s.r0) / (s.t1 - s.t0)
+	if math.Abs(a) < 1e-12 {
+		if s.r0 <= 0 {
+			return 0, false
+		}
+		return s.t0 + need/s.r0, true
+	}
+	disc := s.r0*s.r0 + 2*a*need
+	if disc < 0 {
+		return 0, false
+	}
+	x := (-s.r0 + math.Sqrt(disc)) / a
+	if x < 0 || math.IsNaN(x) {
+		return 0, false
+	}
+	return s.t0 + x, true
+}
+
+// Arrivals materializes a whole schedule — the test- and report-facing
+// convenience; Dispatch streams instead.
+func Arrivals(p Profile, dur time.Duration) ([]time.Duration, error) {
+	s, err := NewSchedule(p, dur)
+	if err != nil {
+		return nil, err
+	}
+	var out []time.Duration
+	for {
+		t, ok := s.Next()
+		if !ok {
+			return out, nil
+		}
+		out = append(out, t)
+	}
+}
+
+// Arrival is one dispatched session start: its index, the intended offset
+// the schedule assigned, and how far behind that intent the dispatch
+// actually ran (0 when on time). Late > 0 means the generator itself is the
+// bottleneck — the run report surfaces the maximum so a saturated harness
+// can't masquerade as a healthy target.
+type Arrival struct {
+	Index    int
+	Intended time.Duration
+	Late     time.Duration
+}
+
+// Dispatch walks the schedule against clk, calling fn at (or as soon as
+// possible after) each intended offset from the instant Dispatch starts.
+// Open-loop contract: fn is expected to hand the session to its own
+// goroutine; a slow fn delays later dispatches (recorded in their Late), but
+// never rewrites intended times. Returns the number of arrivals dispatched
+// and ctx.Err() if cancelled mid-schedule.
+func Dispatch(ctx context.Context, clk Clock, s *Schedule, fn func(Arrival)) (int, error) {
+	start := clk.Now()
+	n := 0
+	for {
+		t, ok := s.Next()
+		if !ok {
+			return n, nil
+		}
+		intended := start.Add(t)
+		if wait := intended.Sub(clk.Now()); wait > 0 {
+			if err := clk.Sleep(ctx, wait); err != nil {
+				return n, err
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return n, err
+		}
+		late := clk.Now().Sub(intended)
+		if late < 0 {
+			late = 0
+		}
+		fn(Arrival{Index: n, Intended: t, Late: late})
+		n++
+	}
+}

@@ -1,0 +1,267 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cs2p/internal/engine"
+	"cs2p/internal/obs"
+	"cs2p/internal/trace"
+)
+
+// Driver is the slice of the prediction-service client a synthetic session
+// drives: register, one observe+predict round trip per chunk, and the
+// end-of-playback QoE log. *httpapi.Client implements it directly (JSON v1
+// or, after SetWireBinary(true), binary v2), and so does the router-fronted
+// client — the harness never talks to anything but the real client stack.
+type Driver interface {
+	StartSession(id string, f trace.Features, startUnix int64) (engine.StartResponse, error)
+	ObserveAndPredict(id string, observedMbps float64, horizon int) (float64, error)
+	Log(lg engine.SessionLog) error
+}
+
+// RunConfig shapes one load run.
+type RunConfig struct {
+	// Profile and Duration define the open-loop arrival schedule.
+	Profile  Profile
+	Duration time.Duration
+	// Workload is the session population arrivals replay (features drive
+	// cluster routing, per-epoch throughput drives the filter): tracegen
+	// output, so chunk count and throughput dynamics follow the paper's
+	// session-length and HMM assumptions. Arrival i replays session
+	// i mod len(Workload).
+	Workload []*trace.Session
+	// ChunkInterval is the cadence between chunk round trips — the paper's
+	// 6-second epoch scaled down by the harness timescale. Must be > 0.
+	ChunkInterval time.Duration
+	// MaxChunks caps chunks per session (0 = the workload session's full
+	// length).
+	MaxChunks int
+	// IDPrefix namespaces session ids so concurrent runs (capacity trials)
+	// never collide.
+	IDPrefix string
+	// Clock is injectable for tests; nil means the wall clock.
+	Clock Clock
+}
+
+func (c *RunConfig) withDefaults() error {
+	if len(c.Workload) == 0 {
+		return fmt.Errorf("loadgen: run needs a non-empty workload")
+	}
+	if c.ChunkInterval <= 0 {
+		return fmt.Errorf("loadgen: run needs ChunkInterval > 0")
+	}
+	if c.Clock == nil {
+		c.Clock = RealClock{}
+	}
+	if c.IDPrefix == "" {
+		c.IDPrefix = "load"
+	}
+	return nil
+}
+
+// Stats summarizes one run. Intended* percentiles score each operation
+// against the time the open-loop schedule wanted it to complete from
+// (intended-start-to-completion); Service* percentiles are the same
+// operations timed closed-loop (send-to-completion) — the number a naive
+// harness would report. Under an overloaded target the two diverge: that
+// divergence IS the coordinated-omission gap.
+type Stats struct {
+	Sessions   int64
+	Ops        int64
+	Errors     int64
+	ErrorRate  float64
+	Dispatched int
+	// MaxDispatchLate is the worst generator-side lateness: how far behind
+	// its own schedule the dispatcher ran (harness saturation signal).
+	MaxDispatchLate time.Duration
+
+	IntendedP50, IntendedP99, IntendedP999, IntendedMax time.Duration
+	ServiceP50, ServiceP99, ServiceP999, ServiceMax     time.Duration
+}
+
+// recorder accumulates per-op measurements. Latency distributions ride the
+// obs histogram registry (FineLatencyBuckets, the HDR-style log ladder), so
+// quantile readout, concurrency safety and /metrics exposition come from the
+// same instrument the serving stack already uses; exact maxima are kept in
+// atomics alongside because a bucket ladder saturates its tail.
+type recorder struct {
+	reg      *obs.Registry
+	intended *obs.Histogram
+	service  *obs.Histogram
+
+	sessions atomic.Int64
+	ops      atomic.Int64
+	errs     atomic.Int64
+
+	maxIntendedNs   atomic.Int64
+	maxServiceNs    atomic.Int64
+	maxDispatchLate atomic.Int64
+	dispatchedTotal atomic.Int64
+}
+
+func newRecorder() *recorder {
+	reg := obs.NewRegistry()
+	return &recorder{
+		reg: reg,
+		intended: reg.Histogram("cs2p_loadgen_latency_seconds",
+			"Operation latency by accounting mode.", obs.FineLatencyBuckets,
+			obs.Labels{"accounting": "intended"}),
+		service: reg.Histogram("cs2p_loadgen_latency_seconds",
+			"Operation latency by accounting mode.", nil,
+			obs.Labels{"accounting": "service"}),
+	}
+}
+
+// Registry exposes the recorder's obs registry (the CLI mounts it on
+// /metrics so a long soak can be scraped live).
+func (r *recorder) Registry() *obs.Registry { return r.reg }
+
+func maxNs(a *atomic.Int64, d time.Duration) {
+	for {
+		cur := a.Load()
+		if int64(d) <= cur || a.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// op runs one client call, scoring it against its intended completion base.
+func (r *recorder) op(clk Clock, runStart time.Time, intended time.Duration, call func() error) error {
+	t0 := clk.Now()
+	err := call()
+	t1 := clk.Now()
+	service := t1.Sub(t0)
+	r.service.Observe(service.Seconds())
+	maxNs(&r.maxServiceNs, service)
+	lat := t1.Sub(runStart) - intended
+	if lat < 0 {
+		lat = 0
+	}
+	r.intended.Observe(lat.Seconds())
+	maxNs(&r.maxIntendedNs, lat)
+	r.ops.Add(1)
+	if err != nil {
+		r.errs.Add(1)
+	}
+	return err
+}
+
+func (r *recorder) stats() *Stats {
+	ops := r.ops.Load()
+	errs := r.errs.Load()
+	s := &Stats{
+		Sessions:        r.sessions.Load(),
+		Ops:             ops,
+		Errors:          errs,
+		Dispatched:      int(r.dispatchedTotal.Load()),
+		MaxDispatchLate: time.Duration(r.maxDispatchLate.Load()),
+		IntendedP50:     quantileDur(r.intended, 0.50),
+		IntendedP99:     quantileDur(r.intended, 0.99),
+		IntendedP999:    quantileDur(r.intended, 0.999),
+		IntendedMax:     time.Duration(r.maxIntendedNs.Load()),
+		ServiceP50:      quantileDur(r.service, 0.50),
+		ServiceP99:      quantileDur(r.service, 0.99),
+		ServiceP999:     quantileDur(r.service, 0.999),
+		ServiceMax:      time.Duration(r.maxServiceNs.Load()),
+	}
+	if ops > 0 {
+		s.ErrorRate = float64(errs) / float64(ops)
+	}
+	return s
+}
+
+func quantileDur(h *obs.Histogram, q float64) time.Duration {
+	return time.Duration(math.Round(h.Quantile(q) * 1e9))
+}
+
+// Run executes one open-loop load run: the schedule dispatches arrivals,
+// each arrival becomes a session goroutine replaying its workload session
+// chunk by chunk, and every operation is recorded under both intended-time
+// and closed-loop accounting. Run returns once every session has drained
+// (sessions outlive the arrival window by design — a session arriving at the
+// end of the schedule still plays all its chunks).
+func Run(ctx context.Context, d Driver, cfg RunConfig) (*Stats, error) {
+	rec := newRecorder()
+	return runRecorded(ctx, d, cfg, rec)
+}
+
+func runRecorded(ctx context.Context, d Driver, cfg RunConfig, rec *recorder) (*Stats, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	sched, err := NewSchedule(cfg.Profile, cfg.Duration)
+	if err != nil {
+		return nil, err
+	}
+	clk := cfg.Clock
+	start := clk.Now()
+	var wg sync.WaitGroup
+	n, derr := Dispatch(ctx, clk, sched, func(a Arrival) {
+		maxNs(&rec.maxDispatchLate, a.Late)
+		w := cfg.Workload[a.Index%len(cfg.Workload)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runSession(ctx, clk, d, rec, start, a, w, &cfg)
+		}()
+	})
+	wg.Wait()
+	rec.dispatchedTotal.Add(int64(n))
+	stats := rec.stats()
+	if derr != nil && ctx.Err() != nil {
+		return stats, derr
+	}
+	return stats, nil
+}
+
+// runSession replays one workload session: register at the arrival's
+// intended time, then one observe+predict per chunk on the configured
+// cadence, then the QoE log. Every op's intended time is fixed up front —
+// falling behind (slow target) accumulates into the intended-latency
+// histogram instead of stretching the cadence silently.
+func runSession(ctx context.Context, clk Clock, d Driver, rec *recorder, start time.Time, a Arrival, w *trace.Session, cfg *RunConfig) {
+	rec.sessions.Add(1)
+	id := fmt.Sprintf("%s-%07d", cfg.IDPrefix, a.Index)
+	if err := rec.op(clk, start, a.Intended, func() error {
+		_, err := d.StartSession(id, w.Features, w.StartUnix)
+		return err
+	}); err != nil {
+		// A session that cannot register cannot play; its one failed op is
+		// on the books.
+		return
+	}
+	chunks := len(w.Throughput)
+	if cfg.MaxChunks > 0 && chunks > cfg.MaxChunks {
+		chunks = cfg.MaxChunks
+	}
+	for k := 0; k < chunks; k++ {
+		intended := a.Intended + time.Duration(k+1)*cfg.ChunkInterval
+		if wait := start.Add(intended).Sub(clk.Now()); wait > 0 {
+			if clk.Sleep(ctx, wait) != nil {
+				return
+			}
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		obsMbps := w.Throughput[k]
+		_ = rec.op(clk, start, intended, func() error {
+			_, err := d.ObserveAndPredict(id, obsMbps, 1)
+			return err
+		})
+	}
+	logIntended := a.Intended + time.Duration(chunks+1)*cfg.ChunkInterval
+	if wait := start.Add(logIntended).Sub(clk.Now()); wait > 0 {
+		if clk.Sleep(ctx, wait) != nil {
+			return
+		}
+	}
+	_ = rec.op(clk, start, logIntended, func() error {
+		return d.Log(engine.SessionLog{SessionID: id, Strategy: "loadgen"})
+	})
+}

@@ -1,0 +1,288 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cs2p/internal/engine"
+	"cs2p/internal/faultinject"
+	"cs2p/internal/httpapi"
+	"cs2p/internal/trace"
+)
+
+// fakeDriver is an in-memory Driver with injectable per-call latency and
+// failures.
+type fakeDriver struct {
+	starts  atomic.Int64
+	chunks  atomic.Int64
+	logs    atomic.Int64
+	delay   time.Duration
+	failObs bool
+	failReg bool
+}
+
+func (f *fakeDriver) pause() {
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+}
+
+func (f *fakeDriver) StartSession(id string, _ trace.Features, _ int64) (engine.StartResponse, error) {
+	f.pause()
+	f.starts.Add(1)
+	if f.failReg {
+		return engine.StartResponse{}, fmt.Errorf("fake: registration refused")
+	}
+	return engine.StartResponse{ClusterID: id}, nil
+}
+
+func (f *fakeDriver) ObserveAndPredict(string, float64, int) (float64, error) {
+	f.pause()
+	f.chunks.Add(1)
+	if f.failObs {
+		return 0, fmt.Errorf("fake: observe refused")
+	}
+	return 1.0, nil
+}
+
+func (f *fakeDriver) Log(engine.SessionLog) error {
+	f.pause()
+	f.logs.Add(1)
+	return nil
+}
+
+func testWorkload(chunks int) []*trace.Session {
+	tp := make([]float64, chunks)
+	for i := range tp {
+		tp[i] = 2.5
+	}
+	return []*trace.Session{{ID: "w0", Throughput: tp}}
+}
+
+func TestRunCountsEveryOperation(t *testing.T) {
+	d := &fakeDriver{}
+	stats, err := Run(context.Background(), d, RunConfig{
+		Profile:       Profile{Mode: ModeConstant, StartRPS: 50},
+		Duration:      200 * time.Millisecond,
+		Workload:      testWorkload(3),
+		ChunkInterval: time.Millisecond,
+		MaxChunks:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 arrivals; each session is 1 start + 2 chunks + 1 log.
+	if stats.Sessions != 10 || stats.Dispatched != 10 {
+		t.Fatalf("sessions %d dispatched %d, want 10/10", stats.Sessions, stats.Dispatched)
+	}
+	if stats.Ops != 40 || stats.Errors != 0 || stats.ErrorRate != 0 {
+		t.Fatalf("ops %d errors %d rate %v, want 40/0/0", stats.Ops, stats.Errors, stats.ErrorRate)
+	}
+	if d.starts.Load() != 10 || d.chunks.Load() != 20 || d.logs.Load() != 10 {
+		t.Fatalf("driver saw %d/%d/%d start/chunk/log, want 10/20/10",
+			d.starts.Load(), d.chunks.Load(), d.logs.Load())
+	}
+	if stats.IntendedP99 < stats.IntendedP50 || stats.ServiceP999 < stats.ServiceP99 {
+		t.Fatalf("quantiles not monotone: %+v", stats)
+	}
+}
+
+func TestRunChunkErrorsAreBudgeted(t *testing.T) {
+	d := &fakeDriver{failObs: true}
+	stats, err := Run(context.Background(), d, RunConfig{
+		Profile:       Profile{Mode: ModeConstant, StartRPS: 40},
+		Duration:      100 * time.Millisecond,
+		Workload:      testWorkload(2),
+		ChunkInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 sessions x (1 start + 2 failing chunks + 1 log): session flow
+	// continues past chunk errors; only the error budget records them.
+	if stats.Ops != 16 || stats.Errors != 8 {
+		t.Fatalf("ops %d errors %d, want 16/8", stats.Ops, stats.Errors)
+	}
+	if stats.ErrorRate != 0.5 {
+		t.Fatalf("error rate %v, want 0.5", stats.ErrorRate)
+	}
+}
+
+func TestRunRegistrationFailureAbortsSession(t *testing.T) {
+	d := &fakeDriver{failReg: true}
+	stats, err := Run(context.Background(), d, RunConfig{
+		Profile:       Profile{Mode: ModeConstant, StartRPS: 40},
+		Duration:      100 * time.Millisecond,
+		Workload:      testWorkload(2),
+		ChunkInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the 4 failed registrations — no chunk or log traffic follows.
+	if stats.Ops != 4 || stats.Errors != 4 || d.chunks.Load() != 0 || d.logs.Load() != 0 {
+		t.Fatalf("ops %d errors %d chunks %d logs %d, want 4/4/0/0",
+			stats.Ops, stats.Errors, d.chunks.Load(), d.logs.Load())
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	if _, err := Run(context.Background(), &fakeDriver{}, RunConfig{
+		Profile: Profile{Mode: ModeConstant, StartRPS: 1}, Duration: time.Second,
+		ChunkInterval: time.Millisecond,
+	}); err == nil {
+		t.Fatal("empty workload accepted")
+	}
+	if _, err := Run(context.Background(), &fakeDriver{}, RunConfig{
+		Profile: Profile{Mode: ModeConstant, StartRPS: 1}, Duration: time.Second,
+		Workload: testWorkload(1),
+	}); err == nil {
+		t.Fatal("zero chunk interval accepted")
+	}
+}
+
+// TestCoordinatedOmissionRegression is the harness's reason to exist. A
+// real server is slowed by 5ms of injected transport latency while one
+// session tries to sustain a 1ms chunk cadence. Closed-loop (service-time)
+// accounting times each request from when it was *sent* — after the previous
+// reply — so it reports ~5ms and passes a naive stall check. Intended-time
+// accounting scores the same operations against the fixed schedule and shows
+// the backlog growing by ~4ms per chunk into an unmistakable stall. If this
+// test fails on the intended side, the harness has re-acquired the
+// coordinated-omission blind spot.
+func TestCoordinatedOmissionRegression(t *testing.T) {
+	target, err := StartSelf(SelfOptions{Replicas: 1, Seed: 7, TrainSessions: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer target.Close()
+
+	cl := httpapi.NewClient(target.URL)
+	cl.SetTransport(faultinject.NewTransport(http.DefaultTransport, faultinject.Config{
+		Seed:        1,
+		LatencyProb: 1,
+		Latency:     8 * time.Millisecond,
+	}))
+
+	w := SyntheticWorkload(7, 1)
+	for len(w[0].Throughput) < 60 {
+		w[0].Throughput = append(w[0].Throughput, w[0].Throughput...)
+	}
+
+	stats, err := Run(context.Background(), cl, RunConfig{
+		// One session: the backlog must come from sequential chunks inside
+		// a session, the exact queue a closed-loop driver hides.
+		Profile:       Profile{Mode: ModeConstant, StartRPS: 1},
+		Duration:      500 * time.Millisecond,
+		Workload:      w,
+		ChunkInterval: time.Millisecond,
+		MaxChunks:     60,
+		IDPrefix:      "co",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Sessions != 1 || stats.Ops != 62 {
+		t.Fatalf("sessions %d ops %d, want 1/62", stats.Sessions, stats.Ops)
+	}
+
+	// The median is the stable readout (the p99 of 62 samples is a single
+	// worst op and soaks up scheduler/GC noise under -race); asserting on it
+	// keeps the test deterministic while preserving the story.
+	const stall = 60 * time.Millisecond
+	// The naive closed-loop number stays green: the typical request
+	// completes in ~8ms, nowhere near the stall threshold. A naive stall
+	// check against service time passes — wrongly.
+	if stats.ServiceP50 >= stall {
+		t.Fatalf("service p50 %v >= %v: injected latency leaked into per-request time; "+
+			"this test needs service time to look healthy", stats.ServiceP50, stall)
+	}
+	// Intended-time accounting sees the truth: the backlog grows ~7ms per
+	// chunk, so by mid-session the schedule is already past the threshold
+	// the naive view never crossed.
+	if stats.IntendedP50 < stall || stats.IntendedP99 < stall {
+		t.Fatalf("intended p50 %v / p99 %v below %v: coordinated omission regression — "+
+			"the stall is invisible again", stats.IntendedP50, stats.IntendedP99, stall)
+	}
+	if stats.IntendedP99 < 2*stats.ServiceP99 {
+		t.Fatalf("intended p99 %v not clearly above service p99 %v",
+			stats.IntendedP99, stats.ServiceP99)
+	}
+	// The exact maxima (atomics, not bucket-interpolated) agree with the
+	// histogram's story.
+	if stats.IntendedMax < stall {
+		t.Fatalf("intended max %v below %v: stall not visible in exact maxima",
+			stats.IntendedMax, stall)
+	}
+}
+
+func TestFindCapacityBracketsTheKnee(t *testing.T) {
+	// The fake driver is effectively infinitely fast, so the search must
+	// climb to its cap and report the cap as the answer.
+	d := &fakeDriver{}
+	res, err := FindCapacity(context.Background(), d, CapacityConfig{
+		StartRPS:      20,
+		MaxRPS:        80,
+		TrialDuration: 50 * time.Millisecond,
+		Run: RunConfig{
+			Workload:      testWorkload(1),
+			ChunkInterval: time.Millisecond,
+			IDPrefix:      "cap",
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxSustainableRPS != 80 {
+		t.Fatalf("capacity %v, want the 80 rps cap", res.MaxSustainableRPS)
+	}
+	for i, tr := range res.Trials {
+		if !tr.Sustainable {
+			t.Fatalf("trial %d at %v rps unexpectedly failed: %+v", i, tr.RPS, tr.Stats)
+		}
+	}
+
+	// An SLO nothing satisfies bisects down toward zero from the start.
+	slow := &fakeDriver{delay: 2 * time.Millisecond}
+	res, err = FindCapacity(context.Background(), slow, CapacityConfig{
+		SLO:           SLO{MaxP99: time.Nanosecond, MaxErrorBudget: 0},
+		StartRPS:      10,
+		MaxRPS:        10,
+		TrialDuration: 50 * time.Millisecond,
+		Bisections:    2,
+		Run: RunConfig{
+			Workload:      testWorkload(1),
+			ChunkInterval: time.Millisecond,
+			IDPrefix:      "cap0",
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxSustainableRPS != 0 {
+		t.Fatalf("impossible SLO produced capacity %v, want 0", res.MaxSustainableRPS)
+	}
+	if len(res.Trials) < 3 {
+		t.Fatalf("expected bisection trials after the failed seed, got %d", len(res.Trials))
+	}
+	if res.Trials[0].Sustainable {
+		t.Fatal("seed trial should have failed the impossible SLO")
+	}
+}
+
+func TestFindCapacityValidation(t *testing.T) {
+	if _, err := FindCapacity(context.Background(), &fakeDriver{}, CapacityConfig{
+		TrialDuration: time.Second,
+	}); err == nil {
+		t.Fatal("zero StartRPS accepted")
+	}
+	if _, err := FindCapacity(context.Background(), &fakeDriver{}, CapacityConfig{
+		StartRPS: 1,
+	}); err == nil {
+		t.Fatal("zero TrialDuration accepted")
+	}
+}

@@ -1,0 +1,116 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestScenariosDirectAndRouter is the end-to-end path `make bench-load`
+// exercises: one direct-server scenario on the JSON wire and one
+// router-fronted scenario on the binary wire, both with a tiny capacity
+// search, folded into one BENCH_load.json document that the strict parser
+// accepts.
+func TestScenariosDirectAndRouter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots two serving tiers")
+	}
+	direct, err := StartSelf(SelfOptions{Replicas: 1, Seed: 5, TrainSessions: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+	routed, err := StartSelf(SelfOptions{Replicas: 3, Seed: 5, TrainSessions: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer routed.Close()
+
+	workload := SyntheticWorkload(5, 30)
+	run := RunConfig{
+		Profile:       Profile{Mode: ModeBurst, StartRPS: 10, BurstRPS: 60, BurstEvery: 100 * time.Millisecond, BurstLen: 20 * time.Millisecond},
+		Duration:      300 * time.Millisecond,
+		Workload:      workload,
+		ChunkInterval: 2 * time.Millisecond,
+		MaxChunks:     3,
+	}
+	capCfg := &CapacityConfig{StartRPS: 40, MaxRPS: 80, TrialDuration: 100 * time.Millisecond, Bisections: 1}
+
+	scenarios := []Scenario{
+		{Name: "direct", TargetURL: direct.URL, Run: run, Capacity: capCfg,
+			SoakRPS: 50, SoakDuration: 150 * time.Millisecond, MetricsURL: direct.MetricsURL},
+		{Name: "router", TargetURL: routed.URL, WireBinary: true, Run: run, Capacity: capCfg},
+	}
+	var runs []RunReport
+	for _, sc := range scenarios {
+		rr, err := RunScenario(context.Background(), sc)
+		if err != nil {
+			t.Fatalf("scenario %s: %v", sc.Name, err)
+		}
+		runs = append(runs, rr)
+	}
+
+	if runs[0].Wire != "json" || runs[1].Wire != "binary" {
+		t.Fatalf("wire labels: %q / %q", runs[0].Wire, runs[1].Wire)
+	}
+	for _, rr := range runs {
+		if rr.Sessions == 0 || rr.Ops == 0 {
+			t.Fatalf("scenario %s drove no traffic: %+v", rr.Name, rr)
+		}
+		if rr.Errors != 0 {
+			t.Fatalf("scenario %s errored %d/%d ops", rr.Name, rr.Errors, rr.Ops)
+		}
+		if rr.Capacity == nil || rr.Capacity.MaxSustainableRPS <= 0 {
+			t.Fatalf("scenario %s missing capacity estimate: %+v", rr.Name, rr.Capacity)
+		}
+		if len(rr.RequestsByPath) == 0 {
+			t.Fatalf("scenario %s recorded no per-route counts", rr.Name)
+		}
+	}
+	// The JSON scenario's per-route counts must cover the whole session
+	// lifecycle on the v1 routes.
+	for _, path := range []string{"/v1/session/start", "/v1/predict", "/v1/log"} {
+		if runs[0].RequestsByPath[path] == 0 {
+			t.Fatalf("direct scenario missing %s traffic: %v", path, runs[0].RequestsByPath)
+		}
+	}
+	if runs[0].Soak == nil || !runs[0].Soak.Flat {
+		t.Fatalf("direct scenario soak not flat: %+v", runs[0].Soak)
+	}
+
+	doc, err := NewReport(runs...).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseReport(doc)
+	if err != nil {
+		t.Fatalf("end-to-end BENCH_load.json rejected by strict parser: %v\n%s", err, doc)
+	}
+	if len(parsed.Runs) != 2 {
+		t.Fatalf("parsed %d runs, want 2", len(parsed.Runs))
+	}
+}
+
+func TestRunScenarioValidation(t *testing.T) {
+	if _, err := RunScenario(context.Background(), Scenario{TargetURL: "http://x"}); err == nil {
+		t.Fatal("nameless scenario accepted")
+	}
+	if _, err := RunScenario(context.Background(), Scenario{Name: "x"}); err == nil {
+		t.Fatal("targetless scenario accepted")
+	}
+	// Soak without a metrics URL: the main run completes (against a dead
+	// target every op just errors), then the soak config is rejected.
+	if _, err := RunScenario(context.Background(), Scenario{
+		Name: "x", TargetURL: "http://127.0.0.1:1",
+		Run: RunConfig{
+			Profile:       Profile{Mode: ModeConstant, StartRPS: 20},
+			Duration:      100 * time.Millisecond,
+			Workload:      SyntheticWorkload(1, 1),
+			ChunkInterval: time.Millisecond,
+			MaxChunks:     1,
+		},
+		SoakRPS: 1, SoakDuration: time.Second,
+	}); err == nil {
+		t.Fatal("soak without metrics URL accepted")
+	}
+}

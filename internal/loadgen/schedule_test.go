@@ -1,0 +1,259 @@
+package loadgen
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock advances instantly through sleeps: scheduler tests assert exact
+// intended timestamps and dispatch lateness with zero real sleeping.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1700000000, 0)}
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d > 0 {
+		f.advance(d)
+	}
+	return nil
+}
+
+func (f *fakeClock) advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.mu.Unlock()
+}
+
+func mustArrivals(t *testing.T, p Profile, dur time.Duration) []time.Duration {
+	t.Helper()
+	got, err := Arrivals(p, dur)
+	if err != nil {
+		t.Fatalf("Arrivals(%+v, %v): %v", p, dur, err)
+	}
+	return got
+}
+
+func assertArrivals(t *testing.T, got, want []time.Duration) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("arrival count = %d, want %d (got %v)", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("arrival %d = %v, want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestConstantArrivalsExact(t *testing.T) {
+	got := mustArrivals(t, Profile{Mode: ModeConstant, StartRPS: 4}, time.Second)
+	assertArrivals(t, got, []time.Duration{
+		0, 250 * time.Millisecond, 500 * time.Millisecond, 750 * time.Millisecond,
+	})
+
+	// 2s at 5 rps: exactly 10 arrivals, 200ms apart, none at or past the
+	// window end.
+	got = mustArrivals(t, Profile{Mode: ModeConstant, StartRPS: 5}, 2*time.Second)
+	if len(got) != 10 {
+		t.Fatalf("5 rps over 2s: %d arrivals, want 10", len(got))
+	}
+	for i, d := range got {
+		if want := time.Duration(i) * 200 * time.Millisecond; d != want {
+			t.Fatalf("arrival %d = %v, want %v", i, d, want)
+		}
+	}
+}
+
+func TestStepArrivalsExact(t *testing.T) {
+	// Slot 0 at 2 rps, slot 1 at 4 rps.
+	p := Profile{Mode: ModeStep, StartRPS: 2, StepRPS: 2, SlotEvery: time.Second}
+	got := mustArrivals(t, p, 2*time.Second)
+	assertArrivals(t, got, []time.Duration{
+		0, 500 * time.Millisecond,
+		time.Second, 1250 * time.Millisecond, 1500 * time.Millisecond, 1750 * time.Millisecond,
+	})
+
+	// EndRPS clamps the staircase: slot 1 would be 10 rps but clamps to 4.
+	p = Profile{Mode: ModeStep, StartRPS: 2, StepRPS: 8, SlotEvery: time.Second, EndRPS: 4}
+	got = mustArrivals(t, p, 2*time.Second)
+	assertArrivals(t, got, []time.Duration{
+		0, 500 * time.Millisecond,
+		time.Second, 1250 * time.Millisecond, 1500 * time.Millisecond, 1750 * time.Millisecond,
+	})
+}
+
+func TestSweepArrivalsExact(t *testing.T) {
+	// Ramp 0 -> 4 rps over 2s: area(t) = t^2, so arrival n lands at sqrt(n).
+	p := Profile{Mode: ModeSweep, StartRPS: 0, EndRPS: 4}
+	got := mustArrivals(t, p, 2*time.Second)
+	want := []time.Duration{
+		0,
+		time.Second,
+		time.Duration(math.Round(math.Sqrt(2) * 1e9)),
+		time.Duration(math.Round(math.Sqrt(3) * 1e9)),
+	}
+	assertArrivals(t, got, want)
+
+	// The ramp accelerates: consecutive gaps must strictly shrink.
+	for i := 2; i < len(got); i++ {
+		if got[i]-got[i-1] >= got[i-1]-got[i-2] {
+			t.Fatalf("sweep gaps not shrinking: %v", got)
+		}
+	}
+}
+
+func TestBurstArrivalsExact(t *testing.T) {
+	// 4 rps bursts of 500ms opening every 1s, silence between: the integral
+	// reaches 2 exactly at the burst edge, so the window edge itself fires.
+	p := Profile{Mode: ModeBurst, StartRPS: 0, BurstRPS: 4,
+		BurstEvery: time.Second, BurstLen: 500 * time.Millisecond}
+	got := mustArrivals(t, p, 2*time.Second)
+	assertArrivals(t, got, []time.Duration{
+		0, 250 * time.Millisecond, 500 * time.Millisecond,
+		1250 * time.Millisecond, 1500 * time.Millisecond,
+	})
+
+	// With a non-zero floor rate the silent stretch fills in.
+	p.StartRPS = 2
+	got = mustArrivals(t, p, 2*time.Second)
+	assertArrivals(t, got, []time.Duration{
+		0, 250 * time.Millisecond, 500 * time.Millisecond,
+		time.Second, 1250 * time.Millisecond, 1500 * time.Millisecond,
+	})
+}
+
+func TestProfileValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Profile
+		dur  time.Duration
+	}{
+		{"zero duration", Profile{Mode: ModeConstant, StartRPS: 1}, 0},
+		{"negative rate", Profile{Mode: ModeConstant, StartRPS: -1}, time.Second},
+		{"constant zero rps", Profile{Mode: ModeConstant}, time.Second},
+		{"unknown mode", Profile{Mode: "sawtooth", StartRPS: 1}, time.Second},
+		{"step missing slot", Profile{Mode: ModeStep, StartRPS: 1, StepRPS: 1}, time.Second},
+		{"step zero step", Profile{Mode: ModeStep, StartRPS: 1, SlotEvery: time.Second}, time.Second},
+		{"burst longer than period", Profile{Mode: ModeBurst, BurstRPS: 1,
+			BurstEvery: time.Second, BurstLen: 2 * time.Second}, 3 * time.Second},
+		{"burst zero rate", Profile{Mode: ModeBurst,
+			BurstEvery: time.Second, BurstLen: time.Second}, 3 * time.Second},
+	}
+	for _, tc := range cases {
+		if _, err := Arrivals(tc.p, tc.dur); err == nil {
+			t.Errorf("%s: want error, got none", tc.name)
+		}
+	}
+}
+
+func TestScheduleStreamsMatchArrivals(t *testing.T) {
+	p := Profile{Mode: ModeStep, StartRPS: 3, StepRPS: 5, SlotEvery: 700 * time.Millisecond}
+	all := mustArrivals(t, p, 3*time.Second)
+	s, err := NewSchedule(p, 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range all {
+		got, ok := s.Next()
+		if !ok || got != want {
+			t.Fatalf("Next %d = (%v, %v), want (%v, true)", i, got, ok, want)
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("schedule yielded past its materialized arrivals")
+	}
+	if s.Emitted() != len(all) {
+		t.Fatalf("Emitted = %d, want %d", s.Emitted(), len(all))
+	}
+}
+
+func TestDispatchOnTime(t *testing.T) {
+	clk := newFakeClock()
+	s, err := NewSchedule(Profile{Mode: ModeConstant, StartRPS: 10}, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := clk.Now()
+	var got []Arrival
+	var at []time.Duration
+	n, err := Dispatch(context.Background(), clk, s, func(a Arrival) {
+		got = append(got, a)
+		at = append(at, clk.Now().Sub(start))
+	})
+	if err != nil || n != 5 {
+		t.Fatalf("Dispatch = (%d, %v), want (5, nil)", n, err)
+	}
+	for i, a := range got {
+		want := time.Duration(i) * 100 * time.Millisecond
+		if a.Index != i || a.Intended != want || a.Late != 0 {
+			t.Fatalf("arrival %d = %+v, want index %d intended %v late 0", i, a, i, want)
+		}
+		if at[i] != want {
+			t.Fatalf("arrival %d dispatched at %v, want %v", i, at[i], want)
+		}
+	}
+}
+
+// TestDispatchBacklog pins the open-loop contract: when the dispatch callback
+// itself runs slow (250ms per 100ms slot), later arrivals fire late — with
+// exactly the accumulating lateness the schedule implies — but their intended
+// times never move and no arrival is dropped.
+func TestDispatchBacklog(t *testing.T) {
+	clk := newFakeClock()
+	s, err := NewSchedule(Profile{Mode: ModeConstant, StartRPS: 10}, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Arrival
+	n, err := Dispatch(context.Background(), clk, s, func(a Arrival) {
+		got = append(got, a)
+		clk.advance(250 * time.Millisecond) // slow consumer
+	})
+	if err != nil || n != 5 {
+		t.Fatalf("Dispatch = (%d, %v), want (5, nil)", n, err)
+	}
+	wantLate := []time.Duration{0, 150 * time.Millisecond, 300 * time.Millisecond,
+		450 * time.Millisecond, 600 * time.Millisecond}
+	for i, a := range got {
+		if a.Intended != time.Duration(i)*100*time.Millisecond {
+			t.Fatalf("backlog rewrote intended time of arrival %d: %v", i, a.Intended)
+		}
+		if a.Late != wantLate[i] {
+			t.Fatalf("arrival %d late = %v, want %v", i, a.Late, wantLate[i])
+		}
+	}
+}
+
+func TestDispatchCancel(t *testing.T) {
+	clk := newFakeClock()
+	s, err := NewSchedule(Profile{Mode: ModeConstant, StartRPS: 10}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	n, derr := Dispatch(ctx, clk, s, func(a Arrival) {
+		if a.Index == 2 {
+			cancel()
+		}
+	})
+	if derr == nil || n != 3 {
+		t.Fatalf("Dispatch = (%d, %v), want 3 arrivals and a cancellation error", n, derr)
+	}
+}

@@ -1,0 +1,95 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"cs2p/internal/httpapi"
+)
+
+// TestSoakFlatSessionsAndEvictionAccounting is the in-suite short soak: churn
+// sessions through a real in-process server, scrape /metrics before and
+// after, and assert the leak invariants the production soak relies on —
+// the active-session gauge returns to baseline, started == ended, and the
+// log-eviction counter accounts exactly for pushed minus retained QoE logs.
+func TestSoakFlatSessionsAndEvictionAccounting(t *testing.T) {
+	const maxLogs = 8
+	target, err := StartSelf(SelfOptions{Replicas: 1, Seed: 3, TrainSessions: 120, MaxLogs: maxLogs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer target.Close()
+
+	cl := httpapi.NewClient(target.URL)
+	soak, stats, err := RunSoak(context.Background(), cl, SoakConfig{
+		RPS:      100,
+		Duration: 300 * time.Millisecond,
+		Run: RunConfig{
+			Workload:      SyntheticWorkload(3, 20),
+			ChunkInterval: 2 * time.Millisecond,
+			MaxChunks:     2,
+		},
+		MetricsURL: target.MetricsURL,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Errors != 0 {
+		t.Fatalf("soak traffic errored %d/%d ops", stats.Errors, stats.Ops)
+	}
+	if stats.Sessions < 25 {
+		t.Fatalf("soak churned only %d sessions — not enough to exercise eviction", stats.Sessions)
+	}
+
+	// Session plane: every synthetic session ends with its QoE log, so the
+	// active gauge must be back at baseline and starts must equal ends.
+	if !soak.Flat {
+		t.Fatalf("session gauge did not return to baseline: %+v", soak)
+	}
+	if soak.SessionsAfter != soak.SessionsBefore {
+		t.Fatalf("leaked sessions: before %v after %v", soak.SessionsBefore, soak.SessionsAfter)
+	}
+	if soak.StartedDelta != float64(stats.Sessions) || soak.StartedDelta != soak.EndedDelta {
+		t.Fatalf("start/end accounting: started %v ended %v, harness sessions %d",
+			soak.StartedDelta, soak.EndedDelta, stats.Sessions)
+	}
+
+	// Log plane: the ring kept at most maxLogs, so evictions must equal
+	// pushed minus retained exactly.
+	retained := len(target.Service.Logs())
+	if retained > maxLogs {
+		t.Fatalf("log ring holds %d > cap %d", retained, maxLogs)
+	}
+	pushed := int(soak.EndedDelta)
+	if want := float64(pushed - retained); soak.LogEvictionsDelta != want {
+		t.Fatalf("eviction counter %v, want pushed(%d) - retained(%d) = %v",
+			soak.LogEvictionsDelta, pushed, retained, want)
+	}
+
+	// Process plane: the runtime gauges scraped into the summary.
+	if soak.HeapAfterBytes <= 0 || soak.GoroutinesAfter <= 0 {
+		t.Fatalf("runtime gauges missing from scrape: %+v", soak)
+	}
+}
+
+func TestRunSoakValidation(t *testing.T) {
+	cl := httpapi.NewClient("http://127.0.0.1:0")
+	if _, _, err := RunSoak(context.Background(), cl, SoakConfig{
+		Duration: time.Second, MetricsURL: "http://127.0.0.1:0/metrics",
+	}); err == nil {
+		t.Fatal("zero RPS accepted")
+	}
+	if _, _, err := RunSoak(context.Background(), cl, SoakConfig{
+		RPS: 1, Duration: time.Second,
+	}); err == nil {
+		t.Fatal("missing MetricsURL accepted")
+	}
+	// A dead scrape endpoint fails fast, before any load is generated.
+	if _, _, err := RunSoak(context.Background(), cl, SoakConfig{
+		RPS: 1, Duration: time.Second, MetricsURL: "http://127.0.0.1:1/metrics",
+		Run: RunConfig{Workload: SyntheticWorkload(1, 1), ChunkInterval: time.Millisecond},
+	}); err == nil {
+		t.Fatal("unreachable metrics endpoint accepted")
+	}
+}

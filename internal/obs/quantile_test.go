@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.99); got != 0 {
+		t.Fatalf("nil histogram quantile = %v, want 0", got)
+	}
+
+	reg := NewRegistry()
+	h := reg.Histogram("q_seconds", "", []float64{1, 2, 4, 8}, nil)
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+
+	// 100 observations spread uniformly through (0, 1]: every sample lands
+	// in the first bucket, and interpolation places quantiles inside it.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("p50 = %v, want 0.5 by linear interpolation", got)
+	}
+	if got := h.Quantile(1); got != 1 {
+		t.Fatalf("p100 = %v, want the bucket bound 1", got)
+	}
+	// Out-of-range q clamps.
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+		t.Fatal("quantile arguments did not clamp to [0,1]")
+	}
+
+	// Push mass into a higher bucket: 100 in (0,1], 100 in (4,8]. The p75
+	// rank (150) falls mid-way through the second populated bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(5)
+	}
+	if got := h.Quantile(0.75); math.Abs(got-6) > 1e-9 {
+		t.Fatalf("p75 = %v, want 6 (half-way through the (4,8] bucket)", got)
+	}
+
+	// Overflow beyond the last bound reports the last bound — the ladder's
+	// saturation contract (exact maxima must be tracked separately).
+	h2 := reg.Histogram("q2_seconds", "", []float64{1, 2}, nil)
+	h2.Observe(50)
+	if got := h2.Quantile(0.99); got != 2 {
+		t.Fatalf("overflow quantile = %v, want last bound 2", got)
+	}
+}
+
+func TestFineLatencyBucketsResolution(t *testing.T) {
+	b := FineLatencyBuckets
+	if len(b) != 60 || b[0] != 100e-6 {
+		t.Fatalf("ladder shape changed: len %d first %v", len(b), b[0])
+	}
+	// The growth factor bounds quantile error to ~±12%; the top of the
+	// ladder must comfortably cover multi-second stalls.
+	for i := 1; i < len(b); i++ {
+		if r := b[i] / b[i-1]; math.Abs(r-1.25) > 1e-9 {
+			t.Fatalf("growth factor at %d = %v, want 1.25", i, r)
+		}
+	}
+	if top := b[len(b)-1]; top < 30 {
+		t.Fatalf("ladder tops out at %vs — cannot resolve multi-second stalls", top)
+	}
+}
+
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("runtime metrics scrape does not parse: %v", err)
+	}
+	got := map[string]float64{}
+	for _, s := range samples {
+		got[s.Key()] = s.Value
+	}
+	for _, name := range []string{
+		"cs2p_runtime_heap_alloc_bytes",
+		"cs2p_runtime_heap_objects",
+		"cs2p_runtime_gc_cycles",
+		"cs2p_runtime_goroutines",
+	} {
+		v, ok := got[name]
+		if !ok {
+			t.Fatalf("runtime gauge %s missing from scrape: %v", name, got)
+		}
+		if name != "cs2p_runtime_gc_cycles" && v <= 0 {
+			t.Fatalf("runtime gauge %s = %v, want > 0 in a live process", name, v)
+		}
+	}
+}
