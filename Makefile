@@ -57,13 +57,26 @@ bench-serve:
 # arrival profile, a short soak, and a capacity search, written to
 # BENCH_load.json (schema-versioned; loadgen.ParseReport validates it).
 # Latency is intended-start-to-completion, so coordinated omission cannot
-# hide tail degradation. See DESIGN.md §14.
+# hide tail degradation. The run is gated against the committed
+# BENCH_baseline.json: capacity more than 10% below baseline fails the
+# build (refresh the baseline deliberately with `make bench-baseline`).
+# See DESIGN.md §14.
 bench-load:
 	$(GO) run ./cmd/cs2p-loadgen -self -mode burst -rps 10 -burst-rps 120 \
 		-burst-every 2s -burst-len 500ms -duration 10s -chunk-interval 50ms \
 		-max-chunks 6 -capacity -trial 3s -bisect 2 -soak 5s -soak-rps 20 \
+		-baseline BENCH_baseline.json -max-regression 0.10 \
 		-out BENCH_load.json
 	@echo "wrote BENCH_load.json"
+
+# Re-measure and overwrite the committed capacity baseline (same shape as
+# bench-load, no gate). Commit the result when a capacity change is intended.
+bench-baseline:
+	$(GO) run ./cmd/cs2p-loadgen -self -mode burst -rps 10 -burst-rps 120 \
+		-burst-every 2s -burst-len 500ms -duration 10s -chunk-interval 50ms \
+		-max-chunks 6 -capacity -trial 3s -bisect 2 -soak 5s -soak-rps 20 \
+		-out BENCH_baseline.json
+	@echo "wrote BENCH_baseline.json"
 
 # Total statement coverage across every package, gated on COVER_FLOOR.
 # Writes cover.out for `go tool cover -html=cover.out`.
@@ -80,6 +93,7 @@ cover:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzStartSession -fuzztime=10s ./internal/httpapi
 	$(GO) test -run '^$$' -fuzz FuzzObserve -fuzztime=10s ./internal/httpapi
+	$(GO) test -run '^$$' -fuzz FuzzIngest -fuzztime=10s ./internal/httpapi
 	$(GO) test -run '^$$' -fuzz FuzzBatchRequest -fuzztime=10s ./internal/httpapi
 	$(GO) test -run '^$$' -fuzz FuzzWireDecode -fuzztime=10s ./internal/wire
 	$(GO) test -run '^$$' -fuzz FuzzLoadModelStore -fuzztime=10s ./internal/core

@@ -48,7 +48,11 @@ func main() {
 		bisect    = flag.Int("bisect", 4, "bisection steps after the doubling phase")
 		soak      = flag.Duration("soak", 0, "run a flat-memory soak of this length after the main run")
 		soakRPS   = flag.Float64("soak-rps", 10, "soak arrival rate")
+		soakStl   = flag.Duration("soak-settle", 500*time.Millisecond, "wait between soak churn end and the after scrape (>= 0)")
+		soakSTO   = flag.Duration("soak-scrape-timeout", 5*time.Second, "bound on each soak /metrics scrape (> 0)")
 		metrics   = flag.String("metrics-url", "", "/metrics endpoint to scrape around the soak")
+		baseline  = flag.String("baseline", "", "committed BENCH baseline to gate capacity against (empty = no gate)")
+		maxRegr   = flag.Float64("max-regression", 0.10, "capacity regression tolerance for -baseline (fraction in (0,1))")
 		out       = flag.String("out", "BENCH_load.json", "report path")
 		seed      = flag.Int64("seed", 1, "workload seed")
 		sessions  = flag.Int("workload-sessions", 200, "synthetic workload population size")
@@ -57,7 +61,8 @@ func main() {
 	if err := run(*target, *self, *replicas, *mode, *rps, *endRPS, *stepRPS, *slotEvery,
 		*burstRPS, *burstEv, *burstLen, *duration, *chunkIv, *maxChunks, *wire,
 		*capacity, *sloP99, *errBudget, *trialDur, *bisect,
-		*soak, *soakRPS, *metrics, *out, *seed, *sessions); err != nil {
+		*soak, *soakRPS, *soakStl, *soakSTO, *metrics, *baseline, *maxRegr,
+		*out, *seed, *sessions); err != nil {
 		fmt.Fprintf(os.Stderr, "cs2p-loadgen: %v\n", err)
 		os.Exit(1)
 	}
@@ -67,9 +72,20 @@ func run(target string, self bool, replicas int, mode string, rps, endRPS, stepR
 	slotEvery time.Duration, burstRPS float64, burstEv, burstLen, duration, chunkIv time.Duration,
 	maxChunks int, wire string, capacity bool, sloP99 time.Duration, errBudget float64,
 	trialDur time.Duration, bisect int, soak time.Duration, soakRPS float64,
-	metrics, out string, seed int64, sessions int) error {
+	soakSettle, soakScrapeTO time.Duration, metrics, baseline string, maxRegression float64,
+	out string, seed int64, sessions int) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if soakSettle < 0 {
+		return fmt.Errorf("-soak-settle must be >= 0, got %v", soakSettle)
+	}
+	if soakScrapeTO <= 0 {
+		return fmt.Errorf("-soak-scrape-timeout must be > 0, got %v", soakScrapeTO)
+	}
+	if baseline != "" && (maxRegression <= 0 || maxRegression >= 1) {
+		return fmt.Errorf("-max-regression must be in (0,1), got %v", maxRegression)
+	}
 
 	profile := loadgen.Profile{
 		Mode:       loadgen.Mode(mode),
@@ -94,13 +110,15 @@ func run(target string, self bool, replicas int, mode string, rps, endRPS, stepR
 		capCfg = &loadgen.CapacityConfig{StartRPS: rps, TrialDuration: trialDur, Bisections: bisect}
 	}
 	base := loadgen.Scenario{
-		WireBinary:   wire == "binary",
-		Run:          rc,
-		SLO:          slo,
-		Capacity:     capCfg,
-		SoakRPS:      soakRPS,
-		SoakDuration: soak,
-		MetricsURL:   metrics,
+		WireBinary:        wire == "binary",
+		Run:               rc,
+		SLO:               slo,
+		Capacity:          capCfg,
+		SoakRPS:           soakRPS,
+		SoakDuration:      soak,
+		SoakSettle:        soakSettle,
+		SoakScrapeTimeout: soakScrapeTO,
+		MetricsURL:        metrics,
 	}
 
 	var scenarios []loadgen.Scenario
@@ -153,6 +171,25 @@ func run(target string, self bool, replicas int, mode string, rps, endRPS, stepR
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "cs2p-loadgen: wrote %s (%d runs)\n", out, len(runs))
+
+	if baseline != "" {
+		deltas, err := loadgen.GateCapacityFile(baseline, rep, maxRegression)
+		if err != nil {
+			return err
+		}
+		failed := false
+		for _, d := range deltas {
+			verdict := "ok"
+			if d.Regressed {
+				verdict, failed = "REGRESSED", true
+			}
+			fmt.Fprintf(os.Stderr, "  trend %s: capacity %.1f rps vs baseline %.1f (%+.1f%%) %s\n",
+				d.Name, d.CurrentRPS, d.BaselineRPS, d.Change*100, verdict)
+		}
+		if failed {
+			return fmt.Errorf("capacity regressed beyond %.0f%% of %s", maxRegression*100, baseline)
+		}
+	}
 	return nil
 }
 

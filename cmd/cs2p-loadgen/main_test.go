@@ -20,7 +20,7 @@ func TestRunSelfEndToEnd(t *testing.T) {
 	err := run("", true, 2, "constant", 30, 0, 0, time.Second, 0, time.Second, 100*time.Millisecond,
 		300*time.Millisecond, 2*time.Millisecond, 2, "json",
 		false, time.Second, 0.01, time.Second, 1,
-		150*time.Millisecond, 20, "", out, 2, 20)
+		150*time.Millisecond, 20, 50*time.Millisecond, 2*time.Second, "", "", 0.10, out, 2, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +46,7 @@ func TestRunRequiresATarget(t *testing.T) {
 	if err := run("", false, 1, "constant", 1, 0, 0, time.Second, 0, time.Second, time.Second,
 		time.Second, time.Millisecond, 1, "json",
 		false, time.Second, 0.01, time.Second, 1,
-		0, 0, "", filepath.Join(t.TempDir(), "out.json"), 1, 1); err == nil {
+		0, 0, 0, time.Second, "", "", 0.10, filepath.Join(t.TempDir(), "out.json"), 1, 1); err == nil {
 		t.Fatal("no target and no -self accepted")
 	}
 }

@@ -17,8 +17,9 @@
 //
 // Endpoints: POST /v1/session/start, POST /v1/predict, POST /v1/log,
 // GET /v1/model, GET /v1/admin/models, POST /v1/admin/rollback,
-// GET /v1/healthz; with -wire (the default) also the binary protocol at
-// POST /v2/observe, /v2/predict, /v2/batch (DESIGN.md §12).
+// GET /v1/healthz; with -ingest also POST /v1/ingest (DESIGN.md §15); with
+// -wire (the default) also the binary protocol at POST /v2/observe,
+// /v2/predict, /v2/batch (DESIGN.md §12).
 package main
 
 import (
@@ -63,6 +64,11 @@ func main() {
 		traceReqs    = flag.Bool("trace-requests", false, "log a per-request stage-timing line with the request id")
 		wireOn       = flag.Bool("wire", true, "serve the binary /v2 wire protocol (observe/predict/batch) alongside JSON v1")
 		maxBatch     = flag.Int("max-batch-ops", 1024, "maximum ops accepted in one /v2/batch frame")
+		ingest       = flag.Bool("ingest", false, "enable the online-learning plane: POST /v1/ingest trace intake and drift detection (DESIGN.md §15)")
+		intakeCap    = flag.Int("intake-capacity", 4096, "trace-intake ring capacity in sessions (with -ingest)")
+		driftBand    = flag.Float64("drift-band", 0.5, "relative midstream-APE regression that counts as drift (with -ingest; 0.5 = +50%)")
+		minRetrain   = flag.Int("min-retrain-sessions", 50, "buffered sessions an online retrain needs before it trains a candidate (with -ingest)")
+		onlineEvery  = flag.Duration("online-retrain", 0, "drift-check cadence of the background online-retrain controller (0 disables; requires -ingest)")
 	)
 	flag.Parse()
 	if *tracePath == "" && *modelDir == "" {
@@ -70,6 +76,9 @@ func main() {
 	}
 	if *tracePath != "" && *modelDir != "" {
 		fatalf("-trace and -model-dir are mutually exclusive")
+	}
+	if *onlineEvery > 0 && !*ingest {
+		fatalf("-online-retrain requires -ingest (the controller drains the intake ring)")
 	}
 
 	// One logger feeds training diagnostics, GC/reload events, and the
@@ -140,6 +149,25 @@ func main() {
 	svc.SetPromotionPolicy(&engine.PromotionPolicy{Tolerance: *tolerance})
 	logf("session store sharded %d ways", svc.Shards())
 
+	// Online-learning plane: trace intake + drift detection, and (with
+	// -online-retrain) the background drift→retrain→promote controller.
+	// EnableOnline must follow SetMetrics — the drift detector reads the
+	// live midstream-APE histogram. In artifact mode candidates publish
+	// through the registry, so the artifact trail stays authoritative.
+	if *ingest {
+		err := svc.EnableOnline(engine.OnlineOptions{
+			IntakeCapacity:     *intakeCap,
+			DriftBand:          *driftBand,
+			MinRetrainSessions: *minRetrain,
+			Interval:           *onlineEvery,
+			Registry:           modelReg,
+		})
+		if err != nil {
+			fatalf("enabling online learning: %v", err)
+		}
+		logf("online learning enabled (intake capacity %d, drift band %.0f%%)", *intakeCap, *driftBand*100)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -171,6 +199,12 @@ func main() {
 					continue
 				}
 				v := ev.Artifact.Manifest.Version
+				// The online-retrain path publishes its own candidates and
+				// installs them synchronously; re-gating one here would
+				// evaluate it against a stale holdout and spam the log.
+				if v <= svc.Snapshot().Version() {
+					continue
+				}
 				if _, err := svc.InstallArtifact(ev.Artifact); err != nil {
 					logf("artifact v%d not promoted: %v", v, err)
 					continue
@@ -178,6 +212,14 @@ func main() {
 				logf("promoted artifact v%d", v)
 			}
 		}()
+	}
+
+	// Drift-triggered online retraining: the controller checks the live
+	// midstream-APE window on its cadence and, when drift fires, drains the
+	// intake ring into an incremental retrain whose candidate must pass the
+	// same promotion gate as any other swap.
+	if *ingest && *onlineEvery > 0 {
+		go svc.RunOnlineLoop(ctx)
 	}
 
 	// Trace mode hot retrain: swaps the engine atomically after the same

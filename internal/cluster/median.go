@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"container/heap"
+	"math"
+)
+
+// RunningMedian maintains the exact median of a stream of observations with
+// the classic two-heap construction: a max-heap over the lower half and a
+// min-heap over the upper half, rebalanced so the lower heap holds the extra
+// element when the count is odd. Add is O(log n); Value is O(1).
+//
+// Value reproduces mathx.Median (linear interpolation between order
+// statistics) bit-for-bit: the middle element when the count is odd and
+// lo*0.5 + hi*0.5 when even — so the engine's offline batch medians and the
+// online cluster medians share one definition. Not safe for concurrent use;
+// the online learner serializes access.
+type RunningMedian struct {
+	lower maxHeap // lower half; top is the largest of the small values
+	upper minHeap // upper half; top is the smallest of the large values
+}
+
+// Add inserts one observation. NaN observations are ignored (a throughput
+// sample that failed to parse must not poison the median forever).
+func (rm *RunningMedian) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	if rm.lower.Len() == 0 || x <= rm.lower.vals[0] {
+		heap.Push(&rm.lower, x)
+	} else {
+		heap.Push(&rm.upper, x)
+	}
+	// Rebalance: lower may hold at most one more element than upper.
+	switch {
+	case rm.lower.Len() > rm.upper.Len()+1:
+		heap.Push(&rm.upper, heap.Pop(&rm.lower))
+	case rm.upper.Len() > rm.lower.Len():
+		heap.Push(&rm.lower, heap.Pop(&rm.upper))
+	}
+}
+
+// Count reports how many observations have been absorbed.
+func (rm *RunningMedian) Count() int { return rm.lower.Len() + rm.upper.Len() }
+
+// Value returns the current median, or NaN when no observation has been
+// absorbed yet.
+func (rm *RunningMedian) Value() float64 {
+	nl, nu := rm.lower.Len(), rm.upper.Len()
+	switch {
+	case nl == 0 && nu == 0:
+		return math.NaN()
+	case nl > nu:
+		return rm.lower.vals[0]
+	default:
+		// Even count: interpolate exactly as mathx.QuantileSorted does at
+		// q=0.5 (lo*(1-frac) + hi*frac with frac = 0.5).
+		return rm.lower.vals[0]*0.5 + rm.upper.vals[0]*0.5
+	}
+}
+
+type maxHeap struct{ vals []float64 }
+
+func (h *maxHeap) Len() int           { return len(h.vals) }
+func (h *maxHeap) Less(i, j int) bool { return h.vals[i] > h.vals[j] }
+func (h *maxHeap) Swap(i, j int)      { h.vals[i], h.vals[j] = h.vals[j], h.vals[i] }
+func (h *maxHeap) Push(x interface{}) { h.vals = append(h.vals, x.(float64)) }
+func (h *maxHeap) Pop() interface{} {
+	n := len(h.vals)
+	v := h.vals[n-1]
+	h.vals = h.vals[:n-1]
+	return v
+}
+
+type minHeap struct{ vals []float64 }
+
+func (h *minHeap) Len() int           { return len(h.vals) }
+func (h *minHeap) Less(i, j int) bool { return h.vals[i] < h.vals[j] }
+func (h *minHeap) Swap(i, j int)      { h.vals[i], h.vals[j] = h.vals[j], h.vals[i] }
+func (h *minHeap) Push(x interface{}) { h.vals = append(h.vals, x.(float64)) }
+func (h *minHeap) Pop() interface{} {
+	n := len(h.vals)
+	v := h.vals[n-1]
+	h.vals = h.vals[:n-1]
+	return v
+}

@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cs2p/internal/mathx"
+)
+
+// TestRunningMedianMatchesBatch pins the shared-definition claim: after any
+// prefix of a random stream, Value() is bit-identical to mathx.Median over
+// that prefix.
+func TestRunningMedianMatchesBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		var rm RunningMedian
+		var seen []float64
+		n := 1 + r.Intn(200)
+		for i := 0; i < n; i++ {
+			var x float64
+			switch r.Intn(4) {
+			case 0:
+				x = r.Float64() * 100
+			case 1:
+				x = float64(r.Intn(10)) // ties
+			case 2:
+				x = -r.Float64() * 50
+			default:
+				x = r.NormFloat64() * 1e6
+			}
+			rm.Add(x)
+			seen = append(seen, x)
+			want := mathx.Median(seen)
+			if got := rm.Value(); got != want {
+				t.Fatalf("trial %d after %d adds: running median %v, batch median %v", trial, i+1, got, want)
+			}
+		}
+		if rm.Count() != n {
+			t.Fatalf("Count() = %d, want %d", rm.Count(), n)
+		}
+	}
+}
+
+func TestRunningMedianEmptyAndNaN(t *testing.T) {
+	var rm RunningMedian
+	if !math.IsNaN(rm.Value()) {
+		t.Fatalf("empty Value() = %v, want NaN", rm.Value())
+	}
+	rm.Add(math.NaN())
+	if rm.Count() != 0 || !math.IsNaN(rm.Value()) {
+		t.Fatalf("NaN add counted: count=%d value=%v", rm.Count(), rm.Value())
+	}
+	rm.Add(3)
+	rm.Add(math.NaN())
+	rm.Add(5)
+	if got := rm.Value(); got != 4 {
+		t.Fatalf("Value() = %v, want 4", got)
+	}
+}

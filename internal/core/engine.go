@@ -26,7 +26,6 @@ import (
 
 	"cs2p/internal/cluster"
 	"cs2p/internal/hmm"
-	"cs2p/internal/mathx"
 	"cs2p/internal/obs"
 	"cs2p/internal/parallel"
 	"cs2p/internal/predict"
@@ -270,14 +269,18 @@ func sequences(sessions []*trace.Session, cap int) [][]float64 {
 	return seqs
 }
 
+// staticMedian computes a cluster's initial-throughput median through the
+// same cluster.RunningMedian the online learner updates incrementally, so the
+// offline and online medians share one definition (RunningMedian.Value is
+// bit-identical to mathx.Median).
 func staticMedian(sessions []*trace.Session) float64 {
-	vals := make([]float64, 0, len(sessions))
+	var rm cluster.RunningMedian
 	for _, s := range sessions {
 		if len(s.Throughput) > 0 {
-			vals = append(vals, s.InitialThroughput())
+			rm.Add(s.InitialThroughput())
 		}
 	}
-	return mathx.Median(vals)
+	return rm.Value()
 }
 
 // GlobalClusterID is the cluster ID reported for sessions served by the

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cs2p/internal/cluster"
+	"cs2p/internal/hmm"
+	"cs2p/internal/trace"
+)
+
+// OnlineConfig controls the incremental learner that keeps a trained engine's
+// models tracking fresh traffic.
+type OnlineConfig struct {
+	// HMM configures the per-cluster incremental EM trainers.
+	HMM hmm.OnlineConfig
+	// MinClusterSessions is the minimum fresh sessions a cluster must
+	// contribute to one Absorb batch before its HMM trainer is updated;
+	// smaller slices would burn a full decay step on negligible evidence.
+	// Medians always update. Defaults to 5.
+	MinClusterSessions int
+	// MinMedianSamples is the minimum running-median sample count before a
+	// cluster's candidate initial median switches from the incumbent's
+	// static value to the online one. Defaults to 10.
+	MinMedianSamples int
+}
+
+// DefaultOnlineConfig returns the settings the engine's online-learning loop
+// uses.
+func DefaultOnlineConfig() OnlineConfig {
+	return OnlineConfig{
+		HMM:                hmm.DefaultOnlineConfig(),
+		MinClusterSessions: 5,
+		MinMedianSamples:   10,
+	}
+}
+
+func (c OnlineConfig) withDefaults() OnlineConfig {
+	if c.HMM == (hmm.OnlineConfig{}) {
+		c.HMM = hmm.DefaultOnlineConfig()
+	}
+	if c.MinClusterSessions <= 0 {
+		c.MinClusterSessions = 5
+	}
+	if c.MinMedianSamples <= 0 {
+		c.MinMedianSamples = 10
+	}
+	return c
+}
+
+// OnlineLearner incrementally updates a trained engine's per-cluster HMMs
+// (decayed minibatch EM, warm-started from the incumbent models) and initial
+// medians (exact running medians) from fresh serving traffic, and materializes
+// candidate engines for the promotion gate. The base engine is never mutated:
+// trainers clone their warm-start models and Candidate builds a fresh Engine,
+// so a rejected candidate leaves no trace. Not safe for concurrent use; the
+// serving layer serializes Absorb/Candidate behind its retrain lock.
+//
+// Cluster structure itself is not revised online — fresh sessions are routed
+// by the incumbent's clustering and unseen cells feed only the global model.
+// Discovering new clusters remains an offline (full rule-search) concern.
+type OnlineLearner struct {
+	cfg  OnlineConfig
+	base *Engine
+
+	trainers map[string]*hmm.OnlineTrainer // cluster ID -> incremental trainer
+	medians  map[string]*cluster.RunningMedian
+	global   *hmm.OnlineTrainer
+	globMed  cluster.RunningMedian
+	absorbed int // fresh sessions absorbed so far
+}
+
+// NewOnlineLearner builds a learner over a trained (or artifact-booted) base
+// engine.
+func NewOnlineLearner(base *Engine, cfg OnlineConfig) (*OnlineLearner, error) {
+	if base == nil || base.global == nil {
+		return nil, fmt.Errorf("core: online learner needs a trained base engine")
+	}
+	cfg = cfg.withDefaults()
+	g, err := hmm.NewOnlineTrainer(base.global, cfg.HMM)
+	if err != nil {
+		return nil, fmt.Errorf("core: warm-starting global trainer: %w", err)
+	}
+	return &OnlineLearner{
+		cfg:      cfg,
+		base:     base,
+		trainers: make(map[string]*hmm.OnlineTrainer),
+		medians:  make(map[string]*cluster.RunningMedian),
+		global:   g,
+	}, nil
+}
+
+// Absorbed reports how many fresh sessions the learner has consumed.
+func (l *OnlineLearner) Absorbed() int { return l.absorbed }
+
+// Absorb folds one batch of fresh sessions into the running state: every
+// session updates the global trainer and global median; sessions routed to a
+// dedicated cluster additionally update that cluster's trainer (lazily
+// warm-started from the incumbent model) and running median. Sessions without
+// throughput observations are skipped.
+func (l *OnlineLearner) Absorb(fresh []*trace.Session) error {
+	byCluster := map[string][]*trace.Session{}
+	var all [][]float64
+	usable := 0
+	for _, s := range fresh {
+		if s == nil || len(s.Throughput) == 0 {
+			continue
+		}
+		usable++
+		all = append(all, s.Throughput)
+		l.globMed.Add(s.InitialThroughput())
+		_, id := l.base.ModelFor(s)
+		if id == GlobalClusterID {
+			continue
+		}
+		byCluster[id] = append(byCluster[id], s)
+	}
+	if usable == 0 {
+		return nil
+	}
+	// Deterministic cluster order so metric and error ordering is stable.
+	ids := make([]string, 0, len(byCluster))
+	for id := range byCluster {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		members := byCluster[id]
+		rm, ok := l.medians[id]
+		if !ok {
+			rm = &cluster.RunningMedian{}
+			l.medians[id] = rm
+		}
+		for _, s := range members {
+			rm.Add(s.InitialThroughput())
+		}
+		if len(members) < l.cfg.MinClusterSessions {
+			continue
+		}
+		tr, ok := l.trainers[id]
+		if !ok {
+			warm := l.base.models[id]
+			if warm == nil {
+				continue // routed to a cluster the incumbent has no model for
+			}
+			var err error
+			tr, err = hmm.NewOnlineTrainer(warm, l.cfg.HMM)
+			if err != nil {
+				return fmt.Errorf("core: warm-starting cluster %q trainer: %w", id, err)
+			}
+			l.trainers[id] = tr
+		}
+		seqs := make([][]float64, 0, len(members))
+		for _, s := range members {
+			seqs = append(seqs, s.Throughput)
+		}
+		if err := tr.Update(seqs); err != nil {
+			return fmt.Errorf("core: cluster %q incremental update: %w", id, err)
+		}
+	}
+	if err := l.global.Update(all); err != nil {
+		return fmt.Errorf("core: global incremental update: %w", err)
+	}
+	l.absorbed += usable
+	return nil
+}
+
+// candidateModels assembles the updated per-cluster artifacts: incumbent
+// models overridden by every trainer that absorbed at least one batch, and
+// incumbent medians overridden once a cluster's running median has enough
+// samples.
+func (l *OnlineLearner) candidateModels() (models map[string]*hmm.Model, medians map[string]float64, global *hmm.Model, globalMed float64) {
+	models = make(map[string]*hmm.Model, len(l.base.models))
+	medians = make(map[string]float64, len(l.base.medians))
+	for id, m := range l.base.models {
+		models[id] = m
+	}
+	for id, med := range l.base.medians {
+		medians[id] = med
+	}
+	for id, tr := range l.trainers {
+		if tr.Updates() > 0 {
+			models[id] = tr.Model().Clone()
+		}
+	}
+	for id, rm := range l.medians {
+		if rm.Count() >= l.cfg.MinMedianSamples {
+			if v := rm.Value(); !math.IsNaN(v) {
+				medians[id] = v
+			}
+		}
+	}
+	global = l.base.global
+	if l.global.Updates() > 0 {
+		global = l.global.Model().Clone()
+	}
+	globalMed = l.base.globalMed
+	if l.globMed.Count() >= l.cfg.MinMedianSamples {
+		if v := l.globMed.Value(); !math.IsNaN(v) {
+			globalMed = v
+		}
+	}
+	return models, medians, global, globalMed
+}
+
+// Candidate materializes the learner's current state as a deployable
+// candidate: a serving engine (for the promotion gate's holdout evaluation)
+// plus its exported model store (for registry publication). fresh is the
+// intake batch the candidate was trained on; for a clusterer-backed base it
+// also seeds the exported store's routing/initial index, so the published
+// artifact reflects the traffic that triggered the retrain.
+//
+// For an artifact-booted base the incumbent store's routing table and initial
+// index are carried over unchanged (only models and medians are refreshed) —
+// the windowed Eq. 6 aggregation ages until the next offline export.
+func (l *OnlineLearner) Candidate(fresh *trace.Dataset) (*Engine, *ModelStore, error) {
+	models, medians, global, globalMed := l.candidateModels()
+
+	if l.base.src != nil {
+		baseMS := l.base.src.ms
+		ms := &ModelStore{
+			FullFeatures: baseMS.FullFeatures,
+			Routes:       baseMS.Routes,
+			Models:       make(map[string]StoredModel, len(models)),
+			Global:       StoredModel{Model: global, InitialMedian: globalMed},
+			Initial:      baseMS.Initial,
+		}
+		for id, m := range models {
+			ms.Models[id] = StoredModel{Model: m, InitialMedian: medians[id]}
+		}
+		eng, err := NewEngineFromStore(ms)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: materializing online candidate: %w", err)
+		}
+		return eng, ms, nil
+	}
+
+	eng := &Engine{
+		cfg:       l.base.cfg,
+		clusterer: l.base.clusterer,
+		models:    models,
+		medians:   medians,
+		global:    global,
+		globalMed: globalMed,
+	}
+	return eng, eng.Export(fresh), nil
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"cs2p/internal/trace"
+)
+
+// scaleSessions returns copies of sessions with throughput multiplied by f —
+// the distribution-shift generator the online-learning tests share.
+func scaleSessions(sessions []*trace.Session, f float64, tag string) []*trace.Session {
+	out := make([]*trace.Session, 0, len(sessions))
+	for i, s := range sessions {
+		tp := make([]float64, len(s.Throughput))
+		for k, w := range s.Throughput {
+			tp[k] = w * f
+		}
+		out = append(out, &trace.Session{
+			ID:         fmt.Sprintf("%s-%s-%d", tag, s.ID, i),
+			StartUnix:  s.StartUnix,
+			Features:   s.Features,
+			Throughput: tp,
+		})
+	}
+	return out
+}
+
+func TestOnlineLearnerValidation(t *testing.T) {
+	if _, err := NewOnlineLearner(nil, DefaultOnlineConfig()); err == nil {
+		t.Fatal("nil base engine accepted")
+	}
+	if _, err := NewOnlineLearner(&Engine{}, DefaultOnlineConfig()); err == nil {
+		t.Fatal("untrained base engine accepted")
+	}
+}
+
+// TestOnlineLearnerTracksShift absorbs throughput-scaled traffic and checks
+// that the candidate's predictions move toward the new regime while the base
+// engine stays untouched.
+func TestOnlineLearnerTracksShift(t *testing.T) {
+	train, test, eng := env(t)
+
+	baseGlobalMu := eng.GlobalModel().Emit[0].Mu
+	baseGlobalMed := eng.globalMed
+
+	l, err := NewOnlineLearner(eng, DefaultOnlineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const scale = 4.0
+	shifted := scaleSessions(train.Sessions[:300], scale, "shift")
+	for i := 0; i < len(shifted); i += 60 {
+		end := i + 60
+		if end > len(shifted) {
+			end = len(shifted)
+		}
+		if err := l.Absorb(shifted[i:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Absorbed() == 0 {
+		t.Fatal("no sessions absorbed")
+	}
+
+	fresh := trace.NewDataset()
+	fresh.Sessions = shifted
+	fresh.EpochSeconds = train.EpochSeconds
+	cand, ms, err := l.Candidate(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms == nil {
+		t.Fatal("nil candidate store")
+	}
+	if err := ms.Validate(); err != nil {
+		t.Fatalf("candidate store invalid: %v", err)
+	}
+
+	// Base engine must be untouched by everything above.
+	if eng.GlobalModel().Emit[0].Mu != baseGlobalMu || eng.globalMed != baseGlobalMed {
+		t.Fatal("online learner mutated the base engine")
+	}
+
+	// The candidate's global initial median must have moved toward the
+	// scaled regime; with a 4x shift it should clearly exceed the base.
+	if cand.globalMed <= baseGlobalMed*2 {
+		t.Fatalf("candidate global median %v did not track 4x shift from base %v", cand.globalMed, baseGlobalMed)
+	}
+
+	// Midstream predictions on shifted sessions should beat the incumbent's.
+	shiftedTest := scaleSessions(test.Sessions[:100], scale, "shift-test")
+	baseAPE := midstreamMedianAPE(eng, shiftedTest)
+	candAPE := midstreamMedianAPE(cand, shiftedTest)
+	if !(candAPE < baseAPE) {
+		t.Fatalf("candidate midstream APE %v not better than incumbent %v on shifted traffic", candAPE, baseAPE)
+	}
+}
+
+func midstreamMedianAPE(e *Engine, sessions []*trace.Session) float64 {
+	var errs []float64
+	for _, s := range sessions {
+		p := e.NewSessionPredictor(s)
+		for k, w := range s.Throughput {
+			if k > 0 && w > 0 {
+				errs = append(errs, math.Abs(p.Predict()-w)/w)
+			}
+			p.Observe(w)
+		}
+	}
+	if len(errs) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), errs...)
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return cp[n/2-1]*0.5 + cp[n/2]*0.5
+}
+
+// TestOnlineLearnerStoreBackedBase runs the artifact-booted path: the base is
+// NewEngineFromStore, and the candidate must carry the incumbent's routing
+// table and initial index over unchanged while refreshing models.
+func TestOnlineLearnerStoreBackedBase(t *testing.T) {
+	train, _, eng := env(t)
+	baseMS := eng.Export(train)
+	storeEng, err := NewEngineFromStore(baseMS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewOnlineLearner(storeEng, DefaultOnlineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted := scaleSessions(train.Sessions[:200], 3, "store-shift")
+	if err := l.Absorb(shifted); err != nil {
+		t.Fatal(err)
+	}
+	cand, ms, err := l.Candidate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cand.src == nil {
+		t.Fatal("candidate from store-backed base is not store-backed")
+	}
+	if len(ms.Routes) != len(baseMS.Routes) {
+		t.Fatalf("candidate routes %d != base routes %d", len(ms.Routes), len(baseMS.Routes))
+	}
+	if ms.Initial != baseMS.Initial {
+		t.Fatal("candidate did not carry the incumbent initial index over")
+	}
+	if ms.Global.Model == baseMS.Global.Model {
+		t.Fatal("candidate global model aliases the incumbent")
+	}
+	if ms.Global.InitialMedian <= baseMS.Global.InitialMedian {
+		t.Fatalf("candidate global median %v did not move under 3x shift (base %v)", ms.Global.InitialMedian, baseMS.Global.InitialMedian)
+	}
+}
+
+// TestOnlineLearnerEmptyAbsorb checks no-op behavior and that Candidate on an
+// idle learner reproduces the incumbent's parameters.
+func TestOnlineLearnerEmptyAbsorb(t *testing.T) {
+	train, _, eng := env(t)
+	l, err := NewOnlineLearner(eng, DefaultOnlineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Absorb(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Absorb([]*trace.Session{nil, {ID: "x"}}); err != nil {
+		t.Fatal(err)
+	}
+	if l.Absorbed() != 0 {
+		t.Fatalf("Absorbed() = %d, want 0", l.Absorbed())
+	}
+	cand, _, err := l.Candidate(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cand.globalMed != eng.globalMed {
+		t.Fatal("idle candidate changed the global median")
+	}
+	if cand.GlobalModel().Emit[0] != eng.GlobalModel().Emit[0] {
+		t.Fatal("idle candidate changed the global model")
+	}
+}

@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"sync"
+
+	"cs2p/internal/obs"
+)
+
+// driftDetector watches the live midstream-APE histogram (the PR 3
+// prediction-quality pipeline) for distribution drift. The histogram is
+// cumulative, so the detector diffs successive bucket snapshots to get the
+// APE distribution of just the epochs since its last check — a sliding
+// window in count space, immune to the history the incumbent accumulated
+// when it was still fresh.
+//
+// Protocol: windows smaller than minEpochs are skipped without advancing the
+// snapshot (they keep accumulating). The first qualifying window's median
+// becomes the armed reference — "how well does the incumbent predict the
+// traffic it was promoted on". Every later qualifying window fires when its
+// median APE exceeds reference*(1+band). After a successful promotion the
+// controller calls rearm, so the next qualifying window re-baselines against
+// the new model.
+type driftDetector struct {
+	hist      *obs.Histogram
+	band      float64
+	minEpochs uint64
+
+	mu        sync.Mutex
+	prev      []uint64 // bucket snapshot at the last qualifying window edge
+	reference float64  // armed baseline median APE
+	armed     bool
+}
+
+// DriftStatus is one drift check's outcome, exposed for logs and tests.
+type DriftStatus struct {
+	// Armed reports whether a reference baseline exists.
+	Armed bool
+	// Fired reports that this window's median APE breached the band.
+	Fired bool
+	// WindowEpochs is the number of APE samples in the inspected window
+	// (0 when the window was below the minimum and kept accumulating).
+	WindowEpochs uint64
+	// WindowMedianAPE is the inspected window's median APE (only meaningful
+	// when WindowEpochs > 0).
+	WindowMedianAPE float64
+	// ReferenceAPE is the armed baseline (only meaningful when Armed).
+	ReferenceAPE float64
+}
+
+func newDriftDetector(hist *obs.Histogram, band float64, minEpochs uint64) *driftDetector {
+	return &driftDetector{hist: hist, band: band, minEpochs: minEpochs, prev: hist.Counts()}
+}
+
+// check inspects the window since the last qualifying check and classifies it.
+func (d *driftDetector) check() DriftStatus {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cur := d.hist.Counts()
+	window := make([]uint64, len(cur))
+	var total uint64
+	for i := range cur {
+		window[i] = cur[i] - d.prev[i]
+		total += window[i]
+	}
+	st := DriftStatus{Armed: d.armed, ReferenceAPE: d.reference}
+	if total < d.minEpochs {
+		return st // window too small; keep accumulating
+	}
+	d.prev = cur
+	st.WindowEpochs = total
+	st.WindowMedianAPE = obs.QuantileFromCounts(d.hist.Bounds(), window, 0.5)
+	if !d.armed {
+		d.reference = st.WindowMedianAPE
+		d.armed = true
+		st.Armed, st.ReferenceAPE = true, d.reference
+		return st
+	}
+	if st.WindowMedianAPE > d.reference*(1+d.band) {
+		st.Fired = true
+	}
+	return st
+}
+
+// rearm clears the baseline after a model change: the next qualifying window
+// re-baselines against the newly promoted model's behavior.
+func (d *driftDetector) rearm() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.armed = false
+	d.reference = 0
+}

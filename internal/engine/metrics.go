@@ -48,6 +48,18 @@ type serviceMetrics struct {
 	clusterHit      *obs.Counter
 	clusterFallback *obs.Counter
 	entropy         *obs.Histogram
+
+	// Online-learning plane: streaming intake accounting, drift checks on
+	// the live midstream-APE window, and drift-triggered retrain outcomes.
+	ingestAccepted        *obs.Counter
+	ingestEvicted         *obs.Counter
+	ingestRejected        *obs.Counter
+	intakeBuffered        *obs.Gauge
+	driftChecks           *obs.Counter
+	driftFired            *obs.Counter
+	onlineRetrainAccepted *obs.Counter
+	onlineRetrainRejected *obs.Counter
+	onlineRetrainFailed   *obs.Counter
 }
 
 // newServiceMetrics registers (or re-binds) the engine's instruments on reg
@@ -120,6 +132,25 @@ func newServiceMetrics(reg *obs.Registry, shards int) serviceMetrics {
 		entropy: reg.Histogram("cs2p_prediction_posterior_entropy_bits",
 			"HMM posterior entropy after each observation (0 = certain state).",
 			obs.EntropyBuckets, nil),
+
+		ingestAccepted: reg.Counter("cs2p_engine_ingest_sessions_total",
+			"Trace-intake sessions, by outcome.", obs.Labels{"result": "accepted"}),
+		ingestEvicted: reg.Counter("cs2p_engine_ingest_sessions_total",
+			"Trace-intake sessions, by outcome.", obs.Labels{"result": "evicted"}),
+		ingestRejected: reg.Counter("cs2p_engine_ingest_sessions_total",
+			"Trace-intake sessions, by outcome.", obs.Labels{"result": "rejected"}),
+		intakeBuffered: reg.Gauge("cs2p_engine_intake_buffered_sessions",
+			"Completed sessions buffered in the trace-intake ring.", nil),
+		driftChecks: reg.Counter("cs2p_engine_drift_checks_total",
+			"Drift-detector inspections of the midstream-APE window.", nil),
+		driftFired: reg.Counter("cs2p_engine_drift_fired_total",
+			"Drift-detector firings (window median APE breached the band).", nil),
+		onlineRetrainAccepted: reg.Counter("cs2p_engine_online_retrains_total",
+			"Drift-triggered incremental retrains, by outcome.", obs.Labels{"result": "accepted"}),
+		onlineRetrainRejected: reg.Counter("cs2p_engine_online_retrains_total",
+			"Drift-triggered incremental retrains, by outcome.", obs.Labels{"result": "rejected"}),
+		onlineRetrainFailed: reg.Counter("cs2p_engine_online_retrains_total",
+			"Drift-triggered incremental retrains, by outcome.", obs.Labels{"result": "failed"}),
 	}
 }
 

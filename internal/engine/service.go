@@ -109,6 +109,9 @@ type Service struct {
 	store  sessionstore.Store[sessionState, SessionLog]
 	logf   atomic.Pointer[func(format string, args ...any)]
 	m      serviceMetrics
+	// online, when set by EnableOnline, carries the serving→training loop:
+	// trace intake, drift detection, and incremental retraining.
+	online atomic.Pointer[onlineState]
 }
 
 // sessionState carries one session's predictor. Its own mutex serializes
@@ -123,6 +126,13 @@ type sessionState struct {
 	// the number of observations absorbed so far. Guarded by mu.
 	lastOneStep float64
 	epoch       int
+	// Online-intake capture (populated only when online learning is
+	// enabled): the session's routing identity plus the observed
+	// throughput series, so EndSession can feed the completed session back
+	// into the training intake. Guarded by mu.
+	features  trace.Features
+	startUnix int64
+	captured  []float64
 }
 
 // NewService wraps a trained engine with default options (GOMAXPROCS-scaled
@@ -161,6 +171,10 @@ type HealthStatus struct {
 	ModelVersion uint64
 	Generation   uint64
 	Sessions     int
+	// TrainedAtUnix is when the serving model was trained (0 when
+	// unknown); the router aggregates it across replicas into the
+	// cluster-level model-age gauge.
+	TrainedAtUnix int64
 }
 
 // Health reports the service's readiness. Ready is false until an engine is
@@ -170,10 +184,11 @@ type HealthStatus struct {
 func (s *Service) Health() HealthStatus {
 	snap := s.snap.Load()
 	return HealthStatus{
-		Ready:        snap.engine != nil,
-		ModelVersion: snap.version,
-		Generation:   snap.gen,
-		Sessions:     s.store.Len(),
+		Ready:         snap.engine != nil,
+		ModelVersion:  snap.version,
+		Generation:    snap.gen,
+		Sessions:      s.store.Len(),
+		TrainedAtUnix: snap.trainedAtUnix,
 	}
 }
 
@@ -309,7 +324,11 @@ func (s *Service) StartSession(id string, f trace.Features, startUnix int64) Sta
 	sess := &trace.Session{ID: id, StartUnix: startUnix, Features: f, Throughput: []float64{1}}
 	e := s.snap.Load().engine
 	p := e.NewSessionPredictor(sess)
-	s.store.Put(id, &sessionState{pred: p, lastOneStep: p.InitialPrediction()}, time.Now())
+	st := &sessionState{pred: p, lastOneStep: p.InitialPrediction()}
+	if s.online.Load() != nil {
+		st.features, st.startUnix = f, startUnix
+	}
+	s.store.Put(id, st, time.Now())
 	s.m.sessionsStarted.Inc()
 	s.m.sessionsActive.Set(float64(s.store.Len()))
 	s.refreshShardGauges()
@@ -367,6 +386,7 @@ func (s *Service) observeLocked(st *sessionState, observedMbps float64, horizon 
 	if s.m.enabled() {
 		s.recordEpoch(st, observedMbps, horizon, pred)
 	}
+	s.captureEpoch(st, observedMbps)
 	st.epoch++
 	return pred
 }
@@ -420,7 +440,34 @@ func (s *Service) Predict(id string, horizon int) (float64, error) {
 }
 
 // EndSession records the player's final QoE log and forgets the session.
+// With online learning enabled, the completed session's captured observation
+// series flows into the trace intake — the serving→training feedback loop.
 func (s *Service) EndSession(log SessionLog) {
+	if o := s.online.Load(); o != nil {
+		if st, ok := s.store.Get(log.SessionID, time.Now()); ok {
+			st.mu.Lock()
+			var captured []float64
+			if len(st.captured) > 0 {
+				captured = append([]float64(nil), st.captured...)
+			}
+			features, startUnix := st.features, st.startUnix
+			st.mu.Unlock()
+			if len(captured) > 0 {
+				if evicted, err := o.sink.Push(&trace.Session{
+					ID:         log.SessionID,
+					StartUnix:  startUnix,
+					Features:   features,
+					Throughput: captured,
+				}); err == nil {
+					s.m.ingestAccepted.Inc()
+					if evicted {
+						s.m.ingestEvicted.Inc()
+					}
+					s.m.intakeBuffered.Set(float64(o.sink.Len()))
+				}
+			}
+		}
+	}
 	existed := s.store.Delete(log.SessionID)
 	evicted := s.store.PushLog(log.SessionID, log)
 	if existed {

@@ -1,0 +1,145 @@
+package hmm
+
+import (
+	"fmt"
+	"math"
+
+	"cs2p/internal/obs"
+)
+
+// OnlineConfig controls incremental (minibatch) EM updates.
+type OnlineConfig struct {
+	// Decay in (0,1] is the exponential forgetting factor applied to the
+	// running sufficient statistics before each batch is absorbed: 1 keeps
+	// the full history (pure cumulative EM), smaller values track drifting
+	// distributions faster.
+	Decay float64
+	// Passes is the number of EM passes over each batch (each pass re-runs
+	// the E-step under the freshly updated parameters). At least 1.
+	Passes int
+	// VarFloor is the minimum emission variance, as in TrainConfig.
+	VarFloor float64
+	// Metrics, when non-nil, receives update telemetry. Updates behave
+	// identically with or without it.
+	Metrics *obs.Registry
+}
+
+// DefaultOnlineConfig returns the incremental-EM settings used by the engine's
+// online-learning loop: halve the history's weight per batch, two passes.
+func DefaultOnlineConfig() OnlineConfig {
+	return OnlineConfig{Decay: 0.5, Passes: 2, VarFloor: 1e-4}
+}
+
+func (c OnlineConfig) validate() error {
+	if !(c.Decay > 0 && c.Decay <= 1) {
+		return fmt.Errorf("hmm: online Decay must be in (0,1], got %g", c.Decay)
+	}
+	if c.Passes <= 0 {
+		return fmt.Errorf("hmm: online Passes must be positive, got %d", c.Passes)
+	}
+	if c.VarFloor <= 0 {
+		return fmt.Errorf("hmm: online VarFloor must be positive, got %g", c.VarFloor)
+	}
+	return nil
+}
+
+// OnlineTrainer performs incremental EM on a Gaussian HMM, warm-started from
+// an incumbent model. Each Update runs the same accumulate/apply machinery as
+// offline Train over one minibatch, blending the batch's sufficient
+// statistics with an exponentially decayed running history — so a trainer fed
+// the full corpus in one batch with Decay=1 and Passes=MaxIters reproduces
+// the offline M-step updates exactly. Not safe for concurrent use.
+type OnlineTrainer struct {
+	cfg     OnlineConfig
+	m       *Model
+	history *suffStats // decayed statistics of everything absorbed so far
+	batch   *suffStats // scratch for the current batch's statistics
+	blend   *suffStats // history + batch, fed to the M-step
+	sc      *emScratch
+	updates int
+}
+
+// NewOnlineTrainer warm-starts an incremental trainer from the given model.
+// The model is cloned; the incumbent is never mutated.
+func NewOnlineTrainer(warm *Model, cfg OnlineConfig) (*OnlineTrainer, error) {
+	if warm == nil {
+		return nil, fmt.Errorf("hmm: online trainer needs a warm-start model")
+	}
+	if err := warm.Validate(); err != nil {
+		return nil, fmt.Errorf("hmm: online warm-start model invalid: %w", err)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := warm.N()
+	return &OnlineTrainer{
+		cfg:     cfg,
+		m:       warm.Clone(),
+		history: newSuffStats(n),
+		batch:   newSuffStats(n),
+		blend:   newSuffStats(n),
+		sc:      newEMScratch(n, 1),
+	}, nil
+}
+
+// Model returns the trainer's current model. The returned pointer is the live
+// model; callers that publish it elsewhere should Clone it.
+func (t *OnlineTrainer) Model() *Model { return t.m }
+
+// Updates reports how many batches have been absorbed.
+func (t *OnlineTrainer) Updates() int { return t.updates }
+
+// Update absorbs one minibatch of observation sequences. Empty sequences are
+// ignored; a batch with no observations is a no-op. The running history is
+// decayed exactly once per Update (before the first pass), then each pass
+// re-estimates parameters from history + the batch's statistics under the
+// current parameters. If EM diverges the model is left at its pre-batch
+// state and an error is returned.
+func (t *OnlineTrainer) Update(seqs [][]float64) error {
+	var usable [][]float64
+	total, maxT := 0, 0
+	for _, s := range seqs {
+		if len(s) > 0 {
+			usable = append(usable, s)
+			total += len(s)
+			if len(s) > maxT {
+				maxT = len(s)
+			}
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	t.sc.grow(maxT)
+
+	backup := t.m.Clone()
+	t.history.scale(t.cfg.Decay)
+	for pass := 0; pass < t.cfg.Passes; pass++ {
+		t.batch.reset()
+		t.sc.stats = t.batch
+		t.sc.snapshotEmissions(t.m)
+		var logLik float64
+		for _, obs := range usable {
+			logLik += t.sc.accumulateSeq(t.m, obs)
+		}
+		if math.IsNaN(logLik) {
+			t.m = backup
+			return fmt.Errorf("hmm: online EM diverged on pass %d", pass)
+		}
+		t.blend.reset()
+		t.blend.add(t.history)
+		t.blend.add(t.batch)
+		t.blend.applyTo(t.m, t.cfg.VarFloor)
+	}
+	// Fold the final pass's batch statistics into the history so the next
+	// Update decays them like any earlier data.
+	t.history.add(t.batch)
+	t.updates++
+
+	t.cfg.Metrics.Counter("cs2p_train_online_updates_total",
+		"Incremental EM minibatch updates absorbed.", nil).Inc()
+	t.cfg.Metrics.Histogram("cs2p_train_online_batch_epochs",
+		"Observations per incremental EM minibatch.",
+		obs.ExpBuckets(1, 4, 10), nil).Observe(float64(total))
+	return nil
+}

@@ -1,0 +1,189 @@
+package hmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func onlineTestSeqs(seed int64, n, meanLen int, mu, sigma float64) [][]float64 {
+	r := rand.New(rand.NewSource(seed))
+	seqs := make([][]float64, n)
+	for i := range seqs {
+		t := meanLen/2 + r.Intn(meanLen)
+		s := make([]float64, t)
+		for k := range s {
+			s[k] = mu + sigma*r.NormFloat64()
+		}
+		seqs[i] = s
+	}
+	return seqs
+}
+
+func TestNewOnlineTrainerValidation(t *testing.T) {
+	if _, err := NewOnlineTrainer(nil, DefaultOnlineConfig()); err == nil {
+		t.Fatal("nil warm-start model accepted")
+	}
+	m, err := Train(onlineTestSeqs(1, 8, 20, 5, 1), TrainConfig{NStates: 2, MaxIters: 5, Tol: 1e-5, VarFloor: 1e-4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []OnlineConfig{
+		{Decay: 0, Passes: 1, VarFloor: 1e-4},
+		{Decay: 1.5, Passes: 1, VarFloor: 1e-4},
+		{Decay: 1, Passes: 0, VarFloor: 1e-4},
+		{Decay: 1, Passes: 1, VarFloor: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := NewOnlineTrainer(m, cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	tr, err := NewOnlineTrainer(m, DefaultOnlineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm start clones: mutating the trainer's model must not touch the
+	// incumbent.
+	tr.Model().Pi[0] = 0.123456
+	if m.Pi[0] == 0.123456 {
+		t.Fatal("online trainer aliases the warm-start model")
+	}
+}
+
+// TestOnlineMatchesOfflineOnFullCorpus pins the shared-code-path claim: one
+// Update over the whole corpus with Decay=1 and Passes=K produces exactly the
+// model that K offline emStep iterations produce from the same start.
+func TestOnlineMatchesOfflineOnFullCorpus(t *testing.T) {
+	seqs := onlineTestSeqs(7, 20, 30, 8, 2)
+	const passes = 4
+	tcfg := TrainConfig{NStates: 3, MaxIters: 1, Tol: 0, VarFloor: 1e-4, Seed: 3, StickyInit: 0.8}
+	start := initModel(seqs, tcfg)
+
+	offline := start.Clone()
+	maxT := 0
+	for _, s := range seqs {
+		if len(s) > maxT {
+			maxT = len(s)
+		}
+	}
+	sc := newEMScratch(tcfg.NStates, maxT)
+	for i := 0; i < passes; i++ {
+		emStep(offline, seqs, tcfg, sc)
+	}
+
+	tr, err := NewOnlineTrainer(start, OnlineConfig{Decay: 1, Passes: passes, VarFloor: tcfg.VarFloor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Update(seqs); err != nil {
+		t.Fatal(err)
+	}
+	online := tr.Model()
+
+	for i := range offline.Pi {
+		if offline.Pi[i] != online.Pi[i] {
+			t.Fatalf("Pi[%d]: offline %v online %v", i, offline.Pi[i], online.Pi[i])
+		}
+	}
+	for i := range offline.Trans.Data {
+		if offline.Trans.Data[i] != online.Trans.Data[i] {
+			t.Fatalf("Trans[%d]: offline %v online %v", i, offline.Trans.Data[i], online.Trans.Data[i])
+		}
+	}
+	for i := range offline.Emit {
+		if offline.Emit[i] != online.Emit[i] {
+			t.Fatalf("Emit[%d]: offline %+v online %+v", i, offline.Emit[i], online.Emit[i])
+		}
+	}
+	if tr.Updates() != 1 {
+		t.Fatalf("Updates() = %d, want 1", tr.Updates())
+	}
+}
+
+// TestOnlineTracksShift feeds a trainer warm-started on a low-throughput
+// population a stream of batches from a much faster one and checks the
+// emission means migrate to the new regime.
+func TestOnlineTracksShift(t *testing.T) {
+	base := onlineTestSeqs(11, 30, 30, 3, 0.8)
+	m, err := Train(base, TrainConfig{NStates: 2, MaxIters: 20, Tol: 1e-6, VarFloor: 1e-4, Seed: 5, StickyInit: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewOnlineTrainer(m, OnlineConfig{Decay: 0.5, Passes: 2, VarFloor: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := int64(0); b < 6; b++ {
+		if err := tr.Update(onlineTestSeqs(100+b, 10, 30, 12, 0.8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var maxMu float64
+	for _, g := range tr.Model().Emit {
+		if g.Mu > maxMu {
+			maxMu = g.Mu
+		}
+	}
+	if maxMu < 10 {
+		t.Fatalf("after shifted batches max emission mean = %v, want >= 10 (started near 3)", maxMu)
+	}
+	if err := tr.Model().Validate(); err != nil {
+		t.Fatalf("online model invalid after updates: %v", err)
+	}
+}
+
+func TestOnlineEmptyBatchNoOp(t *testing.T) {
+	m, err := Train(onlineTestSeqs(2, 10, 20, 5, 1), TrainConfig{NStates: 2, MaxIters: 5, Tol: 1e-5, VarFloor: 1e-4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewOnlineTrainer(m, DefaultOnlineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tr.Model().Clone()
+	if err := tr.Update(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Update([][]float64{{}, {}}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Updates() != 0 {
+		t.Fatalf("empty batches counted: Updates() = %d", tr.Updates())
+	}
+	for i := range before.Pi {
+		if before.Pi[i] != tr.Model().Pi[i] {
+			t.Fatal("empty batch mutated the model")
+		}
+	}
+}
+
+// TestOnlineGrowsScratch exercises scratch regrowth when a later batch holds
+// a longer sequence than anything seen before.
+func TestOnlineGrowsScratch(t *testing.T) {
+	m, err := Train(onlineTestSeqs(3, 10, 20, 5, 1), TrainConfig{NStates: 2, MaxIters: 5, Tol: 1e-5, VarFloor: 1e-4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewOnlineTrainer(m, DefaultOnlineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Update(onlineTestSeqs(4, 5, 10, 5, 1)); err != nil {
+		t.Fatal(err)
+	}
+	long := make([]float64, 500)
+	r := rand.New(rand.NewSource(9))
+	for i := range long {
+		long[i] = 5 + r.NormFloat64()
+	}
+	if err := tr.Update([][]float64{long}); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range tr.Model().Emit {
+		if math.IsNaN(g.Mu) || math.IsNaN(g.Sigma) || g.Sigma <= 0 {
+			t.Fatalf("bad emission after long-sequence batch: %+v", g)
+		}
+	}
+}

@@ -28,12 +28,11 @@ type emScratch struct {
 	cur, next, tmp []float64 // n: recursion work vectors
 	xi             *mathx.Matrix
 
-	// M-step accumulators, zeroed at the start of every iteration.
-	piAcc     []float64
-	transAcc  *mathx.Matrix
-	gammaSum  []float64 // sum_t gamma_t(i) over all sequences
-	gammaObs  []float64 // sum_t gamma_t(i) * o_t
-	gammaObs2 []float64 // sum_t gamma_t(i) * o_t^2
+	// stats holds the M-step sufficient statistics, zeroed at the start of
+	// every iteration. The same accumulator type backs the online trainer's
+	// decayed running statistics, so offline and incremental EM share one
+	// E-step/M-step code path.
+	stats *suffStats
 
 	// Per-state Gaussian constants, refreshed from the model after each
 	// M-step: pdf_i(x) = coef[i] * exp(negHalfInvVar[i] * (x-mu[i])^2).
@@ -54,31 +53,106 @@ func newEMScratch(n, maxT int) *emScratch {
 		next:          make([]float64, n),
 		tmp:           make([]float64, n),
 		xi:            mathx.NewMatrix(n, n),
-		piAcc:         make([]float64, n),
-		transAcc:      mathx.NewMatrix(n, n),
-		gammaSum:      make([]float64, n),
-		gammaObs:      make([]float64, n),
-		gammaObs2:     make([]float64, n),
+		stats:         newSuffStats(n),
 		mu:            make([]float64, n),
 		coef:          make([]float64, n),
 		negHalfInvVar: make([]float64, n),
 	}
 }
 
+// grow resizes the scratch's sequence-length buffers when a later batch
+// brings a longer sequence than the scratch was sized for (the online
+// trainer reuses one scratch across minibatches of unknown shape).
+func (s *emScratch) grow(maxT int) {
+	if maxT <= s.maxT {
+		return
+	}
+	s.maxT = maxT
+	s.pdfs = mathx.NewMatrix(maxT, s.n)
+	s.alphas = mathx.NewMatrix(maxT, s.n)
+	s.betas = mathx.NewMatrix(maxT, s.n)
+	s.scales = make([]float64, maxT)
+}
+
 // beginIter prepares the scratch for one EM iteration: zeroes the M-step
 // accumulators and snapshots the model's emission constants (the E-step must
 // evaluate densities under the pre-update parameters).
 func (s *emScratch) beginIter(m *Model) {
-	zero(s.piAcc)
-	zero(s.transAcc.Data)
-	zero(s.gammaSum)
-	zero(s.gammaObs)
-	zero(s.gammaObs2)
+	s.stats.reset()
+	s.snapshotEmissions(m)
+}
+
+// snapshotEmissions refreshes the hoisted per-state Gaussian constants from
+// the model (densities must be evaluated under the pre-update parameters).
+func (s *emScratch) snapshotEmissions(m *Model) {
 	for i, g := range m.Emit {
 		s.mu[i] = g.Mu
 		s.coef[i] = 1 / (g.Sigma * sqrt2Pi)
 		s.negHalfInvVar[i] = -0.5 / (g.Sigma * g.Sigma)
 	}
+}
+
+// accumulateSeq runs the E-step for one sequence — forward/backward under the
+// snapshotted emission constants, then gamma/xi accumulation into s.stats —
+// and returns the sequence log-likelihood under the pre-update parameters.
+// Callers must have called beginIter (offline) or otherwise prepared s.stats
+// and the emission snapshot (online) first.
+func (s *emScratch) accumulateSeq(m *Model, obs []float64) float64 {
+	n, t := s.n, len(obs)
+	s.fillPDFs(obs)
+	logLik := s.forward(m, obs)
+	s.backward(m, obs)
+
+	// gamma_t(i) proportional to alpha_t(i) * beta_t(i).
+	gamma := s.gamma
+	for k := 0; k < t; k++ {
+		arow, brow := s.alphas.Row(k), s.betas.Row(k)
+		for i := 0; i < n; i++ {
+			gamma[i] = arow[i] * brow[i]
+		}
+		mathx.Normalize(gamma)
+		if k == 0 {
+			for i := 0; i < n; i++ {
+				s.stats.pi[i] += gamma[i]
+			}
+		}
+		o := obs[k]
+		for i := 0; i < n; i++ {
+			g := gamma[i]
+			s.stats.gammaSum[i] += g
+			s.stats.gammaObs[i] += g * o
+			s.stats.gammaObs2[i] += g * o * o
+		}
+	}
+	// xi_t(i,j) proportional to alpha_t(i) P_ij b_j(o_{t+1}) beta_{t+1}(j).
+	xi := s.xi
+	for k := 0; k+1 < t; k++ {
+		arow := s.alphas.Row(k)
+		brow := s.betas.Row(k + 1)
+		prow := s.pdfs.Row(k + 1)
+		var norm float64
+		for i := 0; i < n; i++ {
+			ai := arow[i]
+			trow := m.Trans.Row(i)
+			xrow := xi.Row(i)
+			for j := 0; j < n; j++ {
+				v := ai * trow[j] * prow[j] * brow[j]
+				xrow[j] = v
+				norm += v
+			}
+		}
+		if norm <= 0 || math.IsNaN(norm) {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			xrow := xi.Row(i)
+			acc := s.stats.trans.Row(i)
+			for j := 0; j < n; j++ {
+				acc[j] += xrow[j] / norm
+			}
+		}
+	}
+	return logLik
 }
 
 func zero(xs []float64) {

@@ -181,85 +181,16 @@ func relImprovement(prev, cur float64) float64 {
 
 // emStep performs one E+M iteration over all sequences in place and returns
 // the total log-likelihood under the pre-update parameters. All working
-// memory comes from sc; the loop itself does not allocate.
+// memory comes from sc; the loop itself does not allocate. The online trainer
+// runs the identical accumulate/apply pair over minibatches, so any change
+// here changes both code paths together.
 func emStep(m *Model, seqs [][]float64, cfg TrainConfig, sc *emScratch) float64 {
-	n := m.N()
 	sc.beginIter(m)
 	var totalLogLik float64
-
 	for _, obs := range seqs {
-		t := len(obs)
-		sc.fillPDFs(obs)
-		totalLogLik += sc.forward(m, obs)
-		sc.backward(m, obs)
-
-		// gamma_t(i) proportional to alpha_t(i) * beta_t(i).
-		gamma := sc.gamma
-		for k := 0; k < t; k++ {
-			arow, brow := sc.alphas.Row(k), sc.betas.Row(k)
-			for i := 0; i < n; i++ {
-				gamma[i] = arow[i] * brow[i]
-			}
-			mathx.Normalize(gamma)
-			if k == 0 {
-				for i := 0; i < n; i++ {
-					sc.piAcc[i] += gamma[i]
-				}
-			}
-			o := obs[k]
-			for i := 0; i < n; i++ {
-				g := gamma[i]
-				sc.gammaSum[i] += g
-				sc.gammaObs[i] += g * o
-				sc.gammaObs2[i] += g * o * o
-			}
-		}
-		// xi_t(i,j) proportional to alpha_t(i) P_ij b_j(o_{t+1}) beta_{t+1}(j).
-		xi := sc.xi
-		for k := 0; k+1 < t; k++ {
-			arow := sc.alphas.Row(k)
-			brow := sc.betas.Row(k + 1)
-			prow := sc.pdfs.Row(k + 1)
-			var norm float64
-			for i := 0; i < n; i++ {
-				ai := arow[i]
-				trow := m.Trans.Row(i)
-				xrow := xi.Row(i)
-				for j := 0; j < n; j++ {
-					v := ai * trow[j] * prow[j] * brow[j]
-					xrow[j] = v
-					norm += v
-				}
-			}
-			if norm <= 0 || math.IsNaN(norm) {
-				continue
-			}
-			for i := 0; i < n; i++ {
-				xrow := xi.Row(i)
-				acc := sc.transAcc.Row(i)
-				for j := 0; j < n; j++ {
-					acc[j] += xrow[j] / norm
-				}
-			}
-		}
+		totalLogLik += sc.accumulateSeq(m, obs)
 	}
-
-	// M-step.
-	copy(m.Pi, sc.piAcc)
-	mathx.Normalize(m.Pi)
-	copy(m.Trans.Data, sc.transAcc.Data)
-	m.Trans.NormalizeRows()
-	for i := 0; i < n; i++ {
-		if sc.gammaSum[i] <= 0 {
-			continue // keep previous parameters for a starved state
-		}
-		mu := sc.gammaObs[i] / sc.gammaSum[i]
-		v := sc.gammaObs2[i]/sc.gammaSum[i] - mu*mu
-		if v < cfg.VarFloor {
-			v = cfg.VarFloor
-		}
-		m.Emit[i] = mathx.Gaussian{Mu: mu, Sigma: math.Sqrt(v)}
-	}
+	sc.stats.applyTo(m, cfg.VarFloor)
 	return totalLogLik
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"cs2p/internal/core"
 	"cs2p/internal/engine"
+	"cs2p/internal/obs"
 	"cs2p/internal/tracegen"
 	"cs2p/internal/video"
 	"cs2p/internal/wire"
@@ -42,6 +43,12 @@ func fuzzHandler() (*Server, http.Handler) {
 		spec := video.Default()
 		spec.LengthSeconds = 2 * spec.ChunkSeconds
 		svc := engine.NewService(eng, ecfg, spec)
+		// Online intake on (with a tiny ring so fuzzing reaches the
+		// backpressure path) gives FuzzIngest the real /v1/ingest stack.
+		svc.SetMetrics(obs.NewRegistry())
+		if err := svc.EnableOnline(engine.OnlineOptions{IntakeCapacity: 64}); err != nil {
+			panic(err)
+		}
 		fuzzSrv = NewServer(svc, nil)
 		fuzzSrv.SetLogf(func(string, ...any) {})
 	})
@@ -167,6 +174,61 @@ func FuzzBatchRequest(f *testing.F) {
 func srvFuzzLimits() wire.Limits {
 	srv, _ := fuzzHandler()
 	return srv.wireLimits()
+}
+
+// FuzzIngest fuzzes the POST /v1/ingest decoder and validators: hostile
+// session counts, oversized or non-finite throughput series, unbounded
+// feature strings, and trailing data must all land on a 4xx — never a panic
+// or a NaN smuggled into the intake ring — and every accepted batch must
+// report coherent accounting.
+func FuzzIngest(f *testing.F) {
+	f.Add([]byte(`{"sessions":[{"session_id":"fz-ing","start_unix":100,"features":{"isp":"a"},"throughput_mbps":[1.5,2,3]}]}`))
+	f.Add([]byte(`{"sessions":[]}`))
+	f.Add([]byte(`{"sessions":[{"session_id":"","throughput_mbps":[1]}]}`))
+	f.Add([]byte(`{"sessions":[{"session_id":"fz-ing","throughput_mbps":[]}]}`))
+	f.Add([]byte(`{"sessions":[{"session_id":"fz-ing","throughput_mbps":[-1]}]}`))
+	f.Add([]byte(`{"sessions":[{"session_id":"fz-ing","throughput_mbps":[1e300]}]}`))
+	f.Add([]byte(`{"sessions":[{"session_id":"fz-ing","throughput_mbps":[1]}]}trailing`))
+	f.Add([]byte(`{"sessions":[{"session_id":"fz-ing","features":{"city":"` + string(bytes.Repeat([]byte("x"), 4096)) + `"},"throughput_mbps":[1]}]}`))
+	f.Add([]byte(`{"sessions":[{"session_id":"` + string(make([]byte, 300)) + `","throughput_mbps":[1]}]}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		srv, h := fuzzHandler()
+		before := srv.PanicCount()
+		req := httptest.NewRequest(http.MethodPost, "/v1/ingest", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if got := srv.PanicCount(); got != before {
+			t.Fatalf("handler panicked on %q", body)
+		}
+		switch rec.Code {
+		case http.StatusOK, http.StatusBadRequest,
+			http.StatusRequestEntityTooLarge, http.StatusTooManyRequests:
+		default:
+			t.Fatalf("unexpected status %d for %q", rec.Code, body)
+		}
+		if !json.Valid(rec.Body.Bytes()) {
+			t.Fatalf("non-JSON response %q for %q", rec.Body.Bytes(), body)
+		}
+		if rec.Code != http.StatusOK && rec.Code != http.StatusTooManyRequests {
+			return
+		}
+		// Accounting oracle: accepted ≥ 0, evictions never exceed
+		// acceptances, and the ring occupancy stays within its capacity.
+		var resp IngestResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("status %d response not an IngestResponse: %v", rec.Code, err)
+		}
+		if resp.Accepted < 0 || resp.Evicted > resp.Accepted {
+			t.Fatalf("incoherent accounting %+v for %q", resp.IngestResult, body)
+		}
+		if resp.Buffered < 0 || resp.Buffered > 64 {
+			t.Fatalf("ring occupancy %d outside [0,64] for %q", resp.Buffered, body)
+		}
+	})
 }
 
 // FuzzStartSession fuzzes the POST /v1/session/start decoder and validators.

@@ -10,6 +10,7 @@
 //	POST /v1/session/start  {session_id, features, start_unix}
 //	POST /v1/predict        {session_id, observed_mbps, horizon}
 //	POST /v1/log            {session_id, qoe, ...}
+//	POST /v1/ingest         {sessions: [{session_id, features, throughput_mbps}]}
 //	GET  /v1/model          ?ip=&isp=&as=&province=&city=&server=
 //	GET  /v1/healthz
 //
@@ -65,6 +66,28 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// IngestSession is one externally collected completed session: the player
+// (or a log shipper) observed this throughput series; the engine never
+// served it. Epoch spacing is the backend's configured epoch length.
+type IngestSession struct {
+	SessionID      string         `json:"session_id"`
+	StartUnix      int64          `json:"start_unix"`
+	Features       trace.Features `json:"features"`
+	ThroughputMbps []float64      `json:"throughput_mbps"`
+}
+
+// IngestRequest is the POST /v1/ingest payload.
+type IngestRequest struct {
+	Sessions []IngestSession `json:"sessions"`
+}
+
+// IngestResponse reports intake accounting; on backpressure (429) it carries
+// the partial accounting alongside the error.
+type IngestResponse struct {
+	engine.IngestResult
+	Error string `json:"error,omitempty"`
+}
+
 // HealthzResponse is the readiness payload of GET /v1/healthz. Status is
 // HealthzOK (200) once a model is installed and HealthzNoModel (503) before —
 // the liveness/readiness split: the process answers, but must not receive
@@ -77,6 +100,9 @@ type HealthzResponse struct {
 	Generation   uint64  `json:"generation"`
 	Sessions     int     `json:"sessions"`
 	UptimeS      float64 `json:"uptime_s"`
+	// TrainedAtUnix is when the serving model was trained (0 = unknown);
+	// routers turn it into the cs2p_model_age_seconds staleness gauge.
+	TrainedAtUnix int64 `json:"trained_at_unix,omitempty"`
 }
 
 // Healthz status strings.
@@ -116,18 +142,24 @@ type ServerConfig struct {
 	MaxFeatureLen int
 	// MaxBatchOps caps the op count in one /v2/batch frame.
 	MaxBatchOps int
+	// MaxIngestSessions caps the session count in one /v1/ingest request.
+	MaxIngestSessions int
+	// MaxIngestEpochs caps one ingested session's throughput series length.
+	MaxIngestEpochs int
 }
 
 // DefaultServerConfig returns production-shaped limits.
 func DefaultServerConfig() ServerConfig {
 	return ServerConfig{
-		MaxBodyBytes:    1 << 20, // 1 MiB; requests are a few hundred bytes
-		RequestTimeout:  15 * time.Second,
-		MaxHorizon:      512,
-		MaxSessionIDLen: 256,
-		MaxObservedMbps: 1e5, // 100 Gbps
-		MaxFeatureLen:   256,
-		MaxBatchOps:     1024,
+		MaxBodyBytes:      1 << 20, // 1 MiB; requests are a few hundred bytes
+		RequestTimeout:    15 * time.Second,
+		MaxHorizon:        512,
+		MaxSessionIDLen:   256,
+		MaxObservedMbps:   1e5, // 100 Gbps
+		MaxFeatureLen:     256,
+		MaxBatchOps:       1024,
+		MaxIngestSessions: 256,
+		MaxIngestEpochs:   2048,
 	}
 }
 
@@ -150,6 +182,13 @@ type SessionService interface {
 // start errors mapped onto HTTP statuses.
 type StartService interface {
 	Start(id string, f trace.Features, startUnix int64) (engine.StartResponse, error)
+}
+
+// IngestService is the optional streaming trace-intake surface behind
+// POST /v1/ingest. *engine.Service implements it when EnableOnline has been
+// called; backends without it answer 501.
+type IngestService interface {
+	Ingest(sessions []*trace.Session) (engine.IngestResult, error)
 }
 
 // ModelProvider exposes the model plane: an immutable snapshot whose
@@ -209,6 +248,9 @@ type Server struct {
 	// model-export path (the router proxies /v1/model to a replica).
 	starter      StartService
 	modelHandler http.Handler
+	// ingest is the backend's trace-intake surface (type-asserted in
+	// NewServer); nil answers POST /v1/ingest with 501.
+	ingest IngestService
 }
 
 // NewServer builds the HTTP facade. exporter, if non-nil, supplies the
@@ -230,6 +272,9 @@ func NewServer(svc SessionService, exporter func(*core.Engine) *core.ModelStore)
 	}
 	if st, ok := svc.(StartService); ok {
 		s.starter = st
+	}
+	if ig, ok := svc.(IngestService); ok {
+		s.ingest = ig
 	}
 	return s
 }
@@ -292,6 +337,12 @@ func (s *Server) SetConfig(cfg ServerConfig) {
 	if cfg.MaxBatchOps <= 0 {
 		cfg.MaxBatchOps = DefaultServerConfig().MaxBatchOps
 	}
+	if cfg.MaxIngestSessions <= 0 {
+		cfg.MaxIngestSessions = DefaultServerConfig().MaxIngestSessions
+	}
+	if cfg.MaxIngestEpochs <= 0 {
+		cfg.MaxIngestEpochs = DefaultServerConfig().MaxIngestEpochs
+	}
 	s.cfg = cfg
 }
 
@@ -307,6 +358,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/session/start", s.handleStart)
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	mux.HandleFunc("POST /v1/log", s.handleLog)
+	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	if s.modelHandler != nil {
 		mux.Handle("GET /v1/model", s.modelHandler)
 	} else {
@@ -479,6 +531,71 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, PredictResponse{PredictionMbps: pred})
 }
 
+// handleIngest accepts a batch of externally collected completed sessions
+// into the backend's trace intake. Validation mirrors the prediction path
+// (bounded identifiers, features, and finite throughput) because ingested
+// series feed the incremental trainer directly: a NaN epoch here would
+// surface as a NaN emission in a candidate model. Backpressure is 429 with
+// partial accounting — the ring is churning faster than retraining drains
+// it, and the shipper should back off, not enlarge the request.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.ingest == nil {
+		writeJSON(w, http.StatusNotImplemented, errorBody{Error: "trace intake not enabled"})
+		return
+	}
+	var req IngestRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Sessions) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "sessions required"})
+		return
+	}
+	if len(req.Sessions) > s.cfg.MaxIngestSessions {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("at most %d sessions per request", s.cfg.MaxIngestSessions)})
+		return
+	}
+	batch := make([]*trace.Session, 0, len(req.Sessions))
+	for i, in := range req.Sessions {
+		if !s.validSessionID(w, in.SessionID) || !s.validFeatures(w, in.Features) {
+			return
+		}
+		if len(in.ThroughputMbps) == 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("session %d: throughput_mbps required", i)})
+			return
+		}
+		if len(in.ThroughputMbps) > s.cfg.MaxIngestEpochs {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("session %d: throughput_mbps exceeds %d epochs", i, s.cfg.MaxIngestEpochs)})
+			return
+		}
+		for _, v := range in.ThroughputMbps {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || v > s.cfg.MaxObservedMbps {
+				writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("session %d: throughput values must be finite and in [0, %g]", i, s.cfg.MaxObservedMbps)})
+				return
+			}
+		}
+		batch = append(batch, &trace.Session{
+			ID:         in.SessionID,
+			StartUnix:  in.StartUnix,
+			Features:   in.Features,
+			Throughput: in.ThroughputMbps,
+		})
+	}
+	res, err := s.ingest.Ingest(batch)
+	if err != nil {
+		switch {
+		case errors.Is(err, engine.ErrOnlineDisabled):
+			writeJSON(w, http.StatusNotImplemented, errorBody{Error: err.Error()})
+		case errors.Is(err, engine.ErrIngestBackpressure):
+			writeJSON(w, http.StatusTooManyRequests, IngestResponse{IngestResult: res, Error: err.Error()})
+		default:
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, IngestResponse{IngestResult: res})
+}
+
 // handleHealthz serves the readiness probe. Liveness (the process answers)
 // is the 200/503 split's floor; readiness additionally requires an installed
 // model, because a replica booted against an empty registry or awaiting its
@@ -491,6 +608,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		resp.ModelVersion = h.ModelVersion
 		resp.Generation = h.Generation
 		resp.Sessions = h.Sessions
+		resp.TrainedAtUnix = h.TrainedAtUnix
 		if !h.Ready {
 			resp.Status = HealthzNoModel
 			writeJSON(w, http.StatusServiceUnavailable, resp)

@@ -27,10 +27,14 @@ type Scenario struct {
 	// main run (its Run/SLO fields are filled from the scenario).
 	Capacity *CapacityConfig
 	// SoakRPS/SoakDuration, when both > 0, run a flat-memory soak after the
-	// main run, scraping MetricsURL before and after.
-	SoakRPS      float64
-	SoakDuration time.Duration
-	MetricsURL   string
+	// main run, scraping MetricsURL before and after. SoakSettle waits
+	// between churn end and the "after" scrape; SoakScrapeTimeout bounds
+	// each scrape (0 = unbounded).
+	SoakRPS           float64
+	SoakDuration      time.Duration
+	SoakSettle        time.Duration
+	SoakScrapeTimeout time.Duration
+	MetricsURL        string
 }
 
 // pathCounter folds httpapi call observations into per-route op counts.
@@ -110,10 +114,12 @@ func RunScenario(ctx context.Context, sc Scenario) (RunReport, error) {
 		soakRun := rc
 		soakRun.IDPrefix = sc.Name + "-soak"
 		soak, _, err := RunSoak(ctx, cl, SoakConfig{
-			RPS:        sc.SoakRPS,
-			Duration:   sc.SoakDuration,
-			Run:        soakRun,
-			MetricsURL: sc.MetricsURL,
+			RPS:           sc.SoakRPS,
+			Duration:      sc.SoakDuration,
+			Run:           soakRun,
+			MetricsURL:    sc.MetricsURL,
+			Settle:        sc.SoakSettle,
+			ScrapeTimeout: sc.SoakScrapeTimeout,
 		})
 		if err != nil {
 			return rr, fmt.Errorf("loadgen: scenario %q soak: %w", sc.Name, err)

@@ -24,6 +24,14 @@ type SoakConfig struct {
 	MetricsURL string
 	// HTTPClient performs the scrapes (nil = http.DefaultClient).
 	HTTPClient *http.Client
+	// Settle is how long to wait after the churn stops before the "after"
+	// scrape, so in-flight session teardown lands before the leak check
+	// reads the gauges. 0 scrapes immediately; negative is rejected.
+	Settle time.Duration
+	// ScrapeTimeout bounds each bracketing scrape (0 = no bound; negative
+	// is rejected). A hung /metrics endpoint must fail the soak, not wedge
+	// the harness.
+	ScrapeTimeout time.Duration
 }
 
 // ScrapeMetrics fetches and strictly parses a Prometheus scrape, returning
@@ -79,7 +87,22 @@ func RunSoak(ctx context.Context, d Driver, cfg SoakConfig) (*SoakSummary, *Stat
 	if cfg.MetricsURL == "" {
 		return nil, nil, fmt.Errorf("loadgen: soak needs a MetricsURL to scrape")
 	}
-	before, err := ScrapeMetrics(ctx, cfg.HTTPClient, cfg.MetricsURL)
+	if cfg.Settle < 0 {
+		return nil, nil, fmt.Errorf("loadgen: soak settle must be >= 0, got %v", cfg.Settle)
+	}
+	if cfg.ScrapeTimeout < 0 {
+		return nil, nil, fmt.Errorf("loadgen: soak scrape timeout must be >= 0, got %v", cfg.ScrapeTimeout)
+	}
+	scrape := func() (map[string]float64, error) {
+		sctx := ctx
+		if cfg.ScrapeTimeout > 0 {
+			var cancel context.CancelFunc
+			sctx, cancel = context.WithTimeout(ctx, cfg.ScrapeTimeout)
+			defer cancel()
+		}
+		return ScrapeMetrics(sctx, cfg.HTTPClient, cfg.MetricsURL)
+	}
+	before, err := scrape()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -93,7 +116,16 @@ func RunSoak(ctx context.Context, d Driver, cfg SoakConfig) (*SoakSummary, *Stat
 	if err != nil {
 		return nil, nil, err
 	}
-	after, err := ScrapeMetrics(ctx, cfg.HTTPClient, cfg.MetricsURL)
+	if cfg.Settle > 0 {
+		clk := rc.Clock
+		if clk == nil {
+			clk = RealClock{}
+		}
+		if err := clk.Sleep(ctx, cfg.Settle); err != nil {
+			return nil, stats, err
+		}
+	}
+	after, err := scrape()
 	if err != nil {
 		return nil, stats, err
 	}

@@ -1,0 +1,75 @@
+package loadgen
+
+import (
+	"fmt"
+	"os"
+)
+
+// CapacityDelta is one scenario's capacity comparison against the baseline.
+type CapacityDelta struct {
+	Name        string  `json:"name"`
+	BaselineRPS float64 `json:"baseline_rps"`
+	CurrentRPS  float64 `json:"current_rps"`
+	// Change is the fractional movement ((current-baseline)/baseline);
+	// negative is a slowdown.
+	Change float64 `json:"change"`
+	// Regressed marks a slowdown beyond the gate's tolerance.
+	Regressed bool `json:"regressed"`
+}
+
+// CompareCapacity gates a fresh report against a committed baseline: every
+// baseline scenario with a capacity estimate is compared, and a current
+// estimate more than maxRegression below it marks the delta regressed.
+// Scenarios only the current report has pass freely (a new scenario must
+// not need a baseline edit to land), but a baseline scenario missing from
+// the current report — or one that lost its capacity search — is an error,
+// so the gate cannot be dodged by renaming or trimming scenarios.
+func CompareCapacity(baseline, current Report, maxRegression float64) ([]CapacityDelta, error) {
+	if maxRegression <= 0 || maxRegression >= 1 {
+		return nil, fmt.Errorf("loadgen: max regression must be in (0,1), got %v", maxRegression)
+	}
+	cur := make(map[string]*RunReport, len(current.Runs))
+	for i := range current.Runs {
+		cur[current.Runs[i].Name] = &current.Runs[i]
+	}
+	var deltas []CapacityDelta
+	for i := range baseline.Runs {
+		base := &baseline.Runs[i]
+		if base.Capacity == nil || base.Capacity.MaxSustainableRPS <= 0 {
+			continue
+		}
+		now, ok := cur[base.Name]
+		if !ok {
+			return nil, fmt.Errorf("loadgen: baseline scenario %q missing from current report", base.Name)
+		}
+		if now.Capacity == nil {
+			return nil, fmt.Errorf("loadgen: scenario %q lost its capacity search (baseline has one)", base.Name)
+		}
+		d := CapacityDelta{
+			Name:        base.Name,
+			BaselineRPS: base.Capacity.MaxSustainableRPS,
+			CurrentRPS:  now.Capacity.MaxSustainableRPS,
+		}
+		d.Change = (d.CurrentRPS - d.BaselineRPS) / d.BaselineRPS
+		d.Regressed = d.CurrentRPS < d.BaselineRPS*(1-maxRegression)
+		deltas = append(deltas, d)
+	}
+	if len(deltas) == 0 {
+		return nil, fmt.Errorf("loadgen: baseline has no capacity results to gate against")
+	}
+	return deltas, nil
+}
+
+// GateCapacityFile loads a committed baseline report and compares the
+// current report's capacity against it — the cs2p-loadgen -baseline path.
+func GateCapacityFile(baselinePath string, current Report, maxRegression float64) ([]CapacityDelta, error) {
+	b, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: reading baseline: %w", err)
+	}
+	base, err := ParseReport(b)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: baseline %s: %w", baselinePath, err)
+	}
+	return CompareCapacity(base, current, maxRegression)
+}

@@ -1,0 +1,108 @@
+package loadgen
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capRun builds a minimal valid run row with a capacity estimate (rps <= 0
+// leaves the capacity search off).
+func capRun(name string, rps float64) RunReport {
+	rr := RunReport{Name: name, Mode: "constant", Wire: "json"}
+	if rps > 0 {
+		rr.Capacity = &CapacityReport{MaxSustainableRPS: rps, SLOP99Ms: 1000}
+	}
+	return rr
+}
+
+func TestCompareCapacityGates(t *testing.T) {
+	base := NewReport(capRun("direct", 100), capRun("router", 50))
+
+	// Within tolerance (exactly -10% is NOT a regression at the 10% gate).
+	deltas, err := CompareCapacity(base, NewReport(capRun("direct", 90), capRun("router", 55)), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range deltas {
+		if d.Regressed {
+			t.Fatalf("delta regressed within tolerance: %+v", d)
+		}
+	}
+
+	// Beyond tolerance on one scenario.
+	deltas, err = CompareCapacity(base, NewReport(capRun("direct", 89.9), capRun("router", 50)), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var regressed []string
+	for _, d := range deltas {
+		if d.Regressed {
+			regressed = append(regressed, d.Name)
+		}
+	}
+	if len(regressed) != 1 || regressed[0] != "direct" {
+		t.Fatalf("regressed = %v, want [direct]", regressed)
+	}
+
+	// Improvements report positive change.
+	deltas, err = CompareCapacity(base, NewReport(capRun("direct", 200), capRun("router", 50)), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deltas[0].Change != 1.0 {
+		t.Fatalf("change = %v, want 1.0", deltas[0].Change)
+	}
+}
+
+func TestCompareCapacityStructuralErrors(t *testing.T) {
+	base := NewReport(capRun("direct", 100))
+	if _, err := CompareCapacity(base, NewReport(capRun("direct", 100)), 0); err == nil {
+		t.Fatal("zero tolerance accepted")
+	}
+	if _, err := CompareCapacity(base, NewReport(capRun("direct", 100)), 1); err == nil {
+		t.Fatal("tolerance 1 accepted")
+	}
+	// A renamed scenario must not silently pass the gate.
+	if _, err := CompareCapacity(base, NewReport(capRun("renamed", 100)), 0.1); err == nil {
+		t.Fatal("missing baseline scenario accepted")
+	}
+	// Dropping the capacity search must not pass either.
+	if _, err := CompareCapacity(base, NewReport(capRun("direct", 0)), 0.1); err == nil {
+		t.Fatal("lost capacity search accepted")
+	}
+	// A baseline with nothing to compare is a misconfiguration, not a pass.
+	if _, err := CompareCapacity(NewReport(capRun("direct", 0)), NewReport(capRun("direct", 100)), 0.1); err == nil {
+		t.Fatal("capacity-less baseline accepted")
+	}
+	// New scenarios in the current report need no baseline entry.
+	if _, err := CompareCapacity(base, NewReport(capRun("direct", 100), capRun("new", 70)), 0.1); err != nil {
+		t.Fatalf("new scenario rejected: %v", err)
+	}
+}
+
+func TestGateCapacityFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+	base := NewReport(capRun("direct", 100))
+	if err := base.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	deltas, err := GateCapacityFile(path, NewReport(capRun("direct", 120)), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 1 || deltas[0].Regressed {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+	if _, err := GateCapacityFile(filepath.Join(dir, "missing.json"), base, 0.10); err == nil {
+		t.Fatal("missing baseline file accepted")
+	}
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GateCapacityFile(path, base, 0.10); err == nil || !strings.Contains(err.Error(), "baseline") {
+		t.Fatalf("corrupt baseline error = %v", err)
+	}
+}

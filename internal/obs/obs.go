@@ -130,7 +130,44 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return 0
 	}
-	total := h.count.Load()
+	return QuantileFromCounts(h.bounds, h.Counts(), q)
+}
+
+// Bounds returns the histogram's upper bucket bounds (shared, not copied —
+// bounds are immutable after registration). Nil on a nil histogram.
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return h.bounds
+}
+
+// Counts returns a snapshot of the per-bucket counts, len(Bounds())+1 with
+// the overflow bucket last. Each bucket is read atomically; like any scrape,
+// the snapshot is approximate across in-flight updates. Nil on a nil
+// histogram. The engine's drift detector diffs successive snapshots to get a
+// windowed view of the live APE distribution.
+func (h *Histogram) Counts() []uint64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// QuantileFromCounts is Histogram.Quantile over an externally held bucket
+// snapshot: counts must have len(bounds)+1 entries (overflow last), as
+// returned by Histogram.Counts — or a difference of two such snapshots, which
+// is how the drift detector computes the median APE of a sliding window.
+// Returns 0 when the counts are empty.
+func QuantileFromCounts(bounds []float64, counts []uint64, q float64) float64 {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
 	if total == 0 {
 		return 0
 	}
@@ -143,8 +180,8 @@ func (h *Histogram) Quantile(q float64) float64 {
 	rank := q * float64(total)
 	var cum uint64
 	lower := 0.0
-	for i, bound := range h.bounds {
-		c := h.counts[i].Load()
+	for i, bound := range bounds {
+		c := counts[i]
 		cum += c
 		if c > 0 && float64(cum) >= rank {
 			frac := (rank - float64(cum-c)) / float64(c)

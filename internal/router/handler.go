@@ -57,6 +57,7 @@ func (rt *Router) Health() engine.HealthStatus {
 	defer rt.mu.Unlock()
 	up := 0
 	var version uint64
+	var trainedAt int64
 	converged := true
 	for _, rep := range rt.replicas {
 		if rep.health.state == StateDown {
@@ -70,14 +71,18 @@ func (rt *Router) Health() engine.HealthStatus {
 				converged = false
 			}
 		}
+		if rep.trainedAt > trainedAt {
+			trainedAt = rep.trainedAt
+		}
 	}
 	if !converged {
 		version = 0
 	}
 	return engine.HealthStatus{
-		Ready:        up > 0,
-		ModelVersion: version,
-		Sessions:     len(rt.sessions),
+		Ready:         up > 0,
+		ModelVersion:  version,
+		Sessions:      len(rt.sessions),
+		TrainedAtUnix: trainedAt,
 	}
 }
 

@@ -70,12 +70,13 @@ type Config struct {
 // replica is one backend with its clients and health record. name doubles
 // as the metrics label. Health fields are guarded by Router.mu.
 type replica struct {
-	name    string
-	client  *httpapi.Client
-	probe   *httpapi.Client
-	health  healthState
-	version uint64 // last probed model version (0 = unknown)
-	gen     uint64 // last probed model generation
+	name      string
+	client    *httpapi.Client
+	probe     *httpapi.Client
+	health    healthState
+	version   uint64 // last probed model version (0 = unknown)
+	gen       uint64 // last probed model generation
+	trainedAt int64  // last probed model training time (unix, 0 = unknown)
 }
 
 // routedSession is the router's per-session record: where the session
@@ -196,7 +197,35 @@ func New(cfg Config) (*Router, error) {
 		rt.replicas[n] = &replica{name: n, client: newClient(n), probe: newProbe(n)}
 		rt.m.setState(n, StateHealthy)
 	}
+	if cfg.Metrics != nil {
+		// Model age is computed at scrape time from the probed replica
+		// training timestamps (a pushed gauge would freeze between probes).
+		cfg.Metrics.GaugeFunc("cs2p_model_age_seconds",
+			"Seconds since the newest model among live replicas was trained (0 when unknown).", nil,
+			rt.modelAgeSeconds)
+	}
 	return rt, nil
+}
+
+// modelAgeSeconds reports the staleness of the freshest model any non-Down
+// replica serves, per the last probe round. 0 means unknown: nothing probed
+// yet, or the replicas predate training timestamps.
+func (rt *Router) modelAgeSeconds() float64 {
+	rt.mu.Lock()
+	var newest int64
+	for _, rep := range rt.replicas {
+		if rep.health.state != StateDown && rep.trainedAt > newest {
+			newest = rep.trainedAt
+		}
+	}
+	rt.mu.Unlock()
+	if newest == 0 {
+		return 0
+	}
+	if age := rt.now().Sub(time.Unix(newest, 0)).Seconds(); age > 0 {
+		return age
+	}
+	return 0
 }
 
 // Replicas returns the replica names, sorted.
@@ -543,6 +572,7 @@ func (rt *Router) ProbeAll(ctx context.Context) {
 		if ok {
 			rep.version = hr.ModelVersion
 			rep.gen = hr.Generation
+			rep.trainedAt = hr.TrainedAtUnix
 		}
 		from, to := rep.health.observe(ok, rt.now(), rt.th)
 		rt.mu.Unlock()

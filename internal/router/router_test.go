@@ -24,11 +24,12 @@ import (
 // checkable — a migrated session predicts exactly what an uninterrupted
 // one would if and only if the router replayed the full history.
 type stubBackend struct {
-	mu       sync.Mutex
-	version  uint64
-	sessions map[string][]float64
-	starts   map[string]int
-	logs     []engine.SessionLog
+	mu        sync.Mutex
+	version   uint64
+	trainedAt int64
+	sessions  map[string][]float64
+	starts    map[string]int
+	logs      []engine.SessionLog
 }
 
 func newStubBackend(version uint64) *stubBackend {
@@ -79,7 +80,14 @@ func (s *stubBackend) EndSession(lg engine.SessionLog) {
 func (s *stubBackend) Health() engine.HealthStatus {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return engine.HealthStatus{Ready: true, ModelVersion: s.version, Sessions: len(s.sessions)}
+	return engine.HealthStatus{Ready: true, ModelVersion: s.version, Sessions: len(s.sessions), TrainedAtUnix: s.trainedAt}
+}
+
+// setTrainedAt stamps the model training time the stub's healthz reports.
+func (s *stubBackend) setTrainedAt(t int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.trainedAt = t
 }
 
 // wipe simulates a process restart: all session state is gone.
@@ -169,6 +177,53 @@ func newStubCluster(t *testing.T, cfg Config, versions ...uint64) *stubCluster {
 }
 
 func hostOf(base string) string { return strings.TrimPrefix(base, "http://") }
+
+// TestRouterModelAge: the router turns probed training timestamps into the
+// cs2p_model_age_seconds staleness gauge — the newest model among live
+// replicas, excluding Down ones — and mirrors the timestamp on its own
+// healthz for tiers stacked above.
+func TestRouterModelAge(t *testing.T) {
+	reg := obs.NewRegistry()
+	now := time.Unix(1700000600, 0)
+	c := newStubCluster(t, Config{Metrics: reg, Now: func() time.Time { return now }}, 1, 1, 1)
+
+	// Unprobed cluster: age unknown.
+	if age := c.rt.modelAgeSeconds(); age != 0 {
+		t.Fatalf("unprobed model age = %v, want 0", age)
+	}
+
+	// Replicas trained at staggered times; the freshest (100s ago) wins.
+	c.stubs[c.names[0]].setTrainedAt(1700000000) // 600s old
+	c.stubs[c.names[1]].setTrainedAt(1700000500) // 100s old
+	c.stubs[c.names[2]].setTrainedAt(1700000300) // 300s old
+	c.rt.ProbeAll(context.Background())
+	if age := c.rt.modelAgeSeconds(); age != 100 {
+		t.Fatalf("model age = %v, want 100", age)
+	}
+	if got := c.rt.Health().TrainedAtUnix; got != 1700000500 {
+		t.Fatalf("health trained_at = %d, want 1700000500", got)
+	}
+
+	// The freshest replica dies: its model no longer serves, so staleness
+	// honestly degrades to the freshest survivor.
+	c.kill(c.names[1])
+	for i := 0; i < 3; i++ {
+		c.rt.ProbeAll(context.Background())
+	}
+	if st := c.rt.ReplicaStates()[c.names[1]]; st != StateDown {
+		t.Fatalf("killed replica state = %v, want down", st)
+	}
+	if age := c.rt.modelAgeSeconds(); age != 300 {
+		t.Fatalf("model age after death = %v, want 300", age)
+	}
+
+	// The gauge is on the scrape surface.
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), "cs2p_model_age_seconds 300") {
+		t.Fatalf("scrape missing model age gauge:\n%s", rec.Body.String())
+	}
+}
 
 // kill takes a replica's process away: connections refused, state lost.
 func (c *stubCluster) kill(name string) {
