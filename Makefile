@@ -37,7 +37,7 @@ chaos:
 # the router for bit-identical parity with one process. See DESIGN.md §13.
 cluster-chaos:
 	$(GO) test -race -run 'TestClusterChaos|TestClusterModel|TestRouterConcurrentFailover' -v ./internal/router
-	$(GO) test -run 'TestGoldenReplayClusterParity' -v .
+	$(GO) test -run 'TestGoldenReplayClusterParity|TestGoldenReplayDrainParity' -v .
 
 # Microbenchmarks of the training hot paths (allocation-counted).
 bench:

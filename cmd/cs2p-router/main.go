@@ -2,9 +2,16 @@
 // fault-tolerant serving tier of DESIGN.md §13). It consistent-hash-routes
 // sessions across the replicas — sticky, because HMM filter state is
 // per-session — probes each replica's /v1/healthz to drive a
-// healthy/suspect/down/recovering state machine, and when a session's home
-// replica dies it migrates the session to the ring's next replica by
-// re-registering it and replaying a bounded window of recent observations.
+// healthy/suspect/down/recovering/draining state machine, and when a
+// session's home replica dies it migrates the session to the ring's next
+// replica by re-registering it and replaying a bounded window of recent
+// observations.
+//
+// Membership is dynamic: POST /v1/admin/replicas adds, removes, drains, or
+// undrains a member at runtime (GET lists the set). A drain proactively
+// hands each resident session to a ring successor with its exact exported
+// filter state (warm handoff — bit-identical predictions); replay is the
+// fallback when the source is dead or the target's model guard refuses.
 //
 // The router serves the exact same HTTP surface as a single replica (JSON
 // v1 and binary v2), so players point at it unchanged:
@@ -48,18 +55,18 @@ func main() {
 	if *replicas == "" {
 		fatalf("-replicas is required")
 	}
-	var names []string
-	for _, r := range strings.Split(*replicas, ",") {
-		if r = strings.TrimSpace(r); r != "" {
-			names = append(names, r)
-		}
+	// Each URL is validated and canonicalized up front: a typo'd scheme or a
+	// duplicate entry would otherwise surface as a silently lopsided ring.
+	names, err := router.ParseReplicaList(*replicas)
+	if err != nil {
+		fatalf("-replicas: %v", err)
 	}
 
 	logger := log.New(os.Stderr, "cs2p-router: ", log.LstdFlags)
 	reg := obs.NewRegistry()
 	obs.RegisterRuntimeMetrics(reg)
 
-	rt, err := router.New(router.Config{
+	rt, rerr := router.New(router.Config{
 		Replicas:      names,
 		VNodes:        *vnodes,
 		ReplayWindow:  *replayWindow,
@@ -74,8 +81,8 @@ func main() {
 		Metrics:          reg,
 		Logf:             logger.Printf,
 	})
-	if err != nil {
-		fatalf("%v", err)
+	if rerr != nil {
+		fatalf("%v", rerr)
 	}
 	logger.Printf("routing %d replicas: %s", len(rt.Replicas()), strings.Join(rt.Replicas(), ", "))
 

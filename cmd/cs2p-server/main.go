@@ -17,9 +17,11 @@
 //
 // Endpoints: POST /v1/session/start, POST /v1/predict, POST /v1/log,
 // GET /v1/model, GET /v1/admin/models, POST /v1/admin/rollback,
-// GET /v1/healthz; with -ingest also POST /v1/ingest (DESIGN.md §15); with
-// -wire (the default) also the binary protocol at POST /v2/observe,
-// /v2/predict, /v2/batch (DESIGN.md §12).
+// POST /v1/admin/drain, GET/PUT/DELETE /v1/session/{id}/state (warm
+// session handoff, DESIGN.md §16), GET /v1/healthz; with -ingest also
+// POST /v1/ingest (DESIGN.md §15); with -wire (the default) also the
+// binary protocol at POST /v2/observe, /v2/predict, /v2/batch
+// (DESIGN.md §12).
 package main
 
 import (
@@ -69,6 +71,7 @@ func main() {
 		driftBand    = flag.Float64("drift-band", 0.5, "relative midstream-APE regression that counts as drift (with -ingest; 0.5 = +50%)")
 		minRetrain   = flag.Int("min-retrain-sessions", 50, "buffered sessions an online retrain needs before it trains a candidate (with -ingest)")
 		onlineEvery  = flag.Duration("online-retrain", 0, "drift-check cadence of the background online-retrain controller (0 disables; requires -ingest)")
+		drainWindow  = flag.Duration("drain-on-shutdown", 0, "on the first SIGINT/SIGTERM, report draining on /v1/healthz for up to this long (letting a router hand sessions off warm) before shutting down; 0 shuts down immediately")
 	)
 	flag.Parse()
 	if *tracePath == "" && *modelDir == "" {
@@ -168,8 +171,47 @@ func main() {
 		logf("online learning enabled (intake capacity %d, drift band %.0f%%)", *intakeCap, *driftBand*100)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	// Shutdown plumbing. With -drain-on-shutdown the first signal flips the
+	// service into draining (healthz answers "draining" with the remaining
+	// session count, so a fronting router hands sessions off warm) and the
+	// listener keeps serving for up to the drain window; the window elapsing,
+	// the session count reaching zero, or a second signal then triggers the
+	// normal graceful shutdown. Without the flag, the first signal shuts
+	// down immediately.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		if *drainWindow <= 0 {
+			cancel()
+			return
+		}
+		svc.SetDraining(true)
+		logf("draining for up to %v (signal again to shut down now)", *drainWindow)
+		deadline := time.NewTimer(*drainWindow)
+		defer deadline.Stop()
+		poll := time.NewTicker(250 * time.Millisecond)
+		defer poll.Stop()
+		for {
+			select {
+			case <-sigs:
+				cancel()
+				return
+			case <-deadline.C:
+				logf("drain window elapsed with %d sessions resident", svc.Health().Sessions)
+				cancel()
+				return
+			case <-poll.C:
+				if svc.Health().Sessions == 0 {
+					logf("drained: no sessions resident")
+					cancel()
+					return
+				}
+			}
+		}
+	}()
 
 	// Idle-session GC on a Ticker that shutdown stops (time.Tick leaks its
 	// goroutine forever).

@@ -13,20 +13,17 @@ import (
 	"cs2p/internal/httpapi"
 	"cs2p/internal/registry"
 	"cs2p/internal/router"
+	"cs2p/internal/trace"
 	"cs2p/internal/tracegen"
 	"cs2p/internal/video"
 )
 
-// TestGoldenReplayClusterParity pins the serving-tier transparency
-// contract: three cs2p-server replicas booted from one registry artifact,
-// fronted by the consistent-hash router, must replay the golden protocol
-// bit-identically to a single train-at-startup process — over JSON v1,
-// single-op binary v2, and batched v2 alike. The fault-tolerant tier is
-// allowed to change where a session's filter lives, never what it answers.
-func TestGoldenReplayClusterParity(t *testing.T) {
-	if testing.Short() {
-		t.Skip("cluster parity trains a model and boots three replicas; slow for -short")
-	}
+// bootGoldenCluster trains the golden model, publishes it once, and boots
+// three artifact-served replicas behind a router — the shared fixture for
+// the cluster-parity and drain-parity golden tests. Returns the router, the
+// front-end server, the golden header line, and the test split.
+func bootGoldenCluster(t *testing.T) (*router.Router, *httptest.Server, string, *trace.Dataset) {
+	t.Helper()
 	cfg := tracegen.SmallConfig()
 	cfg.Sessions = 300
 	d, _ := tracegen.Generate(cfg)
@@ -68,7 +65,7 @@ func TestGoldenReplayClusterParity(t *testing.T) {
 		srv := httpapi.NewServer(svc, func(e *core.Engine) *core.ModelStore { return e.Export(nil) })
 		srv.SetLogf(func(string, ...any) {})
 		ts := httptest.NewServer(srv.Handler())
-		defer ts.Close()
+		t.Cleanup(ts.Close)
 		replicas = append(replicas, ts.URL)
 	}
 	rt, err := router.New(router.Config{Replicas: replicas, Logf: func(string, ...any) {}})
@@ -77,10 +74,24 @@ func TestGoldenReplayClusterParity(t *testing.T) {
 	}
 	rt.ProbeAll(context.Background())
 	front := httptest.NewServer(rt.Handler())
-	defer front.Close()
+	t.Cleanup(front.Close)
 
 	header := fmt.Sprintf("trace sessions=%d train=%d test=%d clusters=%d\n",
 		d.Len(), train.Len(), test.Len(), eng.Clusters())
+	return rt, front, header, test
+}
+
+// TestGoldenReplayClusterParity pins the serving-tier transparency
+// contract: three cs2p-server replicas booted from one registry artifact,
+// fronted by the consistent-hash router, must replay the golden protocol
+// bit-identically to a single train-at-startup process — over JSON v1,
+// single-op binary v2, and batched v2 alike. The fault-tolerant tier is
+// allowed to change where a session's filter lives, never what it answers.
+func TestGoldenReplayClusterParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster parity trains a model and boots three replicas; slow for -short")
+	}
+	rt, front, header, test := bootGoldenCluster(t)
 	want, err := os.ReadFile(filepath.Join("testdata", "golden_replay.txt"))
 	if err != nil {
 		t.Fatalf("missing golden file (regenerate with -update): %v", err)
@@ -105,5 +116,59 @@ func TestGoldenReplayClusterParity(t *testing.T) {
 	}
 	if n := rt.PanicCount(); n != 0 {
 		t.Errorf("%d router handler panics during golden replay", n)
+	}
+}
+
+// TestGoldenReplayDrainParity pins the warm-handoff contract against the
+// golden file: while golden-1 is mid-session, its home replica is
+// administratively drained. The handoff must be warm — the exact exported
+// filter state lands on a ring successor — so the full replay, drain and
+// all, renders byte-identical to testdata/golden_replay.txt. Replay
+// fallback (allowed only when the source is dead) would drift the
+// rendering, so the tally is asserted to be warm-only.
+func TestGoldenReplayDrainParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drain parity trains a model and boots three replicas; slow for -short")
+	}
+	rt, front, header, test := bootGoldenCluster(t)
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_replay.txt"))
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+
+	drained := false
+	hook := func(i, j int) {
+		if i != 1 || j != 6 {
+			return
+		}
+		home, ok := rt.SessionHome("golden-1")
+		if !ok {
+			t.Fatal("session golden-1 has no home at drain time")
+		}
+		res, err := rt.DrainReplica(context.Background(), home)
+		if err != nil {
+			t.Fatalf("drain %s: %v", home, err)
+		}
+		if res.Warm == 0 || res.Replay != 0 || res.Failed != 0 {
+			t.Errorf("drain tally %+v; want warm-only with a live source", res)
+		}
+		if h, _ := rt.SessionHome("golden-1"); h == home {
+			t.Errorf("session golden-1 still homed on drained replica %s", home)
+		}
+		drained = true
+	}
+	got := driveReplayWithHook(t, httpapi.NewClient(front.URL), header, test, hook)
+	if !drained {
+		t.Fatal("drain hook never fired; session golden-1 played fewer than 7 chunks")
+	}
+	if warm, replay, failed := rt.HandoffOutcomes(); warm == 0 || replay != 0 || failed != 0 {
+		t.Errorf("handoff outcomes warm=%d replay=%d failed=%d; want warm only", warm, replay, failed)
+	}
+	if got != string(want) {
+		t.Errorf("drained-mid-session replay diverged from the golden file — warm handoff must be bit-identical\ngot:\n%s\nwant:\n%s",
+			got, string(want))
+	}
+	if n := rt.PanicCount(); n != 0 {
+		t.Errorf("%d router handler panics during drained golden replay", n)
 	}
 }

@@ -70,6 +70,14 @@ func driveReplay(t *testing.T, ts *httptest.Server, header string, test *trace.D
 // same protocol can be driven over JSON v1 or the binary v2 encoding.
 func driveReplayWith(t *testing.T, client *httpapi.Client, header string, test *trace.Dataset) string {
 	t.Helper()
+	return driveReplayWithHook(t, client, header, test, nil)
+}
+
+// driveReplayWithHook is driveReplayWith with a callback fired before
+// session i's j-th observation — the trigger point for mid-session cluster
+// surgery (drains, joins) whose output must still match the golden file.
+func driveReplayWithHook(t *testing.T, client *httpapi.Client, header string, test *trace.Dataset, hook func(i, j int)) string {
+	t.Helper()
 	var b strings.Builder
 	b.WriteString(header)
 	for i, s := range test.Sessions[:4] {
@@ -86,6 +94,9 @@ func driveReplayWith(t *testing.T, client *httpapi.Client, header string, test *
 		}
 		var pred float64
 		for j, w := range s.Throughput[:n] {
+			if hook != nil {
+				hook(i, j)
+			}
 			pred, err = client.ObserveAndPredict(id, w, 1)
 			if err != nil {
 				t.Fatal(err)

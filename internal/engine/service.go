@@ -112,6 +112,11 @@ type Service struct {
 	// online, when set by EnableOnline, carries the serving→training loop:
 	// trace intake, drift detection, and incremental retraining.
 	online atomic.Pointer[onlineState]
+	// draining marks the replica as administratively leaving the cluster:
+	// /v1/healthz reports "draining" (with the remaining session count) so
+	// load balancers and the router agree on lifecycle. The service itself
+	// keeps serving — refusing traffic is the caller's policy, not ours.
+	draining atomic.Bool
 }
 
 // sessionState carries one session's predictor. Its own mutex serializes
@@ -126,10 +131,16 @@ type sessionState struct {
 	// the number of observations absorbed so far. Guarded by mu.
 	lastOneStep float64
 	epoch       int
-	// Online-intake capture (populated only when online learning is
-	// enabled): the session's routing identity plus the observed
-	// throughput series, so EndSession can feed the completed session back
-	// into the training intake. Guarded by mu.
+	// modelGen/modelVersion pin the snapshot the session's predictor was
+	// built from. The exported session state carries them so an importing
+	// replica can refuse a posterior that indexes a different model's
+	// states (the warm-handoff generation guard). Immutable after creation.
+	modelGen     uint64
+	modelVersion uint64
+	// Routing identity (always recorded — session-state export needs it to
+	// rebuild the predictor on the importing replica) plus the observed
+	// throughput series captured for the online-learning intake (populated
+	// only when online learning is enabled). Guarded by mu.
 	features  trace.Features
 	startUnix int64
 	captured  []float64
@@ -175,6 +186,10 @@ type HealthStatus struct {
 	// unknown); the router aggregates it across replicas into the
 	// cluster-level model-age gauge.
 	TrainedAtUnix int64
+	// Draining reports the administrative drain flag: the replica is
+	// healthy but leaving, existing sessions are being handed off, and no
+	// new ones should be placed here.
+	Draining bool
 }
 
 // Health reports the service's readiness. Ready is false until an engine is
@@ -189,8 +204,24 @@ func (s *Service) Health() HealthStatus {
 		Generation:    snap.gen,
 		Sessions:      s.store.Len(),
 		TrainedAtUnix: snap.trainedAtUnix,
+		Draining:      s.draining.Load(),
 	}
 }
+
+// SetDraining flips the administrative drain flag (surfaced through Health
+// and /v1/healthz). Idempotent; transitions are logged.
+func (s *Service) SetDraining(on bool) {
+	if s.draining.Swap(on) != on {
+		if on {
+			s.logfSafe("engine: draining (%d sessions remaining)", s.store.Len())
+		} else {
+			s.logfSafe("engine: drain cleared")
+		}
+	}
+}
+
+// Draining reports the administrative drain flag.
+func (s *Service) Draining() bool { return s.draining.Load() }
 
 // SetMetrics attaches a metrics registry; every event after the call is
 // counted. nil detaches (instruments become inert). Call before serving
@@ -322,11 +353,16 @@ type StartResponse struct {
 // from another.
 func (s *Service) StartSession(id string, f trace.Features, startUnix int64) StartResponse {
 	sess := &trace.Session{ID: id, StartUnix: startUnix, Features: f, Throughput: []float64{1}}
-	e := s.snap.Load().engine
+	snap := s.snap.Load()
+	e := snap.engine
 	p := e.NewSessionPredictor(sess)
-	st := &sessionState{pred: p, lastOneStep: p.InitialPrediction()}
-	if s.online.Load() != nil {
-		st.features, st.startUnix = f, startUnix
+	st := &sessionState{
+		pred:         p,
+		lastOneStep:  p.InitialPrediction(),
+		modelGen:     snap.gen,
+		modelVersion: snap.version,
+		features:     f,
+		startUnix:    startUnix,
 	}
 	s.store.Put(id, st, time.Now())
 	s.m.sessionsStarted.Inc()
@@ -478,6 +514,22 @@ func (s *Service) EndSession(log SessionLog) {
 	if evicted {
 		s.m.logEvictions.Inc()
 	}
+}
+
+// ForgetSession drops a session without recording a QoE log — the cleanup
+// half of a warm handoff: after the target replica imports the session's
+// state, the source must stop holding (and counting) it, but the playback
+// has not ended, so EndSession's log would be a lie. Counts toward
+// sessions-ended so per-replica start/end accounting stays balanced across
+// handoffs. Reports whether the session existed.
+func (s *Service) ForgetSession(id string) bool {
+	existed := s.store.Delete(id)
+	if existed {
+		s.m.sessionsEnded.Inc()
+		s.m.sessionsActive.Set(float64(s.store.Len()))
+		s.refreshShardGauges()
+	}
+	return existed
 }
 
 // Logs returns a copy of the retained session logs, oldest first (merged

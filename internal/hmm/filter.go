@@ -1,6 +1,7 @@
 package hmm
 
 import (
+	"fmt"
 	"math"
 
 	"cs2p/internal/mathx"
@@ -145,6 +146,51 @@ func (f *Filter) Observe(w float64) {
 func (f *Filter) Reset() {
 	copy(f.post, f.model.Pi)
 	f.started = false
+}
+
+// FilterState is the complete mutable state of a Filter: the posterior
+// vector pi_{t|t} and whether any observation has been absorbed. Everything
+// else in a Filter (model, rule, scratch buffers) is either immutable or
+// carries no state between calls, so restoring a FilterState into a fresh
+// filter over the same model reproduces the original filter exactly — every
+// subsequent Predict/Observe is bit-identical. This is what makes warm
+// session handoff between replicas exact rather than a replay approximation.
+type FilterState struct {
+	Posterior []float64 `json:"posterior"`
+	Started   bool      `json:"started"`
+}
+
+// Snapshot captures the filter's exact state. The returned posterior is a
+// copy; the filter can keep running.
+func (f *Filter) Snapshot() FilterState {
+	return FilterState{
+		Posterior: append([]float64(nil), f.post...),
+		Started:   f.started,
+	}
+}
+
+// Restore replaces the filter's state with a snapshot taken from a filter
+// over the same model. The posterior is validated (length matches the state
+// count, entries finite and non-negative, mass positive) but deliberately
+// NOT renormalized: the bytes that come out of Snapshot go back in
+// untouched, preserving bit-identity across the transfer.
+func (f *Filter) Restore(st FilterState) error {
+	if len(st.Posterior) != f.model.N() {
+		return fmt.Errorf("hmm: restore: posterior has %d states, model has %d", len(st.Posterior), f.model.N())
+	}
+	var sum float64
+	for i, p := range st.Posterior {
+		if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 {
+			return fmt.Errorf("hmm: restore: posterior[%d] = %v is not a probability", i, p)
+		}
+		sum += p
+	}
+	if sum <= 0 {
+		return fmt.Errorf("hmm: restore: posterior carries no probability mass")
+	}
+	copy(f.post, st.Posterior)
+	f.started = st.Started
+	return nil
 }
 
 // PredictSeries replays an observation sequence through a fresh filter and

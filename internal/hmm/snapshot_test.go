@@ -1,0 +1,90 @@
+package hmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestFilterSnapshotRestoreBitIdentical is the warm-handoff contract: a
+// filter restored from a snapshot must behave bit-identically to the
+// original — same posterior, same predictions at every horizon, and the two
+// must stay in lockstep through further observations.
+func TestFilterSnapshotRestoreBitIdentical(t *testing.T) {
+	m := threeStateModel()
+	src := NewFilter(m)
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 9; i++ {
+		src.Observe(r.Float64() * 15)
+	}
+
+	dst := NewFilter(m)
+	if err := dst.Restore(src.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Started() {
+		t.Fatal("restored filter lost the started flag")
+	}
+	sp, dp := src.Posterior(), dst.Posterior()
+	for i := range sp {
+		if sp[i] != dp[i] {
+			t.Fatalf("posterior[%d]: %v != %v (must be bit-identical)", i, sp[i], dp[i])
+		}
+	}
+	for k := 1; k <= 10; k++ {
+		if a, b := src.PredictAhead(k), dst.PredictAhead(k); a != b {
+			t.Fatalf("PredictAhead(%d): %v != %v", k, a, b)
+		}
+	}
+	// Lockstep after the transfer: the handed-off session keeps observing.
+	for i := 0; i < 6; i++ {
+		w := r.Float64() * 15
+		src.Observe(w)
+		dst.Observe(w)
+		if a, b := src.Predict(), dst.Predict(); a != b {
+			t.Fatalf("post-restore step %d: %v != %v", i, a, b)
+		}
+	}
+}
+
+// A snapshot taken before the first observation restores an un-started
+// filter whose first prediction is still distributed as pi_0.
+func TestFilterSnapshotBeforeFirstObservation(t *testing.T) {
+	m := threeStateModel()
+	src := NewFilter(m)
+	dst := NewFilter(m)
+	if err := dst.Restore(src.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Started() {
+		t.Fatal("restore invented a started flag")
+	}
+	if a, b := src.PredictAhead(3), dst.PredictAhead(3); a != b {
+		t.Fatalf("fresh-filter prediction diverged: %v != %v", a, b)
+	}
+}
+
+func TestFilterRestoreRejectsInvalidState(t *testing.T) {
+	m := threeStateModel()
+	f := NewFilter(m)
+	cases := []FilterState{
+		{Posterior: []float64{0.5, 0.5}},              // wrong length
+		{Posterior: []float64{0.5, math.NaN(), 0.2}},  // NaN entry
+		{Posterior: []float64{0.5, math.Inf(1), 0.2}}, // Inf entry
+		{Posterior: []float64{0.5, -0.1, 0.6}},        // negative
+		{Posterior: []float64{0, 0, 0}},               // no mass
+		{Posterior: nil},                              // empty
+	}
+	before := f.Posterior()
+	for i, st := range cases {
+		if err := f.Restore(st); err == nil {
+			t.Errorf("case %d: invalid state accepted", i)
+		}
+	}
+	after := f.Posterior()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("rejected restore mutated the filter")
+		}
+	}
+}

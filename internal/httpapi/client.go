@@ -9,6 +9,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"net/url"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -174,6 +175,79 @@ func (c *Client) postOnce(path string, req, resp any) error {
 		return fmt.Errorf("httpapi client: decoding response: %w", err)
 	}
 	return nil
+}
+
+// doJSON runs one context-bound JSON round trip with an arbitrary method —
+// the session-state transfer and drain paths use it. Mirrors postOnce's
+// error taxonomy (204 → nil, non-2xx → *StatusError) but takes a ctx because
+// these calls happen inside a bounded drain window, not a player's chunk
+// loop.
+func (c *Client) doJSON(ctx context.Context, method, path string, req, resp any) error {
+	return c.observed(path, func() error {
+		var body io.Reader
+		if req != nil {
+			b, err := json.Marshal(req)
+			if err != nil {
+				return fmt.Errorf("httpapi client: encoding request: %w", err)
+			}
+			body = bytes.NewReader(b)
+		}
+		hreq, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+		if err != nil {
+			return fmt.Errorf("httpapi client: building request: %w", err)
+		}
+		if req != nil {
+			hreq.Header.Set("Content-Type", "application/json")
+		}
+		hreq.Header.Set(obs.RequestIDHeader, obs.NewRequestID())
+		r, err := c.hc.Do(hreq)
+		if err != nil {
+			return fmt.Errorf("httpapi client: %s %s: %w", method, path, err)
+		}
+		defer r.Body.Close()
+		if r.StatusCode == http.StatusNoContent {
+			return nil
+		}
+		if r.StatusCode/100 != 2 {
+			var eb errorBody
+			_ = json.NewDecoder(r.Body).Decode(&eb)
+			return &StatusError{Status: r.StatusCode, Path: method + " " + path, Msg: eb.Error}
+		}
+		if resp == nil {
+			return nil
+		}
+		if err := json.NewDecoder(r.Body).Decode(resp); err != nil {
+			return fmt.Errorf("httpapi client: decoding response: %w", err)
+		}
+		return nil
+	})
+}
+
+// ExportSession pulls a live session's exact filter state from the replica —
+// the warm half of a drain handoff.
+func (c *Client) ExportSession(ctx context.Context, id string) (engine.SessionState, error) {
+	var st engine.SessionState
+	err := c.doJSON(ctx, http.MethodGet, "/v1/session/"+url.PathEscape(id)+"/state", nil, &st)
+	return st, err
+}
+
+// ImportSession installs an exported session on the replica. A 409 means
+// the replica's model-identity guard refused the state (caller should fall
+// back to replay).
+func (c *Client) ImportSession(ctx context.Context, st engine.SessionState) error {
+	return c.doJSON(ctx, http.MethodPut, "/v1/session/"+url.PathEscape(st.SessionID)+"/state", st, nil)
+}
+
+// ForgetSession removes the session from the replica without a QoE log —
+// called on the handoff source after the destination has the state.
+func (c *Client) ForgetSession(ctx context.Context, id string) error {
+	return c.doJSON(ctx, http.MethodDelete, "/v1/session/"+url.PathEscape(id)+"/state", nil, nil)
+}
+
+// SetDraining toggles the replica's administrative drain flag; its healthz
+// then reports "draining" so out-of-band monitors agree with the router.
+func (c *Client) SetDraining(ctx context.Context, on bool) error {
+	return c.doJSON(ctx, http.MethodPost, "/v1/admin/drain", DrainRequest{Draining: on}, nil)
 }
 
 // SetWireBinary switches the per-chunk observe/predict round trip onto the

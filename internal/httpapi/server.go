@@ -109,6 +109,11 @@ type HealthzResponse struct {
 const (
 	HealthzOK      = "ok"
 	HealthzNoModel = "no_model"
+	// HealthzDraining: the replica is ready but administratively leaving —
+	// existing sessions still served (Sessions is the remaining count), no
+	// new ones should be placed here. Still a 200: a draining replica is
+	// alive and mid-handoff, and killing it early loses warm filter state.
+	HealthzDraining = "draining"
 )
 
 // HealthReporter is the optional backend surface behind the readiness
@@ -191,6 +196,27 @@ type IngestService interface {
 	Ingest(sessions []*trace.Session) (engine.IngestResult, error)
 }
 
+// SessionStateService is the optional warm-handoff surface behind
+// GET/PUT/DELETE /v1/session/{id}/state: export a live session's exact
+// filter state, import one exported elsewhere (refusing model mismatches),
+// and forget a session without a QoE log after its state has moved.
+// *engine.Service implements it; backends without it answer 501 and the
+// router falls back to replay-based migration.
+type SessionStateService interface {
+	ExportSession(id string) (engine.SessionState, error)
+	ImportSession(st engine.SessionState) error
+	ForgetSession(id string) bool
+}
+
+// DrainControl is the optional administrative drain surface behind
+// POST /v1/admin/drain: flipping it makes /v1/healthz report "draining" so
+// load balancers and the router agree the replica is leaving.
+// *engine.Service implements it.
+type DrainControl interface {
+	SetDraining(on bool)
+	Draining() bool
+}
+
 // ModelProvider exposes the model plane: an immutable snapshot whose
 // generation keys the /v1/model export cache, so a hot retrain invalidates
 // exactly the artifacts derived from the engine it replaced.
@@ -251,6 +277,15 @@ type Server struct {
 	// ingest is the backend's trace-intake surface (type-asserted in
 	// NewServer); nil answers POST /v1/ingest with 501.
 	ingest IngestService
+	// sessionState is the warm-handoff surface (type-asserted in
+	// NewServer); nil answers the /v1/session/{id}/state routes with 501.
+	sessionState SessionStateService
+	// drain is the administrative drain flag (type-asserted in NewServer);
+	// nil answers POST /v1/admin/drain with 501.
+	drain DrainControl
+	// extra holds routes registered with Handle before the mux is built —
+	// the router mounts its membership admin endpoints this way.
+	extra map[string]http.Handler
 }
 
 // NewServer builds the HTTP facade. exporter, if non-nil, supplies the
@@ -276,7 +311,24 @@ func NewServer(svc SessionService, exporter func(*core.Engine) *core.ModelStore)
 	if ig, ok := svc.(IngestService); ok {
 		s.ingest = ig
 	}
+	if ss, ok := svc.(SessionStateService); ok {
+		s.sessionState = ss
+	}
+	if dc, ok := svc.(DrainControl); ok {
+		s.drain = dc
+	}
 	return s
+}
+
+// Handle registers an extra route on the server's mux (call before
+// Handler). The pattern uses net/http's enhanced syntax ("POST /v1/x"). The
+// handler runs inside the full hardening stack — body limit, timeout,
+// recovery, metrics — exactly like the built-in routes.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	if s.extra == nil {
+		s.extra = make(map[string]http.Handler)
+	}
+	s.extra[pattern] = h
 }
 
 // SetModelHandler replaces GET /v1/model with a custom handler (call before
@@ -364,9 +416,16 @@ func (s *Server) Handler() http.Handler {
 	} else {
 		mux.HandleFunc("GET /v1/model", s.handleModel)
 	}
+	mux.HandleFunc("GET /v1/session/{id}/state", s.handleSessionStateGet)
+	mux.HandleFunc("PUT /v1/session/{id}/state", s.handleSessionStatePut)
+	mux.HandleFunc("DELETE /v1/session/{id}/state", s.handleSessionStateDelete)
 	mux.HandleFunc("GET /v1/admin/models", s.handleAdminModels)
 	mux.HandleFunc("POST /v1/admin/rollback", s.handleAdminRollback)
+	mux.HandleFunc("POST /v1/admin/drain", s.handleAdminDrain)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	for pattern, h := range s.extra {
+		mux.Handle(pattern, h)
+	}
 	if s.metrics != nil {
 		mux.Handle("GET /metrics", s.metrics.Handler())
 	}
@@ -613,6 +672,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 			resp.Status = HealthzNoModel
 			writeJSON(w, http.StatusServiceUnavailable, resp)
 			return
+		}
+		if h.Draining {
+			// Ready but leaving: Sessions above is the remaining count a
+			// drain watcher polls toward zero.
+			resp.Status = HealthzDraining
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -1,0 +1,138 @@
+package httpapi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+
+	"cs2p/internal/engine"
+)
+
+// maxPosteriorLen bounds an imported posterior's length. Real models have a
+// handful of hidden states; anything near this cap is a malformed or hostile
+// payload, rejected before it can allocate per-session state.
+const maxPosteriorLen = 4096
+
+// DrainRequest toggles the replica's administrative drain flag.
+type DrainRequest struct {
+	Draining bool `json:"draining"`
+}
+
+// handleSessionStateGet exports a live session's exact filter state for warm
+// handoff. The session keeps serving; the export is a consistent snapshot.
+func (s *Server) handleSessionStateGet(w http.ResponseWriter, r *http.Request) {
+	if s.sessionState == nil {
+		writeJSON(w, http.StatusNotImplemented, errorBody{Error: "session state transfer not supported"})
+		return
+	}
+	id := r.PathValue("id")
+	if !s.validSessionID(w, id) {
+		return
+	}
+	st, err := s.sessionState.ExportSession(id)
+	if err != nil {
+		writeJSON(w, backendStatus(err, http.StatusInternalServerError), errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleSessionStatePut imports an exported session under this replica's
+// model. The status code is the router's fallback signal: 409 means the
+// model-identity guard refused the transfer (replay instead), 400 means the
+// payload itself is unusable.
+func (s *Server) handleSessionStatePut(w http.ResponseWriter, r *http.Request) {
+	if s.sessionState == nil {
+		writeJSON(w, http.StatusNotImplemented, errorBody{Error: "session state transfer not supported"})
+		return
+	}
+	id := r.PathValue("id")
+	if !s.validSessionID(w, id) {
+		return
+	}
+	var st engine.SessionState
+	if !decodeJSON(w, r, &st) {
+		return
+	}
+	if st.SessionID == "" {
+		st.SessionID = id
+	} else if st.SessionID != id {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "session_id in payload does not match URL"})
+		return
+	}
+	if !s.validFeatures(w, st.Features) {
+		return
+	}
+	// The posterior feeds the HMM filter directly; bound and sanity-check it
+	// here so a hostile payload is rejected with a 400 before the engine's
+	// own guards (which the router would misread as a model mismatch).
+	if len(st.Posterior) == 0 || len(st.Posterior) > maxPosteriorLen {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("posterior must have between 1 and %d entries", maxPosteriorLen)})
+		return
+	}
+	if st.Epoch < 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "epoch must be non-negative"})
+		return
+	}
+	if st.LastOneStep != nil && (math.IsNaN(*st.LastOneStep) || math.IsInf(*st.LastOneStep, 0)) {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "last_one_step must be finite"})
+		return
+	}
+	if len(st.Captured) > s.cfg.MaxIngestEpochs {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("captured exceeds %d epochs", s.cfg.MaxIngestEpochs)})
+		return
+	}
+	for _, v := range st.Captured {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || v > s.cfg.MaxObservedMbps {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("captured values must be finite and in [0, %g]", s.cfg.MaxObservedMbps)})
+			return
+		}
+	}
+	if err := s.sessionState.ImportSession(st); err != nil {
+		switch {
+		case errors.Is(err, engine.ErrSessionStateSchema), errors.Is(err, engine.ErrSessionStateModelMismatch):
+			writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+		case errors.Is(err, engine.ErrInvalidSessionState):
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		default:
+			writeJSON(w, backendStatus(err, http.StatusInternalServerError), errorBody{Error: err.Error()})
+		}
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleSessionStateDelete forgets a session without recording a QoE log —
+// the drain coordinator calls it on the source after a successful import so
+// the session is not double-counted.
+func (s *Server) handleSessionStateDelete(w http.ResponseWriter, r *http.Request) {
+	if s.sessionState == nil {
+		writeJSON(w, http.StatusNotImplemented, errorBody{Error: "session state transfer not supported"})
+		return
+	}
+	id := r.PathValue("id")
+	if !s.validSessionID(w, id) {
+		return
+	}
+	if !s.sessionState.ForgetSession(id) {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: engine.ErrUnknownSession.Error()})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleAdminDrain toggles the administrative drain flag; /v1/healthz
+// reflects it as "draining" with the remaining session count.
+func (s *Server) handleAdminDrain(w http.ResponseWriter, r *http.Request) {
+	if s.drain == nil {
+		writeJSON(w, http.StatusNotImplemented, errorBody{Error: "drain not supported"})
+		return
+	}
+	var req DrainRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	s.drain.SetDraining(req.Draining)
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -412,6 +412,134 @@ func TestClusterChaosSlowReplica(t *testing.T) {
 	assertClusterBand(t, "slow-replica", base, run, c, 0.20)
 }
 
+// bootExtraChaosReplica boots one more artifact-served replica from the
+// shared chaos registry. It is NOT yet a member — the test joins it through
+// the membership surface mid-load.
+func bootExtraChaosReplica(t *testing.T, c *realCluster) string {
+	t.Helper()
+	regy, err := registry.Open(chaosRegDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := regy.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := engine.NewServiceFromArtifact(art, chaosCfg, video.Default(), engine.ServiceOptions{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httpapi.NewServer(svc, func(e *core.Engine) *core.ModelStore { return e.Export(nil) })
+	srv.SetLogf(func(string, ...any) {})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	c.srvs[ts.URL] = srv
+	return ts.URL
+}
+
+// TestClusterChaosDrainUnderLoad: while session 2 is mid-playback, its home
+// replica is administratively drained. The handoff must be warm — exact
+// exported filter state, zero replays — which makes the whole faulted run
+// render bit-identically to the fault-free baseline: a planned drain, unlike
+// a crash, is allowed to move sessions but never to change an answer. The
+// run is also deterministic across identical repeats.
+func TestClusterChaosDrainUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster chaos boots a trained 3-replica cluster; slow for -short")
+	}
+	base := playAll(t, newRealCluster(t, 3, nil), nil)
+
+	run := func() (clusterResult, *realCluster) {
+		c := newRealCluster(t, 3, nil)
+		hooks := map[int]map[int]func(){
+			2: {10: func() {
+				home, ok := c.rt.SessionHome("cchaos-2")
+				if !ok {
+					t.Fatal("session cchaos-2 has no home at drain time")
+				}
+				res, err := c.rt.DrainReplica(context.Background(), home)
+				if err != nil {
+					t.Fatalf("drain %s: %v", home, err)
+				}
+				if res.Warm == 0 || res.Replay != 0 || res.Failed != 0 {
+					t.Errorf("drain tally %+v; want all-warm with a live source", res)
+				}
+			}},
+		}
+		return playAll(t, c, hooks), c
+	}
+
+	first, c1 := run()
+	warm, replay, failed := c1.rt.HandoffOutcomes()
+	if warm == 0 || replay != 0 || failed != 0 {
+		t.Errorf("handoff outcomes warm=%d replay=%d failed=%d; want warm only (source was alive)", warm, replay, failed)
+	}
+	if first.render != base.render {
+		t.Errorf("drained run's predictions diverged from fault-free — warm handoff must be bit-identical\ngot:\n%s\nwant:\n%s",
+			first.render, base.render)
+	}
+	assertClusterBand(t, "drain-under-load", base, first, c1, 0.20)
+
+	second, _ := run()
+	if first.render != second.render {
+		t.Errorf("drain-under-load is nondeterministic across identical runs\nfirst:\n%s\nsecond:\n%s",
+			first.render, second.render)
+	}
+}
+
+// TestClusterChaosJoinUnderLoad: a fourth artifact-booted replica joins the
+// ring while session 2 is mid-playback. Existing sessions stay put (sticky
+// homes survive a join), later sessions may land on the newcomer — and
+// because every member serves the same artifact, the rendering is
+// bit-identical to the fault-free 3-replica baseline, deterministically.
+func TestClusterChaosJoinUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster chaos boots a trained 3-replica cluster; slow for -short")
+	}
+	base := playAll(t, newRealCluster(t, 3, nil), nil)
+
+	run := func() (clusterResult, *realCluster) {
+		c := newRealCluster(t, 3, nil)
+		extra := bootExtraChaosReplica(t, c)
+		var homeBefore string
+		hooks := map[int]map[int]func(){
+			2: {
+				10: func() {
+					homeBefore, _ = c.rt.SessionHome("cchaos-2")
+					if err := c.rt.AddReplica(context.Background(), extra); err != nil {
+						t.Fatalf("join %s: %v", extra, err)
+					}
+					if n := len(c.rt.Replicas()); n != 4 {
+						t.Fatalf("after join: %d members, want 4", n)
+					}
+				},
+				15: func() {
+					if h, _ := c.rt.SessionHome("cchaos-2"); h != homeBefore {
+						t.Errorf("session cchaos-2 moved %s -> %s on a join; sticky homes must survive ring growth", homeBefore, h)
+					}
+				},
+			},
+		}
+		return playAll(t, c, hooks), c
+	}
+
+	first, c1 := run()
+	if warm, replay, failed := c1.rt.HandoffOutcomes(); warm+replay+failed != 0 {
+		t.Errorf("a pure join triggered handoffs (warm=%d replay=%d failed=%d); joins must not move sessions", warm, replay, failed)
+	}
+	if first.render != base.render {
+		t.Errorf("join-under-load changed predictions — same artifact everywhere must render identically\ngot:\n%s\nwant:\n%s",
+			first.render, base.render)
+	}
+	assertClusterBand(t, "join-under-load", base, first, c1, 0.20)
+
+	second, _ := run()
+	if first.render != second.render {
+		t.Errorf("join-under-load is nondeterministic across identical runs\nfirst:\n%s\nsecond:\n%s",
+			first.render, second.render)
+	}
+}
+
 // TestClusterModelFetchThroughRouter: a decentralized client pulls its
 // cluster-local model via the router's /v1/model proxy and gets working
 // local predictions.

@@ -25,6 +25,8 @@ func (rt *Router) srvOnce() *httpapi.Server {
 			srv.SetMetrics(rt.cfg.Metrics)
 		}
 		srv.SetModelHandler(http.HandlerFunc(rt.proxyModel))
+		srv.Handle("POST /v1/admin/replicas", http.HandlerFunc(rt.handleAdminReplicas))
+		srv.Handle("GET /v1/admin/replicas", http.HandlerFunc(rt.handleListReplicas))
 		rt.srv = srv
 	})
 	return rt.srv
@@ -59,7 +61,7 @@ func (rt *Router) Health() engine.HealthStatus {
 	var version uint64
 	var trainedAt int64
 	converged := true
-	for _, rep := range rt.replicas {
+	for _, rep := range rt.mem.replicas {
 		if rep.health.state == StateDown {
 			continue
 		}
@@ -91,7 +93,7 @@ func (rt *Router) Health() engine.HealthStatus {
 // so decentralized clients fetch their cluster model through the router
 // with the replica's 304 revalidation intact.
 func (rt *Router) proxyModel(w http.ResponseWriter, r *http.Request) {
-	for _, name := range rt.order {
+	for _, name := range rt.orderSnapshot() {
 		rep := rt.usable(name)
 		if rep == nil {
 			continue

@@ -4,21 +4,29 @@ import "time"
 
 // State is a replica's position in the health state machine:
 //
-//	            fail×SuspectAfter            fail×DownAfter
-//	  Healthy ───────────────────▶ Suspect ───────────────▶ Down
-//	     ▲                            │                       │
-//	     │ ok                         │ ok                    │ ok
-//	     └────────────────────────────┘                       ▼
-//	     ▲                                               Recovering
-//	     │ ok×RecoverAfter                                    │
-//	     └────────────────────────────────────────────────────┘
-//	                         (any failure while Recovering → Down)
+//	          fail×SuspectAfter            fail×DownAfter
+//	Healthy ───────────────────▶ Suspect ───────────────▶ Down
+//	   ▲                            │                       │
+//	   │ ok                         │ ok                    │ ok
+//	   └────────────────────────────┘                       ▼
+//	   ▲                                               Recovering
+//	   │ ok×RecoverAfter                                    │
+//	   └────────────────────────────────────────────────────┘
+//	                       (any failure while Recovering → Down)
 //
-// Suspect is the draining state: the replica keeps serving its existing
+// Suspect throttles a wobbling replica: it keeps serving its existing
 // sessions (one blip must not trigger a mass migration of warm filter
 // state) but receives no new ones. Down is the only state the data path
 // treats as unusable. Recovering exists so one lucky probe after an outage
 // does not immediately re-admit a flapping replica.
+//
+// Draining sits outside the probe-driven loop: it is entered
+// administratively (DrainReplica, or a probe seeing the replica's own
+// healthz report "draining") and never left by a successful probe — only an
+// explicit undrain or removal ends it. A draining replica behaves like
+// Suspect on the data path (serves residents, takes no new sessions) while
+// the router proactively hands its sessions off; sustained failures still
+// demote it to Down, because a drain must not mask a death.
 type State int
 
 // Health states, in gauge-value order.
@@ -27,6 +35,7 @@ const (
 	StateSuspect
 	StateDown
 	StateRecovering
+	StateDraining
 )
 
 // String names the state for logs and the replica-state metric docs.
@@ -40,6 +49,8 @@ func (s State) String() string {
 		return "down"
 	case StateRecovering:
 		return "recovering"
+	case StateDraining:
+		return "draining"
 	}
 	return "unknown"
 }
@@ -110,15 +121,17 @@ func (h *healthState) observe(ok bool, now time.Time, th Thresholds) (from, to S
 			if h.successes >= th.RecoverAfter {
 				h.state = StateHealthy
 			}
+			// StateDraining: a healthy probe does not end a drain — only the
+			// administrator (or removal) does.
 		}
 	} else {
 		h.successes = 0
 		switch h.state {
-		case StateHealthy, StateSuspect:
+		case StateHealthy, StateSuspect, StateDraining:
 			h.fails++
 			if h.fails >= th.DownAfter {
 				h.state = StateDown
-			} else if h.fails >= th.SuspectAfter {
+			} else if h.fails >= th.SuspectAfter && h.state != StateDraining {
 				h.state = StateSuspect
 			}
 		case StateRecovering:

@@ -1,0 +1,143 @@
+package router
+
+import (
+	"errors"
+	"fmt"
+	"net/url"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Membership change errors the admin surface maps onto HTTP statuses.
+var (
+	// ErrNotMember: the named replica is not in the member set.
+	ErrNotMember = errors.New("router: replica is not a member")
+	// ErrAlreadyMember: the replica is already in the member set.
+	ErrAlreadyMember = errors.New("router: replica is already a member")
+	// ErrLastReplica: removing the last member would leave nothing to route
+	// to — drain and shut the router down instead.
+	ErrLastReplica = errors.New("router: refusing to remove the last replica")
+)
+
+// Membership owns the replica set behind the ring. The map and order are
+// guarded by the Router's mutex (membership changes share the router's lock
+// discipline); the ring is immutable and swapped atomically, so the
+// lock-free data path always routes against one consistent member set —
+// mid-change requests see either the old ring or the new one, never a
+// partial rebuild. Each rebuild is a pure function of the member names
+// (Ring.SetReplicas sorts and dedups), which is what bounds the blast
+// radius of a change: adding or removing one member moves only the ~K/N
+// sessions whose ring arcs changed hands.
+type Membership struct {
+	vnodes   int
+	ring     atomic.Pointer[Ring]
+	replicas map[string]*replica
+	order    []string // sorted member names: deterministic probe/scan order
+}
+
+// newMembership builds an empty member set.
+func newMembership(vnodes int) *Membership {
+	m := &Membership{vnodes: vnodes, replicas: make(map[string]*replica)}
+	r := NewRing(vnodes)
+	r.SetReplicas(nil)
+	m.ring.Store(r)
+	return m
+}
+
+// Ring returns the current ring snapshot. Callers route against it without
+// holding any lock; a concurrent membership change swaps in a fresh ring
+// rather than mutating this one.
+func (m *Membership) Ring() *Ring { return m.ring.Load() }
+
+// rebuildLocked (Router.mu held) rebuilds order and the ring from the
+// member map.
+func (m *Membership) rebuildLocked() {
+	names := make([]string, 0, len(m.replicas))
+	for n := range m.replicas {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	m.order = names
+	r := NewRing(m.vnodes)
+	r.SetReplicas(names)
+	m.ring.Store(r)
+}
+
+// addLocked (Router.mu held) admits a replica and rebuilds the ring.
+func (m *Membership) addLocked(rep *replica) error {
+	if _, ok := m.replicas[rep.name]; ok {
+		return fmt.Errorf("%w: %s", ErrAlreadyMember, rep.name)
+	}
+	m.replicas[rep.name] = rep
+	m.rebuildLocked()
+	return nil
+}
+
+// removeLocked (Router.mu held) evicts a replica and rebuilds the ring.
+func (m *Membership) removeLocked(name string) error {
+	if _, ok := m.replicas[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotMember, name)
+	}
+	if len(m.replicas) == 1 {
+		return ErrLastReplica
+	}
+	delete(m.replicas, name)
+	m.rebuildLocked()
+	return nil
+}
+
+// ValidateReplicaURL checks one replica base URL and returns its canonical
+// form (scheme://host). Replica names key the ring, the session records,
+// and the metrics labels, so two spellings of one replica ("http://a:1/"
+// vs "http://a:1") must not slip in as distinct members.
+func ValidateReplicaURL(raw string) (string, error) {
+	raw = strings.TrimSpace(raw)
+	if raw == "" {
+		return "", errors.New("empty replica URL")
+	}
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", fmt.Errorf("malformed replica URL %q: %v", raw, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", fmt.Errorf("replica URL %q: scheme must be http or https", raw)
+	}
+	if u.Host == "" {
+		return "", fmt.Errorf("replica URL %q: host required", raw)
+	}
+	if u.User != nil {
+		return "", fmt.Errorf("replica URL %q: credentials not allowed", raw)
+	}
+	if (u.Path != "" && u.Path != "/") || u.RawQuery != "" || u.Fragment != "" {
+		return "", fmt.Errorf("replica URL %q: must be a bare base URL (no path, query, or fragment)", raw)
+	}
+	return u.Scheme + "://" + u.Host, nil
+}
+
+// ParseReplicaList parses a comma-separated replica list (the -replicas
+// flag), validating each URL and rejecting duplicates — a duplicate would
+// silently collapse into one ring member while the operator believes the
+// cluster is wider than it is.
+func ParseReplicaList(list string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	for _, part := range strings.Split(list, ",") {
+		if strings.TrimSpace(part) == "" {
+			continue
+		}
+		u, err := ValidateReplicaURL(part)
+		if err != nil {
+			return nil, err
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("duplicate replica URL %q", u)
+		}
+		seen[u] = true
+		out = append(out, u)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("at least one replica URL required")
+	}
+	return out, nil
+}

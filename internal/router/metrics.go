@@ -1,12 +1,26 @@
 package router
 
-import "cs2p/internal/obs"
+import (
+	"sync"
 
-// routerMetrics caches the router's instruments. Replica and outcome label
-// sets are known at construction, so everything is built eagerly and the
-// request path touches only preallocated handles. The zero value (no
-// registry) is inert: obs instruments no-op on nil receivers and lookups on
-// nil maps return nil.
+	"cs2p/internal/obs"
+)
+
+// allStates enumerates the health states for the per-state replica-count
+// gauges, in gauge-value order.
+var allStates = []State{StateHealthy, StateSuspect, StateDown, StateRecovering, StateDraining}
+
+// handoffOutcomes are the label values of cs2p_router_handoffs_total:
+// "warm" (exact filter state pushed to the new home), "replay" (state
+// rebuilt from the observation window), "failed" (neither worked — the
+// session stays desynced until its next operation retries).
+var handoffOutcomes = []string{"warm", "replay", "failed"}
+
+// routerMetrics caches the router's instruments. Per-replica handles are
+// built eagerly for the initial set and on demand as membership changes;
+// mu guards the maps (the handles themselves are concurrency-safe). The
+// zero value (no registry) is inert: obs instruments no-op on nil receivers
+// and lookups on nil maps return nil.
 type routerMetrics struct {
 	reg *obs.Registry
 	// failovers counts replay-based session recoveries: migrations to
@@ -25,8 +39,16 @@ type routerMetrics struct {
 	sessions *obs.Gauge
 	// panics counts handler panics absorbed by the recovery middleware.
 	panics *obs.Counter
+	// handoffs counts drain-driven session handoffs by outcome.
+	handoffs map[string]*obs.Counter
+	// replicaCount gauges the member count per health state
+	// (cs2p_router_replicas{state=...}).
+	replicaCount map[State]*obs.Gauge
+	// mu guards the per-replica maps below: membership changes add entries
+	// while the data path reads them.
+	mu sync.RWMutex
 	// state is the per-replica health gauge (values are State:
-	// 0 healthy, 1 suspect, 2 down, 3 recovering).
+	// 0 healthy, 1 suspect, 2 down, 3 recovering, 4 draining).
 	state map[string]*obs.Gauge
 	// requests counts forwarded data-path calls by replica and outcome
 	// ("ok" / "error").
@@ -54,32 +76,59 @@ func newRouterMetrics(reg *obs.Registry, replicas []string) *routerMetrics {
 			"Sessions currently routed.", nil),
 		panics: reg.Counter("cs2p_router_panics_total",
 			"Router handler panics absorbed by the recovery middleware.", nil),
-		state:    make(map[string]*obs.Gauge, len(replicas)),
-		requests: make(map[string]map[string]*obs.Counter, len(replicas)),
-		probes:   make(map[string]map[string]*obs.Counter, len(replicas)),
+		handoffs:     make(map[string]*obs.Counter, len(handoffOutcomes)),
+		replicaCount: make(map[State]*obs.Gauge, len(allStates)),
+		state:        make(map[string]*obs.Gauge, len(replicas)),
+		requests:     make(map[string]map[string]*obs.Counter, len(replicas)),
+		probes:       make(map[string]map[string]*obs.Counter, len(replicas)),
+	}
+	for _, o := range handoffOutcomes {
+		m.handoffs[o] = reg.Counter("cs2p_router_handoffs_total",
+			"Drain-driven session handoffs by outcome (warm = exact state transfer, replay = window rebuild, failed = neither).",
+			obs.Labels{"outcome": o})
+	}
+	for _, s := range allStates {
+		m.replicaCount[s] = reg.Gauge("cs2p_router_replicas",
+			"Cluster members per health state.",
+			obs.Labels{"state": s.String()})
 	}
 	for _, r := range replicas {
-		m.state[r] = reg.Gauge("cs2p_router_replica_state",
-			"Replica health state (0 healthy, 1 suspect, 2 down, 3 recovering).",
-			obs.Labels{"replica": r})
-		m.requests[r] = map[string]*obs.Counter{
-			"ok": reg.Counter("cs2p_router_requests_total",
-				"Data-path calls forwarded to replicas by outcome.",
-				obs.Labels{"replica": r, "outcome": "ok"}),
-			"error": reg.Counter("cs2p_router_requests_total",
-				"Data-path calls forwarded to replicas by outcome.",
-				obs.Labels{"replica": r, "outcome": "error"}),
-		}
-		m.probes[r] = map[string]*obs.Counter{
-			"ok": reg.Counter("cs2p_router_probes_total",
-				"Health probes by replica and result.",
-				obs.Labels{"replica": r, "result": "ok"}),
-			"fail": reg.Counter("cs2p_router_probes_total",
-				"Health probes by replica and result.",
-				obs.Labels{"replica": r, "result": "fail"}),
-		}
+		m.ensureReplica(r)
 	}
 	return m
+}
+
+// ensureReplica builds the per-replica handles if they do not exist yet —
+// the dynamic-membership hook. Registering the same (name, help, labels)
+// twice in obs returns the existing instrument, so this is idempotent.
+func (m *routerMetrics) ensureReplica(r string) {
+	if m.reg == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.state[r]; ok {
+		return
+	}
+	m.state[r] = m.reg.Gauge("cs2p_router_replica_state",
+		"Replica health state (0 healthy, 1 suspect, 2 down, 3 recovering, 4 draining).",
+		obs.Labels{"replica": r})
+	m.requests[r] = map[string]*obs.Counter{
+		"ok": m.reg.Counter("cs2p_router_requests_total",
+			"Data-path calls forwarded to replicas by outcome.",
+			obs.Labels{"replica": r, "outcome": "ok"}),
+		"error": m.reg.Counter("cs2p_router_requests_total",
+			"Data-path calls forwarded to replicas by outcome.",
+			obs.Labels{"replica": r, "outcome": "error"}),
+	}
+	m.probes[r] = map[string]*obs.Counter{
+		"ok": m.reg.Counter("cs2p_router_probes_total",
+			"Health probes by replica and result.",
+			obs.Labels{"replica": r, "result": "ok"}),
+		"fail": m.reg.Counter("cs2p_router_probes_total",
+			"Health probes by replica and result.",
+			obs.Labels{"replica": r, "result": "fail"}),
+	}
 }
 
 // request records one forwarded call's outcome.
@@ -88,7 +137,10 @@ func (m *routerMetrics) request(replica string, ok bool) {
 	if ok {
 		outcome = "ok"
 	}
-	m.requests[replica][outcome].Inc()
+	m.mu.RLock()
+	c := m.requests[replica]
+	m.mu.RUnlock()
+	c[outcome].Inc()
 }
 
 // probe records one health probe's result.
@@ -97,10 +149,30 @@ func (m *routerMetrics) probe(replica string, ok bool) {
 	if ok {
 		result = "ok"
 	}
-	m.probes[replica][result].Inc()
+	m.mu.RLock()
+	c := m.probes[replica]
+	m.mu.RUnlock()
+	c[result].Inc()
 }
 
 // setState mirrors a replica's health state onto its gauge.
 func (m *routerMetrics) setState(replica string, s State) {
-	m.state[replica].Set(float64(s))
+	m.mu.RLock()
+	g := m.state[replica]
+	m.mu.RUnlock()
+	g.Set(float64(s))
+}
+
+// handoff records one drain-handoff outcome.
+func (m *routerMetrics) handoff(outcome string) {
+	m.handoffs[outcome].Inc()
+}
+
+// setReplicaCounts publishes the per-state member counts. States absent
+// from counts read as zero, so a state's gauge falls when its last member
+// leaves it.
+func (m *routerMetrics) setReplicaCounts(counts map[State]int) {
+	for _, s := range allStates {
+		m.replicaCount[s].Set(float64(counts[s]))
+	}
 }

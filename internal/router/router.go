@@ -7,6 +7,7 @@ import (
 	"math"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cs2p/internal/engine"
@@ -28,8 +29,10 @@ const DefaultReplayWindow = 16
 
 // Config shapes a Router.
 type Config struct {
-	// Replicas are the cs2p-server base URLs ("http://10.0.0.1:8642").
-	// At least one is required; the set is fixed for the router's lifetime.
+	// Replicas are the initial cs2p-server base URLs
+	// ("http://10.0.0.1:8642"). At least one is required; the set can then
+	// change at runtime through AddReplica/RemoveReplica/DrainReplica (the
+	// POST /v1/admin/replicas surface).
 	Replicas []string
 	// VNodes is the virtual-node count per replica (0 = DefaultVNodes).
 	VNodes int
@@ -77,6 +80,10 @@ type replica struct {
 	version   uint64 // last probed model version (0 = unknown)
 	gen       uint64 // last probed model generation
 	trainedAt int64  // last probed model training time (unix, 0 = unknown)
+	// adminDrained records that THIS router ordered the drain; a probe
+	// seeing a healthy (non-draining) healthz must not undo it. Drains
+	// adopted from the replica's own healthz clear when the healthz does.
+	adminDrained bool
 }
 
 // routedSession is the router's per-session record: where the session
@@ -130,30 +137,38 @@ func (s *routedSession) homeName() string {
 // by replay when a replica dies. It implements httpapi.SessionService: the
 // cluster presents the exact same surface as one process.
 type Router struct {
-	cfg   Config
-	th    Thresholds
-	ring  *Ring
-	order []string // sorted replica names: deterministic probe/scan order
-	// mu guards sessions and every replica's health/version fields.
+	cfg Config
+	th  Thresholds
+	// mem owns the member set and the ring. mu guards mem's map/order,
+	// sessions, and every replica's health/version fields; the ring inside
+	// mem is read lock-free.
 	mu       sync.Mutex
-	replicas map[string]*replica
+	mem      *Membership
 	sessions map[string]*routedSession
 	window   int
 	now      func() time.Time
 	logf     func(format string, args ...any)
 	m        *routerMetrics
 	start    time.Time
+	// newClient/newProbe are the resolved client factories, kept so
+	// AddReplica builds late joiners exactly like the initial set.
+	newClient func(base string) *httpapi.Client
+	newProbe  func(base string) *httpapi.Client
+	// Handoff outcome counters (also mirrored to metrics): kept as plain
+	// atomics so harnesses without a registry can still assert warm vs
+	// replay.
+	warmN, replayN, failedN atomic.Uint64
 	// srv is the embedded httpapi server presenting the router over HTTP,
 	// built once on first Handler/Run call.
 	srvInit sync.Once
 	srv     *httpapi.Server
 }
 
-// New builds a Router over a fixed replica set.
+// New builds a Router over an initial replica set.
 func New(cfg Config) (*Router, error) {
-	ring := NewRing(cfg.VNodes)
-	ring.SetReplicas(cfg.Replicas)
-	names := ring.Replicas()
+	seed := NewRing(cfg.VNodes)
+	seed.SetReplicas(cfg.Replicas)
+	names := seed.Replicas()
 	if len(names) == 0 {
 		return nil, errors.New("router: at least one replica required")
 	}
@@ -175,17 +190,17 @@ func New(cfg Config) (*Router, error) {
 		newProbe = newClient
 	}
 	rt := &Router{
-		cfg:      cfg,
-		th:       cfg.Thresholds.withDefaults(),
-		ring:     ring,
-		order:    names,
-		replicas: make(map[string]*replica, len(names)),
-		sessions: make(map[string]*routedSession),
-		window:   cfg.ReplayWindow,
-		now:      cfg.Now,
-		logf:     cfg.Logf,
-		m:        newRouterMetrics(cfg.Metrics, names),
-		start:    time.Now(),
+		cfg:       cfg,
+		th:        cfg.Thresholds.withDefaults(),
+		mem:       newMembership(cfg.VNodes),
+		sessions:  make(map[string]*routedSession),
+		window:    cfg.ReplayWindow,
+		now:       cfg.Now,
+		logf:      cfg.Logf,
+		m:         newRouterMetrics(cfg.Metrics, names),
+		start:     time.Now(),
+		newClient: newClient,
+		newProbe:  newProbe,
 	}
 	if rt.now == nil {
 		rt.now = time.Now
@@ -194,9 +209,10 @@ func New(cfg Config) (*Router, error) {
 		rt.logf = func(string, ...any) {}
 	}
 	for _, n := range names {
-		rt.replicas[n] = &replica{name: n, client: newClient(n), probe: newProbe(n)}
+		_ = rt.mem.addLocked(&replica{name: n, client: newClient(n), probe: newProbe(n)})
 		rt.m.setState(n, StateHealthy)
 	}
+	rt.refreshReplicaCounts()
 	if cfg.Metrics != nil {
 		// Model age is computed at scrape time from the probed replica
 		// training timestamps (a pushed gauge would freeze between probes).
@@ -213,7 +229,7 @@ func New(cfg Config) (*Router, error) {
 func (rt *Router) modelAgeSeconds() float64 {
 	rt.mu.Lock()
 	var newest int64
-	for _, rep := range rt.replicas {
+	for _, rep := range rt.mem.replicas {
 		if rep.health.state != StateDown && rep.trainedAt > newest {
 			newest = rep.trainedAt
 		}
@@ -228,8 +244,27 @@ func (rt *Router) modelAgeSeconds() float64 {
 	return 0
 }
 
-// Replicas returns the replica names, sorted.
-func (rt *Router) Replicas() []string { return rt.ring.Replicas() }
+// Replicas returns the current member names, sorted.
+func (rt *Router) Replicas() []string { return rt.mem.Ring().Replicas() }
+
+// orderSnapshot copies the sorted member order for iteration outside the
+// lock — membership changes mutate the underlying slice.
+func (rt *Router) orderSnapshot() []string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return append([]string(nil), rt.mem.order...)
+}
+
+// refreshReplicaCounts republishes the per-state member-count gauges.
+func (rt *Router) refreshReplicaCounts() {
+	rt.mu.Lock()
+	counts := make(map[State]int, len(allStates))
+	for _, rep := range rt.mem.replicas {
+		counts[rep.health.state]++
+	}
+	rt.mu.Unlock()
+	rt.m.setReplicaCounts(counts)
+}
 
 // SessionHome reports which replica currently serves a session.
 func (rt *Router) SessionHome(id string) (string, bool) {
@@ -246,8 +281,8 @@ func (rt *Router) SessionHome(id string) (string, bool) {
 func (rt *Router) ReplicaStates() map[string]State {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	out := make(map[string]State, len(rt.replicas))
-	for n, rep := range rt.replicas {
+	out := make(map[string]State, len(rt.mem.replicas))
+	for n, rep := range rt.mem.replicas {
 		out[n] = rep.health.state
 	}
 	return out
@@ -260,18 +295,25 @@ func (rt *Router) lookup(id string) *routedSession {
 	return rt.sessions[id]
 }
 
-// usable returns the replica unless it is Down — the only state the data
-// path refuses to talk to. Suspect and Recovering replicas keep serving
-// the sessions they already hold (draining), they just stop getting new
-// ones.
+// usable returns the replica unless it is Down or no longer a member — the
+// only conditions the data path refuses to talk to. Suspect, Recovering,
+// and Draining replicas keep serving the sessions they already hold, they
+// just stop getting new ones.
 func (rt *Router) usable(name string) *replica {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	rep := rt.replicas[name]
+	rep := rt.mem.replicas[name]
 	if rep == nil || rep.health.state == StateDown {
 		return nil
 	}
 	return rep
+}
+
+// stateOf reads a replica's current health state.
+func (rt *Router) stateOf(rep *replica) State {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rep.health.state
 }
 
 // versionOf reads a replica's last probed model version.
@@ -293,31 +335,36 @@ func (rt *Router) reportOutcome(rep *replica, ok bool) {
 	rt.mu.Unlock()
 	if from != to {
 		rt.m.setState(rep.name, to)
+		rt.refreshReplicaCounts()
 		rt.logf("router: replica %s %s -> %s", rep.name, from, to)
 	}
 }
 
 // startCandidates orders the replicas for placing a NEW session: ring
 // sequence within tiers of Healthy/Recovering first, then Suspect, then
-// Down as a last resort (a probe-path partition must not make the whole
-// cluster unroutable when the replicas themselves are fine).
+// Draining, then Down as a last resort (a probe-path partition must not
+// make the whole cluster unroutable when the replicas themselves are
+// fine). Draining below Suspect: a drain is a promise the replica is
+// leaving, so new sessions land there only when nothing else answers.
 func (rt *Router) startCandidates(id string) []*replica {
-	seq := rt.ring.Sequence(id)
+	seq := rt.mem.Ring().Sequence(id)
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	var healthy, drain, down []*replica
+	var healthy, suspect, draining, down []*replica
 	for _, name := range seq {
-		rep := rt.replicas[name]
+		rep := rt.mem.replicas[name]
 		switch rep.health.state {
 		case StateSuspect:
-			drain = append(drain, rep)
+			suspect = append(suspect, rep)
+		case StateDraining:
+			draining = append(draining, rep)
 		case StateDown:
 			down = append(down, rep)
 		default:
 			healthy = append(healthy, rep)
 		}
 	}
-	return append(append(healthy, drain...), down...)
+	return append(append(append(healthy, suspect...), draining...), down...)
 }
 
 // StartSession implements httpapi.SessionService: place the session on the
@@ -440,15 +487,16 @@ func (rt *Router) EndSession(lg engine.SessionLog) {
 	n := len(rt.sessions)
 	rt.mu.Unlock()
 	rt.m.sessions.Set(float64(n))
-	tried := make(map[string]bool, len(rt.order))
-	candidates := make([]*replica, 0, len(rt.order))
+	order := rt.orderSnapshot()
+	tried := make(map[string]bool, len(order))
+	candidates := make([]*replica, 0, len(order))
 	if sess != nil {
 		if rep := rt.usable(sess.homeName()); rep != nil {
 			candidates = append(candidates, rep)
 			tried[rep.name] = true
 		}
 	}
-	for _, name := range rt.order {
+	for _, name := range order {
 		if !tried[name] {
 			if rep := rt.usable(name); rep != nil {
 				candidates = append(candidates, rep)
@@ -468,30 +516,35 @@ func (rt *Router) EndSession(lg engine.SessionLog) {
 }
 
 // failoverCandidates orders replicas for migrating an EXISTING session:
-// ring sequence from the session's hash point, not-Down before Down (Down
-// is still tried last — better a slow recovery than a lost session), with
-// version-skewed replicas refused outright unless AllowVersionSkew. A
-// session's version pin only binds when both sides are known (non-zero):
-// an unprobed cluster must not refuse everything.
+// ring sequence from the session's hash point in tiers of up, then
+// Draining, then Down (both are still tried last — better a slow recovery
+// than a lost session), with version-skewed replicas refused outright
+// unless AllowVersionSkew. A session's version pin only binds when both
+// sides are known (non-zero): an unprobed cluster must not refuse
+// everything. Draining below up keeps a drain's own migrations from
+// landing right back on the replica being emptied.
 func (rt *Router) failoverCandidates(id string, sessVersion uint64) []*replica {
-	seq := rt.ring.Sequence(id)
+	seq := rt.mem.Ring().Sequence(id)
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	var up, down []*replica
+	var up, draining, down []*replica
 	for _, name := range seq {
-		rep := rt.replicas[name]
+		rep := rt.mem.replicas[name]
 		if sessVersion != 0 && rep.version != 0 && rep.version != sessVersion && !rt.cfg.AllowVersionSkew {
 			rt.m.skewRefusals.Inc()
 			rt.logf("router: refusing %s for session migration: model v%d != session v%d", name, rep.version, sessVersion)
 			continue
 		}
-		if rep.health.state == StateDown {
+		switch rep.health.state {
+		case StateDown:
 			down = append(down, rep)
-		} else {
+		case StateDraining:
+			draining = append(draining, rep)
+		default:
 			up = append(up, rep)
 		}
 	}
-	return append(up, down...)
+	return append(append(up, draining...), down...)
 }
 
 // migrateLocked (sess.mu held) re-homes the session: re-register on the
@@ -562,27 +615,58 @@ func (rt *Router) adopt(rep *replica, sess *routedSession, id string, horizon in
 // (sorted) replica order, recording each replica's readiness, model
 // version, and generation, then refreshes the model-skew gauge.
 func (rt *Router) ProbeAll(ctx context.Context) {
-	for _, name := range rt.order {
-		rep := rt.replicas[name]
-		pctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
-		hr, err := rep.probe.Readiness(pctx)
-		cancel()
-		ok := err == nil
+	for _, name := range rt.orderSnapshot() {
 		rt.mu.Lock()
-		if ok {
-			rep.version = hr.ModelVersion
-			rep.gen = hr.Generation
-			rep.trainedAt = hr.TrainedAtUnix
-		}
-		from, to := rep.health.observe(ok, rt.now(), rt.th)
+		rep := rt.mem.replicas[name]
 		rt.mu.Unlock()
-		rt.m.probe(name, ok)
-		if from != to {
-			rt.m.setState(name, to)
-			rt.logf("router: replica %s %s -> %s (probe)", name, from, to)
+		if rep == nil {
+			continue // removed since the snapshot
 		}
+		rt.probeOne(ctx, rep)
 	}
 	rt.m.modelSkew.Set(float64(rt.modelSkew()))
+}
+
+// probeOne probes a single replica and folds the result into its health
+// state. A replica whose own healthz reports "draining" is adopted into
+// StateDraining (someone drained it out-of-band — e.g. its process caught
+// SIGTERM with -drain-on-shutdown); a drain this router did NOT order
+// clears when the replica's healthz does.
+func (rt *Router) probeOne(ctx context.Context, rep *replica) {
+	pctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
+	hr, err := rep.probe.Readiness(pctx)
+	cancel()
+	ok := err == nil
+	remoteDraining := ok && hr.Status == httpapi.HealthzDraining
+	rt.mu.Lock()
+	if ok {
+		rep.version = hr.ModelVersion
+		rep.gen = hr.Generation
+		rep.trainedAt = hr.TrainedAtUnix
+	}
+	from := rep.health.state
+	var to State
+	switch {
+	case remoteDraining && from != StateDraining && from != StateDown:
+		rep.health.state = StateDraining
+		rep.health.fails, rep.health.successes = 0, 0
+		rep.health.since = rt.now()
+		to = StateDraining
+	case ok && from == StateDraining && !rep.adminDrained && !remoteDraining:
+		rep.health.state = StateHealthy
+		rep.health.fails, rep.health.successes = 0, 0
+		rep.health.since = rt.now()
+		to = StateHealthy
+	default:
+		_, to = rep.health.observe(ok, rt.now(), rt.th)
+	}
+	rt.mu.Unlock()
+	rt.m.probe(rep.name, ok)
+	if from != to {
+		rt.m.setState(rep.name, to)
+		rt.refreshReplicaCounts()
+		rt.logf("router: replica %s %s -> %s (probe)", rep.name, from, to)
+	}
 }
 
 // modelSkew counts distinct known model versions among non-Down replicas,
@@ -591,7 +675,7 @@ func (rt *Router) modelSkew() int {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	versions := make(map[uint64]bool)
-	for _, rep := range rt.replicas {
+	for _, rep := range rt.mem.replicas {
 		if rep.health.state != StateDown && rep.version != 0 {
 			versions[rep.version] = true
 		}

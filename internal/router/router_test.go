@@ -30,6 +30,10 @@ type stubBackend struct {
 	sessions  map[string][]float64
 	starts    map[string]int
 	logs      []engine.SessionLog
+	draining  bool
+	// refuseImport makes ImportSession answer with the model-guard error,
+	// simulating a generation-skewed target refusing transferred state.
+	refuseImport bool
 }
 
 func newStubBackend(version uint64) *stubBackend {
@@ -80,7 +84,66 @@ func (s *stubBackend) EndSession(lg engine.SessionLog) {
 func (s *stubBackend) Health() engine.HealthStatus {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return engine.HealthStatus{Ready: true, ModelVersion: s.version, Sessions: len(s.sessions), TrainedAtUnix: s.trainedAt}
+	return engine.HealthStatus{Ready: true, Draining: s.draining, ModelVersion: s.version, Sessions: len(s.sessions), TrainedAtUnix: s.trainedAt}
+}
+
+// ExportSession packs the observation history into the state payload's
+// posterior slot: the stub's entire "filter state" IS the history, so a
+// warm handoff is exact iff the full history arrives — which makes warm vs
+// replay directly distinguishable once the history outgrows the replay
+// window.
+func (s *stubBackend) ExportSession(id string) (engine.SessionState, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obs, ok := s.sessions[id]
+	if !ok {
+		return engine.SessionState{}, engine.ErrUnknownSession
+	}
+	return engine.SessionState{
+		Schema:    engine.SessionStateSchema,
+		SessionID: id,
+		Posterior: append([]float64(nil), obs...),
+		Started:   len(obs) > 0,
+		Epoch:     len(obs),
+	}, nil
+}
+
+func (s *stubBackend) ImportSession(st engine.SessionState) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.refuseImport {
+		return fmt.Errorf("%w: stub refuses transfers", engine.ErrSessionStateModelMismatch)
+	}
+	s.sessions[st.SessionID] = append([]float64(nil), st.Posterior...)
+	return nil
+}
+
+func (s *stubBackend) ForgetSession(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sessions[id]; !ok {
+		return false
+	}
+	delete(s.sessions, id)
+	return true
+}
+
+func (s *stubBackend) SetDraining(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.draining = on
+}
+
+func (s *stubBackend) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+func (s *stubBackend) setRefuseImport(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.refuseImport = on
 }
 
 // setTrainedAt stamps the model training time the stub's healthz reports.
